@@ -1,0 +1,632 @@
+// Benchmarks regenerating every table and figure of the paper (see
+// DESIGN.md for the experiment index and EXPERIMENTS.md for recorded
+// results). Each benchmark runs the corresponding experiment driver at a
+// reduced default scale and reports the figure's headline quantity as a
+// custom metric; `go test -bench . -benchmem` therefore reproduces the
+// whole evaluation. Full published scale: cmd/stbench -full.
+package stindex_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	stx "stindex"
+
+	"stindex/internal/alloc"
+	"stindex/internal/datagen"
+	"stindex/internal/experiments"
+	"stindex/internal/split"
+)
+
+// benchConfig keeps each figure's bench in the seconds range.
+func benchConfig() experiments.Config {
+	return experiments.Config{Sizes: []int{400, 800, 1600}, Queries: 200, Seed: 1}
+}
+
+func BenchmarkTable1Datasets(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2QuerySets(b *testing.B) {
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11SplitCPU(b *testing.B) {
+	cfg := benchConfig()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig11(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		ratio = float64(last.DPTime) / float64(last.MergeTime)
+	}
+	b.ReportMetric(ratio, "dp/merge-cpu-ratio")
+}
+
+func BenchmarkFig12SplitVolume(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Sizes = []int{400, 800}
+	var overhead float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		overhead = 100 * (last.MergeVolume/last.DPVolume - 1)
+	}
+	b.ReportMetric(overhead, "merge-overhead-%")
+}
+
+func BenchmarkFig13DistributionCPU(b *testing.B) {
+	cfg := benchConfig()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig13(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		ratio = float64(last.OptimalTime) / float64(last.GreedyTime)
+	}
+	b.ReportMetric(ratio, "optimal/greedy-cpu-ratio")
+}
+
+func BenchmarkFig14DistributionIO(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Sizes = []int{800}
+	var la, greedy float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig14(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		la, greedy = rows[0].LAIO, rows[0].GreedyIO
+	}
+	b.ReportMetric(la, "lagreedy-avg-io")
+	b.ReportMetric(greedy, "greedy-avg-io")
+}
+
+func BenchmarkFig15SplitSweep(b *testing.B) {
+	cfg := benchConfig()
+	var pprGain, rstarLoss float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := rows[0], rows[len(rows)-1]
+		pprGain = 100 * (1 - last.PPRIO/first.PPRIO)
+		rstarLoss = 100 * (last.RStarIO/first.RStarIO - 1)
+	}
+	b.ReportMetric(pprGain, "ppr-io-gain-%")
+	b.ReportMetric(rstarLoss, "rstar-io-loss-%")
+}
+
+func BenchmarkFig16Space(b *testing.B) {
+	cfg := benchConfig()
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig16(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		ratio = float64(last.PPRPages) / float64(last.RStarPages)
+	}
+	b.ReportMetric(ratio, "ppr/rstar-space-ratio")
+}
+
+func BenchmarkFig17SmallRange(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Sizes = []int{800, 1600}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig17(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		speedup = last.RStar1 / last.PPR150
+	}
+	b.ReportMetric(speedup, "ppr-vs-rstar-speedup")
+}
+
+func BenchmarkFig18MixedSnapshot(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Sizes = []int{800, 1600}
+	var speedup float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig18(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := rows[len(rows)-1]
+		speedup = last.RStar1 / last.PPR150
+	}
+	b.ReportMetric(speedup, "ppr-vs-rstar-speedup")
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ---
+
+func benchObjects(b *testing.B, n int) []*stx.Object {
+	b.Helper()
+	objs, err := stx.GenerateRandom(stx.RandomDatasetConfig{N: n, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return objs
+}
+
+// BenchmarkAblationMergeHeap compares MergeSplit's lazy-invalidation heap
+// against the O(n²) rescanning reference implementation.
+func BenchmarkAblationMergeHeap(b *testing.B) {
+	objs, err := datagen.Random(datagen.RandomConfig{N: 200, Seed: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("heap", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, o := range objs {
+				split.MergeSplit(o, o.Len()/2)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, o := range objs {
+				split.MergeSplitNaive(o, o.Len()/2)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationLookahead sweeps the LAGreedy look-ahead depth,
+// reporting the volume each depth reaches (depth 2 is the paper's).
+func BenchmarkAblationLookahead(b *testing.B) {
+	objs, err := datagen.Random(datagen.RandomConfig{N: 1000, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	curves := alloc.BuildCurves(objs, split.MergeCurve)
+	budget := 1500
+	for _, depth := range []int{1, 2, 3, 4} {
+		depth := depth
+		b.Run(map[int]string{1: "depth1", 2: "depth2", 3: "depth3", 4: "depth4"}[depth], func(b *testing.B) {
+			var vol float64
+			for i := 0; i < b.N; i++ {
+				vol = alloc.LAGreedyDepth(curves, budget, depth).Volume
+			}
+			b.ReportMetric(vol, "total-volume")
+		})
+	}
+}
+
+// BenchmarkAblationVersionParams sweeps the PPR-tree's strong version
+// overflow/underflow parameters around the paper's values and reports the
+// query cost and space of each setting.
+func BenchmarkAblationVersionParams(b *testing.B) {
+	objs := benchObjects(b, 800)
+	records, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: 1200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := stx.GenerateQueries(stx.QuerySnapshotMixed, 1000, 9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries = queries[:150]
+	for _, p := range []struct {
+		name     string
+		svo, svu float64
+	}{
+		{"paper-0.8-0.4", 0.8, 0.4},
+		{"tight-0.9-0.3", 0.9, 0.3},
+		{"loose-0.7-0.5", 0.7, 0.5},
+	} {
+		p := p
+		b.Run(p.name, func(b *testing.B) {
+			var avgIO float64
+			var pages int
+			for i := 0; i < b.N; i++ {
+				idx, err := stx.BuildPPR(records, stx.PPROptions{PSvo: p.svo, PSvu: p.svu})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := stx.MeasureWorkload(idx, queries)
+				if err != nil {
+					b.Fatal(err)
+				}
+				avgIO = res.AvgIO
+				pages = idx.Pages()
+			}
+			b.ReportMetric(avgIO, "avg-io")
+			b.ReportMetric(float64(pages), "pages")
+		})
+	}
+}
+
+// BenchmarkAblationBufferSize shows how the measured I/O depends on the
+// LRU pool size (the paper fixes 10 pages).
+func BenchmarkAblationBufferSize(b *testing.B) {
+	objs := benchObjects(b, 800)
+	records, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: 1200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := stx.GenerateQueries(stx.QueryRangeSmall, 1000, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries = queries[:150]
+	for _, pages := range []int{1, 10, 50} {
+		pages := pages
+		b.Run(map[int]string{1: "buf1", 10: "buf10", 50: "buf50"}[pages], func(b *testing.B) {
+			idx, err := stx.BuildPPR(records, stx.PPROptions{BufferPages: pages})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var avgIO float64
+			for i := 0; i < b.N; i++ {
+				res, err := stx.MeasureWorkload(idx, queries)
+				if err != nil {
+					b.Fatal(err)
+				}
+				avgIO = res.AvgIO
+			}
+			b.ReportMetric(avgIO, "avg-io")
+		})
+	}
+}
+
+// BenchmarkAblationTimeScale compares the paper's unit-scaled time axis
+// for the 3D R*-tree against an unscaled axis (time in raw instants),
+// which bloats the time dimension and degrades the spatial split quality.
+func BenchmarkAblationTimeScale(b *testing.B) {
+	objs := benchObjects(b, 800)
+	records, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := stx.GenerateQueries(stx.QueryRangeSmall, 1000, 13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries = queries[:150]
+	for _, c := range []struct {
+		name  string
+		scale float64
+	}{
+		{"unit-scaled", 0},  // default: horizon -> [0,1]
+		{"raw-instants", 1}, // one unit per instant
+	} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			idx, err := stx.BuildRStar(records, stx.RStarOptions{TimeScale: c.scale, ShuffleSeed: 42})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var avgIO float64
+			for i := 0; i < b.N; i++ {
+				res, err := stx.MeasureWorkload(idx, queries)
+				if err != nil {
+					b.Fatal(err)
+				}
+				avgIO = res.AvgIO
+			}
+			b.ReportMetric(avgIO, "avg-io")
+		})
+	}
+}
+
+// BenchmarkAblationObjective compares the §III volume objective against
+// the §IV query-cost objective on measured I/O, for a wide-window
+// workload where the two objectives disagree most.
+func BenchmarkAblationObjective(b *testing.B) {
+	objs := benchObjects(b, 800)
+	queries, err := stx.GenerateQueries(stx.QuerySnapshotLarge, 1000, 29)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries = queries[:150]
+	profile := &stx.QueryProfile{ExtentX: 0.03, ExtentY: 0.03, Duration: 1}
+	for _, c := range []struct {
+		name string
+		cfg  stx.SplitConfig
+	}{
+		{"volume-objective", stx.SplitConfig{Budget: 1200}},
+		{"query-objective", stx.SplitConfig{Budget: 1200, QueryAware: profile}},
+	} {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			var avgIO float64
+			for i := 0; i < b.N; i++ {
+				records, _, err := stx.SplitDataset(objs, c.cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				idx, err := stx.BuildPPR(records, stx.PPROptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := stx.MeasureWorkload(idx, queries)
+				if err != nil {
+					b.Fatal(err)
+				}
+				avgIO = res.AvgIO
+			}
+			b.ReportMetric(avgIO, "avg-io")
+		})
+	}
+}
+
+// BenchmarkOverlappingVsPPR reproduces the related-work comparison of the
+// two roads to partial persistence (experiment "overlap"): the
+// overlapping HR-tree pays a large storage factor and loses interval
+// queries; the multi-version PPR-tree stays linear in the changes.
+func BenchmarkOverlappingVsPPR(b *testing.B) {
+	cfg := benchConfig()
+	cfg.Sizes = []int{800}
+	var spaceRatio, rangeRatio float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Overlap(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := rows[0]
+		spaceRatio = float64(r.HRPages) / float64(r.PPRPages)
+		rangeRatio = r.HRRangeIO / r.PPRRangeIO
+	}
+	b.ReportMetric(spaceRatio, "hr/ppr-space-ratio")
+	b.ReportMetric(rangeRatio, "hr/ppr-range-io-ratio")
+}
+
+// BenchmarkAblationPacking measures the paper's decision not to pack the
+// R*-tree: STR bulk loading builds far faster but does not query better
+// on split moving-object records ("packing does not help substantially
+// with datasets of moving objects").
+func BenchmarkAblationPacking(b *testing.B) {
+	objs := benchObjects(b, 800)
+	records, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: 1200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := stx.GenerateQueries(stx.QueryRangeSmall, 1000, 19)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries = queries[:150]
+	b.Run("rstar-insert", func(b *testing.B) {
+		var avgIO float64
+		for i := 0; i < b.N; i++ {
+			idx, err := stx.BuildRStar(records, stx.RStarOptions{ShuffleSeed: 42})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := stx.MeasureWorkload(idx, queries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			avgIO = res.AvgIO
+		}
+		b.ReportMetric(avgIO, "avg-io")
+	})
+	b.Run("rstar-packed", func(b *testing.B) {
+		var avgIO float64
+		for i := 0; i < b.N; i++ {
+			idx, err := stx.BuildRStarPacked(records, stx.RStarOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := stx.MeasureWorkload(idx, queries)
+			if err != nil {
+				b.Fatal(err)
+			}
+			avgIO = res.AvgIO
+		}
+		b.ReportMetric(avgIO, "avg-io")
+	})
+}
+
+// BenchmarkHybridDurationSweep sweeps the query duration to show the
+// crossover motivating the MV3R-style hybrid: the PPR-tree wins short
+// intervals, the 3D R*-tree wins very long ones, the hybrid tracks the
+// winner on both sides.
+func BenchmarkHybridDurationSweep(b *testing.B) {
+	objs := benchObjects(b, 800)
+	records, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: 1200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	hyb, err := stx.BuildHybrid(records, stx.HybridOptions{IntervalThreshold: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for _, dur := range []int64{1, 10, 50, 250, 800} {
+		dur := dur
+		b.Run(map[int64]string{1: "dur1", 10: "dur10", 50: "dur50", 250: "dur250", 800: "dur800"}[dur], func(b *testing.B) {
+			var pprIO, rstIO, hybIO float64
+			queries := make([]stx.Query, 100)
+			for i := range queries {
+				x, y := rng.Float64()*0.95, rng.Float64()*0.95
+				start := rng.Int63n(1000 - dur + 1)
+				queries[i] = stx.Query{
+					Rect:     stx.Rect{MinX: x, MinY: y, MaxX: x + 0.03, MaxY: y + 0.03},
+					Interval: stx.Interval{Start: start, End: start + dur},
+				}
+			}
+			for i := 0; i < b.N; i++ {
+				var p, r, h int64
+				for _, q := range queries {
+					hyb.ResetBuffer()
+					if _, err := hyb.PPR().Range(q.Rect, q.Interval); err != nil {
+						b.Fatal(err)
+					}
+					p += hyb.PPR().IOStats().IO()
+					hyb.ResetBuffer()
+					if _, err := hyb.RStar().Range(q.Rect, q.Interval); err != nil {
+						b.Fatal(err)
+					}
+					r += hyb.RStar().IOStats().IO()
+					hyb.ResetBuffer()
+					if _, err := hyb.Range(q.Rect, q.Interval); err != nil {
+						b.Fatal(err)
+					}
+					h += hyb.IOStats().IO()
+				}
+				pprIO = float64(p) / float64(len(queries))
+				rstIO = float64(r) / float64(len(queries))
+				hybIO = float64(h) / float64(len(queries))
+			}
+			b.ReportMetric(pprIO, "ppr-avg-io")
+			b.ReportMetric(rstIO, "rstar-avg-io")
+			b.ReportMetric(hybIO, "hybrid-avg-io")
+		})
+	}
+}
+
+// BenchmarkStreamingVsOffline compares the online indexer against the
+// offline pipeline at a matched number of splits — the cost of not seeing
+// the future.
+func BenchmarkStreamingVsOffline(b *testing.B) {
+	objs := benchObjects(b, 600)
+	lambda, err := stx.CalibrateLambda(objs[:100], 2.5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type ev struct {
+		t     int64
+		obj   int
+		final bool
+	}
+	var events []ev
+	for i, o := range objs {
+		lt := o.Lifetime()
+		for tm := lt.Start; tm < lt.End; tm++ {
+			events = append(events, ev{t: tm, obj: i})
+		}
+		events = append(events, ev{t: lt.End, obj: i, final: true})
+	}
+	sort.SliceStable(events, func(a, c int) bool {
+		if events[a].t != events[c].t {
+			return events[a].t < events[c].t
+		}
+		return events[a].final && !events[c].final
+	})
+	var streamVol float64
+	b.Run("stream-build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			six, err := stx.NewStreamIndex(stx.StreamOptions{Lambda: lambda}, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, e := range events {
+				o := objs[e.obj]
+				if e.final {
+					if err := six.Finish(o.ID(), e.t); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				r, _ := o.At(e.t)
+				if err := six.Observe(o.ID(), e.t, r); err != nil {
+					b.Fatal(err)
+				}
+			}
+			streamVol = float64(six.Records())
+		}
+		b.ReportMetric(streamVol, "records")
+	})
+	b.Run("offline-build", func(b *testing.B) {
+		var records int
+		for i := 0; i < b.N; i++ {
+			recs, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: 900})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := stx.BuildPPR(recs, stx.PPROptions{}); err != nil {
+				b.Fatal(err)
+			}
+			records = len(recs)
+		}
+		b.ReportMetric(float64(records), "records")
+	})
+}
+
+// BenchmarkIndexBuild measures raw build throughput of both structures.
+func BenchmarkIndexBuild(b *testing.B) {
+	objs := benchObjects(b, 1000)
+	records, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: 1500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("ppr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stx.BuildPPR(records, stx.PPROptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rstar", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stx.BuildRStar(records, stx.RStarOptions{ShuffleSeed: 42}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQueryThroughput measures raw query latency (warm buffer) on
+// both structures.
+func BenchmarkQueryThroughput(b *testing.B) {
+	objs := benchObjects(b, 1000)
+	records, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: 1500})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ppr, err := stx.BuildPPR(records, stx.PPROptions{BufferPages: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rst, err := stx.BuildRStar(records, stx.RStarOptions{BufferPages: 128, ShuffleSeed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	mkQuery := func() stx.Query {
+		x, y := rng.Float64()*0.95, rng.Float64()*0.95
+		t := rng.Int63n(1000)
+		return stx.Query{
+			Rect:     stx.Rect{MinX: x, MinY: y, MaxX: x + 0.05, MaxY: y + 0.05},
+			Interval: stx.Interval{Start: t, End: t + 1},
+		}
+	}
+	b.Run("ppr-snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stx.RunQuery(ppr, mkQuery()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("rstar-snapshot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stx.RunQuery(rst, mkQuery()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,215 @@
+// Command stquery builds an index over a record file and runs query
+// workloads against it with the paper's cold-buffer discipline, printing
+// average disk accesses.
+//
+// Usage:
+//
+//	stquery -i records.jsonl -index ppr   -set snapshot-mixed
+//	stquery -i records.jsonl -index rstar -set range-small -queries 500
+//	stquery -i records.jsonl -index hybrid -set range-medium
+//	stquery -i records.jsonl -index ppr -rect 0.4,0.4,0.6,0.6 -t 500
+//	stquery -i records.jsonl -index ppr -save idx.ppr       # persist the built index
+//	stquery -load idx.ppr -index ppr -set snapshot-mixed    # reuse it
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	stx "stindex"
+
+	"stindex/internal/stio"
+)
+
+func main() {
+	var (
+		in       = flag.String("i", "", "input records (JSON lines from stsplit; default stdin)")
+		kind     = flag.String("index", "ppr", "index structure: ppr | rstar | hybrid | hr")
+		save     = flag.String("save", "", "write the built index image to this file (ppr/rstar only)")
+		load     = flag.String("load", "", "load an index image instead of building from records")
+		describe = flag.Bool("describe", false, "print the index's physical shape and exit")
+		set      = flag.String("set", "", "standard query set (snapshot-tiny|snapshot-small|snapshot-mixed|snapshot-large|range-small|range-medium)")
+		queries  = flag.Int("queries", 1000, "number of queries from the set")
+		seed     = flag.Int64("seed", 1, "query generation seed")
+		horizon  = flag.Int64("horizon", 1000, "time horizon for query placement")
+		rect     = flag.String("rect", "", "single query rectangle: minx,miny,maxx,maxy")
+		at       = flag.Int64("t", -1, "single snapshot query time")
+		from     = flag.Int64("from", -1, "single range query start")
+		to       = flag.Int64("to", -1, "single range query end (exclusive)")
+	)
+	flag.Parse()
+
+	var idx stx.Index
+	var err error
+	if *load != "" {
+		idx, err = loadIndex(*kind, *load)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		records, rerr := readRecords(*in)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		idx, err = build(*kind, records)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if *save != "" {
+		if err := saveIndex(idx, *save); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "saved index image to %s\n", *save)
+	}
+	fmt.Fprintf(os.Stderr, "built %s index: %d records, %d pages (%d KiB)\n",
+		idx.Kind(), idx.Records(), idx.Pages(), idx.Bytes()/1024)
+
+	if *describe {
+		d, err := stx.Describe(idx)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(d)
+		return
+	}
+
+	if *rect != "" {
+		q, err := parseSingle(*rect, *at, *from, *to)
+		if err != nil {
+			fatal(err)
+		}
+		idx.ResetBuffer()
+		ids, err := stx.RunQuery(idx, q)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("results=%d io=%d\n", len(ids), idx.IOStats().IO())
+		for _, id := range ids {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	if *set == "" {
+		fatal(fmt.Errorf("provide -set for a workload or -rect for a single query"))
+	}
+	qs, err := stx.GenerateQueries(stx.QuerySet(*set), *horizon, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	if *queries < len(qs) {
+		qs = qs[:*queries]
+	}
+	res, err := stx.MeasureWorkload(idx, qs)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("set=%s queries=%d avg-io=%.2f avg-results=%.1f\n", *set, res.Queries, res.AvgIO, res.AvgResult)
+}
+
+func build(kind string, records []stx.Record) (stx.Index, error) {
+	switch kind {
+	case "ppr":
+		return stx.BuildPPR(records, stx.PPROptions{})
+	case "rstar":
+		return stx.BuildRStar(records, stx.RStarOptions{ShuffleSeed: 42})
+	case "hybrid":
+		return stx.BuildHybrid(records, stx.HybridOptions{RStar: stx.RStarOptions{ShuffleSeed: 42}})
+	case "hr":
+		return stx.BuildHR(records, stx.HROptions{})
+	default:
+		return nil, fmt.Errorf("unknown index %q (want ppr, rstar, hybrid or hr)", kind)
+	}
+}
+
+func saveIndex(idx stx.Index, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch x := idx.(type) {
+	case *stx.PPRIndex:
+		_, err = x.WriteTo(f)
+	case *stx.RStarIndex:
+		_, err = x.WriteTo(f)
+	default:
+		return fmt.Errorf("index kind %q does not support -save", idx.Kind())
+	}
+	return err
+}
+
+func loadIndex(kind, path string) (stx.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch kind {
+	case "ppr":
+		return stx.ReadPPRIndex(f)
+	case "rstar":
+		return stx.ReadRStarIndex(f)
+	default:
+		return nil, fmt.Errorf("index kind %q does not support -load", kind)
+	}
+}
+
+func parseSingle(rect string, at, from, to int64) (stx.Query, error) {
+	parts := strings.Split(rect, ",")
+	if len(parts) != 4 {
+		return stx.Query{}, fmt.Errorf("rect wants minx,miny,maxx,maxy")
+	}
+	var c [4]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return stx.Query{}, fmt.Errorf("rect coordinate %d: %w", i, err)
+		}
+		c[i] = v
+	}
+	r := stx.Rect{MinX: c[0], MinY: c[1], MaxX: c[2], MaxY: c[3]}
+	switch {
+	case at >= 0:
+		return stx.Query{Rect: r, Interval: stx.Interval{Start: at, End: at + 1}}, nil
+	case from >= 0 && to > from:
+		return stx.Query{Rect: r, Interval: stx.Interval{Start: from, End: to}}, nil
+	default:
+		return stx.Query{}, fmt.Errorf("provide -t for a snapshot or -from/-to for a range")
+	}
+}
+
+func readRecords(path string) ([]stx.Record, error) {
+	r := io.Reader(os.Stdin)
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := stio.ReadRecords(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]stx.Record, len(recs))
+	for i, rec := range recs {
+		out[i] = stx.Record{
+			Rect:     stx.Rect{MinX: rec.Rect.MinX, MinY: rec.Rect.MinY, MaxX: rec.Rect.MaxX, MaxY: rec.Rect.MaxY},
+			Interval: stx.Interval{Start: rec.Interval.Start, End: rec.Interval.End},
+			ObjectID: rec.ObjectID,
+		}
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stquery:", err)
+	os.Exit(1)
+}

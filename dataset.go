@@ -1,0 +1,153 @@
+package stindex
+
+import (
+	"stindex/internal/datagen"
+	"stindex/internal/trajectory"
+)
+
+// RandomDatasetConfig configures GenerateRandom — the paper's uniform
+// moving-rectangles datasets. Zero fields take the paper's values:
+// horizon 1000, lifetimes 1-100, 1-10 polynomial segments of degree ≤ 2,
+// rectangle extents 0.1%-1% of the space.
+type RandomDatasetConfig struct {
+	N                        int
+	Horizon                  int64
+	Seed                     int64
+	MinLifetime, MaxLifetime int64
+	MinSegments, MaxSegments int
+	MinExtent, MaxExtent     float64
+	// ChangingExtentFraction is the fraction of objects whose extent also
+	// changes over time (0 = default 25%).
+	ChangingExtentFraction float64
+}
+
+// GenerateRandom creates a uniform moving-rectangles dataset.
+func GenerateRandom(cfg RandomDatasetConfig) ([]*Object, error) {
+	objs, err := datagen.Random(datagen.RandomConfig{
+		N: cfg.N, Horizon: cfg.Horizon, Seed: cfg.Seed,
+		MinLifetime: cfg.MinLifetime, MaxLifetime: cfg.MaxLifetime,
+		MinSegments: cfg.MinSegments, MaxSegments: cfg.MaxSegments,
+		MinExtent: cfg.MinExtent, MaxExtent: cfg.MaxExtent,
+		ChangingExtentFraction: cfg.ChangingExtentFraction,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrapObjects(objs), nil
+}
+
+// RailwayDatasetConfig configures GenerateRailway — the paper's skewed
+// datasets of trains on a 22-city, 51-track map approximating California
+// and New York. Zero fields take the paper's values: up to 10 stops, up to
+// 36 hours of travel at 60-75 mph.
+type RailwayDatasetConfig struct {
+	N               int
+	Horizon         int64
+	Seed            int64
+	MaxStops        int
+	MaxTravelHours  float64
+	MinSpeed        float64
+	MaxSpeed        float64
+	HoursPerInstant float64
+}
+
+// GenerateRailway creates a skewed railway dataset.
+func GenerateRailway(cfg RailwayDatasetConfig) ([]*Object, error) {
+	objs, err := datagen.Railway(datagen.RailwayConfig{
+		N: cfg.N, Horizon: cfg.Horizon, Seed: cfg.Seed,
+		MaxStops: cfg.MaxStops, MaxTravelHours: cfg.MaxTravelHours,
+		MinSpeed: cfg.MinSpeed, MaxSpeed: cfg.MaxSpeed,
+		HoursPerInstant: cfg.HoursPerInstant,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return wrapObjects(objs), nil
+}
+
+func wrapObjects(objs []*trajectory.Object) []*Object {
+	out := make([]*Object, len(objs))
+	for i, o := range objs {
+		out[i] = &Object{inner: o}
+	}
+	return out
+}
+
+// Query is one window query: the objects intersecting Rect at some
+// instant of Interval.
+type Query struct {
+	Rect     Rect
+	Interval Interval
+}
+
+// IsSnapshot reports whether the query covers a single instant.
+func (q Query) IsSnapshot() bool { return q.Interval.End == q.Interval.Start+1 }
+
+// QuerySet names one of the paper's standard query workloads (Table II).
+type QuerySet string
+
+// The standard query sets of Table II: four snapshot sets of increasing
+// extent and two range sets of increasing duration, 1000 queries each.
+const (
+	QuerySnapshotTiny  = QuerySet(datagen.SnapshotTiny)
+	QuerySnapshotSmall = QuerySet(datagen.SnapshotSmall)
+	QuerySnapshotMixed = QuerySet(datagen.SnapshotMixed)
+	QuerySnapshotLarge = QuerySet(datagen.SnapshotLarge)
+	QueryRangeSmall    = QuerySet(datagen.RangeSmall)
+	QueryRangeMedium   = QuerySet(datagen.RangeMedium)
+)
+
+// GenerateQueries creates one of the paper's standard query sets over the
+// given horizon.
+func GenerateQueries(set QuerySet, horizon, seed int64) ([]Query, error) {
+	qs, err := datagen.StandardQueries(datagen.QuerySetName(set), horizon, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Query, len(qs))
+	for i, q := range qs {
+		out[i] = Query{
+			Rect:     fromGeomRect(q.Rect),
+			Interval: Interval{Start: q.Interval.Start, End: q.Interval.End},
+		}
+	}
+	return out, nil
+}
+
+// RunQuery executes one query on an index.
+func RunQuery(idx Index, q Query) ([]int64, error) {
+	if q.IsSnapshot() {
+		return idx.Snapshot(q.Rect, q.Interval.Start)
+	}
+	return idx.Range(q.Rect, q.Interval)
+}
+
+// WorkloadResult aggregates a query workload's cost.
+type WorkloadResult struct {
+	Queries   int
+	AvgIO     float64 // average disk accesses per query, cold 10-page buffer
+	AvgResult float64 // average result cardinality
+}
+
+// MeasureWorkload runs every query with the paper's discipline — the
+// buffer pool is reset before each query — and reports the average number
+// of disk accesses.
+func MeasureWorkload(idx Index, queries []Query) (WorkloadResult, error) {
+	var res WorkloadResult
+	totalIO, totalResults := int64(0), 0
+	for _, q := range queries {
+		idx.ResetBuffer()
+		ids, err := RunQuery(idx, q)
+		if err != nil {
+			return res, err
+		}
+		totalIO += idx.IOStats().IO()
+		totalResults += len(ids)
+	}
+	res.Queries = len(queries)
+	if len(queries) > 0 {
+		res.AvgIO = float64(totalIO) / float64(len(queries))
+		res.AvgResult = float64(totalResults) / float64(len(queries))
+	}
+	return res, nil
+}

@@ -1,0 +1,84 @@
+package stindex
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDescribeIndexes(t *testing.T) {
+	objs := genObjects(t, 300, 61)
+	records, _, err := SplitDataset(objs, SplitConfig{Budget: 450})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ppr, err := BuildPPR(records, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Describe(ppr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != "ppr" || d.Records != len(records) || d.Nodes == 0 || d.RootSpans == 0 {
+		t.Fatalf("ppr description implausible: %+v", d)
+	}
+	if d.LiveNodes+d.DeadNodes != d.Nodes {
+		t.Fatalf("live %d + dead %d != nodes %d", d.LiveNodes, d.DeadNodes, d.Nodes)
+	}
+	if !strings.Contains(d.String(), "rootSpans=") {
+		t.Fatalf("String() = %q", d.String())
+	}
+
+	rst, err := BuildRStar(records, RStarOptions{ShuffleSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = Describe(rst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != "rstar" || d.AvgLeafFill <= 0.3 || d.AvgLeafFill > 1 {
+		t.Fatalf("rstar description implausible: %+v", d)
+	}
+
+	hyb, err := BuildHybrid(records, HybridOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = Describe(hyb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != "hybrid" || d.Pages != hyb.Pages() {
+		t.Fatalf("hybrid description implausible: %+v", d)
+	}
+
+	// Wrappers delegate.
+	if d, err = Describe(Synchronized(ppr)); err != nil || d.Kind != "ppr" {
+		t.Fatalf("sync describe: %+v %v", d, err)
+	}
+	if d, err = Describe(Refined(rst, objs)); err != nil || d.Kind != "rstar" {
+		t.Fatalf("refined describe: %+v %v", d, err)
+	}
+}
+
+func TestGenerateCommuterFacade(t *testing.T) {
+	objs, err := GenerateCommuter(CommuterDatasetConfig{N: 200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 200 {
+		t.Fatalf("got %d objects", len(objs))
+	}
+	records, rep, err := SplitDataset(objs, SplitConfig{Budget: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) == 0 || rep.Gain() <= 0 {
+		t.Fatalf("pipeline over commuters: %d records, gain %.2f", len(records), rep.Gain())
+	}
+	if _, err := GenerateCommuter(CommuterDatasetConfig{N: -1}); err == nil {
+		t.Fatal("accepted negative N")
+	}
+}

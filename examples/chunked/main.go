@@ -1,0 +1,80 @@
+// Chunked: operating the index over a growing history — build day one,
+// persist it to disk, reload later, append day two, and query across the
+// whole evolution. Partial persistence makes this natural: history is
+// immutable, so appending never rewrites what was already stored.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	stx "stindex"
+)
+
+func main() {
+	// Day one: instants [0, 1000).
+	day1, err := stx.GenerateRandom(stx.RandomDatasetConfig{N: 800, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	records1, _, err := stx.SplitDataset(day1, stx.SplitConfig{Budget: 1200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx, err := stx.BuildPPR(records1, stx.PPROptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 1 indexed: %d records, %d pages\n", idx.Records(), idx.Pages())
+
+	// Persist the index — pages, root log and all — as if shutting down.
+	var image bytes.Buffer
+	if _, err := idx.WriteTo(&image); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("persisted image: %d KiB\n", image.Len()/1024)
+
+	// ... next morning: reload and append day two, instants [1000, 2000).
+	idx, err = stx.ReadPPRIndex(&image)
+	if err != nil {
+		log.Fatal(err)
+	}
+	day2raw, err := stx.GenerateRandom(stx.RandomDatasetConfig{N: 800, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	day2 := make([]*stx.Object, len(day2raw))
+	for i, o := range day2raw {
+		lt := o.Lifetime()
+		rects := make([]stx.Rect, o.Len())
+		for j := range rects {
+			r, _ := o.At(lt.Start + int64(j))
+			rects[j] = r
+		}
+		day2[i], err = stx.NewObject(o.ID()+10000, lt.Start+1000, rects)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	records2, _, err := stx.SplitDataset(day2, stx.SplitConfig{Budget: 1200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := idx.Append(records2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("day 2 appended: %d records, %d pages\n", idx.Records(), idx.Pages())
+
+	// Queries span the whole history transparently.
+	window := stx.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.6, MaxY: 0.6}
+	for _, at := range []int64{500, 1500} {
+		idx.ResetBuffer()
+		ids, err := idx.Snapshot(window, at)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("t=%4d: %3d objects in the window (%d disk accesses)\n",
+			at, len(ids), idx.IOStats().IO())
+	}
+}

@@ -1,0 +1,61 @@
+// Costmodel: the two §IV methods for choosing the number of splits, side
+// by side — the analytical model's predictions versus the sampling
+// method's measurements versus ground truth (measured on the full index).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	stx "stindex"
+)
+
+func main() {
+	objs, err := stx.GenerateRandom(stx.RandomDatasetConfig{N: 4000, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	budgets := []int{0, 1000, 2000, 4000, 6000}
+	cfg := stx.ChooseBudgetConfig{
+		Budgets:   budgets,
+		Profile:   stx.QueryProfile{ExtentX: 0.02, ExtentY: 0.02, Duration: 1},
+		Tolerance: 0.02,
+	}
+
+	// Method 1: the analytical model — no index is ever built.
+	analytic, aTable, err := stx.ChooseBudget(objs, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Method 2: sampling — real (small) indexes over a quarter of the data.
+	queries, err := stx.GenerateQueries(stx.QuerySnapshotMixed, 1000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampled, sTable, err := stx.ChooseBudgetBySampling(objs, queries[:200], cfg, 0.25, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth: build the full index per budget and measure.
+	fmt.Println("budget   model-I/O   sample-I/O   measured-I/O")
+	for i, budget := range budgets {
+		records, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: budget})
+		if err != nil {
+			log.Fatal(err)
+		}
+		idx, err := stx.BuildPPR(records, stx.PPROptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := stx.MeasureWorkload(idx, queries[:200])
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %11.2f %12.2f %14.2f\n",
+			budget, aTable[i].PredictedIO, sTable[i].PredictedIO, res.AvgIO)
+	}
+	fmt.Printf("\nanalytical method chose %d splits, sampling chose %d\n",
+		analytic.Budget, sampled.Budget)
+}

@@ -1,0 +1,118 @@
+// Streaming: the on-line version of the problem (the paper's stated
+// future work). Observations arrive one instant at a time; the index
+// decides split points without seeing the future and stays queryable
+// throughout — including questions about the past while objects are still
+// moving.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	stx "stindex"
+)
+
+func main() {
+	// The "live feed": a random dataset replayed in time order.
+	objs, err := stx.GenerateRandom(stx.RandomDatasetConfig{N: 800, Seed: 21, Horizon: 600})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Calibrate the online split rule to roughly the offline sweet spot
+	// (150% splits = 2.5 records per object) using a small sample.
+	lambda, err := stx.CalibrateLambda(objs[:100], 2.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calibrated lambda = %.6f for ~2.5 records/object\n", lambda)
+
+	ix, err := stx.NewStreamIndex(stx.StreamOptions{Lambda: lambda}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build the event stream: one observation per alive object per
+	// instant, plus a finish event when an object disappears.
+	type event struct {
+		t     int64
+		obj   int
+		final bool
+	}
+	var events []event
+	for i, o := range objs {
+		lt := o.Lifetime()
+		for t := lt.Start; t < lt.End; t++ {
+			events = append(events, event{t: t, obj: i})
+		}
+		events = append(events, event{t: lt.End, obj: i, final: true})
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return events[a].final && !events[b].final
+	})
+
+	window := stx.Rect{MinX: 0.3, MinY: 0.3, MaxX: 0.5, MaxY: 0.5}
+	midStreamDone := false
+	for _, e := range events {
+		o := objs[e.obj]
+		if e.final {
+			if err := ix.Finish(o.ID(), e.t); err != nil {
+				log.Fatal(err)
+			}
+			continue
+		}
+		r, _ := o.At(e.t)
+		if err := ix.Observe(o.ID(), e.t, r); err != nil {
+			log.Fatal(err)
+		}
+		// Mid-stream, at t=300: ask about the present and about the past.
+		if e.t == 300 && !midStreamDone {
+			midStreamDone = true
+			now, _ := ix.Snapshot(window, 300)
+			past, _ := ix.Snapshot(window, 150)
+			fmt.Printf("at t=300 (stream still running): %d objects in the window now, %d were there at t=150\n",
+				len(now), len(past))
+		}
+	}
+	if err := ix.FinishAll(600); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("stream done: %d objects -> %d records (%d online cuts), %d pages\n",
+		len(objs), ix.Records(), ix.Cuts(), ix.Pages())
+
+	// How close did the online rule get to the offline optimum? Compare
+	// against the offline pipeline with the same number of splits.
+	offline, rep, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: ix.Cuts()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	offIdx, err := stx.BuildPPR(offline, stx.PPROptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries, err := stx.GenerateQueries(stx.QuerySnapshotMixed, 600, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queries = queries[:300]
+	offRes, err := stx.MeasureWorkload(offIdx, queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	onIO := int64(0)
+	for _, q := range queries {
+		ix.ResetBuffer()
+		if _, err := ix.Snapshot(q.Rect, q.Interval.Start); err != nil {
+			log.Fatal(err)
+		}
+		onIO += ix.IOStats().IO()
+	}
+	fmt.Printf("mixed snapshot queries: online %.2f avg I/O vs offline %.2f (offline saw the future; gap is the price of streaming)\n",
+		float64(onIO)/float64(len(queries)), offRes.AvgIO)
+	_ = rep
+}

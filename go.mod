@@ -1,0 +1,3 @@
+module stindex
+
+go 1.22

@@ -1,0 +1,161 @@
+package stindex
+
+import (
+	"fmt"
+	"sort"
+
+	"stindex/internal/geom"
+	"stindex/internal/hrtree"
+	"stindex/internal/pprtree"
+)
+
+// HROptions configures BuildHR. Zero values mirror the paper's setup.
+type HROptions struct {
+	MaxEntries  int
+	MinEntries  int
+	PageSize    int
+	BufferPages int
+}
+
+// HRIndex is an overlapping (historical) R-tree over the record set — the
+// other classic road to partial persistence (the paper's reference [17],
+// built on the overlapping idea of [4]): one logical R-tree per time
+// instant, unchanged branches shared between consecutive versions.
+//
+// The paper's related work (citing [24]) notes this approach pays a
+// logarithmic storage overhead per update and probes one tree per version
+// for interval queries; BuildHR exists so those costs can be measured
+// against the PPR-tree (`stbench -exp overlap`).
+type HRIndex struct {
+	tree   *hrtree.Tree
+	owners []int64
+}
+
+// BuildHR indexes the records with an overlapping R-tree, replaying their
+// insertions and deletions chronologically.
+func BuildHR(records []Record, opts HROptions) (*HRIndex, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("stindex: no records to index")
+	}
+	recs := make([]pprtree.Record, len(records))
+	owners := make([]int64, len(records))
+	for i, r := range records {
+		recs[i] = pprtree.Record{Rect: r.Rect.internal(), Interval: r.Interval.internal(), Ref: uint64(i)}
+		owners[i] = r.ObjectID
+	}
+	tree, err := buildHRFromRecords(hrtree.Options{
+		MaxEntries:  opts.MaxEntries,
+		MinEntries:  opts.MinEntries,
+		PageSize:    opts.PageSize,
+		BufferPages: opts.BufferPages,
+	}, recs)
+	if err != nil {
+		return nil, err
+	}
+	return &HRIndex{tree: tree, owners: owners}, nil
+}
+
+// buildHRFromRecords replays records in chronological order (deletions
+// first within an instant), the same discipline as the PPR build.
+func buildHRFromRecords(opts hrtree.Options, records []pprtree.Record) (*hrtree.Tree, error) {
+	type event struct {
+		time   int64
+		insert bool
+		rec    int
+	}
+	events := make([]event, 0, 2*len(records))
+	for i, r := range records {
+		if !r.Rect.Valid() || !r.Interval.ValidInterval() {
+			return nil, fmt.Errorf("stindex: record %d invalid", i)
+		}
+		events = append(events, event{time: r.Interval.Start, insert: true, rec: i})
+		if r.Interval.End != Now {
+			events = append(events, event{time: r.Interval.End, insert: false, rec: i})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].time != events[b].time {
+			return events[a].time < events[b].time
+		}
+		return !events[a].insert && events[b].insert
+	})
+	start := int64(0)
+	if len(events) > 0 {
+		start = events[0].time
+	}
+	tree, err := hrtree.New(opts, start)
+	if err != nil {
+		return nil, err
+	}
+	for _, ev := range events {
+		r := records[ev.rec]
+		if ev.insert {
+			if err := tree.Insert(r.Rect, r.Ref, ev.time); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		ok, err := tree.Delete(r.Rect, r.Ref, ev.time)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("stindex: record %d vanished before its deletion", ev.rec)
+		}
+	}
+	return tree, nil
+}
+
+// Snapshot implements Index.
+func (x *HRIndex) Snapshot(r Rect, t int64) ([]int64, error) {
+	var out []int64
+	seen := make(map[int64]bool)
+	err := x.tree.SnapshotSearch(r.internal(), t, func(_ geom.Rect, ref uint64) bool {
+		if id := x.owners[ref]; !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, err
+}
+
+// Range implements Index.
+func (x *HRIndex) Range(r Rect, iv Interval) ([]int64, error) {
+	var out []int64
+	seen := make(map[int64]bool)
+	err := x.tree.IntervalSearch(r.internal(), iv.internal(), func(_ geom.Rect, ref uint64) bool {
+		if id := x.owners[ref]; !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, err
+}
+
+// ResetBuffer implements Index.
+func (x *HRIndex) ResetBuffer() { x.tree.Buffer().Reset() }
+
+// IOStats implements Index.
+func (x *HRIndex) IOStats() IOStats {
+	s := x.tree.Buffer().Stats()
+	return IOStats{Reads: s.Reads, Writes: s.Writes, Hits: s.Hits}
+}
+
+// Pages implements Index.
+func (x *HRIndex) Pages() int { return x.tree.File().NumPages() }
+
+// Bytes implements Index.
+func (x *HRIndex) Bytes() int64 { return x.tree.File().Bytes() }
+
+// Records implements Index.
+func (x *HRIndex) Records() int { return len(x.owners) }
+
+// Kind implements Index.
+func (x *HRIndex) Kind() string { return "hr" }
+
+// Tree exposes the underlying overlapping R-tree.
+func (x *HRIndex) Tree() *hrtree.Tree { return x.tree }
+
+var _ Index = (*HRIndex)(nil)

@@ -1,0 +1,346 @@
+package stindex
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stindex/internal/geom"
+	"stindex/internal/pprtree"
+	"stindex/internal/rstar"
+)
+
+// IOStats reports buffer-pool traffic: Reads and Writes are disk accesses,
+// Hits were served from the pool.
+type IOStats struct {
+	Reads, Writes, Hits int64
+}
+
+// IO returns total disk accesses.
+func (s IOStats) IO() int64 { return s.Reads + s.Writes }
+
+// Index is a queryable historical spatiotemporal index. Both
+// implementations answer object-level queries (split records are
+// transparently de-duplicated) and account every disk access through a
+// small LRU buffer pool, which ResetBuffer empties — the paper's
+// cold-cache measurement discipline.
+type Index interface {
+	// Snapshot returns the IDs of the objects intersecting r at instant t.
+	Snapshot(r Rect, t int64) ([]int64, error)
+	// Range returns the IDs of the objects intersecting r at some instant
+	// of the half-open interval iv.
+	Range(r Rect, iv Interval) ([]int64, error)
+	// ResetBuffer empties the LRU pool and zeroes the I/O counters.
+	ResetBuffer()
+	// IOStats returns the traffic since the last reset.
+	IOStats() IOStats
+	// Pages returns the number of live disk pages the index occupies.
+	Pages() int
+	// Bytes returns the index's disk footprint.
+	Bytes() int64
+	// Records returns the number of MBR records indexed.
+	Records() int
+	// Kind names the index implementation ("ppr" or "rstar").
+	Kind() string
+}
+
+// PPROptions configures BuildPPR. The zero value reproduces the paper's
+// setup: 50-entry nodes, 10-page LRU buffer, P_version = 0.22,
+// P_svo = 0.8, P_svu = 0.4.
+type PPROptions struct {
+	MaxEntries  int
+	PVersion    float64
+	PSvo        float64
+	PSvu        float64
+	PageSize    int
+	BufferPages int
+}
+
+// PPRIndex is a partially persistent R-tree over the record set.
+type PPRIndex struct {
+	tree   *pprtree.Tree
+	owners []int64 // record ref -> object id
+}
+
+// BuildPPR indexes the records with a partially persistent R-tree,
+// replaying their insertions and deletions in chronological order.
+func BuildPPR(records []Record, opts PPROptions) (*PPRIndex, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("stindex: no records to index")
+	}
+	recs := make([]pprtree.Record, len(records))
+	owners := make([]int64, len(records))
+	for i, r := range records {
+		recs[i] = pprtree.Record{
+			Rect:     r.Rect.internal(),
+			Interval: r.Interval.internal(),
+			Ref:      uint64(i),
+		}
+		owners[i] = r.ObjectID
+	}
+	tree, err := pprtree.BuildRecords(pprtree.Options{
+		MaxEntries:  opts.MaxEntries,
+		PVersion:    opts.PVersion,
+		PSvo:        opts.PSvo,
+		PSvu:        opts.PSvu,
+		PageSize:    opts.PageSize,
+		BufferPages: opts.BufferPages,
+	}, recs)
+	if err != nil {
+		return nil, err
+	}
+	return &PPRIndex{tree: tree, owners: owners}, nil
+}
+
+// Append indexes additional records into an existing PPR index. Partial
+// persistence keeps history closed: every appended record's lifetime must
+// begin at or after the index's current time. Useful for chunked builds
+// and for extending a reloaded index as the evolution continues.
+func (x *PPRIndex) Append(records []Record) error {
+	recs := make([]pprtree.Record, len(records))
+	base := uint64(len(x.owners))
+	newOwners := make([]int64, len(records))
+	for i, r := range records {
+		recs[i] = pprtree.Record{
+			Rect:     r.Rect.internal(),
+			Interval: r.Interval.internal(),
+			Ref:      base + uint64(i),
+		}
+		newOwners[i] = r.ObjectID
+	}
+	if err := x.tree.AppendRecords(recs); err != nil {
+		return err
+	}
+	x.owners = append(x.owners, newOwners...)
+	return nil
+}
+
+// Snapshot implements Index.
+func (x *PPRIndex) Snapshot(r Rect, t int64) ([]int64, error) {
+	var out []int64
+	seen := make(map[int64]bool)
+	err := x.tree.SnapshotSearch(r.internal(), t, func(_ geom.Rect, ref uint64) bool {
+		if id := x.owners[ref]; !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, err
+}
+
+// Range implements Index.
+func (x *PPRIndex) Range(r Rect, iv Interval) ([]int64, error) {
+	var out []int64
+	seen := make(map[int64]bool)
+	err := x.tree.IntervalSearch(r.internal(), iv.internal(), func(_ geom.Rect, ref uint64) bool {
+		if id := x.owners[ref]; !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, err
+}
+
+// ResetBuffer implements Index.
+func (x *PPRIndex) ResetBuffer() { x.tree.Buffer().Reset() }
+
+// IOStats implements Index.
+func (x *PPRIndex) IOStats() IOStats {
+	s := x.tree.Buffer().Stats()
+	return IOStats{Reads: s.Reads, Writes: s.Writes, Hits: s.Hits}
+}
+
+// Pages implements Index.
+func (x *PPRIndex) Pages() int { return x.tree.File().NumPages() }
+
+// Bytes implements Index.
+func (x *PPRIndex) Bytes() int64 { return x.tree.File().Bytes() }
+
+// Records implements Index.
+func (x *PPRIndex) Records() int { return len(x.owners) }
+
+// Kind implements Index.
+func (x *PPRIndex) Kind() string { return "ppr" }
+
+// Tree exposes the underlying partially persistent R-tree for advanced
+// inspection (validation walks, ephemeral level statistics).
+func (x *PPRIndex) Tree() *pprtree.Tree { return x.tree }
+
+// RStarOptions configures BuildRStar. The zero value reproduces the
+// paper's setup: 50-entry nodes, a 10-page LRU buffer, R* fill factors,
+// records inserted in random order with the time axis scaled to the unit
+// range.
+type RStarOptions struct {
+	MaxEntries    int
+	MinEntries    int
+	ReinsertCount int
+	PageSize      int
+	BufferPages   int
+	// ShuffleSeed randomises the insertion order (the paper inserts "in
+	// random order"). Same seed, same order.
+	ShuffleSeed int64
+	// TimeScale overrides the time-axis scaling; 0 scales the records'
+	// overall horizon to the unit range.
+	TimeScale float64
+}
+
+// RStarIndex is a 3-dimensional R*-tree over the record set, time as the
+// third axis.
+type RStarIndex struct {
+	tree      *rstar.Tree
+	owners    []int64
+	timeScale float64
+}
+
+// BuildRStar indexes the records with a 3D R*-tree.
+func BuildRStar(records []Record, opts RStarOptions) (*RStarIndex, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("stindex: no records to index")
+	}
+	scale := opts.TimeScale
+	if scale == 0 {
+		lo, hi := records[0].Interval.Start, records[0].Interval.End
+		for _, r := range records {
+			if r.Interval.Start < lo {
+				lo = r.Interval.Start
+			}
+			if r.Interval.End > hi {
+				hi = r.Interval.End
+			}
+		}
+		if span := hi - lo; span > 0 {
+			scale = 1 / float64(span)
+		} else {
+			scale = 1
+		}
+	}
+	tree, err := rstar.New(rstar.Options{
+		MaxEntries:    opts.MaxEntries,
+		MinEntries:    opts.MinEntries,
+		ReinsertCount: opts.ReinsertCount,
+		PageSize:      opts.PageSize,
+		BufferPages:   opts.BufferPages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	owners := make([]int64, len(records))
+	order := rand.New(rand.NewSource(opts.ShuffleSeed)).Perm(len(records))
+	for _, i := range order {
+		r := records[i]
+		owners[i] = r.ObjectID
+		box := geom.Box3FromBox(geom.NewBox(r.Rect.internal(), r.Interval.internal()), scale)
+		if err := tree.Insert(box, uint64(i)); err != nil {
+			return nil, err
+		}
+	}
+	return &RStarIndex{tree: tree, owners: owners, timeScale: scale}, nil
+}
+
+// BuildRStarPacked bulk-loads the records into a packed 3D R-tree with
+// the Sort-Tile-Recursive algorithm (the paper's reference [15]) instead
+// of one-by-one R* insertion. The paper chose NOT to pack — "packing
+// algorithms tend to cluster together objects that might be consecutive
+// in order even though they may correspond to large and small intervals"
+// — and this builder exists to measure that claim (it is dramatically
+// faster to build, but not better to query on moving-object data).
+func BuildRStarPacked(records []Record, opts RStarOptions) (*RStarIndex, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("stindex: no records to index")
+	}
+	scale := opts.TimeScale
+	if scale == 0 {
+		lo, hi := records[0].Interval.Start, records[0].Interval.End
+		for _, r := range records {
+			if r.Interval.Start < lo {
+				lo = r.Interval.Start
+			}
+			if r.Interval.End > hi {
+				hi = r.Interval.End
+			}
+		}
+		if span := hi - lo; span > 0 {
+			scale = 1 / float64(span)
+		} else {
+			scale = 1
+		}
+	}
+	items := make([]rstar.Item, len(records))
+	owners := make([]int64, len(records))
+	for i, r := range records {
+		owners[i] = r.ObjectID
+		items[i] = rstar.Item{
+			Box: geom.Box3FromBox(geom.NewBox(r.Rect.internal(), r.Interval.internal()), scale),
+			Ref: uint64(i),
+		}
+	}
+	tree, err := rstar.BulkLoadSTR(rstar.Options{
+		MaxEntries:    opts.MaxEntries,
+		MinEntries:    opts.MinEntries,
+		ReinsertCount: opts.ReinsertCount,
+		PageSize:      opts.PageSize,
+		BufferPages:   opts.BufferPages,
+	}, items)
+	if err != nil {
+		return nil, err
+	}
+	return &RStarIndex{tree: tree, owners: owners, timeScale: scale}, nil
+}
+
+// queryBox maps a half-open time interval onto the scaled closed time
+// axis. Records store [start*s, end*s]; probing at mid-instant offsets
+// (+0.5 from each side) makes closed-box intersection equivalent to
+// half-open interval overlap for integer timestamps.
+func (x *RStarIndex) queryBox(r Rect, iv Interval) geom.Box3 {
+	return geom.Box3{
+		Min: [3]float64{r.MinX, r.MinY, (float64(iv.Start) + 0.5) * x.timeScale},
+		Max: [3]float64{r.MaxX, r.MaxY, (float64(iv.End) - 0.5) * x.timeScale},
+	}
+}
+
+// Snapshot implements Index.
+func (x *RStarIndex) Snapshot(r Rect, t int64) ([]int64, error) {
+	return x.Range(r, Interval{Start: t, End: t + 1})
+}
+
+// Range implements Index.
+func (x *RStarIndex) Range(r Rect, iv Interval) ([]int64, error) {
+	var out []int64
+	seen := make(map[int64]bool)
+	err := x.tree.Search(x.queryBox(r, iv), func(_ geom.Box3, ref uint64) bool {
+		if id := x.owners[ref]; !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+		return true
+	})
+	return out, err
+}
+
+// ResetBuffer implements Index.
+func (x *RStarIndex) ResetBuffer() { x.tree.Buffer().Reset() }
+
+// IOStats implements Index.
+func (x *RStarIndex) IOStats() IOStats {
+	s := x.tree.Buffer().Stats()
+	return IOStats{Reads: s.Reads, Writes: s.Writes, Hits: s.Hits}
+}
+
+// Pages implements Index.
+func (x *RStarIndex) Pages() int { return x.tree.File().NumPages() }
+
+// Bytes implements Index.
+func (x *RStarIndex) Bytes() int64 { return x.tree.File().Bytes() }
+
+// Records implements Index.
+func (x *RStarIndex) Records() int { return len(x.owners) }
+
+// Kind implements Index.
+func (x *RStarIndex) Kind() string { return "rstar" }
+
+// Tree exposes the underlying R*-tree for advanced inspection.
+func (x *RStarIndex) Tree() *rstar.Tree { return x.tree }
+
+// TimeScale returns the factor mapping time instants onto the unit range.
+func (x *RStarIndex) TimeScale() float64 { return x.timeScale }

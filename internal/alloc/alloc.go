@@ -1,0 +1,129 @@
+// Package alloc implements the paper's split-distribution algorithms
+// (§III-B): given a collection of N spatiotemporal objects and a global
+// budget of K artificial splits, decide how many splits each object
+// receives so that the total volume of all resulting MBRs is minimal.
+//
+//   - Optimal is the O(N·K²) dynamic program of §III-B.1 (theorem 2).
+//   - Greedy assigns one split at a time to the object with the largest
+//     marginal gain (§III-B.2, figure 9).
+//   - LAGreedy refines Greedy with a look-ahead step (§III-B.3, figure 10)
+//     that rescues objects violating the monotonicity property of Claim 1
+//     (those whose first split gains little but whose second gains a lot).
+//
+// All three operate on per-object volume curves: curve[j] is the total
+// volume of object i approximated with j splits (j+1 boxes). Curves are
+// produced by the single-object splitters in package split; which splitter
+// to use is the caller's choice (the paper precomputes "the best splits
+// ... in advance for all objects").
+package alloc
+
+import (
+	"fmt"
+
+	"stindex/internal/trajectory"
+)
+
+// CurveFunc computes an object's volume curve up to maxSplits. curve[j]
+// must be the total volume with j splits, non-increasing in j, with
+// len(curve) == maxSplits+1. split.DPCurve and split.MergeCurve qualify.
+type CurveFunc func(o *trajectory.Object, maxSplits int) []float64
+
+// Curves holds precomputed volume curves for a collection of objects.
+// Curve i has length Len(i) == objs[i].Len() (indices 0..n_i-1), i.e. it is
+// computed out to the maximum meaningful budget n_i-1.
+type Curves struct {
+	objs   []*trajectory.Object
+	curves [][]float64
+}
+
+// BuildCurves precomputes the volume curve of every object using fn.
+func BuildCurves(objs []*trajectory.Object, fn CurveFunc) *Curves {
+	cs := &Curves{objs: objs, curves: make([][]float64, len(objs))}
+	for i, o := range objs {
+		cs.curves[i] = fn(o, o.Len()-1)
+	}
+	return cs
+}
+
+// NumObjects returns the number of objects in the collection.
+func (c *Curves) NumObjects() int { return len(c.objs) }
+
+// MaxSplits returns the largest meaningful budget for object i.
+func (c *Curves) MaxSplits(i int) int { return len(c.curves[i]) - 1 }
+
+// Volume returns the total volume of object i with j splits; budgets beyond
+// the object's maximum are clamped.
+func (c *Curves) Volume(i, j int) float64 {
+	if m := c.MaxSplits(i); j > m {
+		j = m
+	}
+	if j < 0 {
+		j = 0
+	}
+	return c.curves[i][j]
+}
+
+// Gain returns the volume reduction of giving object i its (j+1)-th split
+// when it currently has j. Zero once the object's curve is exhausted.
+func (c *Curves) Gain(i, j int) float64 {
+	return c.Volume(i, j) - c.Volume(i, j+1)
+}
+
+// TotalBudget returns the sum of maximum meaningful budgets — the number of
+// splits beyond which no algorithm can improve anything.
+func (c *Curves) TotalBudget() int {
+	t := 0
+	for i := range c.curves {
+		t += c.MaxSplits(i)
+	}
+	return t
+}
+
+// Assignment is the outcome of a distribution algorithm.
+type Assignment struct {
+	// Splits[i] is the number of splits allocated to object i.
+	Splits []int
+	// Volume is the total volume of the collection under this assignment.
+	Volume float64
+}
+
+// Used returns the number of splits the assignment actually consumed.
+func (a Assignment) Used() int {
+	t := 0
+	for _, s := range a.Splits {
+		t += s
+	}
+	return t
+}
+
+// Validate checks that an assignment is structurally consistent with the
+// curves: non-negative per-object splits within each object's maximum, and
+// Volume equal to the sum of per-object curve values.
+func (a Assignment) Validate(c *Curves) error {
+	if len(a.Splits) != c.NumObjects() {
+		return fmt.Errorf("alloc: assignment covers %d objects, want %d", len(a.Splits), c.NumObjects())
+	}
+	total := 0.0
+	for i, s := range a.Splits {
+		if s < 0 {
+			return fmt.Errorf("alloc: object %d has negative splits %d", i, s)
+		}
+		if s > c.MaxSplits(i) {
+			return fmt.Errorf("alloc: object %d has %d splits, max is %d", i, s, c.MaxSplits(i))
+		}
+		total += c.Volume(i, s)
+	}
+	if diff := total - a.Volume; diff > 1e-6 || diff < -1e-6 {
+		return fmt.Errorf("alloc: recorded volume %g differs from recomputed %g", a.Volume, total)
+	}
+	return nil
+}
+
+// volumeOf recomputes the total volume for a split vector.
+func volumeOf(c *Curves, splits []int) float64 {
+	total := 0.0
+	for i, s := range splits {
+		total += c.Volume(i, s)
+	}
+	return total
+}

@@ -1,0 +1,48 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"stindex/internal/split"
+)
+
+func benchCurves(b *testing.B, n int) *Curves {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	return BuildCurves(randObjects(rng, n, 60), split.MergeCurve)
+}
+
+func BenchmarkBuildCurves(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	objs := randObjects(rng, 1000, 60)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildCurves(objs, split.MergeCurve)
+	}
+}
+
+func BenchmarkGreedy(b *testing.B) {
+	c := benchCurves(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy(c, 3000)
+	}
+}
+
+func BenchmarkLAGreedy(b *testing.B) {
+	c := benchCurves(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		LAGreedy(c, 3000)
+	}
+}
+
+func BenchmarkOptimal(b *testing.B) {
+	c := benchCurves(b, 300)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Optimal(c, 450)
+	}
+}

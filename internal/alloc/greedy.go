@@ -1,0 +1,60 @@
+package alloc
+
+import "container/heap"
+
+// gainEntry is a max-heap entry: assigning the next split to object obj
+// (which currently has splits splits) gains gain in volume. Entries are
+// lazily invalidated: on pop, an entry whose recorded splits no longer
+// match the live assignment is discarded.
+type gainEntry struct {
+	obj    int
+	splits int
+	gain   float64
+}
+
+type maxGainHeap []gainEntry
+
+func (h maxGainHeap) Len() int            { return len(h) }
+func (h maxGainHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h maxGainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *maxGainHeap) Push(x interface{}) { *h = append(*h, x.(gainEntry)) }
+func (h *maxGainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Greedy distributes the budget one split at a time, always to the object
+// whose next split yields the largest volume reduction (paper §III-B.2,
+// figure 9). O((N+K) log N) given precomputed curves. Splits that can gain
+// nothing (all curves exhausted) are left unassigned.
+func Greedy(c *Curves, budget int) Assignment {
+	splits := make([]int, c.NumObjects())
+	greedyInto(c, budget, splits)
+	return Assignment{Splits: splits, Volume: volumeOf(c, splits)}
+}
+
+// greedyInto runs the greedy allocation starting from (and mutating) the
+// given split vector. Used by Greedy and as phase one of LAGreedy.
+func greedyInto(c *Curves, budget int, splits []int) {
+	h := make(maxGainHeap, 0, c.NumObjects())
+	for i := range splits {
+		if splits[i] < c.MaxSplits(i) {
+			h = append(h, gainEntry{obj: i, splits: splits[i], gain: c.Gain(i, splits[i])})
+		}
+	}
+	heap.Init(&h)
+	for assigned := 0; assigned < budget && h.Len() > 0; {
+		e := heap.Pop(&h).(gainEntry)
+		if e.splits != splits[e.obj] {
+			continue // stale
+		}
+		splits[e.obj]++
+		assigned++
+		if s := splits[e.obj]; s < c.MaxSplits(e.obj) {
+			heap.Push(&h, gainEntry{obj: e.obj, splits: s, gain: c.Gain(e.obj, s)})
+		}
+	}
+}

@@ -1,0 +1,129 @@
+package alloc
+
+import "container/heap"
+
+// minGainHeap orders entries by ascending gain (the gain of an object's
+// most recently allocated split — PQ_la1 in figure 10).
+type minGainHeap []gainEntry
+
+func (h minGainHeap) Len() int            { return len(h) }
+func (h minGainHeap) Less(i, j int) bool  { return h[i].gain < h[j].gain }
+func (h minGainHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *minGainHeap) Push(x interface{}) { *h = append(*h, x.(gainEntry)) }
+func (h *minGainHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// LAGreedy is the look-ahead-2 greedy algorithm of §III-B.3 (figure 10).
+func LAGreedy(c *Curves, budget int) Assignment {
+	return LAGreedyDepth(c, budget, 2)
+}
+
+// LAGreedyDepth generalises LAGreedy to an arbitrary look-ahead depth d:
+// after the plain greedy pass it repeatedly finds the d objects whose last
+// splits gained the least and a distinct object that would gain more from d
+// extra splits than those d last splits gained combined, and reassigns the
+// splits. Depth 2 is the paper's algorithm; depth 1 degenerates to a no-op
+// refinement of Greedy. The refinement loop strictly decreases total volume
+// at every swap, so it terminates.
+func LAGreedyDepth(c *Curves, budget, depth int) Assignment {
+	if depth < 1 {
+		depth = 1
+	}
+	splits := make([]int, c.NumObjects())
+	greedyInto(c, budget, splits)
+
+	last := make(minGainHeap, 0, c.NumObjects())  // PQ_la1: min by last-split gain
+	ahead := make(maxGainHeap, 0, c.NumObjects()) // PQ_la2: max by depth-extra gain
+	for i, s := range splits {
+		if s > 0 {
+			last = append(last, gainEntry{obj: i, splits: s, gain: c.Gain(i, s-1)})
+		}
+		if s+depth <= c.MaxSplits(i) {
+			ahead = append(ahead, gainEntry{obj: i, splits: s, gain: c.Volume(i, s) - c.Volume(i, s+depth)})
+		}
+	}
+	heap.Init(&last)
+	heap.Init(&ahead)
+
+	for {
+		// Pop the depth objects with the cheapest last splits.
+		donors := make([]gainEntry, 0, depth)
+		for len(donors) < depth && last.Len() > 0 {
+			e := heap.Pop(&last).(gainEntry)
+			if e.splits != splits[e.obj] || e.splits == 0 {
+				continue // stale
+			}
+			donors = append(donors, e)
+		}
+		if len(donors) < depth {
+			pushBackLast(&last, donors)
+			break
+		}
+		donorSet := make(map[int]bool, depth)
+		donorGain := 0.0
+		for _, d := range donors {
+			donorSet[d.obj] = true
+			donorGain += d.gain
+		}
+
+		// Pop the best distinct look-ahead candidate.
+		var recv gainEntry
+		found := false
+		skipped := make([]gainEntry, 0, 2)
+		for ahead.Len() > 0 {
+			e := heap.Pop(&ahead).(gainEntry)
+			if e.splits != splits[e.obj] || e.splits+depth > c.MaxSplits(e.obj) {
+				continue // stale
+			}
+			if donorSet[e.obj] {
+				skipped = append(skipped, e)
+				continue
+			}
+			recv = e
+			found = true
+			break
+		}
+		for _, e := range skipped {
+			heap.Push(&ahead, e)
+		}
+		if !found || recv.gain <= donorGain {
+			pushBackLast(&last, donors)
+			if found {
+				heap.Push(&ahead, recv)
+			}
+			break
+		}
+
+		// Reassign: every donor loses its last split, the receiver gains depth.
+		for _, d := range donors {
+			splits[d.obj]--
+			refresh(c, &last, &ahead, d.obj, splits[d.obj], depth)
+		}
+		splits[recv.obj] += depth
+		refresh(c, &last, &ahead, recv.obj, splits[recv.obj], depth)
+	}
+
+	return Assignment{Splits: splits, Volume: volumeOf(c, splits)}
+}
+
+// refresh pushes up-to-date heap entries for an object whose split count
+// just changed to s. Stale entries are discarded lazily on pop.
+func refresh(c *Curves, last *minGainHeap, ahead *maxGainHeap, obj, s, depth int) {
+	if s > 0 {
+		heap.Push(last, gainEntry{obj: obj, splits: s, gain: c.Gain(obj, s-1)})
+	}
+	if s+depth <= c.MaxSplits(obj) {
+		heap.Push(ahead, gainEntry{obj: obj, splits: s, gain: c.Volume(obj, s) - c.Volume(obj, s+depth)})
+	}
+}
+
+func pushBackLast(last *minGainHeap, donors []gainEntry) {
+	for _, d := range donors {
+		heap.Push(last, d)
+	}
+}

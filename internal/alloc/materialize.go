@@ -1,0 +1,25 @@
+package alloc
+
+import (
+	"stindex/internal/split"
+	"stindex/internal/trajectory"
+)
+
+// Splitter turns one object and a split count into a concrete splitting.
+// split.DPSplit and split.MergeSplit qualify.
+type Splitter func(o *trajectory.Object, k int) split.Result
+
+// Materialize applies an assignment to the collection: object i is split
+// a.Splits[i] times using the given single-object splitter, producing the
+// MBR records that the index structures ingest.
+func Materialize(objs []*trajectory.Object, a Assignment, splitter Splitter) []split.Result {
+	out := make([]split.Result, len(objs))
+	for i, o := range objs {
+		k := 0
+		if i < len(a.Splits) {
+			k = a.Splits[i]
+		}
+		out[i] = splitter(o, k)
+	}
+	return out
+}

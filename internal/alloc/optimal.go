@@ -1,0 +1,60 @@
+package alloc
+
+// Optimal distributes K splits over the collection so that the total volume
+// is exactly minimal (paper §III-B.1, theorem 2). It runs the dynamic
+// program
+//
+//	TV_l[i] = min_{0<=j<=l} { TV_{l-j}[i-1] + V_j[i] }
+//
+// in O(N·K·min(K, maxLifetime)) time and O(N·K) space for the
+// reconstruction table. Impractical for large budgets — that is the point
+// of the greedy algorithms — but it is the gold standard the experiments
+// compare against.
+func Optimal(c *Curves, budget int) Assignment {
+	n := c.NumObjects()
+	if budget < 0 {
+		budget = 0
+	}
+	if t := c.TotalBudget(); budget > t {
+		budget = t
+	}
+	// prev[l] = minimal volume of the first i-1 objects using l splits.
+	prev := make([]float64, budget+1)
+	cur := make([]float64, budget+1)
+	// choice[i][l] = splits given to object i in the optimum for (i, l).
+	choice := make([][]int32, n)
+
+	for l := 0; l <= budget; l++ {
+		prev[l] = 0
+	}
+	for i := 0; i < n; i++ {
+		choice[i] = make([]int32, budget+1)
+		maxJ := c.MaxSplits(i)
+		for l := 0; l <= budget; l++ {
+			best := prev[l] + c.Volume(i, 0)
+			bestJ := int32(0)
+			hi := l
+			if hi > maxJ {
+				hi = maxJ
+			}
+			for j := 1; j <= hi; j++ {
+				if v := prev[l-j] + c.Volume(i, j); v < best {
+					best = v
+					bestJ = int32(j)
+				}
+			}
+			cur[l] = best
+			choice[i][l] = bestJ
+		}
+		prev, cur = cur, prev
+	}
+
+	splits := make([]int, n)
+	l := budget
+	for i := n - 1; i >= 0; i-- {
+		j := int(choice[i][l])
+		splits[i] = j
+		l -= j
+	}
+	return Assignment{Splits: splits, Volume: volumeOf(c, splits)}
+}

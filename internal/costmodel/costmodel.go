@@ -1,0 +1,91 @@
+// Package costmodel implements §IV of the paper: analytical prediction of
+// query cost and automatic selection of the number of artificial splits.
+//
+// The models follow Pagel's query cost formula and the Theodoridis–Sellis
+// R-tree analysis: for window queries uniformly distributed in the unit
+// space, the probability that a query of extents (q1..qd) accesses a node
+// whose MBR has extents (s1..sd) is ∏(s_i + q_i), so the expected number
+// of node accesses is the sum of that product over all nodes. For an index
+// that does not exist yet, node extents are estimated from the dataset
+// (records per leaf ≈ fanout, node area ≈ covered record mass).
+package costmodel
+
+import (
+	"fmt"
+
+	"stindex/internal/geom"
+)
+
+// QueryProfile is the average window query of a workload: spatial extents
+// as fractions of the unit space and a duration in time instants
+// (Duration 1 = snapshot).
+type QueryProfile struct {
+	ExtentX, ExtentY float64
+	Duration         int64
+}
+
+// Validate checks the profile is usable.
+func (q QueryProfile) Validate() error {
+	if q.ExtentX < 0 || q.ExtentX > 1 || q.ExtentY < 0 || q.ExtentY > 1 {
+		return fmt.Errorf("costmodel: query extents (%g,%g) outside [0,1]", q.ExtentX, q.ExtentY)
+	}
+	if q.Duration < 1 {
+		return fmt.Errorf("costmodel: query duration %d < 1", q.Duration)
+	}
+	return nil
+}
+
+// accessProb returns the Pagel access probability for one axis pair,
+// clamped to [0,1] (boxes near the space boundary cannot exceed certainty).
+func accessProb(sides ...float64) float64 {
+	p := 1.0
+	for _, s := range sides {
+		if s < 0 {
+			s = 0
+		}
+		p *= s
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// CostFromBoxes3D returns the expected node accesses per query for a set
+// of 3D node MBRs (an R*-tree's directory and leaf nodes) under uniform
+// window queries of the given profile, with the time axis scaled by
+// timeScale (the same scale used when inserting, typically 1/horizon).
+func CostFromBoxes3D(nodes []geom.Box3, q QueryProfile, timeScale float64) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	qt := float64(q.Duration) * timeScale
+	total := 0.0
+	for _, b := range nodes {
+		if b.IsEmpty() {
+			continue
+		}
+		total += accessProb(
+			b.Max[0]-b.Min[0]+q.ExtentX,
+			b.Max[1]-b.Min[1]+q.ExtentY,
+			b.Max[2]-b.Min[2]+qt,
+		)
+	}
+	return total, nil
+}
+
+// CostFromRects2D returns the expected node accesses per snapshot query
+// for a set of 2D node MBRs (one ephemeral R-tree of a PPR-tree).
+func CostFromRects2D(nodes []geom.Rect, q QueryProfile) (float64, error) {
+	if err := q.Validate(); err != nil {
+		return 0, err
+	}
+	total := 0.0
+	for _, r := range nodes {
+		if r.IsEmpty() {
+			continue
+		}
+		total += accessProb(r.MaxX-r.MinX+q.ExtentX, r.MaxY-r.MinY+q.ExtentY)
+	}
+	return total, nil
+}

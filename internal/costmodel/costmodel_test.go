@@ -1,0 +1,189 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+
+	"stindex/internal/datagen"
+	"stindex/internal/geom"
+)
+
+func TestQueryProfileValidate(t *testing.T) {
+	good := QueryProfile{ExtentX: 0.01, ExtentY: 0.01, Duration: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []QueryProfile{
+		{ExtentX: -0.1, ExtentY: 0.1, Duration: 1},
+		{ExtentX: 0.1, ExtentY: 1.5, Duration: 1},
+		{ExtentX: 0.1, ExtentY: 0.1, Duration: 0},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("accepted %+v", bad)
+		}
+	}
+}
+
+func TestCostFromRects2D(t *testing.T) {
+	q := QueryProfile{ExtentX: 0.1, ExtentY: 0.1, Duration: 1}
+	nodes := []geom.Rect{
+		{MinX: 0, MinY: 0, MaxX: 0.2, MaxY: 0.2},
+		{MinX: 0.5, MinY: 0.5, MaxX: 0.6, MaxY: 0.9},
+	}
+	got, err := CostFromRects2D(nodes, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.2+0.1)*(0.2+0.1) + (0.1+0.1)*(0.4+0.1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cost = %g, want %g", got, want)
+	}
+	// Probabilities clamp at 1: a space-filling node contributes exactly 1.
+	huge := []geom.Rect{{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}}
+	got, err = CostFromRects2D(huge, q)
+	if err != nil || got != 1 {
+		t.Fatalf("clamped cost = %g err=%v, want 1", got, err)
+	}
+	if _, err := CostFromRects2D(nodes, QueryProfile{Duration: 0}); err == nil {
+		t.Fatal("accepted invalid profile")
+	}
+}
+
+func TestCostFromBoxes3D(t *testing.T) {
+	q := QueryProfile{ExtentX: 0.1, ExtentY: 0.1, Duration: 10}
+	scale := 0.001
+	nodes := []geom.Box3{
+		{Min: [3]float64{0, 0, 0}, Max: [3]float64{0.2, 0.2, 0.05}},
+	}
+	got, err := CostFromBoxes3D(nodes, q, scale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (0.2 + 0.1) * (0.2 + 0.1) * (0.05 + 10*scale)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("cost = %g, want %g", got, want)
+	}
+	// Empty boxes contribute nothing.
+	got, err = CostFromBoxes3D([]geom.Box3{geom.EmptyBox3()}, q, scale)
+	if err != nil || got != 0 {
+		t.Fatalf("empty box cost = %g", got)
+	}
+}
+
+func TestPredictMonotoneInQuerySize(t *testing.T) {
+	objs, err := datagen.Random(datagen.RandomConfig{N: 400, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alive []geom.Rect
+	for _, o := range objs {
+		if o.Lifetime().ContainsInstant(500) {
+			alive = append(alive, o.At(500))
+		}
+	}
+	m := DefaultTreeModel()
+	prev := 0.0
+	for i, ext := range []float64{0.001, 0.01, 0.05, 0.2} {
+		c, err := m.PredictEphemeral2D(alive, QueryProfile{ExtentX: ext, ExtentY: ext, Duration: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c <= 0 {
+			t.Fatalf("cost %g not positive", c)
+		}
+		if i > 0 && c < prev {
+			t.Fatalf("cost should grow with query size: %g after %g", c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestPredict3DMonotoneInRecords(t *testing.T) {
+	m := DefaultTreeModel()
+	q := QueryProfile{ExtentX: 0.01, ExtentY: 0.01, Duration: 1}
+	mkRecords := func(n int) []geom.Box3 {
+		out := make([]geom.Box3, n)
+		for i := range out {
+			f := float64(i) / float64(n)
+			out[i] = geom.Box3{
+				Min: [3]float64{f * 0.9, f * 0.9, f * 0.9},
+				Max: [3]float64{f*0.9 + 0.05, f*0.9 + 0.05, f*0.9 + 0.05},
+			}
+		}
+		return out
+	}
+	small, err := m.Predict3D(mkRecords(100), q, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := m.Predict3D(mkRecords(10000), q, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if large <= small {
+		t.Fatalf("cost should grow with the dataset: %g -> %g", small, large)
+	}
+	if zero, err := m.Predict3D(nil, q, 1); err != nil || zero != 0 {
+		t.Fatalf("empty dataset cost = %g err=%v", zero, err)
+	}
+	bad := TreeModel{Fanout: 0.5}
+	if _, err := bad.Predict3D(mkRecords(10), q, 1); err == nil {
+		t.Fatal("accepted fanout <= 1")
+	}
+}
+
+func TestEvaluateBudgetsAndChoose(t *testing.T) {
+	objs, err := datagen.Random(datagen.RandomConfig{N: 300, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := []int{0, 150, 450}
+	q := QueryProfile{ExtentX: 0.02, ExtentY: 0.02, Duration: 1}
+	costs, err := EvaluateBudgets(objs, budgets, q, DefaultTreeModel(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(costs) != 3 {
+		t.Fatalf("got %d candidates", len(costs))
+	}
+	for i, c := range costs {
+		if c.Budget != budgets[i] {
+			t.Fatalf("candidate %d budget %d", i, c.Budget)
+		}
+		if c.Records < 300 {
+			t.Fatalf("candidate %d has %d records", i, c.Records)
+		}
+		if c.PredictedIO <= 0 {
+			t.Fatalf("candidate %d predicts %g", i, c.PredictedIO)
+		}
+		if i > 0 && c.TotalVolume > costs[i-1].TotalVolume+1e-9 {
+			t.Fatalf("volume should shrink with budget: %g after %g", c.TotalVolume, costs[i-1].TotalVolume)
+		}
+	}
+
+	chosen, err := ChooseBudget(costs, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	for _, c := range costs {
+		best = math.Min(best, c.PredictedIO)
+	}
+	if chosen.PredictedIO > best*1.05 {
+		t.Fatalf("chose %g, best is %g", chosen.PredictedIO, best)
+	}
+	// Zero tolerance selects the argmin.
+	tight, err := ChooseBudget(costs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.PredictedIO != best {
+		t.Fatalf("zero tolerance chose %g, want %g", tight.PredictedIO, best)
+	}
+	if _, err := ChooseBudget(nil, 0.1); err == nil {
+		t.Fatal("accepted empty candidate list")
+	}
+	if _, err := EvaluateBudgets(nil, budgets, q, DefaultTreeModel(), 8); err == nil {
+		t.Fatal("accepted empty object list")
+	}
+}

@@ -1,0 +1,163 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stindex/internal/trajectory"
+)
+
+// CommuterConfig parameterises the commuter dataset: a mix of "commuters"
+// — objects that park, travel quickly to a second location and return
+// (tent-shaped trajectories, the figure-4 pathology where one split gains
+// little but two gain a lot) — and "wanderers" with ordinary drifting
+// motion. Plain Greedy split distribution starves the commuters; LAGreedy
+// rescues them (paper §III-B.3).
+type CommuterConfig struct {
+	N       int
+	Horizon int64 // default 1000
+	Seed    int64
+
+	// CommuterFraction of the objects are commuters; default 0.4.
+	CommuterFraction float64
+	// ParkSpan is the (max) parked duration per stay; default 30 instants.
+	ParkSpan int64
+	// TransitSpan is the (max) travel duration per leg; default 6.
+	TransitSpan int64
+	// CommuteDistance is the typical home-work distance; default 0.5.
+	CommuteDistance float64
+	// Extent is the objects' side length; default 0.004 (thin commuters
+	// make the tent's dead space dominate).
+	Extent float64
+}
+
+func (c CommuterConfig) withDefaults() (CommuterConfig, error) {
+	if c.Horizon == 0 {
+		c.Horizon = 1000
+	}
+	if c.CommuterFraction == 0 {
+		c.CommuterFraction = 0.4
+	}
+	if c.ParkSpan == 0 {
+		c.ParkSpan = 30
+	}
+	if c.TransitSpan == 0 {
+		c.TransitSpan = 6
+	}
+	if c.CommuteDistance == 0 {
+		c.CommuteDistance = 0.5
+	}
+	if c.Extent == 0 {
+		c.Extent = 0.004
+	}
+	if c.N <= 0 {
+		return c, fmt.Errorf("datagen: N must be positive, got %d", c.N)
+	}
+	if c.CommuterFraction < 0 || c.CommuterFraction > 1 {
+		return c, fmt.Errorf("datagen: commuter fraction %g outside [0,1]", c.CommuterFraction)
+	}
+	if c.ParkSpan < 1 || c.TransitSpan < 1 {
+		return c, fmt.Errorf("datagen: park/transit spans must be positive")
+	}
+	if c.Extent <= 0 || c.Extent >= 0.2 || c.CommuteDistance <= 0 || c.CommuteDistance >= 1 {
+		return c, fmt.Errorf("datagen: bad extent %g or distance %g", c.Extent, c.CommuteDistance)
+	}
+	return c, nil
+}
+
+// Commuter generates the mixed commuter/wanderer dataset.
+func Commuter(cfg CommuterConfig) ([]*trajectory.Object, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	objs := make([]*trajectory.Object, 0, cfg.N)
+	for id := 0; id < cfg.N; id++ {
+		var o *trajectory.Object
+		var err error
+		if rng.Float64() < cfg.CommuterFraction {
+			o, err = commuterObject(rng, int64(id), cfg)
+		} else {
+			o, err = wandererObject(rng, int64(id), cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		objs = append(objs, o)
+	}
+	return objs, nil
+}
+
+// commuterObject parks at home, transits to work, parks, and returns:
+// park/transit/park/transit/park.
+func commuterObject(rng *rand.Rand, id int64, cfg CommuterConfig) (*trajectory.Object, error) {
+	half := cfg.Extent / 2
+	margin := half + cfg.CommuteDistance + 0.01
+	_ = margin
+	hx := uniform(rng, half+0.01, 1-half-0.01-cfg.CommuteDistance)
+	hy := uniform(rng, half+0.01, 1-half-0.01-cfg.CommuteDistance)
+	wx := hx + cfg.CommuteDistance*uniform(rng, 0.7, 1.0)
+	wy := hy + cfg.CommuteDistance*uniform(rng, 0.7, 1.0)
+
+	park := func(t, d int64, x, y float64) trajectory.Segment {
+		return trajectory.Segment{
+			Start: t, End: t + d,
+			X:     trajectory.NewPolynomial(x),
+			Y:     trajectory.NewPolynomial(y),
+			HalfW: trajectory.NewPolynomial(half),
+			HalfH: trajectory.NewPolynomial(half),
+		}
+	}
+	transit := func(t, d int64, x0, y0, x1, y1 float64) trajectory.Segment {
+		return trajectory.Segment{
+			Start: t, End: t + d,
+			X:     bezier1Poly(x0, x1, float64(d)),
+			Y:     bezier1Poly(y0, y1, float64(d)),
+			HalfW: trajectory.NewPolynomial(half),
+			HalfH: trajectory.NewPolynomial(half),
+		}
+	}
+
+	p1 := 1 + rng.Int63n(cfg.ParkSpan)
+	tr1 := 1 + rng.Int63n(cfg.TransitSpan)
+	p2 := 1 + rng.Int63n(cfg.ParkSpan)
+	tr2 := 1 + rng.Int63n(cfg.TransitSpan)
+	p3 := 1 + rng.Int63n(cfg.ParkSpan)
+	lifetime := p1 + tr1 + p2 + tr2 + p3
+	if lifetime >= cfg.Horizon {
+		lifetime = cfg.Horizon - 1
+	}
+	start := rng.Int63n(cfg.Horizon - lifetime)
+
+	t := start
+	segs := []trajectory.Segment{park(t, p1, hx, hy)}
+	t += p1
+	segs = append(segs, transit(t, tr1, hx, hy, wx, wy))
+	t += tr1
+	segs = append(segs, park(t, p2, wx, wy))
+	t += p2
+	segs = append(segs, transit(t, tr2, wx, wy, hx, hy))
+	t += tr2
+	segs = append(segs, park(t, p3, hx, hy))
+	return trajectory.FromSegments(id, segs)
+}
+
+// wandererObject drifts steadily in one direction — a monotone-gain
+// object whose every split helps a little.
+func wandererObject(rng *rand.Rand, id int64, cfg CommuterConfig) (*trajectory.Object, error) {
+	half := cfg.Extent / 2
+	span := uniform(rng, 0.05, 0.15) // modest drift distance
+	d := cfg.ParkSpan*2 + rng.Int63n(cfg.ParkSpan)
+	x0 := uniform(rng, half+0.01, 1-half-0.01-span)
+	y0 := uniform(rng, half+0.01, 1-half-0.01-span)
+	start := rng.Int63n(cfg.Horizon - d)
+	seg := trajectory.Segment{
+		Start: start, End: start + d,
+		X:     bezier1Poly(x0, x0+span, float64(d)),
+		Y:     bezier1Poly(y0, y0+span, float64(d)),
+		HalfW: trajectory.NewPolynomial(half),
+		HalfH: trajectory.NewPolynomial(half),
+	}
+	return trajectory.FromSegments(id, []trajectory.Segment{seg})
+}

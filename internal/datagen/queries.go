@@ -1,0 +1,115 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"stindex/internal/geom"
+)
+
+// Query is one spatiotemporal window query: find the objects intersecting
+// Rect at some instant of Interval. Snapshot queries have Duration 1.
+type Query struct {
+	Rect     geom.Rect
+	Interval geom.Interval
+}
+
+// QueryConfig parameterises a query set in the style of Table II: Count
+// random windows whose side extents are uniform fractions of the space in
+// [MinExtent, MaxExtent] and whose durations are uniform in
+// [MinDuration, MaxDuration] instants, placed uniformly in the horizon.
+type QueryConfig struct {
+	Count                    int
+	MinExtent, MaxExtent     float64
+	MinDuration, MaxDuration int64
+	Horizon                  int64
+	Seed                     int64
+}
+
+// Queries generates a query set.
+func Queries(cfg QueryConfig) ([]Query, error) {
+	if cfg.Count <= 0 {
+		return nil, fmt.Errorf("datagen: query count must be positive")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("datagen: horizon must be positive")
+	}
+	if cfg.MinExtent <= 0 || cfg.MaxExtent < cfg.MinExtent || cfg.MaxExtent > 1 {
+		return nil, fmt.Errorf("datagen: bad query extent range [%g,%g]", cfg.MinExtent, cfg.MaxExtent)
+	}
+	if cfg.MinDuration < 1 || cfg.MaxDuration < cfg.MinDuration {
+		return nil, fmt.Errorf("datagen: bad query duration range [%d,%d]", cfg.MinDuration, cfg.MaxDuration)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]Query, cfg.Count)
+	for i := range out {
+		w := uniform(rng, cfg.MinExtent, cfg.MaxExtent)
+		h := uniform(rng, cfg.MinExtent, cfg.MaxExtent)
+		x := uniform(rng, 0, 1-w)
+		y := uniform(rng, 0, 1-h)
+		dur := cfg.MinDuration + rng.Int63n(cfg.MaxDuration-cfg.MinDuration+1)
+		if dur > cfg.Horizon {
+			dur = cfg.Horizon
+		}
+		start := rng.Int63n(cfg.Horizon - dur + 1)
+		out[i] = Query{
+			Rect:     geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h},
+			Interval: geom.Interval{Start: start, End: start + dur},
+		}
+	}
+	return out, nil
+}
+
+// QuerySetName identifies one of the paper's six standard query sets
+// (Table II).
+type QuerySetName string
+
+// The standard query sets of Table II.
+const (
+	SnapshotTiny  QuerySetName = "snapshot-tiny"  // extents 0.01-0.1%, duration 1
+	SnapshotSmall QuerySetName = "snapshot-small" // extents 0.1-1%, duration 1
+	SnapshotMixed QuerySetName = "snapshot-mixed" // extents 0.1-5%, duration 1
+	SnapshotLarge QuerySetName = "snapshot-large" // extents 1-5%, duration 1
+	RangeSmall    QuerySetName = "range-small"    // extents 0.1-1%, duration 1-10
+	RangeMedium   QuerySetName = "range-medium"   // extents 0.1-1%, duration 10-50
+)
+
+// StandardQuerySets lists Table II's sets in presentation order.
+var StandardQuerySets = []QuerySetName{
+	SnapshotTiny, SnapshotSmall, SnapshotMixed, SnapshotLarge,
+	RangeSmall, RangeMedium,
+}
+
+// StandardQueryConfig returns the Table II configuration for a named set:
+// 1000 queries, extents and durations as published.
+func StandardQueryConfig(name QuerySetName, horizon, seed int64) (QueryConfig, error) {
+	cfg := QueryConfig{Count: 1000, Horizon: horizon, Seed: seed, MinDuration: 1, MaxDuration: 1}
+	switch name {
+	case SnapshotTiny:
+		cfg.MinExtent, cfg.MaxExtent = 0.0001, 0.001
+	case SnapshotSmall:
+		cfg.MinExtent, cfg.MaxExtent = 0.001, 0.01
+	case SnapshotMixed:
+		cfg.MinExtent, cfg.MaxExtent = 0.001, 0.05
+	case SnapshotLarge:
+		cfg.MinExtent, cfg.MaxExtent = 0.01, 0.05
+	case RangeSmall:
+		cfg.MinExtent, cfg.MaxExtent = 0.001, 0.01
+		cfg.MinDuration, cfg.MaxDuration = 1, 10
+	case RangeMedium:
+		cfg.MinExtent, cfg.MaxExtent = 0.001, 0.01
+		cfg.MinDuration, cfg.MaxDuration = 10, 50
+	default:
+		return cfg, fmt.Errorf("datagen: unknown query set %q", name)
+	}
+	return cfg, nil
+}
+
+// StandardQueries generates a named Table II query set.
+func StandardQueries(name QuerySetName, horizon, seed int64) ([]Query, error) {
+	cfg, err := StandardQueryConfig(name, horizon, seed)
+	if err != nil {
+		return nil, err
+	}
+	return Queries(cfg)
+}

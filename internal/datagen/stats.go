@@ -1,0 +1,84 @@
+package datagen
+
+import (
+	"fmt"
+	"math"
+
+	"stindex/internal/trajectory"
+)
+
+// DatasetStats summarises a dataset the way Table I does.
+type DatasetStats struct {
+	TotalObjects      int
+	ObjectsPerInstant float64 // averaged over the instants where anything is alive
+	TotalSegments     int     // polynomial pieces over all objects
+	AvgLifetime       float64 // instants
+	MinStart, MaxEnd  int64   // observed evolution span
+	// MinExtent and MaxExtent are the smallest and largest rectangle side
+	// observed over all instants (Table I's "Object Extent" row).
+	MinExtent, MaxExtent float64
+}
+
+// Stats computes Table I statistics for a dataset.
+func Stats(objs []*trajectory.Object) DatasetStats {
+	var s DatasetStats
+	s.TotalObjects = len(objs)
+	if len(objs) == 0 {
+		return s
+	}
+	s.MinStart, s.MaxEnd = objs[0].Start(), objs[0].End()
+	s.MinExtent = math.Inf(1)
+	totalLifetime := int64(0)
+	for _, o := range objs {
+		if o.Start() < s.MinStart {
+			s.MinStart = o.Start()
+		}
+		if o.End() > s.MaxEnd {
+			s.MaxEnd = o.End()
+		}
+		totalLifetime += int64(o.Len())
+		s.TotalSegments += len(o.Breakpoints()) + 1
+		for i := 0; i < o.Len(); i++ {
+			r := o.InstantRect(i)
+			for _, side := range [2]float64{r.MaxX - r.MinX, r.MaxY - r.MinY} {
+				if side < s.MinExtent {
+					s.MinExtent = side
+				}
+				if side > s.MaxExtent {
+					s.MaxExtent = side
+				}
+			}
+		}
+	}
+	if math.IsInf(s.MinExtent, 1) {
+		s.MinExtent = 0
+	}
+	s.AvgLifetime = float64(totalLifetime) / float64(len(objs))
+
+	// Average alive objects per instant, over instants with at least one
+	// alive object (matching the paper's "Objects Per Instant (Avg.)").
+	span := s.MaxEnd - s.MinStart
+	alive := make([]int, span)
+	for _, o := range objs {
+		for t := o.Start(); t < o.End(); t++ {
+			alive[t-s.MinStart]++
+		}
+	}
+	occupied, sum := 0, 0
+	for _, a := range alive {
+		if a > 0 {
+			occupied++
+			sum += a
+		}
+	}
+	if occupied > 0 {
+		s.ObjectsPerInstant = float64(sum) / float64(occupied)
+	}
+	return s
+}
+
+// String renders the stats as one Table I column.
+func (s DatasetStats) String() string {
+	return fmt.Sprintf("objects=%d perInstant=%.1f segments=%d avgLifetime=%.1f span=[%d,%d)",
+		s.TotalObjects, s.ObjectsPerInstant, s.TotalSegments, s.AvgLifetime, s.MinStart, s.MaxEnd)
+}

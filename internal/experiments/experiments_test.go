@@ -1,0 +1,314 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// testConfig runs the experiments at a scale small enough for CI while
+// still large enough that the paper's qualitative results show.
+func testConfig() Config {
+	return Config{Sizes: []int{300, 600, 1200}, Queries: 150, Seed: 1}
+}
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := testConfig()
+	cfg.Out = &buf
+	rows, err := Table1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 { // 2 families × 3 sizes
+		t.Fatalf("got %d rows, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Stats.TotalObjects != r.Size {
+			t.Fatalf("%s %d: stats report %d objects", r.Family, r.Size, r.Stats.TotalObjects)
+		}
+		if r.Stats.TotalSegments < r.Size {
+			t.Fatalf("%s %d: only %d segments", r.Family, r.Size, r.Stats.TotalSegments)
+		}
+	}
+	// Random lifetimes average ~50, railway ~9-18 (paper: 50 and 18).
+	for _, r := range rows {
+		switch r.Family {
+		case "random":
+			if r.Stats.AvgLifetime < 40 || r.Stats.AvgLifetime > 60 {
+				t.Fatalf("random avg lifetime %.1f, want ~50", r.Stats.AvgLifetime)
+			}
+		case "railway":
+			if r.Stats.AvgLifetime < 5 || r.Stats.AvgLifetime > 19 {
+				t.Fatalf("railway avg lifetime %.1f, want well under the random datasets'", r.Stats.AvgLifetime)
+			}
+		}
+	}
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Fatal("missing printed table")
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("got %d query sets, want 6", len(rows))
+	}
+	for _, r := range rows {
+		if r.Cardinality != 150 {
+			t.Fatalf("%s: cardinality %d", r.Set, r.Cardinality)
+		}
+	}
+}
+
+func TestFig11DPSlowerThanMerge(t *testing.T) {
+	rows, err := Fig11(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	if last.DPTime <= last.MergeTime {
+		t.Fatalf("DPSplit (%v) should be slower than MergeSplit (%v) at %d objects",
+			last.DPTime, last.MergeTime, last.Size)
+	}
+}
+
+func TestFig12MergeNearOptimal(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sizes = []int{300, 600}
+	rows, err := Fig12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.MergeVolume < r.DPVolume-1e-9 {
+			t.Fatalf("size %d: merge volume %g beats optimal %g — impossible", r.Size, r.MergeVolume, r.DPVolume)
+		}
+		if r.MergeVolume > r.DPVolume*1.15 {
+			t.Fatalf("size %d: merge volume %g more than 15%% above optimal %g — paper says 'very similar'",
+				r.Size, r.MergeVolume, r.DPVolume)
+		}
+	}
+}
+
+func TestFig13GreedyMuchFaster(t *testing.T) {
+	rows, err := Fig13(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	if last.OptimalTime < last.GreedyTime*5 {
+		t.Fatalf("Optimal (%v) should dwarf Greedy (%v)", last.OptimalTime, last.GreedyTime)
+	}
+	if last.OptimalTime < last.LAGreedyTime*5 {
+		t.Fatalf("Optimal (%v) should dwarf LAGreedy (%v)", last.OptimalTime, last.LAGreedyTime)
+	}
+}
+
+func TestFig14LAGreedyMatchesOptimal(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sizes = []int{600, 1200}
+	rows, err := Fig14(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.LAIO > r.GreedyIO*1.10+0.5 {
+			t.Fatalf("size %d: LAGreedy %.2f I/O notably worse than Greedy %.2f", r.Size, r.LAIO, r.GreedyIO)
+		}
+		if r.LAIO > r.OptimalIO*1.15+0.5 {
+			t.Fatalf("size %d: LAGreedy %.2f I/O far from Optimal %.2f", r.Size, r.LAIO, r.OptimalIO)
+		}
+	}
+}
+
+func TestFig15SplitsHelpPPRHurtRStar(t *testing.T) {
+	cfg := testConfig()
+	rows, err := Fig15(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.PPRIO >= first.PPRIO {
+		t.Fatalf("PPR I/O should fall with splits: %.2f at 0%% -> %.2f at 150%%", first.PPRIO, last.PPRIO)
+	}
+	if last.RStarIO <= first.RStarIO {
+		t.Fatalf("R* I/O should rise with splits: %.2f at 0%% -> %.2f at 150%%", first.RStarIO, last.RStarIO)
+	}
+}
+
+func TestFig16PPRUsesMoreSpace(t *testing.T) {
+	cfg := testConfig()
+	rows, err := Fig16(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		ratio := float64(r.PPRPages) / float64(r.RStarPages)
+		if ratio < 1.2 || ratio > 3.5 {
+			t.Fatalf("at %.0f%% splits the PPR/R* space ratio is %.2f, expected roughly 2x", r.BudgetPct, ratio)
+		}
+	}
+}
+
+func TestFig17PPRWinsSmallRange(t *testing.T) {
+	rows, err := Fig17(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.PPR150 >= r.RStar1 {
+			t.Fatalf("size %d: PPR(150%%) %.2f should beat R*(1%%) %.2f", r.Size, r.PPR150, r.RStar1)
+		}
+		if r.RStarPiece <= r.RStar1 {
+			t.Fatalf("size %d: piecewise R* %.2f should be the worst (R* 1%% is %.2f)", r.Size, r.RStarPiece, r.RStar1)
+		}
+	}
+}
+
+func TestBuildCostComparison(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sizes = []int{600}
+	rows, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Records < r.Size {
+		t.Fatalf("only %d records for %d objects", r.Records, r.Size)
+	}
+	// STR packing must be much faster to build than R* insertion.
+	if r.PackedTime*5 > r.RStarTime {
+		t.Fatalf("packed build %v not clearly faster than insertion %v", r.PackedTime, r.RStarTime)
+	}
+	// The overlapping structure dominates everyone's footprint.
+	if r.HRPages <= r.PPRPages || r.HRPages <= r.RStarPages {
+		t.Fatalf("HR pages %d should dwarf PPR %d and R* %d", r.HRPages, r.PPRPages, r.RStarPages)
+	}
+}
+
+func TestOverlapStorageBlowup(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sizes = []int{600, 1200}
+	rows, err := Overlap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// The overlapping approach pays a per-update path copy; the
+		// multi-version structure stays linear in the changes.
+		if r.HRPages < r.PPRPages*3 {
+			t.Fatalf("size %d: HR %d pages vs PPR %d — expected a large overlapping blowup",
+				r.Size, r.HRPages, r.PPRPages)
+		}
+		// Snapshots: both persistence approaches behave like an ephemeral
+		// 2D R-tree and beat the 3D R*-tree comfortably.
+		if r.HRSnapIO > r.RStarSnapIO || r.PPRSnapIO > r.RStarSnapIO {
+			t.Fatalf("size %d: snapshot I/O HR %.2f / PPR %.2f should beat R* %.2f",
+				r.Size, r.HRSnapIO, r.PPRSnapIO, r.RStarSnapIO)
+		}
+		// Interval queries: probing one tree per version hurts the
+		// overlapping approach.
+		if r.HRRangeIO <= r.PPRRangeIO {
+			t.Fatalf("size %d: HR range I/O %.2f should exceed PPR %.2f",
+				r.Size, r.HRRangeIO, r.PPRRangeIO)
+		}
+	}
+}
+
+func TestChooserPredictionsTrackGroundTruth(t *testing.T) {
+	cfg := testConfig()
+	cfg.Sizes = []int{600} // Chooser doubles the last size and densifies
+	rows, err := Chooser(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 3 {
+		t.Fatalf("only %d rows", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].ModelIO > rows[i-1].ModelIO+1e-9 {
+			t.Fatalf("model prediction not decreasing at %d%%", rows[i].BudgetPct)
+		}
+		if rows[i].MeasuredIO > rows[i-1].MeasuredIO+0.2 {
+			t.Fatalf("measured I/O not decreasing at %d%%: %.2f after %.2f",
+				rows[i].BudgetPct, rows[i].MeasuredIO, rows[i-1].MeasuredIO)
+		}
+	}
+	for _, r := range rows {
+		if r.ModelIO < r.MeasuredIO/2.5 || r.ModelIO > r.MeasuredIO*2.5 {
+			t.Fatalf("%d%%: model %.2f too far from measured %.2f", r.BudgetPct, r.ModelIO, r.MeasuredIO)
+		}
+	}
+}
+
+func TestFig14CommuterGreedyInferior(t *testing.T) {
+	cfg := testConfig()
+	rows, err := Fig14Commuter(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawGap := false
+	for _, r := range rows {
+		if r.LAVol > r.GreedyVol+1e-9 {
+			t.Fatalf("%d%%: LAGreedy volume %g worse than Greedy %g — impossible", r.BudgetPct, r.LAVol, r.GreedyVol)
+		}
+		if r.OptVol > r.LAVol+1e-9 {
+			t.Fatalf("%d%%: Optimal volume %g worse than LAGreedy %g — impossible", r.BudgetPct, r.OptVol, r.LAVol)
+		}
+		// LAGreedy must track Optimal closely on this workload.
+		if r.LAVol > r.OptVol*1.02 {
+			t.Fatalf("%d%%: LAGreedy volume %g more than 2%% above optimal %g", r.BudgetPct, r.LAVol, r.OptVol)
+		}
+		if r.GreedyVol > r.LAVol*1.01 {
+			sawGap = true
+		}
+	}
+	if !sawGap {
+		t.Fatal("the commuter workload should expose a >1% Greedy/LAGreedy volume gap at some budget")
+	}
+}
+
+func TestRailwayContendersPPRSuperior(t *testing.T) {
+	// The paper reports (figures omitted) that the PPR-tree is "again
+	// superior in all cases" on the skewed railway datasets.
+	cfg := testConfig()
+	cfg.Sizes = []int{600, 1200}
+	for name, run := range map[string]func(Config) ([]Fig17Row, error){
+		"fig17r": Fig17Railway,
+		"fig18r": Fig18Railway,
+	} {
+		rows, err := run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for _, r := range rows {
+			if r.PPR150 >= r.RStar1 {
+				t.Fatalf("%s size %d: PPR(150%%) %.2f should beat R*(1%%) %.2f",
+					name, r.Size, r.PPR150, r.RStar1)
+			}
+			if r.PPR150 >= r.RStarPiece {
+				t.Fatalf("%s size %d: PPR(150%%) %.2f should beat piecewise R* %.2f",
+					name, r.Size, r.PPR150, r.RStarPiece)
+			}
+		}
+	}
+}
+
+func TestFig18PPRWinsMixedSnapshot(t *testing.T) {
+	rows, err := Fig18(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.PPR150 >= r.RStar1 {
+			t.Fatalf("size %d: PPR(150%%) %.2f should beat R*(1%%) %.2f", r.Size, r.PPR150, r.RStar1)
+		}
+		if r.RStarPiece <= r.RStar1 {
+			t.Fatalf("size %d: piecewise R* %.2f should be the worst", r.Size, r.RStarPiece)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"stindex/internal/datagen"
+	"stindex/internal/trajectory"
+)
+
+// SplitSweepBudgets are the budget fractions (of the object count) swept
+// in figures 15 and 16, mirroring the paper's 0%..150% axis.
+var SplitSweepBudgets = []float64{0, 0.01, 0.05, 0.10, 0.25, 0.50, 1.00, 1.50}
+
+// Fig15Row is one point of the split sweep: average disk accesses for
+// small range queries at one budget, for both index structures.
+type Fig15Row struct {
+	BudgetPct float64
+	PPRIO     float64
+	RStarIO   float64
+}
+
+// Fig15 regenerates figure 15 (small range queries, the third-largest
+// dataset in the paper — 50k of 10k..80k): as the split budget grows the
+// PPR-tree's cost drops substantially while the 3D R*-tree's rises.
+func Fig15(cfg Config) ([]Fig15Row, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.Sizes[len(cfg.Sizes)-2+len(cfg.Sizes)%2] // third of four, else last
+	objs, err := cfg.randomDataset(n)
+	if err != nil {
+		return nil, err
+	}
+	qs, err := cfg.queries(datagen.RangeSmall)
+	if err != nil {
+		return nil, err
+	}
+	queries := toQueries(qs)
+
+	cfg.printf("Figure 15 — small range queries vs number of splits (%d random objects)\n", n)
+	cfg.printf("%8s %10s %10s\n", "splits", "PPR", "R*")
+	var rows []Fig15Row
+	for _, frac := range SplitSweepBudgets {
+		budget := int(frac * float64(n))
+		records := lagreedyRecords(objs, budget)
+		pprRes, _, err := measurePPR(records, queries)
+		if err != nil {
+			return nil, err
+		}
+		rstRes, _, err := measureRStar(records, queries)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig15Row{BudgetPct: frac * 100, PPRIO: pprRes.AvgIO, RStarIO: rstRes.AvgIO})
+		cfg.printf("%7.0f%% %10.2f %10.2f\n", frac*100, pprRes.AvgIO, rstRes.AvgIO)
+	}
+	cfg.printf("\n")
+	return rows, nil
+}
+
+// Fig16Row is one point of the space sweep: disk pages used by each
+// structure at one budget.
+type Fig16Row struct {
+	BudgetPct  float64
+	PPRPages   int
+	RStarPages int
+}
+
+// Fig16 regenerates figure 16 (total space vs number of splits, same
+// dataset as figure 15). Headline: the PPR-tree needs roughly twice the
+// space of the R*-tree — the price of partial persistence.
+func Fig16(cfg Config) ([]Fig16Row, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.Sizes[len(cfg.Sizes)-2+len(cfg.Sizes)%2]
+	objs, err := cfg.randomDataset(n)
+	if err != nil {
+		return nil, err
+	}
+	cfg.printf("Figure 16 — disk pages vs number of splits (%d random objects)\n", n)
+	cfg.printf("%8s %10s %10s %8s\n", "splits", "PPR", "R*", "ratio")
+	var rows []Fig16Row
+	for _, frac := range SplitSweepBudgets {
+		budget := int(frac * float64(n))
+		records := lagreedyRecords(objs, budget)
+		ppr, err := buildPPROnly(records)
+		if err != nil {
+			return nil, err
+		}
+		rst, err := buildRStarOnly(records)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig16Row{BudgetPct: frac * 100, PPRPages: ppr, RStarPages: rst})
+		cfg.printf("%7.0f%% %10d %10d %7.2fx\n", frac*100, ppr, rst, float64(ppr)/float64(rst))
+	}
+	cfg.printf("\n")
+	return rows, nil
+}
+
+// Fig17Row compares the three contenders on one dataset size: the
+// PPR-tree with 150% LAGreedy splits, the R*-tree with 1% splits (its
+// best setting), and the R*-tree over the piecewise representation.
+type Fig17Row struct {
+	Size         int
+	PPR150       float64
+	RStar1       float64
+	RStarPiece   float64
+	PiecewisePct float64 // piecewise records as % of object count
+}
+
+// Fig17 regenerates figure 17 (small range queries across random
+// datasets). Headline: the split PPR-tree wins by a wide margin; the
+// piecewise R*-tree is the worst of all.
+func Fig17(cfg Config) ([]Fig17Row, error) {
+	return contenders(cfg, datagen.RangeSmall, "Figure 17 — small range queries, avg disk accesses")
+}
+
+// Fig18 regenerates figure 18 (mixed snapshot queries across random
+// datasets): same contenders, same ordering of winners.
+func Fig18(cfg Config) ([]Fig17Row, error) {
+	return contenders(cfg, datagen.SnapshotMixed, "Figure 18 — mixed snapshot queries, avg disk accesses")
+}
+
+func contenders(cfg Config, set datagen.QuerySetName, title string) ([]Fig17Row, error) {
+	return contendersOn(cfg, set, title,
+		func(c Config, n int) ([]*trajectory.Object, error) { return c.randomDataset(n) })
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	stx "stindex"
+
+	"stindex/internal/alloc"
+	"stindex/internal/datagen"
+	"stindex/internal/split"
+	"stindex/internal/trajectory"
+)
+
+// toRecords converts internal split results into the facade's record type
+// for indexing.
+func toRecords(results []split.Result) []stx.Record {
+	var out []stx.Record
+	for _, r := range results {
+		for _, b := range r.Boxes {
+			out = append(out, stx.Record{
+				Rect:     stx.Rect{MinX: b.MinX, MinY: b.MinY, MaxX: b.MaxX, MaxY: b.MaxY},
+				Interval: stx.Interval{Start: b.Start, End: b.End},
+				ObjectID: r.Object.ID,
+			})
+		}
+	}
+	return out
+}
+
+// lagreedyRecords splits objs with the paper's recommended pipeline
+// (MergeSplit curves + LAGreedy distribution) under the given budget.
+func lagreedyRecords(objs []*trajectory.Object, budget int) []stx.Record {
+	curves := alloc.BuildCurves(objs, split.MergeCurve)
+	a := alloc.LAGreedy(curves, budget)
+	return toRecords(alloc.Materialize(objs, a, split.MergeSplit))
+}
+
+// unsplitRecords returns the single-MBR representation.
+func unsplitRecords(objs []*trajectory.Object) []stx.Record {
+	results := make([]split.Result, len(objs))
+	for i, o := range objs {
+		results[i] = split.None(o)
+	}
+	return toRecords(results)
+}
+
+// piecewiseRecords splits at motion-change instants (the [21] baseline).
+func piecewiseRecords(objs []*trajectory.Object) []stx.Record {
+	results := make([]split.Result, len(objs))
+	for i, o := range objs {
+		results[i] = split.Piecewise(o)
+	}
+	return toRecords(results)
+}
+
+// toQueries converts datagen queries to the facade type.
+func toQueries(qs []datagen.Query) []stx.Query {
+	out := make([]stx.Query, len(qs))
+	for i, q := range qs {
+		out[i] = stx.Query{
+			Rect:     stx.Rect{MinX: q.Rect.MinX, MinY: q.Rect.MinY, MaxX: q.Rect.MaxX, MaxY: q.Rect.MaxY},
+			Interval: stx.Interval{Start: q.Interval.Start, End: q.Interval.End},
+		}
+	}
+	return out
+}
+
+// measurePPR builds a PPR-tree over the records and measures the workload.
+func measurePPR(records []stx.Record, qs []stx.Query) (stx.WorkloadResult, stx.Index, error) {
+	idx, err := stx.BuildPPR(records, stx.PPROptions{})
+	if err != nil {
+		return stx.WorkloadResult{}, nil, err
+	}
+	res, err := stx.MeasureWorkload(idx, qs)
+	return res, idx, err
+}
+
+// buildPPROnly builds the PPR-tree and returns its page count.
+func buildPPROnly(records []stx.Record) (int, error) {
+	idx, err := stx.BuildPPR(records, stx.PPROptions{})
+	if err != nil {
+		return 0, err
+	}
+	return idx.Pages(), nil
+}
+
+// buildRStarOnly builds the R*-tree and returns its page count.
+func buildRStarOnly(records []stx.Record) (int, error) {
+	idx, err := stx.BuildRStar(records, stx.RStarOptions{ShuffleSeed: 42})
+	if err != nil {
+		return 0, err
+	}
+	return idx.Pages(), nil
+}
+
+// measureRStar builds a 3D R*-tree over the records and measures the
+// workload.
+func measureRStar(records []stx.Record, qs []stx.Query) (stx.WorkloadResult, stx.Index, error) {
+	idx, err := stx.BuildRStar(records, stx.RStarOptions{ShuffleSeed: 42})
+	if err != nil {
+		return stx.WorkloadResult{}, nil, err
+	}
+	res, err := stx.MeasureWorkload(idx, qs)
+	return res, idx, err
+}

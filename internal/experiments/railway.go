@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"stindex/internal/datagen"
+	"stindex/internal/trajectory"
+)
+
+// Fig17Railway reruns the figure 17 contenders (small range queries) on
+// the skewed railway datasets. The paper omits these plots for space but
+// reports that "the PPR-Tree is again superior in all cases".
+func Fig17Railway(cfg Config) ([]Fig17Row, error) {
+	return contendersOn(cfg, datagen.RangeSmall,
+		"Figure 17 (railway) — small range queries, avg disk accesses",
+		func(c Config, n int) ([]*trajectory.Object, error) { return c.railwayDataset(n) })
+}
+
+// Fig18Railway reruns the figure 18 contenders (mixed snapshot queries)
+// on the railway datasets.
+func Fig18Railway(cfg Config) ([]Fig17Row, error) {
+	return contendersOn(cfg, datagen.SnapshotMixed,
+		"Figure 18 (railway) — mixed snapshot queries, avg disk accesses",
+		func(c Config, n int) ([]*trajectory.Object, error) { return c.railwayDataset(n) })
+}
+
+func contendersOn(cfg Config, set datagen.QuerySetName, title string,
+	dataset func(Config, int) ([]*trajectory.Object, error)) ([]Fig17Row, error) {
+
+	cfg = cfg.withDefaults()
+	qs, err := cfg.queries(set)
+	if err != nil {
+		return nil, err
+	}
+	queries := toQueries(qs)
+	cfg.printf("%s\n", title)
+	cfg.printf("%8s %12s %12s %14s\n", "objects", "PPR(150%)", "R*(1%)", "R*(piecewise)")
+	var rows []Fig17Row
+	for _, n := range cfg.Sizes {
+		objs, err := dataset(cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		ppr150 := lagreedyRecords(objs, n*3/2)
+		rst1 := lagreedyRecords(objs, n/100)
+		piecewise := piecewiseRecords(objs)
+
+		pprRes, _, err := measurePPR(ppr150, queries)
+		if err != nil {
+			return nil, err
+		}
+		rstRes, _, err := measureRStar(rst1, queries)
+		if err != nil {
+			return nil, err
+		}
+		pieceRes, _, err := measureRStar(piecewise, queries)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig17Row{
+			Size:         n,
+			PPR150:       pprRes.AvgIO,
+			RStar1:       rstRes.AvgIO,
+			RStarPiece:   pieceRes.AvgIO,
+			PiecewisePct: 100 * float64(len(piecewise)-n) / float64(n),
+		}
+		rows = append(rows, row)
+		cfg.printf("%8d %12.2f %12.2f %14.2f\n", n, row.PPR150, row.RStar1, row.RStarPiece)
+	}
+	cfg.printf("\n")
+	return rows, nil
+}

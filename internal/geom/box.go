@@ -1,0 +1,76 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box is a 3-dimensional axis-parallel box: a spatial rectangle extruded
+// over a discrete time interval. It is the unit that both index structures
+// store — the R*-tree as a genuine 3D rectangle (with the time axis scaled)
+// and the PPR-tree as a 2D rectangle plus lifetime fields.
+type Box struct {
+	Rect
+	Interval
+}
+
+// NewBox builds a box from its spatial and temporal parts.
+func NewBox(r Rect, iv Interval) Box {
+	return Box{Rect: r, Interval: iv}
+}
+
+// Volume returns spatial area times temporal length. This is the quantity
+// the paper's splitting algorithms minimise (the "total volume" of an
+// object's representation). Boxes that are still open (End == Now) have
+// infinite volume; the splitting pipeline always operates on closed boxes.
+func (b Box) Volume() float64 {
+	if b.Rect.IsEmpty() || !b.Interval.ValidInterval() {
+		return 0
+	}
+	if b.End == Now {
+		return math.Inf(1)
+	}
+	return b.Rect.Area() * float64(b.Interval.Length())
+}
+
+// UnionBox returns the smallest box covering both b and o.
+func (b Box) UnionBox(o Box) Box {
+	return Box{
+		Rect: b.Rect.Union(o.Rect),
+		Interval: Interval{
+			Start: min64(b.Start, o.Start),
+			End:   max64(b.End, o.End),
+		},
+	}
+}
+
+// IntersectsBox reports whether the two boxes share a point in space-time.
+// Space uses closed semantics (touching counts); time uses the half-open
+// interval semantics.
+func (b Box) IntersectsBox(o Box) bool {
+	return b.Rect.Intersects(o.Rect) && b.Interval.Overlaps(o.Interval)
+}
+
+// ContainsBox reports whether o lies entirely within b in space and time.
+func (b Box) ContainsBox(o Box) bool {
+	return b.Rect.Contains(o.Rect) &&
+		b.Start <= o.Start && o.End <= b.End
+}
+
+func (b Box) String() string {
+	return fmt.Sprintf("%v@%v", b.Rect, b.Interval)
+}
+
+// SurfaceMeasure returns the Pagel cost-formula surface term of the box
+// when the time axis is scaled by timeScale (so that one time instant
+// contributes timeScale units of length). It is the sum of side-length
+// products over the three axis pairs.
+func (b Box) SurfaceMeasure(timeScale float64) float64 {
+	if b.Rect.IsEmpty() || !b.Interval.ValidInterval() || b.End == Now {
+		return 0
+	}
+	dx := b.MaxX - b.MinX
+	dy := b.MaxY - b.MinY
+	dt := float64(b.Interval.Length()) * timeScale
+	return dx*dy + dx*dt + dy*dt
+}

@@ -1,0 +1,154 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Box3 is a 3-dimensional axis-parallel box over float coordinates. The 3D
+// R*-tree treats time as a third spatial dimension: callers scale the
+// discrete time axis into the unit range (the paper scales it "to the unit
+// range first" before insertion) and store the result as Min[2]/Max[2].
+type Box3 struct {
+	Min, Max [3]float64
+}
+
+// EmptyBox3 returns the identity element for UnionBox3.
+func EmptyBox3() Box3 {
+	return Box3{
+		Min: [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)},
+		Max: [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)},
+	}
+}
+
+// Box3FromBox converts a spatiotemporal box to a 3D float box, scaling the
+// time axis by timeScale (typically 1/horizon so time lands in [0,1]).
+// The half-open time interval [Start, End) maps to the closed float range
+// [Start*s, End*s].
+func Box3FromBox(b Box, timeScale float64) Box3 {
+	return Box3{
+		Min: [3]float64{b.MinX, b.MinY, float64(b.Start) * timeScale},
+		Max: [3]float64{b.MaxX, b.MaxY, float64(b.End) * timeScale},
+	}
+}
+
+// IsEmpty reports whether the box is inverted on any axis.
+func (b Box3) IsEmpty() bool {
+	for d := 0; d < 3; d++ {
+		if b.Min[d] > b.Max[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// Volume returns the product of the three extents.
+func (b Box3) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	v := 1.0
+	for d := 0; d < 3; d++ {
+		v *= b.Max[d] - b.Min[d]
+	}
+	return v
+}
+
+// Margin returns the sum of the three edge lengths (the R* split margin
+// metric, up to a constant factor).
+func (b Box3) Margin() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	m := 0.0
+	for d := 0; d < 3; d++ {
+		m += b.Max[d] - b.Min[d]
+	}
+	return m
+}
+
+// Center returns the box center.
+func (b Box3) Center() [3]float64 {
+	return [3]float64{
+		(b.Min[0] + b.Max[0]) / 2,
+		(b.Min[1] + b.Max[1]) / 2,
+		(b.Min[2] + b.Max[2]) / 2,
+	}
+}
+
+// UnionBox3 returns the smallest box covering both operands.
+func (b Box3) UnionBox3(o Box3) Box3 {
+	if b.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return b
+	}
+	out := b
+	for d := 0; d < 3; d++ {
+		out.Min[d] = math.Min(out.Min[d], o.Min[d])
+		out.Max[d] = math.Max(out.Max[d], o.Max[d])
+	}
+	return out
+}
+
+// Intersects reports whether the boxes share a point (closed semantics).
+func (b Box3) Intersects(o Box3) bool {
+	if b.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	for d := 0; d < 3; d++ {
+		if b.Min[d] > o.Max[d] || o.Min[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether o lies entirely inside b.
+func (b Box3) Contains(o Box3) bool {
+	if b.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	for d := 0; d < 3; d++ {
+		if o.Min[d] < b.Min[d] || o.Max[d] > b.Max[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// OverlapVolume returns the volume of the intersection.
+func (b Box3) OverlapVolume(o Box3) float64 {
+	v := 1.0
+	for d := 0; d < 3; d++ {
+		lo := math.Max(b.Min[d], o.Min[d])
+		hi := math.Min(b.Max[d], o.Max[d])
+		if hi <= lo {
+			return 0
+		}
+		v *= hi - lo
+	}
+	return v
+}
+
+// Enlargement3 returns the volume increase needed for b to also cover o.
+func (b Box3) Enlargement3(o Box3) float64 {
+	return b.UnionBox3(o).Volume() - b.Volume()
+}
+
+// CenterDistance2 returns the squared distance between the box centers.
+func (b Box3) CenterDistance2(o Box3) float64 {
+	cb, co := b.Center(), o.Center()
+	s := 0.0
+	for d := 0; d < 3; d++ {
+		dd := cb[d] - co[d]
+		s += dd * dd
+	}
+	return s
+}
+
+func (b Box3) String() string {
+	return fmt.Sprintf("[%g,%g]x[%g,%g]x[%g,%g]",
+		b.Min[0], b.Max[0], b.Min[1], b.Max[1], b.Min[2], b.Max[2])
+}

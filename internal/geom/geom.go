@@ -1,0 +1,214 @@
+// Package geom provides the spatial and spatiotemporal geometry primitives
+// used throughout the index: 2-dimensional points and rectangles, discrete
+// time intervals, and 3-dimensional boxes (a rectangle extruded over an
+// interval). All coordinates are float64 and live, by convention of the
+// paper, in the unit square [0,1]².
+//
+// Time is discrete (a succession of increasing integers). A record's
+// lifetime [start, end) is half-open: the record is alive at every instant
+// t with start <= t < end. The paper's "Now" (still alive) is represented
+// by the sentinel geom.Now.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Now is the deletion-time sentinel for records that are still alive.
+const Now = math.MaxInt64
+
+// Point is a location on the 2-dimensional plane.
+type Point struct {
+	X, Y float64
+}
+
+// Rect is a 2-dimensional, axis-parallel rectangle (an MBR). A Rect is
+// valid when MinX <= MaxX and MinY <= MaxY; a degenerate rectangle with
+// zero extent represents a point.
+type Rect struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// RectFromPoint returns the degenerate rectangle covering a single point.
+func RectFromPoint(p Point) Rect {
+	return Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y}
+}
+
+// EmptyRect returns the identity element for Union: any rectangle unioned
+// with it is unchanged, and it intersects nothing.
+func EmptyRect() Rect {
+	return Rect{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// IsEmpty reports whether r is the empty rectangle (or otherwise inverted).
+func (r Rect) IsEmpty() bool {
+	return r.MinX > r.MaxX || r.MinY > r.MaxY
+}
+
+// Valid reports whether r is a well-formed (possibly degenerate) rectangle
+// with finite coordinates.
+func (r Rect) Valid() bool {
+	if r.IsEmpty() {
+		return false
+	}
+	for _, v := range [...]float64{r.MinX, r.MinY, r.MaxX, r.MaxY} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// Area returns the area of r, 0 for empty rectangles.
+func (r Rect) Area() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return (r.MaxX - r.MinX) * (r.MaxY - r.MinY)
+}
+
+// Perimeter returns half the perimeter (the R*-tree "margin") of r.
+func (r Rect) Perimeter() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return (r.MaxX - r.MinX) + (r.MaxY - r.MinY)
+}
+
+// Center returns the center point of r.
+func (r Rect) Center() Point {
+	return Point{X: (r.MinX + r.MaxX) / 2, Y: (r.MinY + r.MaxY) / 2}
+}
+
+// Union returns the smallest rectangle containing both r and s.
+func (r Rect) Union(s Rect) Rect {
+	if r.IsEmpty() {
+		return s
+	}
+	if s.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinX: math.Min(r.MinX, s.MinX),
+		MinY: math.Min(r.MinY, s.MinY),
+		MaxX: math.Max(r.MaxX, s.MaxX),
+		MaxY: math.Max(r.MaxY, s.MaxY),
+	}
+}
+
+// Intersect returns the intersection of r and s, which is empty when they
+// do not overlap.
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		MinX: math.Max(r.MinX, s.MinX),
+		MinY: math.Max(r.MinY, s.MinY),
+		MaxX: math.Min(r.MaxX, s.MaxX),
+		MaxY: math.Min(r.MaxY, s.MaxY),
+	}
+	if out.IsEmpty() {
+		return EmptyRect()
+	}
+	return out
+}
+
+// Intersects reports whether r and s share at least one point (touching
+// boundaries count as intersecting, matching R-tree search semantics).
+func (r Rect) Intersects(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.MinX <= s.MaxX && s.MinX <= r.MaxX &&
+		r.MinY <= s.MaxY && s.MinY <= r.MaxY
+}
+
+// Contains reports whether s lies entirely inside r.
+func (r Rect) Contains(s Rect) bool {
+	if r.IsEmpty() || s.IsEmpty() {
+		return false
+	}
+	return r.MinX <= s.MinX && s.MaxX <= r.MaxX &&
+		r.MinY <= s.MinY && s.MaxY <= r.MaxY
+}
+
+// ContainsPoint reports whether p lies inside or on the boundary of r.
+func (r Rect) ContainsPoint(p Point) bool {
+	return !r.IsEmpty() &&
+		r.MinX <= p.X && p.X <= r.MaxX &&
+		r.MinY <= p.Y && p.Y <= r.MaxY
+}
+
+// Enlargement returns the area increase needed for r to also cover s.
+func (r Rect) Enlargement(s Rect) float64 {
+	return r.Union(s).Area() - r.Area()
+}
+
+// OverlapArea returns the area of the intersection of r and s.
+func (r Rect) OverlapArea(s Rect) float64 {
+	return r.Intersect(s).Area()
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%.4f,%.4f]x[%.4f,%.4f]", r.MinX, r.MaxX, r.MinY, r.MaxY)
+}
+
+// Interval is a half-open discrete time interval [Start, End). End == Now
+// means the interval is still open (the record is alive).
+type Interval struct {
+	Start, End int64
+}
+
+// ValidInterval reports whether iv is non-empty and well ordered.
+func (iv Interval) ValidInterval() bool {
+	return iv.Start < iv.End
+}
+
+// Length returns the number of time instants covered by iv. Open intervals
+// have undefined length; callers must close them first.
+func (iv Interval) Length() int64 {
+	if iv.End == Now {
+		return Now
+	}
+	return iv.End - iv.Start
+}
+
+// ContainsInstant reports whether time t falls inside [Start, End).
+func (iv Interval) ContainsInstant(t int64) bool {
+	return iv.Start <= t && t < iv.End
+}
+
+// Overlaps reports whether the two half-open intervals share an instant.
+func (iv Interval) Overlaps(o Interval) bool {
+	return iv.Start < o.End && o.Start < iv.End
+}
+
+// IntersectInterval returns the common part of two intervals and whether it
+// is non-empty.
+func (iv Interval) IntersectInterval(o Interval) (Interval, bool) {
+	out := Interval{Start: max64(iv.Start, o.Start), End: min64(iv.End, o.End)}
+	return out, out.ValidInterval()
+}
+
+func (iv Interval) String() string {
+	if iv.End == Now {
+		return fmt.Sprintf("[%d,now)", iv.Start)
+	}
+	return fmt.Sprintf("[%d,%d)", iv.Start, iv.End)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

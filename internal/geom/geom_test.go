@@ -1,0 +1,222 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randRect(rng *rand.Rand) Rect {
+	x, y := rng.Float64(), rng.Float64()
+	return Rect{MinX: x, MinY: y, MaxX: x + rng.Float64(), MaxY: y + rng.Float64()}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{MinX: 1, MinY: 2, MaxX: 3, MaxY: 6}
+	if got := r.Area(); got != 8 {
+		t.Fatalf("Area = %g, want 8", got)
+	}
+	if got := r.Perimeter(); got != 6 {
+		t.Fatalf("Perimeter = %g, want 6", got)
+	}
+	if c := r.Center(); c.X != 2 || c.Y != 4 {
+		t.Fatalf("Center = %+v", c)
+	}
+	if !r.Valid() {
+		t.Fatal("rect should be valid")
+	}
+	if EmptyRect().Valid() {
+		t.Fatal("empty rect should not be valid")
+	}
+	if !(Rect{MinX: math.NaN(), MaxX: 1, MinY: 0, MaxY: 1}).IsEmpty() && (Rect{MinX: math.NaN(), MaxX: 1, MinY: 0, MaxY: 1}).Valid() {
+		t.Fatal("NaN rect should not be valid")
+	}
+}
+
+func TestEmptyRectIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	e := EmptyRect()
+	for i := 0; i < 50; i++ {
+		r := randRect(rng)
+		if e.Union(r) != r || r.Union(e) != r {
+			t.Fatalf("EmptyRect is not the Union identity for %v", r)
+		}
+		if e.Intersects(r) || r.Intersects(e) {
+			t.Fatal("EmptyRect should intersect nothing")
+		}
+		if e.Contains(r) || r.Contains(e) {
+			t.Fatal("EmptyRect containment should be false")
+		}
+	}
+	if e.Area() != 0 || e.Perimeter() != 0 {
+		t.Fatal("EmptyRect has nonzero measures")
+	}
+}
+
+func TestUnionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randRect(r), randRect(r), randRect(r)
+		u := a.Union(b)
+		// Commutative, covering, monotone, associative.
+		if u != b.Union(a) {
+			return false
+		}
+		if !u.Contains(a) || !u.Contains(b) {
+			return false
+		}
+		if u.Area() < a.Area() || u.Area() < b.Area() {
+			return false
+		}
+		if a.Union(b).Union(c) != a.Union(b.Union(c)) {
+			return false
+		}
+		// Union with itself is itself.
+		return a.Union(a) == a
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntersectionProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randRect(r), randRect(r)
+		inter := a.Intersect(b)
+		if a.Intersects(b) != !inter.IsEmpty() {
+			return false
+		}
+		if !inter.IsEmpty() {
+			if !a.Contains(inter) || !b.Contains(inter) {
+				return false
+			}
+			if inter.Area() > math.Min(a.Area(), b.Area())+1e-12 {
+				return false
+			}
+		}
+		if a.OverlapArea(b) != inter.Area() {
+			return false
+		}
+		// Enlargement is non-negative and zero iff containment.
+		enl := a.Enlargement(b)
+		if enl < -1e-12 {
+			return false
+		}
+		if a.Contains(b) && enl > 1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	r := Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	for _, c := range []struct {
+		p    Point
+		want bool
+	}{
+		{Point{0.5, 0.5}, true},
+		{Point{0, 0}, true}, // boundary counts
+		{Point{1, 1}, true},
+		{Point{1.0001, 0.5}, false},
+		{Point{-0.0001, 0.5}, false},
+	} {
+		if got := r.ContainsPoint(c.p); got != c.want {
+			t.Errorf("ContainsPoint(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if EmptyRect().ContainsPoint(Point{0, 0}) {
+		t.Error("empty rect contains nothing")
+	}
+	if RectFromPoint(Point{0.3, 0.4}).Area() != 0 {
+		t.Error("point rect should be degenerate")
+	}
+}
+
+func TestIntervals(t *testing.T) {
+	iv := Interval{Start: 3, End: 7}
+	if !iv.ValidInterval() || iv.Length() != 4 {
+		t.Fatalf("interval basics broken: %v", iv)
+	}
+	for tt, want := range map[int64]bool{2: false, 3: true, 6: true, 7: false} {
+		if iv.ContainsInstant(tt) != want {
+			t.Errorf("ContainsInstant(%d) != %v", tt, want)
+		}
+	}
+	cases := []struct {
+		a, b    Interval
+		overlap bool
+	}{
+		{Interval{0, 5}, Interval{5, 10}, false}, // half-open: touching is disjoint
+		{Interval{0, 5}, Interval{4, 10}, true},
+		{Interval{0, 5}, Interval{0, 5}, true},
+		{Interval{0, 5}, Interval{6, 10}, false},
+		{Interval{0, Now}, Interval{1 << 40, 1<<40 + 1}, true},
+	}
+	for _, c := range cases {
+		if c.a.Overlaps(c.b) != c.overlap || c.b.Overlaps(c.a) != c.overlap {
+			t.Errorf("Overlaps(%v,%v) != %v", c.a, c.b, c.overlap)
+		}
+		inter, ok := c.a.IntersectInterval(c.b)
+		if ok != c.overlap {
+			t.Errorf("IntersectInterval(%v,%v) ok=%v, want %v", c.a, c.b, ok, c.overlap)
+		}
+		if ok && (!c.a.Overlaps(inter) || !c.b.Overlaps(inter)) {
+			t.Errorf("intersection %v escapes operands", inter)
+		}
+	}
+	if (Interval{Start: 5, End: 5}).ValidInterval() {
+		t.Error("empty interval should be invalid")
+	}
+	if (Interval{Start: 3, End: Now}).String() != "[3,now)" {
+		t.Error("open interval formatting")
+	}
+}
+
+func TestBoxVolume(t *testing.T) {
+	b := NewBox(Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 3}, Interval{Start: 10, End: 15})
+	if b.Volume() != 30 {
+		t.Fatalf("Volume = %g, want 30", b.Volume())
+	}
+	open := NewBox(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Interval{Start: 0, End: Now})
+	if !math.IsInf(open.Volume(), 1) {
+		t.Fatal("open box volume should be infinite")
+	}
+	if NewBox(EmptyRect(), Interval{0, 5}).Volume() != 0 {
+		t.Fatal("empty-rect box volume should be 0")
+	}
+}
+
+func TestBoxRelations(t *testing.T) {
+	a := NewBox(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Interval{Start: 0, End: 10})
+	b := NewBox(Rect{MinX: 0.5, MinY: 0.5, MaxX: 2, MaxY: 2}, Interval{Start: 5, End: 15})
+	if !a.IntersectsBox(b) {
+		t.Fatal("boxes should intersect")
+	}
+	disjointTime := NewBox(b.Rect, Interval{Start: 10, End: 15})
+	if a.IntersectsBox(disjointTime) {
+		t.Fatal("half-open time touching should not intersect")
+	}
+	u := a.UnionBox(b)
+	if !u.ContainsBox(a) || !u.ContainsBox(b) {
+		t.Fatal("union must contain operands")
+	}
+	if u.Volume() < a.Volume() || u.Volume() < b.Volume() {
+		t.Fatal("union volume must dominate")
+	}
+}
+
+func TestSurfaceMeasure(t *testing.T) {
+	b := NewBox(Rect{MinX: 0, MinY: 0, MaxX: 2, MaxY: 3}, Interval{Start: 0, End: 4})
+	// dx*dy + dx*dt + dy*dt with dt = 4*0.5 = 2: 6 + 4 + 6 = 16.
+	if got := b.SurfaceMeasure(0.5); got != 16 {
+		t.Fatalf("SurfaceMeasure = %g, want 16", got)
+	}
+}

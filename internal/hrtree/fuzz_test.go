@@ -1,0 +1,27 @@
+package hrtree
+
+import (
+	"testing"
+
+	"stindex/internal/geom"
+)
+
+// FuzzDecodeHNode feeds arbitrary page images to the node decoder.
+func FuzzDecodeHNode(f *testing.F) {
+	good := &hnode{id: 1, leaf: true}
+	good.entries = append(good.entries, hentry{
+		rect: geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, ref: 3,
+	})
+	f.Add(good.encode(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := decodeHNode(1, data)
+		if err != nil {
+			return
+		}
+		if len(n.entries)*hentrySize+hnodeHeaderSize > len(data) {
+			t.Fatalf("decoded %d entries from %d bytes", len(n.entries), len(data))
+		}
+	})
+}

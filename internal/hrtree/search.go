@@ -1,0 +1,174 @@
+package hrtree
+
+import (
+	"fmt"
+
+	"stindex/internal/geom"
+	"stindex/internal/pagefile"
+)
+
+// versionAt returns the version covering time q, or nil.
+func (t *Tree) versionAt(q int64) *version {
+	lo, hi := 0, len(t.versions)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		v := &t.versions[mid]
+		switch {
+		case q < v.start:
+			hi = mid - 1
+		case q >= v.end:
+			lo = mid + 1
+		default:
+			return v
+		}
+	}
+	return nil
+}
+
+// SnapshotSearch reports every record of the tree version at time at
+// whose rectangle intersects query.
+func (t *Tree) SnapshotSearch(query geom.Rect, at int64, fn func(rect geom.Rect, ref uint64) bool) error {
+	v := t.versionAt(at)
+	if v == nil {
+		return nil
+	}
+	_, err := t.walk(v.page, query, fn)
+	return err
+}
+
+func (t *Tree) walk(id pagefile.PageID, query geom.Rect, fn func(geom.Rect, uint64) bool) (bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range n.entries {
+		if !e.rect.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.rect, e.ref) {
+				return false, nil
+			}
+			continue
+		}
+		cont, err := t.walk(pagefile.PageID(e.ref), query, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// IntervalSearch reports every record alive at some instant of iv whose
+// rectangle intersects query, each reference once. This is the
+// overlapping approach's weak spot: it must probe one tree per version
+// overlapping the interval (shared pages are still visited only once).
+func (t *Tree) IntervalSearch(query geom.Rect, iv geom.Interval, fn func(rect geom.Rect, ref uint64) bool) error {
+	if !iv.ValidInterval() {
+		return nil
+	}
+	seen := make(map[uint64]bool)
+	visited := make(map[pagefile.PageID]bool)
+	for i := range t.versions {
+		v := &t.versions[i]
+		if !(geom.Interval{Start: v.start, End: v.end}).Overlaps(iv) {
+			continue
+		}
+		cont, err := t.dedupWalk(v.page, query, seen, visited, fn)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (t *Tree) dedupWalk(id pagefile.PageID, query geom.Rect, seen map[uint64]bool,
+	visited map[pagefile.PageID]bool, fn func(geom.Rect, uint64) bool) (bool, error) {
+	if visited[id] {
+		return true, nil
+	}
+	visited[id] = true
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range n.entries {
+		if !e.rect.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			if seen[e.ref] {
+				continue
+			}
+			seen[e.ref] = true
+			if !fn(e.rect, e.ref) {
+				return false, nil
+			}
+			continue
+		}
+		cont, err := t.dedupWalk(pagefile.PageID(e.ref), query, seen, visited, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// CountSnapshot returns the matching record count at one instant.
+func (t *Tree) CountSnapshot(query geom.Rect, at int64) (int, error) {
+	c := 0
+	err := t.SnapshotSearch(query, at, func(geom.Rect, uint64) bool { c++; return true })
+	return c, err
+}
+
+// Validate checks the structural invariants of every version: uniform
+// leaf depth per version, fill bounds (roots exempt), and tight parent
+// rectangles. Shared subtrees are checked once per shape.
+func (t *Tree) Validate() error {
+	if len(t.versions) == 0 {
+		return fmt.Errorf("hrtree: no versions")
+	}
+	for i := range t.versions {
+		v := &t.versions[i]
+		if v.start >= v.end {
+			return fmt.Errorf("hrtree: version %d span empty", i)
+		}
+		if i > 0 && t.versions[i-1].end != v.start {
+			return fmt.Errorf("hrtree: version gap at %d", i)
+		}
+		var walk func(id pagefile.PageID, depth int, isRoot bool) (geom.Rect, error)
+		walk = func(id pagefile.PageID, depth int, isRoot bool) (geom.Rect, error) {
+			n, err := t.readNode(id)
+			if err != nil {
+				return geom.Rect{}, err
+			}
+			if !isRoot && (len(n.entries) < t.opts.MinEntries || len(n.entries) > t.opts.MaxEntries) {
+				return geom.Rect{}, fmt.Errorf("hrtree: version %d node %d has %d entries", i, id, len(n.entries))
+			}
+			if n.leaf {
+				if depth != v.height {
+					return geom.Rect{}, fmt.Errorf("hrtree: version %d leaf at depth %d, want %d", i, depth, v.height)
+				}
+				return n.mbr(), nil
+			}
+			for _, e := range n.entries {
+				childMBR, err := walk(pagefile.PageID(e.ref), depth+1, false)
+				if err != nil {
+					return geom.Rect{}, err
+				}
+				if e.rect != childMBR {
+					return geom.Rect{}, fmt.Errorf("hrtree: version %d node %d entry rect %v != child mbr %v",
+						i, id, e.rect, childMBR)
+				}
+			}
+			return n.mbr(), nil
+		}
+		if _, err := walk(v.page, 1, true); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,459 @@
+package hrtree
+
+import (
+	"fmt"
+	"sort"
+
+	"stindex/internal/geom"
+	"stindex/internal/pagefile"
+)
+
+// Insert adds a record alive from time onward.
+func (t *Tree) Insert(rect geom.Rect, ref uint64, time int64) error {
+	if !rect.Valid() {
+		return fmt.Errorf("hrtree: invalid rect %v", rect)
+	}
+	if err := t.advance(time); err != nil {
+		return err
+	}
+	t.size++
+	t.alive++
+	path, err := t.choosePath(rect)
+	if err != nil {
+		return err
+	}
+	path, err = t.privatizePath(path)
+	if err != nil {
+		return err
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries, hentry{rect: rect, ref: ref})
+	return t.adjustPath(path)
+}
+
+// Delete removes the record (rect, ref) from the current version; history
+// keeps it. Returns false when no such record is current.
+func (t *Tree) Delete(rect geom.Rect, ref uint64, time int64) (bool, error) {
+	if err := t.advance(time); err != nil {
+		return false, err
+	}
+	path, idx, err := t.findRecord(rect, ref)
+	if err != nil || path == nil {
+		return false, err
+	}
+	path, err = t.privatizePath(path)
+	if err != nil {
+		return false, err
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.alive--
+	return true, t.condensePath(path)
+}
+
+// choosePath descends the current tree by minimum area enlargement.
+func (t *Tree) choosePath(rect geom.Rect) ([]*hnode, error) {
+	cur := t.current()
+	path := make([]*hnode, 0, cur.height)
+	id := cur.page
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, n)
+		if n.leaf {
+			return path, nil
+		}
+		best := 0
+		bestEnl, bestArea := 0.0, 0.0
+		for i, e := range n.entries {
+			enl := e.rect.Enlargement(rect)
+			area := e.rect.Area()
+			if i == 0 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		id = pagefile.PageID(n.entries[best].ref)
+	}
+}
+
+// findRecord locates (rect, ref) in the current version.
+func (t *Tree) findRecord(rect geom.Rect, ref uint64) ([]*hnode, int, error) {
+	var walk func(id pagefile.PageID) ([]*hnode, int, error)
+	walk = func(id pagefile.PageID) ([]*hnode, int, error) {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		if n.leaf {
+			for i, e := range n.entries {
+				if e.ref == ref && e.rect == rect {
+					return []*hnode{n}, i, nil
+				}
+			}
+			return nil, 0, nil
+		}
+		for _, e := range n.entries {
+			if !e.rect.Contains(rect) {
+				continue
+			}
+			path, idx, err := walk(pagefile.PageID(e.ref))
+			if err != nil {
+				return nil, 0, err
+			}
+			if path != nil {
+				return append([]*hnode{n}, path...), idx, nil
+			}
+		}
+		return nil, 0, nil
+	}
+	return walk(t.current().page)
+}
+
+// privatizePath copies every shared node on the path (top-down, fixing
+// child references) so the pending mutation only touches the current
+// version. The new root is published to the version table.
+func (t *Tree) privatizePath(path []*hnode) ([]*hnode, error) {
+	out := make([]*hnode, len(path))
+	for i, n := range path {
+		cp, err := t.privatize(n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cp
+		if i == 0 {
+			t.current().page = cp.id
+			continue
+		}
+		if cp.id != n.id {
+			// Point the (already private) parent at the copy.
+			parent := out[i-1]
+			replaceChildRef(parent, n.id, cp.id)
+		}
+	}
+	return out, nil
+}
+
+func replaceChildRef(parent *hnode, old, new pagefile.PageID) {
+	for i := range parent.entries {
+		if pagefile.PageID(parent.entries[i].ref) == old {
+			parent.entries[i].ref = uint64(new)
+			return
+		}
+	}
+}
+
+// adjustPath writes the (private) path bottom-up, splitting overflowing
+// nodes and keeping parent rectangles tight.
+func (t *Tree) adjustPath(path []*hnode) error {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if len(n.entries) > t.opts.MaxEntries {
+			sibling := t.splitNode(n)
+			if err := t.writeNode(sibling); err != nil {
+				return err
+			}
+			if i == 0 {
+				if err := t.writeNode(n); err != nil {
+					return err
+				}
+				root := &hnode{id: t.file.Allocate(), leaf: false, entries: []hentry{
+					{rect: n.mbr(), ref: uint64(n.id)},
+					{rect: sibling.mbr(), ref: uint64(sibling.id)},
+				}}
+				if err := t.writeNode(root); err != nil {
+					return err
+				}
+				t.fresh[root.id] = true
+				cur := t.current()
+				cur.page = root.id
+				cur.height++
+				continue
+			}
+			parent := path[i-1]
+			parent.entries = append(parent.entries, hentry{rect: sibling.mbr(), ref: uint64(sibling.id)})
+		}
+		if err := t.writeNode(n); err != nil {
+			return err
+		}
+		if i > 0 {
+			refreshChildRect(path[i-1], n)
+		}
+	}
+	return nil
+}
+
+func refreshChildRect(parent, child *hnode) {
+	for i := range parent.entries {
+		if pagefile.PageID(parent.entries[i].ref) == child.id {
+			parent.entries[i].rect = child.mbr()
+			return
+		}
+	}
+}
+
+// splitNode splits an overflowing (private) node with the R* axis/index
+// heuristic on 2D rectangles; n keeps group one, the returned fresh
+// sibling gets group two.
+func (t *Tree) splitNode(n *hnode) *hnode {
+	g1, g2 := chooseHSplit(n.entries, t.opts.MinEntries)
+	n.entries = g1
+	sibling := &hnode{id: t.file.Allocate(), leaf: n.leaf, entries: g2}
+	t.fresh[sibling.id] = true
+	return sibling
+}
+
+// condensePath handles underflow after a deletion: underflowing non-root
+// nodes are dissolved and their entries reinserted; a single-child
+// directory root is collapsed.
+func (t *Tree) condensePath(path []*hnode) error {
+	type orphan struct {
+		entries []hentry
+		leaf    bool
+	}
+	var orphans []orphan
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i]
+		parent := path[i-1]
+		if len(n.entries) < t.opts.MinEntries {
+			removeChildEntry(parent, n.id)
+			if len(n.entries) > 0 {
+				orphans = append(orphans, orphan{entries: n.entries, leaf: n.leaf})
+			}
+			// n is private to this version; its page can be dropped.
+			t.buf.Evict(n.id)
+			delete(t.fresh, n.id)
+			if err := t.file.Free(n.id); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := t.writeNode(n); err != nil {
+			return err
+		}
+		refreshChildRect(parent, n)
+	}
+	if err := t.writeNode(path[0]); err != nil {
+		return err
+	}
+
+	// Reinsert orphans. Leaf orphans re-enter through the normal insert
+	// machinery; directory orphans re-attach their subtrees by reinserting
+	// the child entries at the correct height via insertSubtree.
+	for _, o := range orphans {
+		for _, e := range o.entries {
+			if o.leaf {
+				path, err := t.choosePath(e.rect)
+				if err != nil {
+					return err
+				}
+				path, err = t.privatizePath(path)
+				if err != nil {
+					return err
+				}
+				leaf := path[len(path)-1]
+				leaf.entries = append(leaf.entries, e)
+				if err := t.adjustPath(path); err != nil {
+					return err
+				}
+				continue
+			}
+			if err := t.insertSubtree(e); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Collapse a single-child directory root.
+	for {
+		cur := t.current()
+		root, err := t.readNode(cur.page)
+		if err != nil {
+			return err
+		}
+		if root.leaf || len(root.entries) != 1 {
+			return nil
+		}
+		child := pagefile.PageID(root.entries[0].ref)
+		if t.fresh[root.id] {
+			t.buf.Evict(root.id)
+			delete(t.fresh, root.id)
+			if err := t.file.Free(root.id); err != nil {
+				return err
+			}
+		}
+		cur.page = child
+		cur.height--
+	}
+}
+
+func removeChildEntry(parent *hnode, child pagefile.PageID) {
+	for i := range parent.entries {
+		if pagefile.PageID(parent.entries[i].ref) == child {
+			parent.entries = append(parent.entries[:i], parent.entries[i+1:]...)
+			return
+		}
+	}
+}
+
+// insertSubtree reattaches an orphaned subtree entry one level above the
+// subtree's own height.
+func (t *Tree) insertSubtree(e hentry) error {
+	subHeight, err := t.heightOf(pagefile.PageID(e.ref))
+	if err != nil {
+		return err
+	}
+	cur := t.current()
+	if cur.height <= subHeight {
+		// The tree is not tall enough to hang the subtree under a node;
+		// grow by making a new root holding the old root and the subtree.
+		old, err := t.readNode(cur.page)
+		if err != nil {
+			return err
+		}
+		root := &hnode{id: t.file.Allocate(), leaf: false, entries: []hentry{
+			{rect: old.mbr(), ref: uint64(old.id)},
+			e,
+		}}
+		if err := t.writeNode(root); err != nil {
+			return err
+		}
+		t.fresh[root.id] = true
+		cur.page = root.id
+		cur.height = subHeight + 1
+		return nil
+	}
+	// Descend to level subHeight+1 (nodes whose children have the
+	// subtree's height), choosing by enlargement.
+	depth := cur.height - (subHeight + 1) // directory hops from the root
+	path := make([]*hnode, 0, depth+1)
+	id := cur.page
+	for lvl := 0; ; lvl++ {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		path = append(path, n)
+		if lvl == depth {
+			break
+		}
+		best := 0
+		bestEnl := 0.0
+		for i, en := range n.entries {
+			enl := en.rect.Enlargement(e.rect)
+			if i == 0 || enl < bestEnl {
+				best, bestEnl = i, enl
+			}
+		}
+		id = pagefile.PageID(n.entries[best].ref)
+	}
+	path, err = t.privatizePath(path)
+	if err != nil {
+		return err
+	}
+	target := path[len(path)-1]
+	target.entries = append(target.entries, e)
+	return t.adjustPath(path)
+}
+
+// heightOf measures a subtree's height (leaf = 1).
+func (t *Tree) heightOf(id pagefile.PageID) (int, error) {
+	h := 1
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return 0, err
+		}
+		if n.leaf {
+			return h, nil
+		}
+		h++
+		id = pagefile.PageID(n.entries[0].ref)
+	}
+}
+
+// chooseHSplit partitions 2D entries with the R* margin/overlap heuristic.
+func chooseHSplit(entries []hentry, m int) (g1, g2 []hentry) {
+	if m > len(entries)/2 {
+		m = len(entries) / 2
+	}
+	if m < 1 {
+		m = 1
+	}
+	bestAxis := 0
+	bestMargin := 0.0
+	for axis := 0; axis < 2; axis++ {
+		margin := 0.0
+		for _, byUpper := range [2]bool{false, true} {
+			sorted := sortHEntries(entries, axis, byUpper)
+			forEachHDistribution(sorted, m, func(_ int, b1, b2 geom.Rect) {
+				margin += b1.Perimeter() + b2.Perimeter()
+			})
+		}
+		if axis == 0 || margin < bestMargin {
+			bestAxis, bestMargin = axis, margin
+		}
+	}
+	type best struct {
+		sorted  []hentry
+		k       int
+		overlap float64
+		area    float64
+		set     bool
+	}
+	var b best
+	for _, byUpper := range [2]bool{false, true} {
+		sorted := sortHEntries(entries, bestAxis, byUpper)
+		forEachHDistribution(sorted, m, func(k int, b1, b2 geom.Rect) {
+			overlap := b1.OverlapArea(b2)
+			area := b1.Area() + b2.Area()
+			if !b.set || overlap < b.overlap || (overlap == b.overlap && area < b.area) {
+				b = best{sorted: sorted, k: k, overlap: overlap, area: area, set: true}
+			}
+		})
+	}
+	g1 = append([]hentry(nil), b.sorted[:b.k]...)
+	g2 = append([]hentry(nil), b.sorted[b.k:]...)
+	return g1, g2
+}
+
+func sortHEntries(entries []hentry, axis int, byUpper bool) []hentry {
+	out := append([]hentry(nil), entries...)
+	key := func(e hentry) (lo, hi float64) {
+		if axis == 0 {
+			return e.rect.MinX, e.rect.MaxX
+		}
+		return e.rect.MinY, e.rect.MaxY
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		li, hi := key(out[i])
+		lj, hj := key(out[j])
+		if byUpper {
+			if hi != hj {
+				return hi < hj
+			}
+			return li < lj
+		}
+		if li != lj {
+			return li < lj
+		}
+		return hi < hj
+	})
+	return out
+}
+
+func forEachHDistribution(sorted []hentry, m int, fn func(k int, b1, b2 geom.Rect)) {
+	n := len(sorted)
+	prefix := make([]geom.Rect, n+1)
+	suffix := make([]geom.Rect, n+1)
+	prefix[0] = geom.EmptyRect()
+	suffix[n] = geom.EmptyRect()
+	for i := 0; i < n; i++ {
+		prefix[i+1] = prefix[i].Union(sorted[i].rect)
+		suffix[n-1-i] = suffix[n-i].Union(sorted[n-1-i].rect)
+	}
+	for k := m; k <= n-m; k++ {
+		fn(k, prefix[k], suffix[k])
+	}
+}

@@ -1,0 +1,123 @@
+package pagefile
+
+import "container/list"
+
+// Stats accumulates buffer-pool traffic. Reads and Writes are disk
+// accesses (buffer misses and evictions of dirty pages plus write-through
+// traffic); Hits are requests satisfied from the pool.
+type Stats struct {
+	Reads  int64 // pages fetched from the file
+	Writes int64 // pages written to the file
+	Hits   int64 // requests served from the buffer
+}
+
+// IO returns the total number of disk accesses.
+func (s Stats) IO() int64 { return s.Reads + s.Writes }
+
+// Buffer is an LRU buffer pool over a File. The paper uses a 10-page LRU
+// buffer, reset before every query; Reset provides exactly that.
+//
+// Writes are write-through: the page image goes to the file immediately and
+// the buffered copy is refreshed, which matches how the original
+// experiments charged index-building I/O separately from query I/O.
+type Buffer struct {
+	file     *File
+	capacity int
+	lru      *list.List               // front = most recent; values are PageID
+	index    map[PageID]*list.Element // page -> lru element
+	frames   map[PageID][]byte        // buffered copies
+	stats    Stats
+}
+
+// NewBuffer wraps file with an LRU pool of the given capacity (in pages).
+func NewBuffer(file *File, capacity int) *Buffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Buffer{
+		file:     file,
+		capacity: capacity,
+		lru:      list.New(),
+		index:    make(map[PageID]*list.Element, capacity),
+		frames:   make(map[PageID][]byte, capacity),
+	}
+}
+
+// Capacity returns the pool size in pages.
+func (b *Buffer) Capacity() int { return b.capacity }
+
+// File returns the underlying page file.
+func (b *Buffer) File() *File { return b.file }
+
+// Stats returns the traffic counters accumulated since the last ResetStats.
+func (b *Buffer) Stats() Stats { return b.stats }
+
+// ResetStats zeroes the traffic counters without touching the pool.
+func (b *Buffer) ResetStats() { b.stats = Stats{} }
+
+// Reset empties the pool and zeroes the counters — the paper's cold-cache
+// condition before each query.
+func (b *Buffer) Reset() {
+	b.lru.Init()
+	b.index = make(map[PageID]*list.Element, b.capacity)
+	b.frames = make(map[PageID][]byte, b.capacity)
+	b.stats = Stats{}
+}
+
+// Read returns the image of the page, fetching it from the file on a miss.
+// The returned slice aliases the buffered frame; callers must treat it as
+// read-only and must not retain it across further buffer operations.
+func (b *Buffer) Read(id PageID) ([]byte, error) {
+	if el, ok := b.index[id]; ok {
+		b.lru.MoveToFront(el)
+		b.stats.Hits++
+		return b.frames[id], nil
+	}
+	data, err := b.file.read(id)
+	if err != nil {
+		return nil, err
+	}
+	b.stats.Reads++
+	frame := make([]byte, len(data))
+	copy(frame, data)
+	b.install(id, frame)
+	return frame, nil
+}
+
+// Write stores a page image write-through and refreshes the buffered copy.
+func (b *Buffer) Write(id PageID, data []byte) error {
+	if err := b.file.write(id, data); err != nil {
+		return err
+	}
+	b.stats.Writes++
+	frame := make([]byte, b.file.PageSize())
+	copy(frame, data)
+	if el, ok := b.index[id]; ok {
+		b.lru.MoveToFront(el)
+		b.frames[id] = frame
+		return nil
+	}
+	b.install(id, frame)
+	return nil
+}
+
+// Evict drops a page from the pool (e.g. after freeing it in the file).
+func (b *Buffer) Evict(id PageID) {
+	if el, ok := b.index[id]; ok {
+		b.lru.Remove(el)
+		delete(b.index, id)
+		delete(b.frames, id)
+	}
+}
+
+func (b *Buffer) install(id PageID, frame []byte) {
+	for b.lru.Len() >= b.capacity {
+		back := b.lru.Back()
+		victim := back.Value.(PageID)
+		b.lru.Remove(back)
+		delete(b.index, victim)
+		delete(b.frames, victim)
+	}
+	b.index[id] = b.lru.PushFront(id)
+	b.frames[id] = frame
+}

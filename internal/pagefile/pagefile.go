@@ -1,0 +1,120 @@
+// Package pagefile simulates the disk underneath the index structures: a
+// page-addressed store with fixed-size pages, plus an LRU buffer pool with
+// exact I/O accounting.
+//
+// The paper's experimental metric is the number of disk accesses needed to
+// answer a query through a 10-page LRU buffer that is reset before every
+// query. That number is a deterministic function of the tree layout and the
+// buffer policy, so an in-memory simulation reproduces it exactly; only
+// wall-clock latencies differ from spinning rust.
+package pagefile
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PageID addresses a page within a File. Zero is a valid page; use
+// InvalidPage for "no page".
+type PageID uint32
+
+// InvalidPage is the nil page reference.
+const InvalidPage PageID = 0xFFFFFFFF
+
+// DefaultPageSize fits a 50-entry node of either tree with headroom, the
+// node capacity used throughout the paper's experiments.
+const DefaultPageSize = 4096
+
+// Common errors.
+var (
+	ErrPageTooLarge = errors.New("pagefile: page image exceeds page size")
+	ErrBadPage      = errors.New("pagefile: page id out of range or freed")
+)
+
+// File is an append-only-growing collection of fixed-size pages with a
+// free list. It is the "disk"; all latencies are zero, all accounting is
+// done by the Buffer on top.
+type File struct {
+	pageSize int
+	pages    [][]byte
+	freed    map[PageID]bool
+	freeList []PageID
+}
+
+// New creates an empty file with the given page size.
+func New(pageSize int) *File {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &File{pageSize: pageSize, freed: make(map[PageID]bool)}
+}
+
+// PageSize returns the size of every page in bytes.
+func (f *File) PageSize() int { return f.pageSize }
+
+// NumPages returns the number of live (allocated, not freed) pages.
+func (f *File) NumPages() int { return len(f.pages) - len(f.freeList) }
+
+// NumAllocated returns the number of pages ever allocated, including freed
+// ones that have not been reused; it bounds the file's footprint.
+func (f *File) NumAllocated() int { return len(f.pages) }
+
+// Bytes returns the live disk footprint in bytes.
+func (f *File) Bytes() int64 { return int64(f.NumPages()) * int64(f.pageSize) }
+
+// Allocate reserves a page and returns its id. Freed pages are reused.
+func (f *File) Allocate() PageID {
+	if n := len(f.freeList); n > 0 {
+		id := f.freeList[n-1]
+		f.freeList = f.freeList[:n-1]
+		delete(f.freed, id)
+		return id
+	}
+	id := PageID(len(f.pages))
+	f.pages = append(f.pages, make([]byte, f.pageSize))
+	return id
+}
+
+// Free releases a page for reuse.
+func (f *File) Free(id PageID) error {
+	if err := f.check(id); err != nil {
+		return err
+	}
+	f.freed[id] = true
+	f.freeList = append(f.freeList, id)
+	return nil
+}
+
+// write stores a page image. Images shorter than the page size are
+// zero-padded (the remainder of the page keeps its previous content
+// overwritten with zeros, as a real overwrite would).
+func (f *File) write(id PageID, data []byte) error {
+	if err := f.check(id); err != nil {
+		return err
+	}
+	if len(data) > f.pageSize {
+		return fmt.Errorf("%w: %d > %d", ErrPageTooLarge, len(data), f.pageSize)
+	}
+	p := f.pages[id]
+	copy(p, data)
+	for i := len(data); i < f.pageSize; i++ {
+		p[i] = 0
+	}
+	return nil
+}
+
+// read returns the stored page image. The returned slice aliases the
+// file's storage; callers must not retain it across writes.
+func (f *File) read(id PageID) ([]byte, error) {
+	if err := f.check(id); err != nil {
+		return nil, err
+	}
+	return f.pages[id], nil
+}
+
+func (f *File) check(id PageID) error {
+	if int(id) >= len(f.pages) || f.freed[id] {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	return nil
+}

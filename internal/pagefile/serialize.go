@@ -1,0 +1,104 @@
+package pagefile
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// File image layout (little endian):
+//
+//	magic   [4]byte  "STPF"
+//	version uint32   1
+//	pageSize uint32
+//	numPages uint32  (allocated, including freed)
+//	numFree  uint32
+//	freeList [numFree]uint32
+//	pages    numPages × pageSize bytes
+const (
+	fileMagic   = "STPF"
+	fileVersion = 1
+)
+
+// WriteTo serialises the file, including freed pages (so page ids stay
+// stable), to w. Implements io.WriterTo.
+func (f *File) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(data []byte) error {
+		m, err := bw.Write(data)
+		n += int64(m)
+		return err
+	}
+	header := make([]byte, 4+4+4+4+4)
+	copy(header, fileMagic)
+	binary.LittleEndian.PutUint32(header[4:], fileVersion)
+	binary.LittleEndian.PutUint32(header[8:], uint32(f.pageSize))
+	binary.LittleEndian.PutUint32(header[12:], uint32(len(f.pages)))
+	binary.LittleEndian.PutUint32(header[16:], uint32(len(f.freeList)))
+	if err := write(header); err != nil {
+		return n, err
+	}
+	buf4 := make([]byte, 4)
+	for _, id := range f.freeList {
+		binary.LittleEndian.PutUint32(buf4, uint32(id))
+		if err := write(buf4); err != nil {
+			return n, err
+		}
+	}
+	for _, p := range f.pages {
+		if err := write(p); err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadFile deserialises a file image produced by WriteTo.
+func ReadFile(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
+	header := make([]byte, 20)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("pagefile: reading header: %w", err)
+	}
+	if string(header[:4]) != fileMagic {
+		return nil, fmt.Errorf("pagefile: bad magic %q", header[:4])
+	}
+	if v := binary.LittleEndian.Uint32(header[4:]); v != fileVersion {
+		return nil, fmt.Errorf("pagefile: unsupported version %d", v)
+	}
+	pageSize := int(binary.LittleEndian.Uint32(header[8:]))
+	numPages := int(binary.LittleEndian.Uint32(header[12:]))
+	numFree := int(binary.LittleEndian.Uint32(header[16:]))
+	if pageSize <= 0 || pageSize > 1<<22 {
+		return nil, fmt.Errorf("pagefile: implausible page size %d", pageSize)
+	}
+	if numFree > numPages {
+		return nil, fmt.Errorf("pagefile: %d free pages exceed %d allocated", numFree, numPages)
+	}
+	f := New(pageSize)
+	buf4 := make([]byte, 4)
+	for i := 0; i < numFree; i++ {
+		if _, err := io.ReadFull(br, buf4); err != nil {
+			return nil, fmt.Errorf("pagefile: reading free list: %w", err)
+		}
+		id := PageID(binary.LittleEndian.Uint32(buf4))
+		if int(id) >= numPages {
+			return nil, fmt.Errorf("pagefile: free page %d out of range", id)
+		}
+		f.freeList = append(f.freeList, id)
+		f.freed[id] = true
+	}
+	// Grow incrementally: numPages is untrusted input, so it must not be
+	// used as an allocation size up front (a corrupt header could demand
+	// gigabytes); reading drives the allocation instead.
+	for i := 0; i < numPages; i++ {
+		p := make([]byte, pageSize)
+		if _, err := io.ReadFull(br, p); err != nil {
+			return nil, fmt.Errorf("pagefile: reading page %d: %w", i, err)
+		}
+		f.pages = append(f.pages, p)
+	}
+	return f, nil
+}

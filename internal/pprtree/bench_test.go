@@ -1,0 +1,73 @@
+package pprtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"stindex/internal/geom"
+)
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	recs := randRecords(rng, 2000, 300)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildRecords(Options{}, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshotSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	recs := randRecords(rng, 5000, 300)
+	tree, err := BuildRecords(Options{BufferPages: 256}, recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := randQuery(rng)
+		if _, err := tree.CountSnapshot(q, rng.Int63n(300)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIntervalSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	recs := randRecords(rng, 5000, 300)
+	tree, err := BuildRecords(Options{BufferPages: 256}, recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := randQuery(rng)
+		start := rng.Int63n(250)
+		iv := geom.Interval{Start: start, End: start + 20}
+		if _, err := tree.CountInterval(q, iv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNodeEncodeDecode(b *testing.B) {
+	n := &pnode{id: 1, leaf: true, startT: 0, endT: geom.Now}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		n.entries = append(n.entries, pentry{
+			rect:    geom.Rect{MinX: x, MinY: y, MaxX: x + 0.01, MaxY: y + 0.01},
+			insertT: int64(i), deleteT: geom.Now, ref: uint64(i),
+		})
+	}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = n.encode(buf)
+		if _, err := decodePNode(1, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package pprtree
+
+import (
+	"fmt"
+	"sort"
+
+	"stindex/internal/geom"
+)
+
+// Record is one spatiotemporal MBR record destined for the tree: a spatial
+// rectangle alive over the half-open interval, identified by Ref.
+type Record struct {
+	Rect     geom.Rect
+	Interval geom.Interval
+	Ref      uint64
+}
+
+// BuildRecords constructs a PPR-tree by replaying the records' insertions
+// and deletions in chronological order — the paper's offline build ("the
+// objects were first sorted by insertion time"). Records still alive at
+// the end of the evolution (Interval.End == geom.Now) simply stay open.
+// Within one time instant, deletions are applied before insertions so the
+// alive count matches the half-open lifetime semantics at every step.
+func BuildRecords(opts Options, records []Record) (*Tree, error) {
+	events, start, err := recordEvents(records)
+	if err != nil {
+		return nil, err
+	}
+	t, err := New(opts, start)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.replay(records, events); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// AppendRecords replays additional records into an existing tree. Every
+// event must occur at or after the tree's current time (partial
+// persistence: history is closed). Useful for chunked offline builds and
+// for extending a reloaded index.
+func (t *Tree) AppendRecords(records []Record) error {
+	events, start, err := recordEvents(records)
+	if err != nil {
+		return err
+	}
+	if len(events) > 0 && start < t.now {
+		return fmt.Errorf("pprtree: appended records start at %d, before current time %d", start, t.now)
+	}
+	return t.replay(records, events)
+}
+
+type recordEvent struct {
+	time   int64
+	insert bool
+	rec    int
+}
+
+func recordEvents(records []Record) ([]recordEvent, int64, error) {
+	for i, r := range records {
+		if !r.Rect.Valid() {
+			return nil, 0, fmt.Errorf("pprtree: record %d has invalid rect %v", i, r.Rect)
+		}
+		if !r.Interval.ValidInterval() {
+			return nil, 0, fmt.Errorf("pprtree: record %d has empty interval %v", i, r.Interval)
+		}
+	}
+	events := make([]recordEvent, 0, 2*len(records))
+	for i, r := range records {
+		events = append(events, recordEvent{time: r.Interval.Start, insert: true, rec: i})
+		if r.Interval.End != geom.Now {
+			events = append(events, recordEvent{time: r.Interval.End, insert: false, rec: i})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].time != events[b].time {
+			return events[a].time < events[b].time
+		}
+		// Deletions first within an instant.
+		return !events[a].insert && events[b].insert
+	})
+	start := int64(0)
+	if len(events) > 0 {
+		start = events[0].time
+	}
+	return events, start, nil
+}
+
+func (t *Tree) replay(records []Record, events []recordEvent) error {
+	for _, ev := range events {
+		r := records[ev.rec]
+		if ev.insert {
+			if err := t.Insert(r.Rect, r.Ref, ev.time); err != nil {
+				return fmt.Errorf("pprtree: inserting record %d: %w", ev.rec, err)
+			}
+			continue
+		}
+		ok, err := t.Delete(r.Rect, r.Ref, ev.time)
+		if err != nil {
+			return fmt.Errorf("pprtree: deleting record %d: %w", ev.rec, err)
+		}
+		if !ok {
+			return fmt.Errorf("pprtree: record %d (ref %d) vanished before its deletion at %d",
+				ev.rec, r.Ref, ev.time)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,196 @@
+package pprtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"stindex/internal/geom"
+)
+
+// TestBurstUpdatesAtOneInstant exercises many updates sharing a single
+// timestamp — the source of empty node lifetimes and same-instant version
+// splits.
+func TestBurstUpdatesAtOneInstant(t *testing.T) {
+	tree, err := New(Options{MaxEntries: 8, BufferPages: 64}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	rects := make([]geom.Rect, 200)
+	// Everything is born at t=10.
+	for i := range rects {
+		x, y := rng.Float64(), rng.Float64()
+		rects[i] = geom.Rect{MinX: x, MinY: y, MaxX: x + 0.01, MaxY: y + 0.01}
+		if err := tree.Insert(rects[i], uint64(i), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Half of it dies at t=10 as well (zero-length lifetimes are illegal
+	// for records, so delete at t=11), the rest at t=12.
+	for i := 0; i < 100; i++ {
+		if ok, err := tree.Delete(rects[i], uint64(i), 11); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	for i := 100; i < 200; i++ {
+		if ok, err := tree.Delete(rects[i], uint64(i), 12); err != nil || !ok {
+			t.Fatalf("delete %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	if _, err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	world := geom.Rect{MinX: 0, MinY: 0, MaxX: 1.1, MaxY: 1.1}
+	for _, c := range []struct {
+		at   int64
+		want int
+	}{
+		{9, 0}, {10, 200}, {11, 100}, {12, 0},
+	} {
+		n, err := tree.CountSnapshot(world, c.at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != c.want {
+			t.Fatalf("alive at %d: %d, want %d", c.at, n, c.want)
+		}
+	}
+}
+
+func TestIntervalSearchRecordsCoversCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	recs := randRecords(rng, 500, 150)
+	tree, err := BuildRecords(Options{MaxEntries: 10, BufferPages: 64}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2}
+	whole := geom.Interval{Start: 0, End: geom.Now}
+
+	// Aggregate copies per record: intervals must tile each record's
+	// lifetime exactly and rects must match the record.
+	type agg struct {
+		min, max int64
+		count    int
+		covered  int64
+	}
+	got := make(map[uint64]*agg)
+	err = tree.IntervalSearchRecords(world, whole, func(rect geom.Rect, iv geom.Interval, ref uint64) bool {
+		a := got[ref]
+		if a == nil {
+			a = &agg{min: iv.Start, max: iv.End}
+			got[ref] = a
+		}
+		if iv.Start < a.min {
+			a.min = iv.Start
+		}
+		if iv.End > a.max {
+			a.max = iv.End
+		}
+		a.count++
+		a.covered += iv.End - iv.Start
+		if rect != recs[ref].Rect {
+			t.Fatalf("record %d copy has rect %v, want %v", ref, rect, recs[ref].Rect)
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("saw %d records, want %d", len(got), len(recs))
+	}
+	for ref, a := range got {
+		want := recs[ref].Interval
+		if a.min != want.Start || a.max != want.End {
+			t.Fatalf("record %d copies span [%d,%d), want %v", ref, a.min, a.max, want)
+		}
+		if a.covered != want.End-want.Start {
+			t.Fatalf("record %d copies cover %d instants of %d (overlap or gap)",
+				ref, a.covered, want.End-want.Start)
+		}
+	}
+}
+
+func TestTouchAdvancesClock(t *testing.T) {
+	tree, err := New(Options{}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Touch(9); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Now() != 9 {
+		t.Fatalf("Now = %d", tree.Now())
+	}
+	if err := tree.Touch(7); err == nil {
+		t.Fatal("Touch accepted time travel")
+	}
+	r := geom.Rect{MinX: 0, MinY: 0, MaxX: 0.1, MaxY: 0.1}
+	if err := tree.Insert(r, 1, 8); err == nil {
+		t.Fatal("insert before the touched clock should fail")
+	}
+	if err := tree.Insert(r, 1, 9); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeCapacityNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	recs := randRecords(rng, 1500, 300)
+	// 100-entry nodes need a bigger page: 24 + 100*56 = 5624.
+	tree, err := BuildRecords(Options{MaxEntries: 100, PageSize: 8192, BufferPages: 16}, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 25; qi++ {
+		checkSnapshot(t, tree, recs, randQuery(rng), rng.Int63n(300))
+	}
+}
+
+func TestRecordValidationInBuild(t *testing.T) {
+	bad := []Record{{
+		Rect:     geom.Rect{MinX: 1, MinY: 0, MaxX: 0, MaxY: 1},
+		Interval: geom.Interval{Start: 0, End: 5},
+		Ref:      1,
+	}}
+	if _, err := BuildRecords(Options{}, bad); err == nil {
+		t.Fatal("accepted inverted rect")
+	}
+	bad[0].Rect = geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	bad[0].Interval = geom.Interval{Start: 5, End: 5}
+	if _, err := BuildRecords(Options{}, bad); err == nil {
+		t.Fatal("accepted empty interval")
+	}
+}
+
+// TestStillOpenRecords verifies that records without a deletion stay
+// queryable up to (and past) the largest timestamp seen.
+func TestStillOpenRecords(t *testing.T) {
+	tree, err := New(Options{MaxEntries: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := geom.Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.5, MaxY: 0.5}
+	if err := tree.Insert(r, 7, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Touch(500); err != nil {
+		t.Fatal(err)
+	}
+	for _, at := range []int64{100, 300, 10000} {
+		n, err := tree.CountSnapshot(r, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != 1 {
+			t.Fatalf("open record invisible at %d", at)
+		}
+	}
+	if n, err := tree.CountSnapshot(r, 99); err != nil || n != 0 {
+		t.Fatalf("record visible before insertion: n=%d err=%v", n, err)
+	}
+}

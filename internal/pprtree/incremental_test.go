@@ -1,0 +1,51 @@
+package pprtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"stindex/internal/geom"
+)
+
+func TestIncrementalValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Validate the full structural invariant set after every single update.
+	recs := randRecords(rng, 600, 150)
+	type event struct {
+		time   int64
+		insert bool
+		rec    int
+	}
+	var events []event
+	for i, r := range recs {
+		events = append(events, event{r.Interval.Start, true, i})
+		if r.Interval.End != geom.Now {
+			events = append(events, event{r.Interval.End, false, i})
+		}
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].time != events[b].time {
+			return events[a].time < events[b].time
+		}
+		return !events[a].insert && events[b].insert
+	})
+	tree, err := New(Options{MaxEntries: 10, BufferPages: 64}, events[0].time)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, ev := range events {
+		r := recs[ev.rec]
+		if ev.insert {
+			err = tree.Insert(r.Rect, r.Ref, ev.time)
+		} else {
+			_, err = tree.Delete(r.Rect, r.Ref, ev.time)
+		}
+		if err != nil {
+			t.Fatalf("event %d: %v", k, err)
+		}
+		if _, verr := tree.Validate(); verr != nil {
+			t.Fatalf("after event %d (insert=%v rec=%d time=%d): %v", k, ev.insert, ev.rec, ev.time, verr)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Package pprtree implements the Partially Persistent R-Tree of the paper
+// (§II-B, after Kumar/Tsotras/Faloutsos and the MVB-tree of Becker et al.):
+// a multi-version R-tree that logically maintains one 2-dimensional R-tree
+// per time instant while using storage linear in the number of updates.
+//
+// Every leaf and directory record carries insertion-time and deletion-time
+// fields. Updates apply only to the current (live) state; past states are
+// immutable. A node dies by version split: its alive records are copied to
+// a fresh node and the old node is closed. Version splits keep the records
+// alive at any instant clustered in few nodes, which is what makes
+// snapshot queries behave as if an ephemeral R-tree existed for that
+// instant. Strong version overflow (P_svo) triggers an additional key
+// (spatial) split of the copy, strong/weak version underflow (P_svu,
+// P_version) a merge with a sibling, exactly as in the paper's setup.
+package pprtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"stindex/internal/geom"
+	"stindex/internal/pagefile"
+)
+
+// pentry is one record of a PPR-tree node: a spatial rectangle, the record
+// lifetime [insertT, deleteT), and a reference — child page id in directory
+// nodes, opaque data id in leaves. A record with deleteT == geom.Now is
+// alive.
+type pentry struct {
+	rect    geom.Rect
+	insertT int64
+	deleteT int64
+	ref     uint64
+}
+
+func (e pentry) aliveAt(t int64) bool { return e.insertT <= t && t < e.deleteT }
+func (e pentry) alive() bool          { return e.deleteT == geom.Now }
+func (e pentry) interval() geom.Interval {
+	return geom.Interval{Start: e.insertT, End: e.deleteT}
+}
+
+// pnode is the decoded form of one PPR-tree page. A node is live while
+// endT == geom.Now; dead nodes are immutable history.
+type pnode struct {
+	id      pagefile.PageID
+	leaf    bool
+	startT  int64
+	endT    int64
+	entries []pentry
+}
+
+func (n *pnode) live() bool { return n.endT == geom.Now }
+
+// aliveCount returns the number of currently-alive records.
+func (n *pnode) aliveCount() int {
+	c := 0
+	for _, e := range n.entries {
+		if e.alive() {
+			c++
+		}
+	}
+	return c
+}
+
+// mbrAll returns the union of every record's rectangle, dead or alive —
+// exactly what the parent's directory record for this node must cover.
+func (n *pnode) mbrAll() geom.Rect {
+	r := geom.EmptyRect()
+	for _, e := range n.entries {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+const (
+	pnodeHeaderSize = 24
+	pentrySize      = 4*8 + 2*8 + 8 // rect + lifetime + ref
+	pflagLeaf       = 0x01
+)
+
+// maxEntriesFor returns the node capacity a page of the given size can hold.
+func maxEntriesFor(pageSize int) int {
+	return (pageSize - pnodeHeaderSize) / pentrySize
+}
+
+func (n *pnode) encode(buf []byte) []byte {
+	need := pnodeHeaderSize + len(n.entries)*pentrySize
+	if cap(buf) < need {
+		buf = make([]byte, need)
+	}
+	buf = buf[:need]
+	var flags byte
+	if n.leaf {
+		flags |= pflagLeaf
+	}
+	buf[0] = flags
+	buf[1] = 0
+	binary.LittleEndian.PutUint16(buf[2:], uint16(len(n.entries)))
+	binary.LittleEndian.PutUint32(buf[4:], 0)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(n.startT))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(n.endT))
+	off := pnodeHeaderSize
+	for _, e := range n.entries {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.rect.MinX))
+		binary.LittleEndian.PutUint64(buf[off+8:], math.Float64bits(e.rect.MinY))
+		binary.LittleEndian.PutUint64(buf[off+16:], math.Float64bits(e.rect.MaxX))
+		binary.LittleEndian.PutUint64(buf[off+24:], math.Float64bits(e.rect.MaxY))
+		binary.LittleEndian.PutUint64(buf[off+32:], uint64(e.insertT))
+		binary.LittleEndian.PutUint64(buf[off+40:], uint64(e.deleteT))
+		binary.LittleEndian.PutUint64(buf[off+48:], e.ref)
+		off += pentrySize
+	}
+	return buf
+}
+
+func decodePNode(id pagefile.PageID, data []byte) (*pnode, error) {
+	if len(data) < pnodeHeaderSize {
+		return nil, fmt.Errorf("pprtree: page %d too short (%d bytes)", id, len(data))
+	}
+	count := int(binary.LittleEndian.Uint16(data[2:]))
+	need := pnodeHeaderSize + count*pentrySize
+	if len(data) < need {
+		return nil, fmt.Errorf("pprtree: page %d truncated: %d entries need %d bytes, have %d",
+			id, count, need, len(data))
+	}
+	n := &pnode{
+		id:      id,
+		leaf:    data[0]&pflagLeaf != 0,
+		startT:  int64(binary.LittleEndian.Uint64(data[8:])),
+		endT:    int64(binary.LittleEndian.Uint64(data[16:])),
+		entries: make([]pentry, count),
+	}
+	off := pnodeHeaderSize
+	for i := 0; i < count; i++ {
+		n.entries[i] = pentry{
+			rect: geom.Rect{
+				MinX: math.Float64frombits(binary.LittleEndian.Uint64(data[off:])),
+				MinY: math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:])),
+				MaxX: math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:])),
+				MaxY: math.Float64frombits(binary.LittleEndian.Uint64(data[off+24:])),
+			},
+			insertT: int64(binary.LittleEndian.Uint64(data[off+32:])),
+			deleteT: int64(binary.LittleEndian.Uint64(data[off+40:])),
+			ref:     binary.LittleEndian.Uint64(data[off+48:]),
+		}
+		off += pentrySize
+	}
+	return n, nil
+}

@@ -1,0 +1,176 @@
+package pprtree
+
+import (
+	"stindex/internal/geom"
+	"stindex/internal/pagefile"
+)
+
+// SnapshotSearch reports every record alive at time t whose rectangle
+// intersects query, stopping early when fn returns false. This is the
+// paper's snapshot query: it resolves the root that was live at t via the
+// root log and then behaves like an ephemeral R-tree search over the
+// records alive at t. Node visits go through the buffer pool.
+func (t *Tree) SnapshotSearch(query geom.Rect, at int64, fn func(rect geom.Rect, ref uint64) bool) error {
+	root := t.rootAt(at)
+	if root == nil {
+		return nil
+	}
+	_, err := t.snapshotWalk(root.page, query, at, fn)
+	return err
+}
+
+func (t *Tree) snapshotWalk(id pagefile.PageID, query geom.Rect, at int64, fn func(geom.Rect, uint64) bool) (bool, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range n.entries {
+		if !e.aliveAt(at) || !e.rect.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			if !fn(e.rect, e.ref) {
+				return false, nil
+			}
+			continue
+		}
+		cont, err := t.snapshotWalk(pagefile.PageID(e.ref), query, at, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// IntervalSearch reports every record whose lifetime overlaps the
+// half-open interval iv and whose rectangle intersects query. Each record
+// reference is reported once even when version copies of it live in
+// several nodes. This is the paper's (small) range query.
+func (t *Tree) IntervalSearch(query geom.Rect, iv geom.Interval, fn func(rect geom.Rect, ref uint64) bool) error {
+	if !iv.ValidInterval() {
+		return nil
+	}
+	seen := make(map[uint64]bool)
+	visited := make(map[pagefile.PageID]bool)
+	for i := range t.roots {
+		r := &t.roots[i]
+		if !(geom.Interval{Start: r.start, End: r.end}).Overlaps(iv) {
+			continue
+		}
+		cont, err := t.intervalWalk(r.page, query, iv, seen, visited, fn)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (t *Tree) intervalWalk(id pagefile.PageID, query geom.Rect, iv geom.Interval, seen map[uint64]bool, visited map[pagefile.PageID]bool, fn func(geom.Rect, uint64) bool) (bool, error) {
+	// Version copies make the structure a DAG: the same page can be
+	// reachable through several roots or parents. Visiting it once is
+	// enough — its contents are immutable history.
+	if visited[id] {
+		return true, nil
+	}
+	visited[id] = true
+	n, err := t.readNode(id)
+	if err != nil {
+		return false, err
+	}
+	for _, e := range n.entries {
+		if !e.interval().Overlaps(iv) || !e.rect.Intersects(query) {
+			continue
+		}
+		if n.leaf {
+			if seen[e.ref] {
+				continue
+			}
+			seen[e.ref] = true
+			if !fn(e.rect, e.ref) {
+				return false, nil
+			}
+			continue
+		}
+		cont, err := t.intervalWalk(pagefile.PageID(e.ref), query, iv, seen, visited, fn)
+		if err != nil || !cont {
+			return cont, err
+		}
+	}
+	return true, nil
+}
+
+// Touch advances the tree's clock without applying an update. Streaming
+// callers use it so that "no change at time t" still respects the
+// non-decreasing-time discipline.
+func (t *Tree) Touch(time int64) error { return t.advance(time) }
+
+// IntervalSearchRecords is IntervalSearch without duplicate elimination:
+// fn receives every version copy (rectangle, lifetime sub-interval,
+// reference) whose lifetime overlaps iv and whose rectangle intersects
+// query. Callers that need whole records aggregate the copies per
+// reference.
+func (t *Tree) IntervalSearchRecords(query geom.Rect, iv geom.Interval, fn func(rect geom.Rect, iv geom.Interval, ref uint64) bool) error {
+	if !iv.ValidInterval() {
+		return nil
+	}
+	visited := make(map[pagefile.PageID]bool)
+	var walk func(id pagefile.PageID) (bool, error)
+	walk = func(id pagefile.PageID) (bool, error) {
+		if visited[id] {
+			return true, nil
+		}
+		visited[id] = true
+		n, err := t.readNode(id)
+		if err != nil {
+			return false, err
+		}
+		for _, e := range n.entries {
+			if !e.interval().Overlaps(iv) || !e.rect.Intersects(query) {
+				continue
+			}
+			if n.leaf {
+				if !fn(e.rect, e.interval(), e.ref) {
+					return false, nil
+				}
+				continue
+			}
+			cont, err := walk(pagefile.PageID(e.ref))
+			if err != nil || !cont {
+				return cont, err
+			}
+		}
+		return true, nil
+	}
+	for i := range t.roots {
+		r := &t.roots[i]
+		if !(geom.Interval{Start: r.start, End: r.end}).Overlaps(iv) {
+			continue
+		}
+		cont, err := walk(r.page)
+		if err != nil {
+			return err
+		}
+		if !cont {
+			return nil
+		}
+	}
+	return nil
+}
+
+// CountSnapshot returns the number of records alive at t intersecting query.
+func (t *Tree) CountSnapshot(query geom.Rect, at int64) (int, error) {
+	c := 0
+	err := t.SnapshotSearch(query, at, func(geom.Rect, uint64) bool { c++; return true })
+	return c, err
+}
+
+// CountInterval returns the number of distinct records whose lifetime
+// overlaps iv and whose rectangle intersects query.
+func (t *Tree) CountInterval(query geom.Rect, iv geom.Interval) (int, error) {
+	c := 0
+	err := t.IntervalSearch(query, iv, func(geom.Rect, uint64) bool { c++; return true })
+	return c, err
+}

@@ -1,0 +1,395 @@
+package pprtree
+
+import (
+	"fmt"
+
+	"stindex/internal/geom"
+	"stindex/internal/pagefile"
+)
+
+// Insert adds a data record with the given rectangle and reference, alive
+// from time onward. Updates must arrive in non-decreasing time order.
+func (t *Tree) Insert(rect geom.Rect, ref uint64, time int64) error {
+	if !rect.Valid() {
+		return fmt.Errorf("pprtree: invalid rect %v", rect)
+	}
+	if err := t.advance(time); err != nil {
+		return err
+	}
+	path, err := t.chooseLeafPath(rect)
+	if err != nil {
+		return err
+	}
+	t.size++
+	t.alive++
+	e := pentry{rect: rect, insertT: time, deleteT: geom.Now, ref: ref}
+	return t.fixup(path, time, []pentry{e}, false)
+}
+
+// Delete logically deletes the alive record with the given rectangle and
+// reference at time: the record remains visible for all earlier instants.
+// Returns false when no such alive record exists.
+func (t *Tree) Delete(rect geom.Rect, ref uint64, time int64) (bool, error) {
+	if err := t.advance(time); err != nil {
+		return false, err
+	}
+	path, idx, err := t.findAliveRecord(rect, ref)
+	if err != nil || path == nil {
+		return false, err
+	}
+	leaf := path[len(path)-1]
+	leaf.entries[idx].deleteT = time
+	t.alive--
+	if err := t.fixup(path, time, nil, true); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// chooseLeafPath descends the live tree picking, at each directory node,
+// the alive child entry needing the least area enlargement to cover rect
+// (ties broken by smaller area). Returns the live nodes root-first.
+func (t *Tree) chooseLeafPath(rect geom.Rect) ([]*pnode, error) {
+	root := t.liveRoot()
+	path := make([]*pnode, 0, root.height)
+	id := root.page
+	for {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, n)
+		if n.leaf {
+			return path, nil
+		}
+		best := -1
+		bestEnl, bestArea := 0.0, 0.0
+		for i, e := range n.entries {
+			if !e.alive() {
+				continue
+			}
+			enl := e.rect.Enlargement(rect)
+			area := e.rect.Area()
+			if best == -1 || enl < bestEnl || (enl == bestEnl && area < bestArea) {
+				best, bestEnl, bestArea = i, enl, area
+			}
+		}
+		if best == -1 {
+			return nil, fmt.Errorf("pprtree: live directory node %d has no alive entries", n.id)
+		}
+		id = pagefile.PageID(n.entries[best].ref)
+	}
+}
+
+// findAliveRecord locates the leaf path holding the alive record (rect,
+// ref) in the live tree, returning a nil path when absent.
+func (t *Tree) findAliveRecord(rect geom.Rect, ref uint64) ([]*pnode, int, error) {
+	var walk func(id pagefile.PageID) ([]*pnode, int, error)
+	walk = func(id pagefile.PageID) ([]*pnode, int, error) {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, 0, err
+		}
+		if n.leaf {
+			for i, e := range n.entries {
+				if e.alive() && e.ref == ref && e.rect == rect {
+					return []*pnode{n}, i, nil
+				}
+			}
+			return nil, 0, nil
+		}
+		for _, e := range n.entries {
+			if !e.alive() || !e.rect.Contains(rect) {
+				continue
+			}
+			path, idx, err := walk(pagefile.PageID(e.ref))
+			if err != nil {
+				return nil, 0, err
+			}
+			if path != nil {
+				return append([]*pnode{n}, path...), idx, nil
+			}
+		}
+		return nil, 0, nil
+	}
+	return walk(t.liveRoot().page)
+}
+
+// fixup applies pending additions and structural repairs bottom-up along a
+// live path. adds are entries to insert into the deepest node;
+// mayUnderflow signals that alive counts below the path may have dropped
+// (deletion or merge), so weak version underflow must be checked.
+func (t *Tree) fixup(path []*pnode, time int64, adds []pentry, mayUnderflow bool) error {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		if len(n.entries)+len(adds) > t.opts.MaxEntries {
+			var err error
+			adds, mayUnderflow, err = t.versionSplit(path, i, time, adds, mayUnderflow)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		n.entries = append(n.entries, adds...)
+		adds = nil
+		if i > 0 && mayUnderflow && n.aliveCount() < t.opts.weakMin() {
+			var err error
+			adds, mayUnderflow, err = t.versionSplit(path, i, time, nil, mayUnderflow)
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		if err := t.writeNode(n); err != nil {
+			return err
+		}
+		if i > 0 {
+			if err := t.refreshParentRect(path[i-1], n); err != nil {
+				return err
+			}
+		}
+	}
+	return t.maybeShrinkRoot(time)
+}
+
+// versionSplit kills node path[i]: its alive records (plus the pending
+// adds) are copied into one or two fresh nodes, applying the strong
+// version overflow (key split) and strong version underflow (sibling
+// merge) rules. The dead node's entry in the parent is closed in place;
+// the directory entries for the fresh nodes are returned as the pending
+// adds for the parent level, together with whether the parent's alive
+// count net-decreased (merge) so weak underflow must be checked there.
+func (t *Tree) versionSplit(path []*pnode, i int, time int64, adds []pentry, mayUnderflow bool) ([]pentry, bool, error) {
+	n := path[i]
+	copies := t.closeAndCopyAlive(n, time)
+	copies = append(copies, adds...)
+	if err := t.writeNode(n); err != nil {
+		return nil, false, err
+	}
+
+	isRoot := i == 0
+	var parent *pnode
+	if !isRoot {
+		parent = path[i-1]
+		if err := closeChildEntry(parent, n.id, time); err != nil {
+			return nil, false, err
+		}
+	}
+
+	merged := false
+	if !isRoot && len(copies) <= t.opts.svuMin() {
+		sibCopies, ok, err := t.mergeSibling(parent, n.id, copies, time)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			copies = append(copies, sibCopies...)
+			merged = true
+		}
+	}
+
+	var fresh []*pnode
+	switch {
+	case len(copies) == 0:
+		// The subtree died entirely; nothing replaces it.
+	case len(copies) >= t.opts.svoMax() || len(copies) > t.opts.MaxEntries:
+		g1, g2 := keySplit(copies, t.keySplitMin(len(copies)))
+		fresh = []*pnode{t.newNode(n.leaf, time, g1), t.newNode(n.leaf, time, g2)}
+	default:
+		fresh = []*pnode{t.newNode(n.leaf, time, copies)}
+	}
+	for _, f := range fresh {
+		if err := t.writeNode(f); err != nil {
+			return nil, false, err
+		}
+	}
+
+	newEntries := make([]pentry, len(fresh))
+	for j, f := range fresh {
+		newEntries[j] = pentry{rect: f.mbrAll(), insertT: time, deleteT: geom.Now, ref: uint64(f.id)}
+	}
+
+	if isRoot {
+		return nil, false, t.replaceRoot(n, fresh, newEntries, time)
+	}
+	// Parent alive delta: -1 for n, -1 if merged, +len(newEntries).
+	netLoss := 1 + btoi(merged) - len(newEntries)
+	return newEntries, mayUnderflow || netLoss > 0, nil
+}
+
+// closeAndCopyAlive closes every alive record of n at time, marks the node
+// dead, and returns copies of those records alive from time onward.
+func (t *Tree) closeAndCopyAlive(n *pnode, time int64) []pentry {
+	var copies []pentry
+	for j := range n.entries {
+		if n.entries[j].alive() {
+			c := n.entries[j]
+			c.insertT = time
+			copies = append(copies, c)
+			n.entries[j].deleteT = time
+		}
+	}
+	n.endT = time
+	return copies
+}
+
+// mergeSibling implements the strong version underflow rule: pick the
+// alive sibling (another alive child of parent) whose rectangle is closest
+// to the dying node's records, version-split it too, and hand its copies
+// over. Returns ok=false when no sibling exists.
+func (t *Tree) mergeSibling(parent *pnode, except pagefile.PageID, copies []pentry, time int64) ([]pentry, bool, error) {
+	mbr := geom.EmptyRect()
+	for _, c := range copies {
+		mbr = mbr.Union(c.rect)
+	}
+	best := -1
+	bestEnl := 0.0
+	for j, e := range parent.entries {
+		if !e.alive() || pagefile.PageID(e.ref) == except {
+			continue
+		}
+		enl := e.rect.Enlargement(mbr)
+		if best == -1 || enl < bestEnl {
+			best, bestEnl = j, enl
+		}
+	}
+	if best == -1 {
+		return nil, false, nil
+	}
+	sibID := pagefile.PageID(parent.entries[best].ref)
+	sib, err := t.readNode(sibID)
+	if err != nil {
+		return nil, false, err
+	}
+	sibCopies := t.closeAndCopyAlive(sib, time)
+	if err := t.writeNode(sib); err != nil {
+		return nil, false, err
+	}
+	if err := closeChildEntry(parent, sibID, time); err != nil {
+		return nil, false, err
+	}
+	return sibCopies, true, nil
+}
+
+// replaceRoot installs the fresh node(s) produced by a root version split:
+// one fresh node continues at the same height; two get a new directory
+// root above them; zero resets the tree to an empty leaf.
+func (t *Tree) replaceRoot(old *pnode, fresh []*pnode, newEntries []pentry, time int64) error {
+	cur := t.liveRoot()
+	height := cur.height
+	var newPage pagefile.PageID
+	switch len(fresh) {
+	case 0:
+		empty := &pnode{id: t.file.Allocate(), leaf: true, startT: time, endT: geom.Now}
+		if err := t.writeNode(empty); err != nil {
+			return err
+		}
+		newPage, height = empty.id, 1
+	case 1:
+		newPage = fresh[0].id
+	default:
+		root := &pnode{id: t.file.Allocate(), leaf: false, startT: time, endT: geom.Now, entries: newEntries}
+		if err := t.writeNode(root); err != nil {
+			return err
+		}
+		newPage, height = root.id, height+1
+	}
+	t.closeLiveRoot(time)
+	t.roots = append(t.roots, rootSpan{page: newPage, start: time, end: geom.Now, height: height})
+	return nil
+}
+
+// closeLiveRoot ends the live root's span at time. A span that would become
+// empty (opened at the same instant) is dropped so the log stays a tiling.
+func (t *Tree) closeLiveRoot(time int64) {
+	cur := t.liveRoot()
+	if cur.start == time {
+		t.roots = t.roots[:len(t.roots)-1]
+		return
+	}
+	cur.end = time
+}
+
+// maybeShrinkRoot demotes the live root while it is a directory node with
+// a single alive child: the child becomes the live root for times >= time.
+func (t *Tree) maybeShrinkRoot(time int64) error {
+	for {
+		cur := t.liveRoot()
+		if cur.height == 1 {
+			return nil
+		}
+		root, err := t.readNode(cur.page)
+		if err != nil {
+			return err
+		}
+		if root.aliveCount() != 1 {
+			return nil
+		}
+		var child pagefile.PageID
+		for j := range root.entries {
+			if root.entries[j].alive() {
+				root.entries[j].deleteT = time
+				child = pagefile.PageID(root.entries[j].ref)
+				break
+			}
+		}
+		root.endT = time
+		if err := t.writeNode(root); err != nil {
+			return err
+		}
+		height := cur.height - 1
+		t.closeLiveRoot(time)
+		t.roots = append(t.roots, rootSpan{page: child, start: time, end: geom.Now, height: height})
+	}
+}
+
+// refreshParentRect keeps the parent's alive directory entry for child n
+// covering everything the child ever stored.
+func (t *Tree) refreshParentRect(parent, n *pnode) error {
+	for j := range parent.entries {
+		if parent.entries[j].alive() && pagefile.PageID(parent.entries[j].ref) == n.id {
+			parent.entries[j].rect = parent.entries[j].rect.Union(n.mbrAll())
+			return nil
+		}
+	}
+	return fmt.Errorf("pprtree: parent %d has no alive entry for child %d", parent.id, n.id)
+}
+
+func closeChildEntry(parent *pnode, child pagefile.PageID, time int64) error {
+	for j := range parent.entries {
+		if parent.entries[j].alive() && pagefile.PageID(parent.entries[j].ref) == child {
+			parent.entries[j].deleteT = time
+			return nil
+		}
+	}
+	return fmt.Errorf("pprtree: parent %d has no alive entry for child %d", parent.id, child)
+}
+
+func (t *Tree) newNode(leaf bool, time int64, entries []pentry) *pnode {
+	return &pnode{id: t.file.Allocate(), leaf: leaf, startT: time, endT: geom.Now, entries: entries}
+}
+
+// keySplitMin picks the minimum group size for a key split: at least the
+// weak minimum so neither group underflows immediately, and at least 40%
+// of the records for spatial quality, but never so large that a group
+// cannot fit.
+func (t *Tree) keySplitMin(n int) int {
+	m := n * 2 / 5
+	if w := t.opts.weakMin(); m < w {
+		m = w
+	}
+	if m > n/2 {
+		m = n / 2
+	}
+	if m < 1 {
+		m = 1
+	}
+	return m
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

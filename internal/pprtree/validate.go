@@ -1,0 +1,226 @@
+package pprtree
+
+import (
+	"fmt"
+
+	"stindex/internal/geom"
+	"stindex/internal/pagefile"
+)
+
+// CheckReport summarises a full structural validation walk.
+type CheckReport struct {
+	Nodes        int // distinct reachable pages
+	LiveNodes    int
+	DeadNodes    int
+	LeafRecords  int // leaf entries including version copies
+	WeakviOK     int // non-root live nodes meeting the weak minimum
+	WeakviGaps   int // non-root live nodes below the weak minimum (tolerated edge cases)
+	MaxLeafDepth int
+}
+
+// Validate walks every root and checks the structural invariants of the
+// multi-version tree:
+//
+//   - the root log tiles time contiguously and ends with the live root;
+//   - no node exceeds the physical capacity;
+//   - entry lifetimes are valid and lie within their node's lifetime
+//     (empty lifetimes are allowed: they arise when several updates share
+//     one timestamp);
+//   - alive entries appear only in live nodes;
+//   - every directory entry's lifetime is covered by its child's, and its
+//     rectangle covers every child record inserted before the entry closed;
+//   - within each root span, all leaves sit at the depth the root log
+//     records for that span;
+//   - version copies of the same data record never overlap in time.
+//
+// It returns a report of tree-shape statistics on success.
+func (t *Tree) Validate() (CheckReport, error) {
+	var rep CheckReport
+	if err := t.validateRootLog(); err != nil {
+		return rep, err
+	}
+
+	type recSpan struct {
+		iv geom.Interval
+	}
+	recIntervals := make(map[uint64][]recSpan)
+	seen := make(map[pagefile.PageID]bool)
+
+	var walk func(id pagefile.PageID, depth, wantLeafDepth int) error
+	walk = func(id pagefile.PageID, depth, wantLeafDepth int) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		first := !seen[id]
+		if first {
+			seen[id] = true
+			rep.Nodes++
+			if n.live() {
+				rep.LiveNodes++
+			} else {
+				rep.DeadNodes++
+			}
+			if len(n.entries) > t.opts.MaxEntries {
+				return fmt.Errorf("pprtree: node %d has %d entries > capacity %d", id, len(n.entries), t.opts.MaxEntries)
+			}
+			if n.startT > n.endT {
+				return fmt.Errorf("pprtree: node %d has inverted lifetime [%d,%d)", id, n.startT, n.endT)
+			}
+		}
+		if n.leaf {
+			if depth != wantLeafDepth {
+				return fmt.Errorf("pprtree: leaf %d at depth %d, root span says %d", id, depth, wantLeafDepth)
+			}
+			if depth > rep.MaxLeafDepth {
+				rep.MaxLeafDepth = depth
+			}
+		}
+		if !first {
+			return nil // immutable subtree already checked
+		}
+		for _, e := range n.entries {
+			if e.insertT > e.deleteT {
+				return fmt.Errorf("pprtree: node %d entry has inverted lifetime [%d,%d)", id, e.insertT, e.deleteT)
+			}
+			if e.insertT < n.startT || (e.deleteT != geom.Now && e.deleteT > n.endT) {
+				return fmt.Errorf("pprtree: node %d [%d,%d) entry lifetime [%d,%d) escapes node",
+					id, n.startT, n.endT, e.insertT, e.deleteT)
+			}
+			if e.alive() && !n.live() {
+				return fmt.Errorf("pprtree: dead node %d holds alive entry", id)
+			}
+			if n.leaf {
+				rep.LeafRecords++
+				if e.insertT < e.deleteT {
+					recIntervals[e.ref] = append(recIntervals[e.ref], recSpan{iv: e.interval()})
+				}
+				continue
+			}
+			child, err := t.readNode(pagefile.PageID(e.ref))
+			if err != nil {
+				return err
+			}
+			if e.insertT < child.startT || e.deleteT > child.endT {
+				return fmt.Errorf("pprtree: node %d entry [%d,%d) not covered by child %d lifetime [%d,%d)",
+					id, e.insertT, e.deleteT, child.id, child.startT, child.endT)
+			}
+			for _, ce := range child.entries {
+				if ce.insertT >= e.deleteT {
+					continue // inserted after this entry closed; invisible through it
+				}
+				if !child.leaf && ce.deleteT > e.deleteT {
+					// A directory record that outlives this (closed) entry
+					// keeps growing with later insertions; only its state at
+					// e.deleteT had to be covered, which is unrecoverable.
+					continue
+				}
+				if !e.rect.Contains(ce.rect) {
+					return fmt.Errorf("pprtree: node %d entry rect %v misses child %d record %v (inserted %d, entry closes %d)",
+						id, e.rect, child.id, ce.rect, ce.insertT, e.deleteT)
+				}
+			}
+			if err := walk(pagefile.PageID(e.ref), depth+1, wantLeafDepth); err != nil {
+				return err
+			}
+		}
+		if n.live() && len(n.entries) > 0 {
+			if a := n.aliveCount(); a >= t.opts.weakMin() {
+				rep.WeakviOK++
+			} else {
+				rep.WeakviGaps++
+			}
+		}
+		return nil
+	}
+
+	for i := range t.roots {
+		r := &t.roots[i]
+		if err := walk(r.page, 1, r.height); err != nil {
+			return rep, err
+		}
+	}
+
+	// Version copies of one record must not overlap in time.
+	for ref, spans := range recIntervals {
+		for i := 0; i < len(spans); i++ {
+			for j := i + 1; j < len(spans); j++ {
+				if spans[i].iv.Overlaps(spans[j].iv) {
+					return rep, fmt.Errorf("pprtree: record %d has overlapping version copies %v and %v",
+						ref, spans[i].iv, spans[j].iv)
+				}
+			}
+		}
+	}
+	return rep, nil
+}
+
+func (t *Tree) validateRootLog() error {
+	if len(t.roots) == 0 {
+		return fmt.Errorf("pprtree: empty root log")
+	}
+	for i := range t.roots {
+		r := &t.roots[i]
+		if r.start >= r.end {
+			return fmt.Errorf("pprtree: root span %d is empty: [%d,%d)", i, r.start, r.end)
+		}
+		if i > 0 && t.roots[i-1].end != r.start {
+			return fmt.Errorf("pprtree: root log gap between span %d (ends %d) and %d (starts %d)",
+				i-1, t.roots[i-1].end, i, r.start)
+		}
+	}
+	if last := t.roots[len(t.roots)-1]; last.end != geom.Now {
+		return fmt.Errorf("pprtree: last root span ends at %d, want open", last.end)
+	}
+	return nil
+}
+
+// EphemeralLevel describes one level of the logical R-tree alive at one
+// time instant, for the analytical cost model: the number of alive nodes
+// and the MBRs of their alive records.
+type EphemeralLevel struct {
+	Level int // 1 = root level
+	Nodes int
+	MBRs  []geom.Rect
+}
+
+// EphemeralLevels reconstructs the logical (ephemeral) R-tree that the
+// structure represents at time at: only nodes and entries alive at that
+// instant. Returns nil when the time predates the tree.
+func (t *Tree) EphemeralLevels(at int64) ([]EphemeralLevel, error) {
+	root := t.rootAt(at)
+	if root == nil {
+		return nil, nil
+	}
+	levels := make([]EphemeralLevel, root.height)
+	for i := range levels {
+		levels[i].Level = i + 1
+	}
+	var walk func(id pagefile.PageID, depth int) error
+	walk = func(id pagefile.PageID, depth int) error {
+		n, err := t.readNode(id)
+		if err != nil {
+			return err
+		}
+		mbr := geom.EmptyRect()
+		for _, e := range n.entries {
+			if !e.aliveAt(at) {
+				continue
+			}
+			mbr = mbr.Union(e.rect)
+			if !n.leaf {
+				if err := walk(pagefile.PageID(e.ref), depth+1); err != nil {
+					return err
+				}
+			}
+		}
+		lv := &levels[depth-1]
+		lv.Nodes++
+		lv.MBRs = append(lv.MBRs, mbr)
+		return nil
+	}
+	if err := walk(root.page, 1); err != nil {
+		return nil, err
+	}
+	return levels, nil
+}

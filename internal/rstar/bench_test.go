@@ -1,0 +1,76 @@
+package rstar
+
+import (
+	"math/rand"
+	"testing"
+
+	"stindex/internal/geom"
+)
+
+func BenchmarkInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	boxes := make([]geom.Box3, 5000)
+	for i := range boxes {
+		boxes[i] = randBox3(rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tree, err := New(Options{BufferPages: 128})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, box := range boxes {
+			if err := tree.Insert(box, uint64(j)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBulkLoadVsInsert(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	items := make([]Item, 5000)
+	for i := range items {
+		items[i] = Item{Box: randBox3(rng), Ref: uint64(i)}
+	}
+	b.Run("str", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BulkLoadSTR(Options{BufferPages: 128}, items); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("insert", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tree, err := New(Options{BufferPages: 128})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, it := range items {
+				if err := tree.Insert(it.Box, it.Ref); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkSearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	tree, err := New(Options{BufferPages: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		if err := tree.Insert(randBox3(rng), uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tree.Count(randBox3(rng)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package rstar
+
+import (
+	"stindex/internal/geom"
+	"stindex/internal/pagefile"
+)
+
+// Delete removes the data entry with the given box and ref. It returns
+// false when no such entry exists. Underflowing nodes are dissolved and
+// their entries reinserted (the classic CondenseTree), and the tree shrinks
+// when the root is left with a single child.
+func (t *Tree) Delete(b geom.Box3, ref uint64) (bool, error) {
+	path, idx, err := t.findLeaf(t.root, b, ref, 1)
+	if err != nil || path == nil {
+		return false, err
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+
+	type orphan struct {
+		entries []entry
+		level   int
+	}
+	var orphans []orphan
+
+	// Condense bottom-up: dissolve underflowing non-root nodes, keep boxes
+	// tight otherwise.
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i]
+		level := t.height - i
+		parent := path[i-1]
+		if len(n.entries) < t.opts.MinEntries {
+			removeChildEntry(parent, n.id)
+			if len(n.entries) > 0 {
+				orphans = append(orphans, orphan{entries: n.entries, level: level})
+			}
+			t.buf.Evict(n.id)
+			if err := t.file.Free(n.id); err != nil {
+				return false, err
+			}
+			continue
+		}
+		if err := t.writeNode(n); err != nil {
+			return false, err
+		}
+		if err := updateChildBox(parent, n); err != nil {
+			return false, err
+		}
+	}
+	if err := t.writeNode(path[0]); err != nil {
+		return false, err
+	}
+
+	// Reinsert orphaned entries at their original levels, highest level
+	// first, so whole orphaned subtrees are rehomed before loose leaves.
+	reinserted := make(map[int]bool)
+	for i := len(orphans) - 1; i >= 0; i-- {
+		for _, e := range orphans[i].entries {
+			if err := t.insertAtLevel(e, orphans[i].level, reinserted); err != nil {
+				return false, err
+			}
+		}
+	}
+
+	// Shrink the root while it is a directory node with a single child.
+	for {
+		root, err := t.readNode(t.root)
+		if err != nil {
+			return false, err
+		}
+		if root.leaf || len(root.entries) != 1 {
+			break
+		}
+		child := pagefile.PageID(root.entries[0].ref)
+		t.buf.Evict(root.id)
+		if err := t.file.Free(root.id); err != nil {
+			return false, err
+		}
+		t.root = child
+		t.height--
+	}
+	return true, nil
+}
+
+// findLeaf searches for the leaf holding (b, ref) and returns the path to
+// it plus the entry index, or a nil path when absent.
+func (t *Tree) findLeaf(id pagefile.PageID, b geom.Box3, ref uint64, depth int) ([]*node, int, error) {
+	n, err := t.readNode(id)
+	if err != nil {
+		return nil, 0, err
+	}
+	if n.leaf {
+		for i, e := range n.entries {
+			if e.ref == ref && boxesEqual(e.box, b) {
+				return []*node{n}, i, nil
+			}
+		}
+		return nil, 0, nil
+	}
+	for _, e := range n.entries {
+		if !e.box.Contains(b) {
+			continue
+		}
+		path, idx, err := t.findLeaf(pagefile.PageID(e.ref), b, ref, depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		if path != nil {
+			return append([]*node{n}, path...), idx, nil
+		}
+	}
+	return nil, 0, nil
+}
+
+func removeChildEntry(parent *node, child pagefile.PageID) {
+	for i := range parent.entries {
+		if pagefile.PageID(parent.entries[i].ref) == child {
+			parent.entries = append(parent.entries[:i], parent.entries[i+1:]...)
+			return
+		}
+	}
+}

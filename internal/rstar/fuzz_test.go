@@ -1,0 +1,48 @@
+package rstar
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeNode feeds arbitrary page images to the node decoder.
+func FuzzDecodeNode(f *testing.F) {
+	good := &node{id: 1, leaf: true}
+	good.entries = append(good.entries, entry{ref: 42})
+	f.Add(good.encode(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, err := decodeNode(1, data)
+		if err != nil {
+			return
+		}
+		if len(n.entries)*entrySize+nodeHeaderSize > len(data) {
+			t.Fatalf("decoded %d entries from %d bytes", len(n.entries), len(data))
+		}
+	})
+}
+
+// FuzzRStarImage feeds arbitrary bytes to the tree deserialiser.
+func FuzzRStarImage(f *testing.F) {
+	tree, err := New(Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tree.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("STRS"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		loaded, err := ReadTree(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if loaded.Height() < 1 {
+			t.Fatal("loaded tree with zero height")
+		}
+	})
+}

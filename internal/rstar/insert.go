@@ -1,0 +1,196 @@
+package rstar
+
+import (
+	"fmt"
+	"sort"
+
+	"stindex/internal/geom"
+	"stindex/internal/pagefile"
+)
+
+// Insert adds a data entry. The box's time axis should already be scaled to
+// match the spatial axes (see geom.Box3FromBox); the tree itself is purely
+// geometric.
+func (t *Tree) Insert(b geom.Box3, ref uint64) error {
+	if b.IsEmpty() {
+		return fmt.Errorf("rstar: cannot insert empty box")
+	}
+	t.size++
+	// reinserted tracks, per level, whether forced reinsertion already ran
+	// during this top-level insertion (R* runs it at most once per level).
+	reinserted := make(map[int]bool)
+	return t.insertAtLevel(entry{box: b, ref: ref}, 1, reinserted)
+}
+
+// insertAtLevel places e into a node at the given level (1 = leaf level,
+// counting from the bottom; this numbering is stable across root splits).
+func (t *Tree) insertAtLevel(e entry, level int, reinserted map[int]bool) error {
+	path, err := t.choosePath(e.box, level)
+	if err != nil {
+		return err
+	}
+	target := path[len(path)-1]
+	target.entries = append(target.entries, e)
+	return t.adjustPath(path, reinserted)
+}
+
+// choosePath descends from the root to a node at targetLevel using the R*
+// ChooseSubtree rule and returns the nodes along the way (root first).
+func (t *Tree) choosePath(b geom.Box3, targetLevel int) ([]*node, error) {
+	if targetLevel > t.height {
+		return nil, fmt.Errorf("rstar: target level %d above root level %d", targetLevel, t.height)
+	}
+	path := make([]*node, 0, t.height)
+	id := t.root
+	for level := t.height; ; level-- {
+		n, err := t.readNode(id)
+		if err != nil {
+			return nil, err
+		}
+		path = append(path, n)
+		if level == targetLevel {
+			return path, nil
+		}
+		id = pagefile.PageID(n.entries[t.chooseSubtree(n, b, level-1 == 1)].ref)
+	}
+}
+
+// chooseSubtree picks the child index of n to descend into for box b.
+// When the children are leaves, R* minimises overlap enlargement (ties:
+// volume enlargement, then volume); otherwise volume enlargement (ties:
+// volume).
+func (t *Tree) chooseSubtree(n *node, b geom.Box3, childrenAreLeaves bool) int {
+	best := 0
+	if childrenAreLeaves {
+		bestOverlap, bestEnl, bestVol := 0.0, 0.0, 0.0
+		for i, e := range n.entries {
+			enlarged := e.box.UnionBox3(b)
+			overlapDelta := 0.0
+			for j, o := range n.entries {
+				if j == i {
+					continue
+				}
+				overlapDelta += enlarged.OverlapVolume(o.box) - e.box.OverlapVolume(o.box)
+			}
+			enl := enlarged.Volume() - e.box.Volume()
+			vol := e.box.Volume()
+			if i == 0 || overlapDelta < bestOverlap ||
+				(overlapDelta == bestOverlap && (enl < bestEnl ||
+					(enl == bestEnl && vol < bestVol))) {
+				best, bestOverlap, bestEnl, bestVol = i, overlapDelta, enl, vol
+			}
+		}
+		return best
+	}
+	bestEnl, bestVol := 0.0, 0.0
+	for i, e := range n.entries {
+		enl := e.box.Enlargement3(b)
+		vol := e.box.Volume()
+		if i == 0 || enl < bestEnl || (enl == bestEnl && vol < bestVol) {
+			best, bestEnl, bestVol = i, enl, vol
+		}
+	}
+	return best
+}
+
+// adjustPath writes back the modified nodes bottom-up, handling overflows
+// by forced reinsertion or node splits and keeping parent boxes tight.
+func (t *Tree) adjustPath(path []*node, reinserted map[int]bool) error {
+	startHeight := t.height
+	type pending struct {
+		e     entry
+		level int
+	}
+	var reinserts []pending
+
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		level := startHeight - i
+
+		if len(n.entries) > t.opts.MaxEntries {
+			if i > 0 && !reinserted[level] {
+				// Forced reinsertion: evict the ReinsertCount entries whose
+				// centers are farthest from the node's center, then re-add
+				// them closest-first once the tree has settled.
+				reinserted[level] = true
+				removed := t.evictFarthest(n)
+				for _, e := range removed {
+					reinserts = append(reinserts, pending{e: e, level: level})
+				}
+			} else {
+				sibling, err := t.splitNode(n)
+				if err != nil {
+					return err
+				}
+				if i == 0 {
+					// Root split: grow the tree.
+					if err := t.writeNode(n); err != nil {
+						return err
+					}
+					if err := t.writeNode(sibling); err != nil {
+						return err
+					}
+					root := &node{id: t.file.Allocate(), leaf: false}
+					root.entries = []entry{
+						{box: n.mbr(), ref: uint64(n.id)},
+						{box: sibling.mbr(), ref: uint64(sibling.id)},
+					}
+					if err := t.writeNode(root); err != nil {
+						return err
+					}
+					t.root = root.id
+					t.height++
+					continue
+				}
+				if err := t.writeNode(sibling); err != nil {
+					return err
+				}
+				parent := path[i-1]
+				parent.entries = append(parent.entries, entry{box: sibling.mbr(), ref: uint64(sibling.id)})
+			}
+		}
+
+		if err := t.writeNode(n); err != nil {
+			return err
+		}
+		if i > 0 {
+			if err := updateChildBox(path[i-1], n); err != nil {
+				return err
+			}
+		}
+	}
+
+	for _, p := range reinserts {
+		if err := t.insertAtLevel(p.e, p.level, reinserted); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evictFarthest removes the ReinsertCount entries whose centers are
+// farthest from the node MBR's center and returns them ordered
+// closest-first ("close reinsert", the variant R* found best).
+func (t *Tree) evictFarthest(n *node) []entry {
+	center := n.mbr().Center()
+	centerBox := geom.Box3{Min: center, Max: center}
+	sort.SliceStable(n.entries, func(i, j int) bool {
+		return n.entries[i].box.CenterDistance2(centerBox) < n.entries[j].box.CenterDistance2(centerBox)
+	})
+	keep := len(n.entries) - t.opts.ReinsertCount
+	removed := make([]entry, t.opts.ReinsertCount)
+	copy(removed, n.entries[keep:])
+	n.entries = n.entries[:keep]
+	return removed
+}
+
+// updateChildBox refreshes the parent's entry box for child n.
+func updateChildBox(parent, n *node) error {
+	for i := range parent.entries {
+		if pagefile.PageID(parent.entries[i].ref) == n.id {
+			parent.entries[i].box = n.mbr()
+			return nil
+		}
+	}
+	return fmt.Errorf("rstar: parent %d has no entry for child %d", parent.id, n.id)
+}

@@ -1,0 +1,232 @@
+package rstar
+
+import (
+	"math/rand"
+	"testing"
+
+	"stindex/internal/geom"
+)
+
+func randBox3(rng *rand.Rand) geom.Box3 {
+	var b geom.Box3
+	for d := 0; d < 3; d++ {
+		lo := rng.Float64()
+		b.Min[d] = lo
+		b.Max[d] = lo + rng.Float64()*0.05
+	}
+	return b
+}
+
+type refBox struct {
+	box geom.Box3
+	ref uint64
+}
+
+func buildRandomTree(t *testing.T, rng *rand.Rand, n int, opts Options) (*Tree, []refBox) {
+	t.Helper()
+	tree, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	data := make([]refBox, 0, n)
+	for i := 0; i < n; i++ {
+		b := randBox3(rng)
+		if err := tree.Insert(b, uint64(i)); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+		data = append(data, refBox{box: b, ref: uint64(i)})
+	}
+	return tree, data
+}
+
+func bruteSearch(data []refBox, q geom.Box3) map[uint64]bool {
+	out := make(map[uint64]bool)
+	for _, d := range data {
+		if d.box.Intersects(q) {
+			out[d.ref] = true
+		}
+	}
+	return out
+}
+
+func checkQueries(t *testing.T, tree *Tree, data []refBox, rng *rand.Rand, queries int) {
+	t.Helper()
+	for qi := 0; qi < queries; qi++ {
+		q := randBox3(rng)
+		want := bruteSearch(data, q)
+		got := make(map[uint64]bool)
+		err := tree.Search(q, func(_ geom.Box3, ref uint64) bool {
+			if got[ref] {
+				t.Fatalf("query %d: duplicate ref %d", qi, ref)
+			}
+			got[ref] = true
+			return true
+		})
+		if err != nil {
+			t.Fatalf("Search: %v", err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("query %d: got %d results, want %d", qi, len(got), len(want))
+		}
+		for ref := range want {
+			if !got[ref] {
+				t.Fatalf("query %d: missing ref %d", qi, ref)
+			}
+		}
+	}
+}
+
+func TestInsertSearchSmallNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tree, data := buildRandomTree(t, rng, 2000, Options{MaxEntries: 8, BufferPages: 32})
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if tree.Len() != 2000 {
+		t.Fatalf("Len = %d, want 2000", tree.Len())
+	}
+	if tree.Height() < 3 {
+		t.Fatalf("Height = %d, expected a deep tree with 8-entry nodes", tree.Height())
+	}
+	checkQueries(t, tree, data, rng, 50)
+}
+
+func TestInsertSearchDefaultNodes(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tree, data := buildRandomTree(t, rng, 3000, Options{})
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	checkQueries(t, tree, data, rng, 50)
+}
+
+func TestDelete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tree, data := buildRandomTree(t, rng, 1200, Options{MaxEntries: 8, BufferPages: 32})
+
+	// Delete a random half.
+	perm := rng.Perm(len(data))
+	keep := make([]refBox, 0, len(data)/2)
+	for i, pi := range perm {
+		if i%2 == 0 {
+			ok, err := tree.Delete(data[pi].box, data[pi].ref)
+			if err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if !ok {
+				t.Fatalf("Delete: entry %d not found", data[pi].ref)
+			}
+		} else {
+			keep = append(keep, data[pi])
+		}
+	}
+	if tree.Len() != len(keep) {
+		t.Fatalf("Len = %d after deletes, want %d", tree.Len(), len(keep))
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate after deletes: %v", err)
+	}
+	checkQueries(t, tree, keep, rng, 50)
+
+	// Deleting something absent reports false.
+	ok, err := tree.Delete(randBox3(rng), 999999)
+	if err != nil {
+		t.Fatalf("Delete absent: %v", err)
+	}
+	if ok {
+		t.Fatal("Delete reported success for an absent entry")
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	tree, data := buildRandomTree(t, rng, 300, Options{MaxEntries: 8, BufferPages: 32})
+	for _, d := range data {
+		ok, err := tree.Delete(d.box, d.ref)
+		if err != nil || !ok {
+			t.Fatalf("Delete %d: ok=%v err=%v", d.ref, ok, err)
+		}
+	}
+	if tree.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", tree.Len())
+	}
+	if tree.Height() != 1 {
+		t.Fatalf("Height = %d after deleting everything, want 1", tree.Height())
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	n, err := tree.Count(geom.Box3{Min: [3]float64{-1, -1, -1}, Max: [3]float64{2, 2, 2}})
+	if err != nil || n != 0 {
+		t.Fatalf("Count = %d, err=%v; want 0", n, err)
+	}
+}
+
+func TestQueryIOAccounting(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	tree, _ := buildRandomTree(t, rng, 3000, Options{})
+	tree.Buffer().Reset()
+	q := geom.Box3{Min: [3]float64{0.4, 0.4, 0.4}, Max: [3]float64{0.6, 0.6, 0.6}}
+	if _, err := tree.Count(q); err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	st := tree.Buffer().Stats()
+	if st.Reads == 0 {
+		t.Fatal("query performed no reads")
+	}
+	if st.Writes != 0 {
+		t.Fatalf("query performed %d writes", st.Writes)
+	}
+	if st.Reads > int64(tree.File().NumPages()) {
+		t.Fatalf("query read %d pages, tree only has %d", st.Reads, tree.File().NumPages())
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	cases := []Options{
+		{MaxEntries: 2},
+		{MaxEntries: 50, MinEntries: 40},
+		{MaxEntries: 50, ReinsertCount: 50},
+		{MaxEntries: 500, PageSize: 4096},
+	}
+	for i, o := range cases {
+		if _, err := New(o); err == nil {
+			t.Errorf("case %d: New accepted invalid options %+v", i, o)
+		}
+	}
+}
+
+func TestNodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := &node{id: 7, leaf: true}
+	for i := 0; i < 23; i++ {
+		n.entries = append(n.entries, entry{box: randBox3(rng), ref: uint64(i * 31)})
+	}
+	buf := n.encode(nil)
+	got, err := decodeNode(7, buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.leaf != n.leaf || len(got.entries) != len(n.entries) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, n)
+	}
+	for i := range n.entries {
+		if got.entries[i] != n.entries[i] {
+			t.Fatalf("entry %d mismatch", i)
+		}
+	}
+}
+
+func TestEmptyTreeSearch(t *testing.T) {
+	tree, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := tree.Count(geom.Box3{Min: [3]float64{0, 0, 0}, Max: [3]float64{1, 1, 1}})
+	if err != nil || n != 0 {
+		t.Fatalf("Count on empty tree = %d, err=%v", n, err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("Validate empty: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package rstar
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"stindex/internal/pagefile"
+)
+
+// Tree image layout (little endian):
+//
+//	magic    [4]byte "STRS"
+//	version  uint32 1
+//	options  MaxEntries, MinEntries, ReinsertCount, PageSize, BufferPages (u32 each)
+//	state    root u32, height u32, size u64
+//	pagefile image (pagefile.WriteTo)
+const (
+	rstarMagic   = "STRS"
+	rstarVersion = 1
+)
+
+// WriteTo serialises the whole tree to w. Implements io.WriterTo.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	header := make([]byte, 4+4+5*4+4+4+8)
+	copy(header, rstarMagic)
+	off := 4
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(header[off:], v)
+		off += 4
+	}
+	put32(rstarVersion)
+	put32(uint32(t.opts.MaxEntries))
+	put32(uint32(t.opts.MinEntries))
+	put32(uint32(t.opts.ReinsertCount))
+	put32(uint32(t.opts.PageSize))
+	put32(uint32(t.opts.BufferPages))
+	put32(uint32(t.root))
+	put32(uint32(t.height))
+	binary.LittleEndian.PutUint64(header[off:], uint64(t.size))
+
+	m, err := w.Write(header)
+	n := int64(m)
+	if err != nil {
+		return n, err
+	}
+	fn, err := t.file.WriteTo(w)
+	return n + fn, err
+}
+
+// ReadTree deserialises a tree image produced by WriteTo. The buffer pool
+// starts cold.
+func ReadTree(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	header := make([]byte, 4+4+5*4+4+4+8)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("rstar: reading header: %w", err)
+	}
+	if string(header[:4]) != rstarMagic {
+		return nil, fmt.Errorf("rstar: bad magic %q", header[:4])
+	}
+	off := 4
+	get32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(header[off:])
+		off += 4
+		return v
+	}
+	if v := get32(); v != rstarVersion {
+		return nil, fmt.Errorf("rstar: unsupported version %d", v)
+	}
+	opts := Options{
+		MaxEntries:    int(get32()),
+		MinEntries:    int(get32()),
+		ReinsertCount: int(get32()),
+		PageSize:      int(get32()),
+		BufferPages:   int(get32()),
+	}
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, fmt.Errorf("rstar: stored options invalid: %w", err)
+	}
+	root := pagefile.PageID(get32())
+	height := int(get32())
+	size := int(binary.LittleEndian.Uint64(header[off:]))
+
+	file, err := pagefile.ReadFile(br)
+	if err != nil {
+		return nil, err
+	}
+	if file.PageSize() != opts.PageSize {
+		return nil, fmt.Errorf("rstar: page size mismatch: options %d, file %d", opts.PageSize, file.PageSize())
+	}
+	if height < 1 || size < 0 {
+		return nil, fmt.Errorf("rstar: implausible stored state height=%d size=%d", height, size)
+	}
+	return &Tree{
+		opts:   opts,
+		file:   file,
+		buf:    pagefile.NewBuffer(file, opts.BufferPages),
+		root:   root,
+		height: height,
+		size:   size,
+	}, nil
+}

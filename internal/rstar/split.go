@@ -1,0 +1,110 @@
+package rstar
+
+import (
+	"sort"
+
+	"stindex/internal/geom"
+)
+
+// splitNode performs the R* split of an overflowing node: choose the split
+// axis by minimal margin sum, then the distribution along that axis by
+// minimal overlap (ties: minimal total volume). The node keeps the first
+// group; a freshly allocated sibling receives the second. The sibling is
+// returned unwritten.
+func (t *Tree) splitNode(n *node) (*node, error) {
+	group1, group2 := chooseSplit(n.entries, t.opts.MinEntries)
+	n.entries = group1
+	sibling := &node{id: t.file.Allocate(), leaf: n.leaf, entries: group2}
+	return sibling, nil
+}
+
+// chooseSplit partitions entries (len M+1) into two groups per the R*
+// algorithm with minimum group size m.
+func chooseSplit(entries []entry, m int) (g1, g2 []entry) {
+	axis := chooseSplitAxis(entries, m)
+	return chooseSplitIndex(entries, m, axis)
+}
+
+// sortEntries orders entries along an axis by lower value then upper value.
+func sortEntries(entries []entry, axis int, byUpper bool) []entry {
+	out := make([]entry, len(entries))
+	copy(out, entries)
+	sort.SliceStable(out, func(i, j int) bool {
+		if byUpper {
+			if out[i].box.Max[axis] != out[j].box.Max[axis] {
+				return out[i].box.Max[axis] < out[j].box.Max[axis]
+			}
+			return out[i].box.Min[axis] < out[j].box.Min[axis]
+		}
+		if out[i].box.Min[axis] != out[j].box.Min[axis] {
+			return out[i].box.Min[axis] < out[j].box.Min[axis]
+		}
+		return out[i].box.Max[axis] < out[j].box.Max[axis]
+	})
+	return out
+}
+
+// distributions enumerates the R* candidate splits of a sorted entry list:
+// for k = m..M+1-m, group1 = first k entries.
+func forEachDistribution(sorted []entry, m int, fn func(k int, b1, b2 geom.Box3)) {
+	n := len(sorted)
+	// prefix[i] = bbox of sorted[:i], suffix[i] = bbox of sorted[i:].
+	prefix := make([]geom.Box3, n+1)
+	suffix := make([]geom.Box3, n+1)
+	prefix[0] = geom.EmptyBox3()
+	suffix[n] = geom.EmptyBox3()
+	for i := 0; i < n; i++ {
+		prefix[i+1] = prefix[i].UnionBox3(sorted[i].box)
+		suffix[n-1-i] = suffix[n-i].UnionBox3(sorted[n-1-i].box)
+	}
+	for k := m; k <= n-m; k++ {
+		fn(k, prefix[k], suffix[k])
+	}
+}
+
+// chooseSplitAxis returns the axis whose candidate distributions have the
+// smallest total margin.
+func chooseSplitAxis(entries []entry, m int) int {
+	bestAxis, bestMargin := 0, 0.0
+	for axis := 0; axis < 3; axis++ {
+		margin := 0.0
+		for _, byUpper := range [2]bool{false, true} {
+			sorted := sortEntries(entries, axis, byUpper)
+			forEachDistribution(sorted, m, func(_ int, b1, b2 geom.Box3) {
+				margin += b1.Margin() + b2.Margin()
+			})
+		}
+		if axis == 0 || margin < bestMargin {
+			bestAxis, bestMargin = axis, margin
+		}
+	}
+	return bestAxis
+}
+
+// chooseSplitIndex picks, along the chosen axis, the distribution with the
+// least overlap between the two groups, breaking ties by total volume.
+func chooseSplitIndex(entries []entry, m, axis int) (g1, g2 []entry) {
+	type best struct {
+		sorted  []entry
+		k       int
+		overlap float64
+		volume  float64
+		set     bool
+	}
+	var b best
+	for _, byUpper := range [2]bool{false, true} {
+		sorted := sortEntries(entries, axis, byUpper)
+		forEachDistribution(sorted, m, func(k int, b1, b2 geom.Box3) {
+			overlap := b1.OverlapVolume(b2)
+			volume := b1.Volume() + b2.Volume()
+			if !b.set || overlap < b.overlap || (overlap == b.overlap && volume < b.volume) {
+				b = best{sorted: sorted, k: k, overlap: overlap, volume: volume, set: true}
+			}
+		})
+	}
+	g1 = make([]entry, b.k)
+	copy(g1, b.sorted[:b.k])
+	g2 = make([]entry, len(b.sorted)-b.k)
+	copy(g2, b.sorted[b.k:])
+	return g1, g2
+}

@@ -1,0 +1,48 @@
+package split
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkDPSplit(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{20, 50, 100} {
+		o := randObject(rng, 0, n)
+		b.Run(map[int]string{20: "n20", 50: "n50", 100: "n100"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				DPSplit(o, n/2)
+			}
+		})
+	}
+}
+
+func BenchmarkMergeSplit(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{20, 100, 500} {
+		o := randObject(rng, 0, n)
+		b.Run(map[int]string{20: "n20", 100: "n100", 500: "n500"}[n], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MergeSplit(o, n/2)
+			}
+		})
+	}
+}
+
+func BenchmarkMergeCurve(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	o := randObject(rng, 0, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		MergeCurve(o, 99)
+	}
+}
+
+func BenchmarkDPCurve(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	o := randObject(rng, 0, 100)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DPCurve(o, 99)
+	}
+}

@@ -1,0 +1,170 @@
+package split
+
+import (
+	"stindex/internal/geom"
+	"stindex/internal/trajectory"
+)
+
+// Measure maps a box (spatial rectangle × duration) to the quantity a
+// splitting algorithm minimises. The paper's §III algorithms minimise the
+// space-time volume; its §IV observes that "the real objective ... is not
+// to minimize the total volume itself, but to reduce the cost of
+// answering a query": under Pagel's formula, a record's contribution to
+// the expected accesses of uniformly placed queries of extents (qx, qy)
+// is proportional to (w+qx)(h+qy) per alive instant — QueryCostMeasure.
+type Measure func(r geom.Rect, length int64) float64
+
+// VolumeMeasure is the paper's §III objective: area × duration.
+func VolumeMeasure(r geom.Rect, length int64) float64 {
+	return r.Area() * float64(length)
+}
+
+// QueryCostMeasure returns the §IV objective for query extents (qx, qy):
+// the record's expected access mass under uniformly placed windows,
+// (w+qx)(h+qy) × duration.
+func QueryCostMeasure(qx, qy float64) Measure {
+	return func(r geom.Rect, length int64) float64 {
+		return (r.MaxX - r.MinX + qx) * (r.MaxY - r.MinY + qy) * float64(length)
+	}
+}
+
+// DPSplitMeasure is DPSplit under an arbitrary measure.
+func DPSplitMeasure(o *trajectory.Object, k int, m Measure) Result {
+	n := o.Len()
+	k = ClampSplits(k, n)
+	if k == 0 {
+		return buildResultMeasure(o, nil, m)
+	}
+	_, parent := dpTableMeasure(o, k, m)
+	cuts := make([]int, 0, k)
+	i := n
+	for l := k; l >= 1 && i > 1; l-- {
+		j := int(parent[l][i])
+		if j <= 0 || j >= i {
+			break
+		}
+		cuts = append(cuts, j)
+		i = j
+	}
+	sortCuts(cuts)
+	return buildResultMeasure(o, cuts, m)
+}
+
+// DPCurveMeasure is DPCurve under an arbitrary measure.
+func DPCurveMeasure(o *trajectory.Object, maxSplits int, m Measure) []float64 {
+	n := o.Len()
+	k := ClampSplits(maxSplits, n)
+	vol, _ := dpTableMeasure(o, k, m)
+	curve := make([]float64, maxSplits+1)
+	for l := 0; l <= maxSplits; l++ {
+		if l <= k {
+			curve[l] = vol[l][n]
+		} else {
+			curve[l] = vol[k][n]
+		}
+	}
+	return curve
+}
+
+// dpTableMeasure generalises dpTable to any measure.
+func dpTableMeasure(o *trajectory.Object, k int, m Measure) (vol [][]float64, parent [][]int32) {
+	n := o.Len()
+	vol = make([][]float64, k+1)
+	parent = make([][]int32, k+1)
+	for l := 0; l <= k; l++ {
+		vol[l] = make([]float64, n+1)
+		parent[l] = make([]int32, n+1)
+	}
+	span := make([]float64, n)
+	for i := 1; i <= n; i++ {
+		spanMeasures(o, i, m, span)
+		vol[0][i] = span[0]
+		for l := 1; l <= k; l++ {
+			if l >= i {
+				vol[l][i] = vol[i-1][i]
+				parent[l][i] = parent[i-1][i]
+				continue
+			}
+			best := vol[l-1][l] + span[l]
+			bestJ := int32(l)
+			for j := l + 1; j < i; j++ {
+				if c := vol[l-1][j] + span[j]; c < best {
+					best = c
+					bestJ = int32(j)
+				}
+			}
+			vol[l][i] = best
+			parent[l][i] = bestJ
+		}
+	}
+	return vol, parent
+}
+
+// spanMeasures fills dst[j] with measure(BoxOf(j, end)) via one backward
+// union sweep, the measure-generic SpanVolumes.
+func spanMeasures(o *trajectory.Object, end int, m Measure, dst []float64) {
+	r := geom.EmptyRect()
+	for j := end - 1; j >= 0; j-- {
+		r = r.Union(o.InstantRect(j))
+		dst[j] = m(r, int64(end-j))
+	}
+}
+
+// MergeSplitMeasure is MergeSplit under an arbitrary measure; the greedy
+// pairwise merging minimises the measure increase at every step.
+func MergeSplitMeasure(o *trajectory.Object, k int, m Measure) Result {
+	cuts := mergeRun(o, k, m, nil)
+	return buildResultMeasure(o, cuts, m)
+}
+
+// MergeCurveMeasure is MergeCurve under an arbitrary measure.
+func MergeCurveMeasure(o *trajectory.Object, maxSplits int, m Measure) []float64 {
+	n := o.Len()
+	k := ClampSplits(maxSplits, n)
+	curve := make([]float64, maxSplits+1)
+	mergeRun(o, 0, m, func(splitsLeft int, total float64) {
+		if splitsLeft <= k {
+			curve[splitsLeft] = total
+		}
+	})
+	for l := k + 1; l <= maxSplits; l++ {
+		curve[l] = curve[k]
+	}
+	return curve
+}
+
+// QueryAwareCurve adapts a measure into an alloc.CurveFunc-compatible
+// closure built on the merge heuristic.
+func QueryAwareCurve(m Measure) func(o *trajectory.Object, maxSplits int) []float64 {
+	return func(o *trajectory.Object, maxSplits int) []float64 {
+		return MergeCurveMeasure(o, maxSplits, m)
+	}
+}
+
+// QueryAwareSplitter adapts a measure into a single-object splitter.
+func QueryAwareSplitter(m Measure) func(o *trajectory.Object, k int) Result {
+	return func(o *trajectory.Object, k int) Result {
+		return MergeSplitMeasure(o, k, m)
+	}
+}
+
+// buildResultMeasure materialises boxes and totals them under the measure.
+// Result.Volume holds the measure total (for VolumeMeasure this is the
+// usual space-time volume).
+func buildResultMeasure(o *trajectory.Object, cuts []int, m Measure) Result {
+	r := buildResult(o, cuts)
+	total := 0.0
+	for _, b := range r.Boxes {
+		total += m(b.Rect, b.Interval.Length())
+	}
+	r.Volume = total
+	return r
+}
+
+func sortCuts(cuts []int) {
+	for i := 1; i < len(cuts); i++ {
+		for j := i; j > 0 && cuts[j] < cuts[j-1]; j-- {
+			cuts[j], cuts[j-1] = cuts[j-1], cuts[j]
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package split implements the paper's single-object splitting algorithms
+// (§III-A): given a spatiotemporal object as a sequence of n per-instant
+// rectangles and a budget of k artificial splits, cover the object with
+// k+1 consecutive boxes of minimal total volume.
+//
+//   - DPSplit is the optimal O(n²k) dynamic program of §III-A.1.
+//   - MergeSplit is the greedy O(n log n) bottom-up merging heuristic of
+//     §III-A.2 (figure 8).
+//   - Piecewise splits at the instants where the motion changes
+//     characteristics, the baseline of [21] used in figures 17/18.
+//
+// Splits are always along the time axis only. A split at local index p
+// means the boxes ...[a,p) and [p,b)... are separate records.
+package split
+
+import (
+	"fmt"
+	"sort"
+
+	"stindex/internal/geom"
+	"stindex/internal/trajectory"
+)
+
+// Result describes one splitting of an object: the cut positions (local
+// instant indices, strictly increasing, each in (0, n)), the resulting
+// boxes, and their total volume.
+type Result struct {
+	Object *trajectory.Object
+	// Cuts[i] is the local index at which box i ends and box i+1 starts.
+	Cuts  []int
+	Boxes []geom.Box
+	// Volume is the sum of Boxes[i].Volume().
+	Volume float64
+}
+
+// Splits returns the number of artificial splits the result used.
+func (r Result) Splits() int { return len(r.Cuts) }
+
+// buildResult materialises boxes from cut positions.
+func buildResult(o *trajectory.Object, cuts []int) Result {
+	n := o.Len()
+	boxes := make([]geom.Box, 0, len(cuts)+1)
+	total := 0.0
+	prev := 0
+	for _, c := range append(append([]int{}, cuts...), n) {
+		b := o.BoxOf(prev, c)
+		boxes = append(boxes, b)
+		total += b.Volume()
+		prev = c
+	}
+	return Result{Object: o, Cuts: cuts, Boxes: boxes, Volume: total}
+}
+
+// None returns the unsplit (single MBR) representation of o.
+func None(o *trajectory.Object) Result {
+	return buildResult(o, nil)
+}
+
+// Piecewise splits o at every instant where its motion changed
+// characteristics (polynomial segment boundaries). Objects constructed
+// without segment information yield the unsplit representation.
+func Piecewise(o *trajectory.Object) Result {
+	return buildResult(o, o.Breakpoints())
+}
+
+// ClampSplits returns the effective number of splits for an object of
+// length n: at most n-1 cuts are meaningful.
+func ClampSplits(k, n int) int {
+	if k > n-1 {
+		k = n - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	return k
+}
+
+// dpTable runs the paper's dynamic program and returns the full table:
+// vol[l][i] is the minimal total volume covering instants [0,i) using l
+// splits, and parent[l][i] is the start index of the last box in that
+// optimum. The budget k must already be clamped to [0, n-1].
+func dpTable(o *trajectory.Object, k int) (vol [][]float64, parent [][]int32) {
+	n := o.Len()
+	vol = make([][]float64, k+1)
+	parent = make([][]int32, k+1)
+	for l := 0; l <= k; l++ {
+		vol[l] = make([]float64, n+1)
+		parent[l] = make([]int32, n+1)
+	}
+	span := make([]float64, n) // span[j] = V[j, i) during the sweep for endpoint i
+	for i := 1; i <= n; i++ {
+		trajectory.SpanVolumes(o, i, span)
+		vol[0][i] = span[0]
+		for l := 1; l <= k; l++ {
+			if l >= i {
+				// More splits than cut slots: identical to using i-1 splits.
+				vol[l][i] = vol[i-1][i]
+				parent[l][i] = parent[i-1][i]
+				continue
+			}
+			best := vol[l-1][l] + span[l]
+			bestJ := int32(l)
+			for j := l + 1; j < i; j++ {
+				if c := vol[l-1][j] + span[j]; c < best {
+					best = c
+					bestJ = int32(j)
+				}
+			}
+			vol[l][i] = best
+			parent[l][i] = bestJ
+		}
+	}
+	return vol, parent
+}
+
+// DPSplit computes the optimal placement of k splits for o, minimising the
+// total volume of the k+1 boxes (paper §III-A.1, theorem 1). Budgets larger
+// than o.Len()-1 are clamped. Runs in O(n²·k) time and O(n·k) space.
+func DPSplit(o *trajectory.Object, k int) Result {
+	n := o.Len()
+	k = ClampSplits(k, n)
+	if k == 0 {
+		return buildResult(o, nil)
+	}
+	_, parent := dpTable(o, k)
+
+	// Walk the parent pointers back from (k, n) to recover cut positions.
+	cuts := make([]int, 0, k)
+	i := n
+	for l := k; l >= 1 && i > 1; l-- {
+		// Clamp the level to the effective budget at this prefix length.
+		eff := l
+		if eff >= i {
+			eff = i - 1
+		}
+		j := int(parent[eff][i])
+		if j <= 0 || j >= i {
+			break
+		}
+		cuts = append(cuts, j)
+		i = j
+	}
+	sort.Ints(cuts)
+	return buildResult(o, cuts)
+}
+
+// DPCurve returns the optimal total volume for every budget 0..maxSplits:
+// curve[l] is the volume of the best l-split representation of o. One call
+// costs the same as DPSplit(o, maxSplits).
+func DPCurve(o *trajectory.Object, maxSplits int) []float64 {
+	n := o.Len()
+	k := ClampSplits(maxSplits, n)
+	vol, _ := dpTable(o, k)
+	curve := make([]float64, maxSplits+1)
+	for l := 0; l <= maxSplits; l++ {
+		if l <= k {
+			curve[l] = vol[l][n]
+		} else {
+			curve[l] = vol[k][n]
+		}
+	}
+	return curve
+}
+
+// Validate checks the structural invariants of a result against its object:
+// cuts strictly increasing inside (0, n); boxes consecutive and covering the
+// lifetime exactly; every instant rectangle contained in its box.
+func (r Result) Validate() error {
+	o := r.Object
+	n := o.Len()
+	prev := 0
+	for _, c := range r.Cuts {
+		if c <= prev || c >= n {
+			return fmt.Errorf("split: cut %d out of order for object of length %d", c, n)
+		}
+		prev = c
+	}
+	if len(r.Boxes) != len(r.Cuts)+1 {
+		return fmt.Errorf("split: %d cuts but %d boxes", len(r.Cuts), len(r.Boxes))
+	}
+	lo := o.Start()
+	for bi, b := range r.Boxes {
+		if b.Start != lo {
+			return fmt.Errorf("split: box %d starts at %d, want %d", bi, b.Start, lo)
+		}
+		if !b.ValidInterval() {
+			return fmt.Errorf("split: box %d has empty interval %v", bi, b.Interval)
+		}
+		for t := b.Start; t < b.End; t++ {
+			if !b.Rect.Contains(o.At(t)) {
+				return fmt.Errorf("split: box %d %v does not contain instant %d rect %v", bi, b, t, o.At(t))
+			}
+		}
+		lo = b.End
+	}
+	if lo != o.End() {
+		return fmt.Errorf("split: boxes end at %d, want %d", lo, o.End())
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package stio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"stindex/internal/geom"
+)
+
+// FuzzReadRecords feeds arbitrary bytes to the record parser: it must
+// either error out or return structurally valid records, never panic.
+func FuzzReadRecords(f *testing.F) {
+	var seed bytes.Buffer
+	_ = WriteRecords(&seed, []Record{{
+		Rect:     geom.Rect{MinX: 0.1, MinY: 0.2, MaxX: 0.3, MaxY: 0.4},
+		Interval: geom.Interval{Start: 1, End: 5},
+		ObjectID: 7,
+	}})
+	f.Add(seed.String())
+	f.Add(`{"id":1,"start":0,"end":5,"minx":0,"miny":0,"maxx":1,"maxy":1}`)
+	f.Add(`{"id":1,"start":9,"end":5}`)
+	f.Add("")
+	f.Add("{")
+	f.Fuzz(func(t *testing.T, data string) {
+		recs, err := ReadRecords(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, r := range recs {
+			if !r.Rect.Valid() || !r.Interval.ValidInterval() {
+				t.Fatalf("record %d structurally invalid: %+v", i, r)
+			}
+		}
+	})
+}
+
+// FuzzReadObjects feeds arbitrary bytes to the object parser.
+func FuzzReadObjects(f *testing.F) {
+	f.Add(`{"id":1,"start":0,"rects":[[0,0,1,1],[0,0,1,1]],"breaks":[1]}`)
+	f.Add(`{"id":1,"start":0,"rects":[[1,1,0,0]]}`)
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		objs, err := ReadObjects(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, o := range objs {
+			if o.Len() < 1 {
+				t.Fatal("parsed object with no instants")
+			}
+			for i := 0; i < o.Len(); i++ {
+				if !o.InstantRect(i).Valid() {
+					t.Fatalf("object %d instant %d invalid", o.ID, i)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadObservations feeds arbitrary bytes to the observation parser.
+func FuzzReadObservations(f *testing.F) {
+	f.Add(`{"id":1,"t":5,"minx":0,"miny":0,"maxx":1,"maxy":1}`)
+	f.Add(`{"id":1,"t":5,"final":true}`)
+	f.Add("junk")
+	f.Fuzz(func(t *testing.T, data string) {
+		obs, err := ReadObservations(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, o := range obs {
+			if !o.Final && !o.Rect.Valid() {
+				t.Fatalf("observation %d has invalid rect", i)
+			}
+		}
+	})
+}

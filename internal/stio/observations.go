@@ -1,0 +1,92 @@
+package stio
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"stindex/internal/geom"
+	"stindex/internal/trajectory"
+)
+
+// Observation is one event of an online feed: object ObjectID occupies
+// Rect at instant T; Final events instead mark the end of the object's
+// lifetime at T (its last position was at T-1).
+type Observation struct {
+	ObjectID int64
+	T        int64
+	Rect     geom.Rect
+	Final    bool
+}
+
+type observationLine struct {
+	ObjectID int64   `json:"id"`
+	T        int64   `json:"t"`
+	MinX     float64 `json:"minx,omitempty"`
+	MinY     float64 `json:"miny,omitempty"`
+	MaxX     float64 `json:"maxx,omitempty"`
+	MaxY     float64 `json:"maxy,omitempty"`
+	Final    bool    `json:"final,omitempty"`
+}
+
+// WriteObservations streams events to w, one JSON object per line.
+func WriteObservations(w io.Writer, obs []Observation) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, o := range obs {
+		line := observationLine{ObjectID: o.ObjectID, T: o.T, Final: o.Final}
+		if !o.Final {
+			line.MinX, line.MinY, line.MaxX, line.MaxY = o.Rect.MinX, o.Rect.MinY, o.Rect.MaxX, o.Rect.MaxY
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadObservations parses a stream written by WriteObservations.
+func ReadObservations(r io.Reader) ([]Observation, error) {
+	dec := json.NewDecoder(bufio.NewReader(r))
+	var out []Observation
+	for lineNo := 1; ; lineNo++ {
+		var line observationLine
+		if err := dec.Decode(&line); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("stio: observation %d: %w", lineNo, err)
+		}
+		o := Observation{ObjectID: line.ObjectID, T: line.T, Final: line.Final}
+		if !line.Final {
+			o.Rect = geom.Rect{MinX: line.MinX, MinY: line.MinY, MaxX: line.MaxX, MaxY: line.MaxY}
+			if !o.Rect.Valid() {
+				return nil, fmt.Errorf("stio: observation %d: invalid rect", lineNo)
+			}
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// ObservationsFromObjects flattens a dataset into a time-ordered event
+// stream: one observation per alive object per instant, plus a final
+// event when each object disappears. Within one instant, final events
+// come first (delete-before-insert discipline).
+func ObservationsFromObjects(objs []*trajectory.Object) []Observation {
+	var out []Observation
+	for _, o := range objs {
+		for t := o.Start(); t < o.End(); t++ {
+			out = append(out, Observation{ObjectID: o.ID, T: t, Rect: o.At(t)})
+		}
+		out = append(out, Observation{ObjectID: o.ID, T: o.End(), Final: true})
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].T != out[b].T {
+			return out[a].T < out[b].T
+		}
+		return out[a].Final && !out[b].Final
+	})
+	return out
+}

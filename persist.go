@@ -1,0 +1,136 @@
+package stindex
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"stindex/internal/pprtree"
+	"stindex/internal/rstar"
+)
+
+// Index image layout (little endian):
+//
+//	magic   [4]byte "STIX"
+//	version uint32  1
+//	kind    uint8   1 = ppr, 2 = rstar
+//	extra   rstar only: timeScale float64
+//	owners  count uint64, then count × int64 object ids
+//	tree    the structure's own image
+const (
+	indexMagic   = "STIX"
+	indexVersion = 1
+	kindPPR      = 1
+	kindRStar    = 2
+)
+
+func writeIndexHeader(w io.Writer, kind byte, owners []int64, extra []byte) (int64, error) {
+	var n int64
+	buf := make([]byte, 0, 4+4+1+len(extra)+8+8*len(owners))
+	buf = append(buf, indexMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, indexVersion)
+	buf = append(buf, kind)
+	buf = append(buf, extra...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(owners)))
+	for _, id := range owners {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	m, err := w.Write(buf)
+	return n + int64(m), err
+}
+
+func readIndexHeader(br *bufio.Reader, wantKind byte, extraLen int) (owners []int64, extra []byte, err error) {
+	head := make([]byte, 4+4+1)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, nil, fmt.Errorf("stindex: reading index header: %w", err)
+	}
+	if string(head[:4]) != indexMagic {
+		return nil, nil, fmt.Errorf("stindex: bad index magic %q", head[:4])
+	}
+	if v := binary.LittleEndian.Uint32(head[4:]); v != indexVersion {
+		return nil, nil, fmt.Errorf("stindex: unsupported index version %d", v)
+	}
+	if head[8] != wantKind {
+		return nil, nil, fmt.Errorf("stindex: index kind %d, want %d", head[8], wantKind)
+	}
+	extra = make([]byte, extraLen)
+	if _, err := io.ReadFull(br, extra); err != nil {
+		return nil, nil, err
+	}
+	var cnt [8]byte
+	if _, err := io.ReadFull(br, cnt[:]); err != nil {
+		return nil, nil, err
+	}
+	count := binary.LittleEndian.Uint64(cnt[:])
+	if count > 1<<32 {
+		return nil, nil, fmt.Errorf("stindex: implausible owner count %d", count)
+	}
+	// The count is untrusted input: let reading drive the allocation
+	// instead of pre-sizing from the header.
+	var v [8]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, v[:]); err != nil {
+			return nil, nil, err
+		}
+		owners = append(owners, int64(binary.LittleEndian.Uint64(v[:])))
+	}
+	return owners, extra, nil
+}
+
+// WriteTo serialises the index — records, tree pages and all — so it can
+// be reloaded with ReadPPRIndex without rebuilding. Implements
+// io.WriterTo.
+func (x *PPRIndex) WriteTo(w io.Writer) (int64, error) {
+	n, err := writeIndexHeader(w, kindPPR, x.owners, nil)
+	if err != nil {
+		return n, err
+	}
+	tn, err := x.tree.WriteTo(w)
+	return n + tn, err
+}
+
+// ReadPPRIndex loads an index image written by (*PPRIndex).WriteTo. The
+// buffer pool starts cold.
+func ReadPPRIndex(r io.Reader) (*PPRIndex, error) {
+	br := bufio.NewReader(r)
+	owners, _, err := readIndexHeader(br, kindPPR, 0)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := pprtree.ReadTree(br)
+	if err != nil {
+		return nil, err
+	}
+	return &PPRIndex{tree: tree, owners: owners}, nil
+}
+
+// WriteTo serialises the index for ReadRStarIndex. Implements io.WriterTo.
+func (x *RStarIndex) WriteTo(w io.Writer) (int64, error) {
+	extra := binary.LittleEndian.AppendUint64(nil, math.Float64bits(x.timeScale))
+	n, err := writeIndexHeader(w, kindRStar, x.owners, extra)
+	if err != nil {
+		return n, err
+	}
+	tn, err := x.tree.WriteTo(w)
+	return n + tn, err
+}
+
+// ReadRStarIndex loads an index image written by (*RStarIndex).WriteTo.
+func ReadRStarIndex(r io.Reader) (*RStarIndex, error) {
+	br := bufio.NewReader(r)
+	owners, extra, err := readIndexHeader(br, kindRStar, 8)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := rstar.ReadTree(br)
+	if err != nil {
+		return nil, err
+	}
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(extra))
+	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+		return nil, fmt.Errorf("stindex: implausible stored time scale %g", scale)
+	}
+	return &RStarIndex{tree: tree, owners: owners, timeScale: scale}, nil
+}

@@ -1,0 +1,135 @@
+package stindex
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPPRIndexRoundTrip(t *testing.T) {
+	objs := genObjects(t, 300, 21)
+	records, _, err := SplitDataset(objs, SplitConfig{Budget: 450})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := BuildPPR(records, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadPPRIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Records() != orig.Records() || loaded.Pages() != orig.Pages() {
+		t.Fatalf("loaded index shape differs: %d/%d records, %d/%d pages",
+			loaded.Records(), orig.Records(), loaded.Pages(), orig.Pages())
+	}
+	if _, err := loaded.Tree().Validate(); err != nil {
+		t.Fatalf("loaded tree invalid: %v", err)
+	}
+	queries, err := GenerateQueries(QuerySnapshotMixed, 1000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries[:80] {
+		a, err := RunQuery(orig, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunQuery(loaded, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(a), sortedIDs(b)) {
+			t.Fatalf("query %d: original %d results, loaded %d", qi, len(a), len(b))
+		}
+	}
+	// Identical cold-cache I/O: the loaded tree is byte-identical.
+	orig.ResetBuffer()
+	loaded.ResetBuffer()
+	if _, err := RunQuery(orig, queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunQuery(loaded, queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if orig.IOStats() != loaded.IOStats() {
+		t.Fatalf("I/O differs after reload: %+v vs %+v", orig.IOStats(), loaded.IOStats())
+	}
+}
+
+func TestRStarIndexRoundTrip(t *testing.T) {
+	objs := genObjects(t, 300, 22)
+	records, _, err := SplitDataset(objs, SplitConfig{Budget: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := BuildRStar(records, RStarOptions{ShuffleSeed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := orig.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadRStarIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.TimeScale() != orig.TimeScale() {
+		t.Fatalf("time scale differs: %g vs %g", loaded.TimeScale(), orig.TimeScale())
+	}
+	if err := loaded.Tree().Validate(); err != nil {
+		t.Fatalf("loaded tree invalid: %v", err)
+	}
+	queries, err := GenerateQueries(QueryRangeSmall, 1000, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi, q := range queries[:80] {
+		a, err := RunQuery(orig, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunQuery(loaded, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !equalIDs(sortedIDs(a), sortedIDs(b)) {
+			t.Fatalf("query %d: original %d results, loaded %d", qi, len(a), len(b))
+		}
+	}
+}
+
+func TestPersistRejectsGarbage(t *testing.T) {
+	if _, err := ReadPPRIndex(strings.NewReader("garbage data stream")); err == nil {
+		t.Fatal("accepted garbage as a PPR image")
+	}
+	if _, err := ReadRStarIndex(strings.NewReader("garbage data stream")); err == nil {
+		t.Fatal("accepted garbage as an R* image")
+	}
+
+	// Kind mismatch: a PPR image is not an R* image.
+	objs := genObjects(t, 50, 23)
+	records := UnsplitRecords(objs)
+	ppr, err := BuildPPR(records, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ppr.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadRStarIndex(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("loaded a PPR image as an R* index")
+	}
+
+	// Truncated image.
+	if _, err := ReadPPRIndex(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("accepted a truncated image")
+	}
+}

@@ -1,0 +1,179 @@
+package stindex
+
+import (
+	"fmt"
+
+	"stindex/internal/geom"
+	"stindex/internal/pprtree"
+	"stindex/internal/stream"
+)
+
+// StreamOptions configures a StreamIndex.
+type StreamOptions struct {
+	// Lambda is the per-record storage penalty of the online split rule:
+	// the current lifetime piece is cut when extending it would inflate
+	// the representation volume by more than the new observation's own
+	// volume plus Lambda. Zero cuts eagerly; large values approach the
+	// unsplit representation. CalibrateLambda finds a value that meets a
+	// records-per-object target.
+	Lambda float64
+	// PPR configures the underlying partially persistent R-tree.
+	PPR PPROptions
+}
+
+// StreamIndex is the on-line version of the index — the future work the
+// paper's conclusion calls out. Observations arrive in time order; split
+// decisions are made without seeing the future; historical snapshot and
+// range queries are answerable at any moment, including for still-live
+// objects.
+type StreamIndex struct {
+	ix *stream.Indexer
+}
+
+// NewStreamIndex creates an empty streaming index whose history begins at
+// startTime.
+func NewStreamIndex(opts StreamOptions, startTime int64) (*StreamIndex, error) {
+	ix, err := stream.New(stream.Options{
+		Lambda: opts.Lambda,
+		Tree: pprtree.Options{
+			MaxEntries:  opts.PPR.MaxEntries,
+			PVersion:    opts.PPR.PVersion,
+			PSvo:        opts.PPR.PSvo,
+			PSvu:        opts.PPR.PSvu,
+			PageSize:    opts.PPR.PageSize,
+			BufferPages: opts.PPR.BufferPages,
+		},
+	}, startTime)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamIndex{ix: ix}, nil
+}
+
+// Observe reports that object objID occupies r at time t. Observations
+// must be globally non-decreasing in time and consecutive per object; use
+// Finish when an object disappears (it may reappear later).
+func (s *StreamIndex) Observe(objID, t int64, r Rect) error {
+	return s.ix.Observe(objID, t, r.internal())
+}
+
+// Finish ends object objID's current lifetime at t (its last observation
+// was at t-1).
+func (s *StreamIndex) Finish(objID, t int64) error { return s.ix.Finish(objID, t) }
+
+// FinishAll ends every live object at t.
+func (s *StreamIndex) FinishAll(t int64) error { return s.ix.FinishAll(t) }
+
+// Snapshot returns the objects whose piece rectangles intersect r at
+// instant t — past or present.
+func (s *StreamIndex) Snapshot(r Rect, t int64) ([]int64, error) {
+	return s.ix.Snapshot(r.internal(), t)
+}
+
+// Range returns the objects whose piece rectangles intersect r during iv.
+func (s *StreamIndex) Range(r Rect, iv Interval) ([]int64, error) {
+	return s.ix.Range(r.internal(), iv.internal())
+}
+
+// ResetBuffer empties the LRU pool and zeroes the I/O counters.
+func (s *StreamIndex) ResetBuffer() { s.ix.Tree().Buffer().Reset() }
+
+// IOStats returns buffer traffic since the last reset.
+func (s *StreamIndex) IOStats() IOStats {
+	st := s.ix.Tree().Buffer().Stats()
+	return IOStats{Reads: st.Reads, Writes: st.Writes, Hits: st.Hits}
+}
+
+// Pages returns the index's live page count.
+func (s *StreamIndex) Pages() int { return s.ix.Tree().File().NumPages() }
+
+// Bytes returns the index's disk footprint.
+func (s *StreamIndex) Bytes() int64 { return s.ix.Tree().File().Bytes() }
+
+// Records returns the number of lifetime pieces created so far.
+func (s *StreamIndex) Records() int { return s.ix.Records() }
+
+// Cuts returns how many artificial splits the online rule performed.
+func (s *StreamIndex) Cuts() int { return s.ix.Cuts() }
+
+// Live returns the number of currently open objects.
+func (s *StreamIndex) Live() int { return s.ix.Live() }
+
+// Kind implements the Index naming convention.
+func (s *StreamIndex) Kind() string { return "stream-ppr" }
+
+// StreamIndex satisfies Index, so the measurement helpers and wrappers
+// (MeasureWorkload, Synchronized) work on it too.
+var _ Index = (*StreamIndex)(nil)
+
+// CalibrateLambda finds, by bisection on a sample of the objects, a
+// Lambda for which the online split rule produces approximately
+// targetRecordsPerObject lifetime pieces per object. The sample is
+// replayed through the real online rule, so the calibration accounts for
+// the data's actual motion patterns.
+func CalibrateLambda(sample []*Object, targetRecordsPerObject float64) (float64, error) {
+	if len(sample) == 0 {
+		return 0, fmt.Errorf("stindex: empty calibration sample")
+	}
+	if targetRecordsPerObject < 1 {
+		targetRecordsPerObject = 1
+	}
+	recordsAt := func(lambda float64) (float64, error) {
+		total := 0
+		for _, o := range sample {
+			total += onlinePieceCount(o, lambda)
+		}
+		return float64(total) / float64(len(sample)), nil
+	}
+	lo, hi := 0.0, 1.0
+	// Grow hi until it is loose enough to stop all cutting.
+	for i := 0; i < 60; i++ {
+		r, err := recordsAt(hi)
+		if err != nil {
+			return 0, err
+		}
+		if r <= targetRecordsPerObject {
+			break
+		}
+		hi *= 4
+	}
+	for i := 0; i < 48; i++ {
+		mid := (lo + hi) / 2
+		r, err := recordsAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if r > targetRecordsPerObject {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// onlinePieceCount simulates the online split rule on one object without
+// touching any index.
+func onlinePieceCount(o *Object, lambda float64) int {
+	pieces := 1
+	var cur geom.Rect
+	length := 0
+	lt := o.Lifetime()
+	for t := lt.Start; t < lt.End; t++ {
+		r, _ := o.At(t)
+		ir := r.internal()
+		if length == 0 {
+			cur, length = ir, 1
+			continue
+		}
+		union := cur.Union(ir)
+		extendCost := union.Area()*float64(length+1) - cur.Area()*float64(length)
+		if extendCost > ir.Area()+lambda {
+			pieces++
+			cur, length = ir, 1
+			continue
+		}
+		cur, length = union, length+1
+	}
+	return pieces
+}
