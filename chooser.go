@@ -27,6 +27,11 @@ type ChooseBudgetConfig struct {
 	// Tolerance picks the smallest budget within this relative distance of
 	// the best predicted cost (default 5%).
 	Tolerance float64
+	// Parallelism is the worker count for curve construction and for
+	// evaluating the candidate budgets concurrently: 0 = GOMAXPROCS,
+	// 1 = serial. The chosen budget and prediction table are identical
+	// for every setting.
+	Parallelism int
 }
 
 // QueryProfile is the average window query of the expected workload.
@@ -63,7 +68,7 @@ func ChooseBudget(objs []*Object, cfg ChooseBudgetConfig) (BudgetCandidate, []Bu
 	cfg = cfg.withDefaults(len(objs))
 	costs, err := costmodel.EvaluateBudgets(innerObjects(objs), cfg.Budgets,
 		costmodel.QueryProfile{ExtentX: cfg.Profile.ExtentX, ExtentY: cfg.Profile.ExtentY, Duration: cfg.Profile.Duration},
-		costmodel.DefaultTreeModel(), 16)
+		costmodel.DefaultTreeModel(), 16, cfg.Parallelism)
 	if err != nil {
 		return BudgetCandidate{}, nil, err
 	}
@@ -113,7 +118,7 @@ func ChooseBudgetBySampling(objs []*Object, queries []Query, cfg ChooseBudgetCon
 	var table []BudgetCandidate
 	for _, budget := range cfg.Budgets {
 		scaled := int(float64(budget) * sampleFraction)
-		records, rep, err := SplitDataset(sample, SplitConfig{Budget: scaled})
+		records, rep, err := SplitDataset(sample, SplitConfig{Budget: scaled, Parallelism: cfg.Parallelism})
 		if err != nil {
 			return BudgetCandidate{}, nil, err
 		}

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"stindex/internal/experiments"
+	"stindex/internal/parallel"
 )
 
 var runners = []struct {
@@ -48,10 +49,12 @@ func main() {
 		sizes   = flag.String("sizes", "", "comma-separated dataset sizes overriding the defaults")
 		queries = flag.Int("queries", 0, "queries per set (default 1000)")
 		seed    = flag.Int64("seed", 1, "generation seed")
+		par     = flag.Int("parallelism", 0, "worker count for the split pipeline (0 = all cores, 1 = serial; results are identical either way)")
 	)
 	flag.Parse()
 
-	cfg := experiments.Config{FullScale: *full, Queries: *queries, Seed: *seed, Out: os.Stdout}
+	cfg := experiments.Config{FullScale: *full, Queries: *queries, Seed: *seed, Parallelism: *par, Out: os.Stdout}
+	fmt.Fprintf(os.Stderr, "stbench: split pipeline running on %d worker(s)\n", parallel.Workers(*par, -1))
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(s))

@@ -6,6 +6,7 @@
 //
 //	stquery -i records.jsonl -index ppr   -set snapshot-mixed
 //	stquery -i records.jsonl -index rstar -set range-small -queries 500
+//	stquery -i records.jsonl -index rstar-packed -parallelism 8 -set range-small
 //	stquery -i records.jsonl -index hybrid -set range-medium
 //	stquery -i records.jsonl -index ppr -rect 0.4,0.4,0.6,0.6 -t 500
 //	stquery -i records.jsonl -index ppr -save idx.ppr       # persist the built index
@@ -28,7 +29,8 @@ import (
 func main() {
 	var (
 		in       = flag.String("i", "", "input records (JSON lines from stsplit; default stdin)")
-		kind     = flag.String("index", "ppr", "index structure: ppr | rstar | hybrid | hr")
+		kind     = flag.String("index", "ppr", "index structure: ppr | rstar | rstar-packed | hybrid | hr")
+		par      = flag.Int("parallelism", 0, "worker count for bulk loading (rstar-packed): 0 = all cores, 1 = serial; the tree is identical either way")
 		save     = flag.String("save", "", "write the built index image to this file (ppr/rstar only)")
 		load     = flag.String("load", "", "load an index image instead of building from records")
 		describe = flag.Bool("describe", false, "print the index's physical shape and exit")
@@ -55,7 +57,7 @@ func main() {
 		if rerr != nil {
 			fatal(rerr)
 		}
-		idx, err = build(*kind, records)
+		idx, err = build(*kind, records, *par)
 		if err != nil {
 			fatal(err)
 		}
@@ -112,18 +114,20 @@ func main() {
 	fmt.Printf("set=%s queries=%d avg-io=%.2f avg-results=%.1f\n", *set, res.Queries, res.AvgIO, res.AvgResult)
 }
 
-func build(kind string, records []stx.Record) (stx.Index, error) {
+func build(kind string, records []stx.Record, parallelism int) (stx.Index, error) {
 	switch kind {
 	case "ppr":
 		return stx.BuildPPR(records, stx.PPROptions{})
 	case "rstar":
 		return stx.BuildRStar(records, stx.RStarOptions{ShuffleSeed: 42})
+	case "rstar-packed":
+		return stx.BuildRStarPacked(records, stx.RStarOptions{Parallelism: parallelism})
 	case "hybrid":
 		return stx.BuildHybrid(records, stx.HybridOptions{RStar: stx.RStarOptions{ShuffleSeed: 42}})
 	case "hr":
 		return stx.BuildHR(records, stx.HROptions{})
 	default:
-		return nil, fmt.Errorf("unknown index %q (want ppr, rstar, hybrid or hr)", kind)
+		return nil, fmt.Errorf("unknown index %q (want ppr, rstar, rstar-packed, hybrid or hr)", kind)
 	}
 }
 

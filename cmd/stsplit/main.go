@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"stindex/internal/alloc"
+	"stindex/internal/parallel"
 	"stindex/internal/split"
 	"stindex/internal/stio"
 	"stindex/internal/trajectory"
@@ -31,6 +32,7 @@ func main() {
 		baseline = flag.String("baseline", "", "bypass the budget pipeline: none | piecewise")
 		qx       = flag.Float64("qx", 0, "query-aware objective: expected query x-extent (0 = volume objective)")
 		qy       = flag.Float64("qy", 0, "query-aware objective: expected query y-extent")
+		par      = flag.Int("parallelism", 0, "worker count for curve construction and materialization (0 = all cores, 1 = serial; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -50,7 +52,7 @@ func main() {
 			results = append(results, split.Piecewise(o))
 		}
 	case "":
-		results, err = runPipeline(objs, *budget, *splitter, *dist, *qx, *qy)
+		results, err = runPipeline(objs, *budget, *splitter, *dist, *qx, *qy, *par)
 		if err != nil {
 			fatal(err)
 		}
@@ -82,11 +84,12 @@ func main() {
 	if err := stio.WriteRecords(w, records); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "objects=%d records=%d volume=%.4f (unsplit %.4f, gain %.1f%%)\n",
-		len(objs), len(records), total, unsplit, 100*(1-total/unsplit))
+	fmt.Fprintf(os.Stderr, "objects=%d records=%d volume=%.4f (unsplit %.4f, gain %.1f%%) workers=%d\n",
+		len(objs), len(records), total, unsplit, 100*(1-total/unsplit),
+		parallel.Workers(*par, len(objs)))
 }
 
-func runPipeline(objs []*trajectory.Object, budget int, splitter, dist string, qx, qy float64) ([]split.Result, error) {
+func runPipeline(objs []*trajectory.Object, budget int, splitter, dist string, qx, qy float64, workers int) ([]split.Result, error) {
 	var curveFn alloc.CurveFunc
 	var splitFn alloc.Splitter
 	queryAware := qx > 0 || qy > 0
@@ -115,7 +118,7 @@ func runPipeline(objs []*trajectory.Object, budget int, splitter, dist string, q
 	default:
 		return nil, fmt.Errorf("unknown splitter %q (want merge or dp)", splitter)
 	}
-	curves := alloc.BuildCurves(objs, curveFn)
+	curves := alloc.BuildCurvesParallel(objs, curveFn, workers)
 	var a alloc.Assignment
 	switch dist {
 	case "lagreedy":
@@ -127,7 +130,7 @@ func runPipeline(objs []*trajectory.Object, budget int, splitter, dist string, q
 	default:
 		return nil, fmt.Errorf("unknown distribution %q (want lagreedy, greedy or optimal)", dist)
 	}
-	return alloc.Materialize(objs, a, splitFn), nil
+	return alloc.MaterializeParallel(objs, a, splitFn, workers), nil
 }
 
 func readObjects(path string) ([]*trajectory.Object, error) {

@@ -183,6 +183,11 @@ type RStarOptions struct {
 	// TimeScale overrides the time-axis scaling; 0 scales the records'
 	// overall horizon to the unit range.
 	TimeScale float64
+	// Parallelism is the worker count for the packed builder
+	// (BuildRStarPacked): 0 = GOMAXPROCS, 1 = serial. The packed tree is
+	// byte-identical for every setting. One-by-one insertion (BuildRStar)
+	// is inherently sequential and ignores it.
+	Parallelism int
 }
 
 // RStarIndex is a 3-dimensional R*-tree over the record set, time as the
@@ -281,6 +286,7 @@ func BuildRStarPacked(records []Record, opts RStarOptions) (*RStarIndex, error) 
 		ReinsertCount: opts.ReinsertCount,
 		PageSize:      opts.PageSize,
 		BufferPages:   opts.BufferPages,
+		Parallelism:   opts.Parallelism,
 	}, items)
 	if err != nil {
 		return nil, err

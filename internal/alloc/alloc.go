@@ -3,7 +3,8 @@
 // budget of K artificial splits, decide how many splits each object
 // receives so that the total volume of all resulting MBRs is minimal.
 //
-//   - Optimal is the O(N·K²) dynamic program of §III-B.1 (theorem 2).
+//   - Optimal is the O(N·K·min(K, max lifetime)) dynamic program of
+//     §III-B.1 (theorem 2).
 //   - Greedy assigns one split at a time to the object with the largest
 //     marginal gain (§III-B.2, figure 9).
 //   - LAGreedy refines Greedy with a look-ahead step (§III-B.3, figure 10)
@@ -20,12 +21,15 @@ package alloc
 import (
 	"fmt"
 
+	"stindex/internal/parallel"
 	"stindex/internal/trajectory"
 )
 
 // CurveFunc computes an object's volume curve up to maxSplits. curve[j]
 // must be the total volume with j splits, non-increasing in j, with
 // len(curve) == maxSplits+1. split.DPCurve and split.MergeCurve qualify.
+// BuildCurves invokes the function from multiple goroutines, so it must
+// be safe for concurrent calls (all splitters in package split are).
 type CurveFunc func(o *trajectory.Object, maxSplits int) []float64
 
 // Curves holds precomputed volume curves for a collection of objects.
@@ -36,12 +40,22 @@ type Curves struct {
 	curves [][]float64
 }
 
-// BuildCurves precomputes the volume curve of every object using fn.
+// BuildCurves precomputes the volume curve of every object using fn,
+// fanning the per-object work across GOMAXPROCS workers. Identical to
+// BuildCurvesParallel(objs, fn, 0).
 func BuildCurves(objs []*trajectory.Object, fn CurveFunc) *Curves {
+	return BuildCurvesParallel(objs, fn, 0)
+}
+
+// BuildCurvesParallel precomputes volume curves with the given worker
+// count (0 = GOMAXPROCS, 1 = serial on the calling goroutine). Curve
+// construction is independent per object and each result lands in its
+// own slot, so every worker count produces bit-identical Curves.
+func BuildCurvesParallel(objs []*trajectory.Object, fn CurveFunc, workers int) *Curves {
 	cs := &Curves{objs: objs, curves: make([][]float64, len(objs))}
-	for i, o := range objs {
-		cs.curves[i] = fn(o, o.Len()-1)
-	}
+	parallel.ForEach(len(objs), workers, func(i int) {
+		cs.curves[i] = fn(objs[i], objs[i].Len()-1)
+	})
 	return cs
 }
 

@@ -1,6 +1,7 @@
 package alloc
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -20,6 +21,38 @@ func BenchmarkBuildCurves(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		BuildCurves(objs, split.MergeCurve)
+	}
+}
+
+// BenchmarkBuildCurvesParallel measures curve construction across worker
+// counts on the ISSUE's N >= 5000 scale; workers=1 is the serial
+// baseline, workers=0 resolves to GOMAXPROCS.
+func BenchmarkBuildCurvesParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	objs := randObjects(rng, 5000, 60)
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				BuildCurvesParallel(objs, split.MergeCurve, workers)
+			}
+		})
+	}
+}
+
+// BenchmarkMaterializeParallel measures record materialization across
+// worker counts under a 150% budget.
+func BenchmarkMaterializeParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	objs := randObjects(rng, 5000, 60)
+	a := LAGreedy(BuildCurvesParallel(objs, split.MergeCurve, 0), 7500)
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				MaterializeParallel(objs, a, split.MergeSplit, workers)
+			}
+		})
 	}
 }
 

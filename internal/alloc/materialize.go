@@ -1,25 +1,38 @@
 package alloc
 
 import (
+	"stindex/internal/parallel"
 	"stindex/internal/split"
 	"stindex/internal/trajectory"
 )
 
 // Splitter turns one object and a split count into a concrete splitting.
-// split.DPSplit and split.MergeSplit qualify.
+// split.DPSplit and split.MergeSplit qualify. Materialize invokes the
+// splitter from multiple goroutines, so it must be safe for concurrent
+// calls (all splitters in package split are).
 type Splitter func(o *trajectory.Object, k int) split.Result
 
 // Materialize applies an assignment to the collection: object i is split
 // a.Splits[i] times using the given single-object splitter, producing the
-// MBR records that the index structures ingest.
+// MBR records that the index structures ingest. The per-object work is
+// fanned across GOMAXPROCS workers; identical to
+// MaterializeParallel(objs, a, splitter, 0).
 func Materialize(objs []*trajectory.Object, a Assignment, splitter Splitter) []split.Result {
+	return MaterializeParallel(objs, a, splitter, 0)
+}
+
+// MaterializeParallel is Materialize with an explicit worker count
+// (0 = GOMAXPROCS, 1 = serial). Result i depends only on object i and
+// a.Splits[i], so every worker count produces identical output in
+// identical order.
+func MaterializeParallel(objs []*trajectory.Object, a Assignment, splitter Splitter, workers int) []split.Result {
 	out := make([]split.Result, len(objs))
-	for i, o := range objs {
+	parallel.ForEach(len(objs), workers, func(i int) {
 		k := 0
 		if i < len(a.Splits) {
 			k = a.Splits[i]
 		}
-		out[i] = splitter(o, k)
-	}
+		out[i] = splitter(objs[i], k)
+	})
 	return out
 }

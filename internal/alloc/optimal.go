@@ -7,9 +7,10 @@ package alloc
 //	TV_l[i] = min_{0<=j<=l} { TV_{l-j}[i-1] + V_j[i] }
 //
 // in O(N·K·min(K, maxLifetime)) time and O(N·K) space for the
-// reconstruction table. Impractical for large budgets — that is the point
-// of the greedy algorithms — but it is the gold standard the experiments
-// compare against.
+// reconstruction table (the two rolling value rows are O(K)).
+// Impractical for large budgets — that is the point of the greedy
+// algorithms — but it is the gold standard the experiments compare
+// against.
 func Optimal(c *Curves, budget int) Assignment {
 	n := c.NumObjects()
 	if budget < 0 {
@@ -17,6 +18,12 @@ func Optimal(c *Curves, budget int) Assignment {
 	}
 	if t := c.TotalBudget(); budget > t {
 		budget = t
+	}
+	if budget == 0 || n == 0 {
+		// Nothing to distribute: skip the DP entirely instead of
+		// allocating value rows and a choice table it would never use.
+		splits := make([]int, n)
+		return Assignment{Splits: splits, Volume: volumeOf(c, splits)}
 	}
 	// prev[l] = minimal volume of the first i-1 objects using l splits.
 	prev := make([]float64, budget+1)

@@ -1,0 +1,84 @@
+package alloc
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"stindex/internal/split"
+)
+
+// TestParallelBuildCurvesMatchesSerial asserts the determinism guarantee
+// of the worker pool: any worker count yields curves bit-identical to the
+// one-worker (serial) run, for both curve builders. Run under -race this
+// also exercises the pooled DP/merge scratch buffers concurrently.
+func TestParallelBuildCurvesMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	objs := randObjects(rng, 300, 40)
+	builders := []struct {
+		name string
+		fn   CurveFunc
+	}{
+		{"merge", split.MergeCurve},
+		{"dp", split.DPCurve},
+	}
+	for _, bld := range builders {
+		want := BuildCurvesParallel(objs, bld.fn, 1)
+		for _, workers := range []int{2, runtime.NumCPU(), 0} {
+			got := BuildCurvesParallel(objs, bld.fn, workers)
+			if !reflect.DeepEqual(want.curves, got.curves) {
+				t.Fatalf("%s: workers=%d curves differ from serial", bld.name, workers)
+			}
+		}
+	}
+}
+
+// TestParallelMaterializeMatchesSerial checks that concurrent record
+// materialization reproduces the serial results exactly — same cuts, same
+// boxes, same volumes, same order.
+func TestParallelMaterializeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	objs := randObjects(rng, 200, 30)
+	c := BuildCurvesParallel(objs, split.MergeCurve, 1)
+	a := LAGreedy(c, 300)
+	want := MaterializeParallel(objs, a, split.MergeSplit, 1)
+	for _, workers := range []int{2, runtime.NumCPU(), 0} {
+		got := MaterializeParallel(objs, a, split.MergeSplit, workers)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d materialized results differ from serial", workers)
+		}
+	}
+}
+
+// TestOptimalEarlyExit covers the budget==0 / n==0 fast path: it must
+// produce the same (validated) assignment the DP would.
+func TestOptimalEarlyExit(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	objs := randObjects(rng, 20, 10)
+	c := BuildCurves(objs, split.MergeCurve)
+
+	a := Optimal(c, 0)
+	if err := a.Validate(c); err != nil {
+		t.Fatal(err)
+	}
+	if a.Used() != 0 {
+		t.Fatalf("budget 0 used %d splits", a.Used())
+	}
+	want := 0.0
+	for i := 0; i < c.NumObjects(); i++ {
+		want += c.Volume(i, 0)
+	}
+	if a.Volume != want {
+		t.Fatalf("budget 0 volume %g, want %g", a.Volume, want)
+	}
+
+	empty := BuildCurves(nil, split.MergeCurve)
+	ea := Optimal(empty, 5)
+	if err := ea.Validate(empty); err != nil {
+		t.Fatal(err)
+	}
+	if len(ea.Splits) != 0 || ea.Volume != 0 {
+		t.Fatalf("empty collection: got %+v", ea)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"stindex/internal/alloc"
 	"stindex/internal/geom"
+	"stindex/internal/parallel"
 	"stindex/internal/split"
 	"stindex/internal/trajectory"
 )
@@ -23,9 +24,14 @@ type CandidateCost struct {
 // MergeSplit curves), materialise the records, and feed per-instant
 // statistics of the split dataset into the analytical model of the
 // partially persistent index. sampleInstants controls how many time
-// instants the per-snapshot model is averaged over.
+// instants the per-snapshot model is averaged over. parallelism is the
+// worker count (0 = GOMAXPROCS, 1 = serial): the curves are built on all
+// workers, then the candidate budgets — each an independent
+// distribute/materialise/predict run over read-only curves — are
+// evaluated concurrently, with every result written to its own slot so
+// the table is identical for any worker count.
 func EvaluateBudgets(objs []*trajectory.Object, budgets []int, q QueryProfile,
-	model TreeModel, sampleInstants int) ([]CandidateCost, error) {
+	model TreeModel, sampleInstants, parallelism int) ([]CandidateCost, error) {
 
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -46,25 +52,35 @@ func EvaluateBudgets(objs []*trajectory.Object, budgets []int, q QueryProfile,
 		}
 	}
 
-	curves := alloc.BuildCurves(objs, split.MergeCurve)
-	out := make([]CandidateCost, 0, len(budgets))
-	for _, budget := range budgets {
+	curves := alloc.BuildCurvesParallel(objs, split.MergeCurve, parallelism)
+	out := make([]CandidateCost, len(budgets))
+	errs := make([]error, len(budgets))
+	parallel.ForEach(len(budgets), parallelism, func(i int) {
+		budget := budgets[i]
 		a := alloc.LAGreedy(curves, budget)
-		results := alloc.Materialize(objs, a, split.MergeSplit)
+		// The budget fan-out already occupies the pool, so each budget
+		// materialises serially.
+		results := alloc.MaterializeParallel(objs, a, split.MergeSplit, 1)
 		records := 0
 		for _, r := range results {
 			records += len(r.Boxes)
 		}
 		cost, err := avgSnapshotCost(results, q, model, minT, maxT, sampleInstants)
 		if err != nil {
-			return nil, err
+			errs[i] = err
+			return
 		}
-		out = append(out, CandidateCost{
+		out[i] = CandidateCost{
 			Budget:      budget,
 			PredictedIO: cost,
 			Records:     records,
 			TotalVolume: a.Volume,
-		})
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

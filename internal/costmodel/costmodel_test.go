@@ -139,7 +139,7 @@ func TestEvaluateBudgetsAndChoose(t *testing.T) {
 	}
 	budgets := []int{0, 150, 450}
 	q := QueryProfile{ExtentX: 0.02, ExtentY: 0.02, Duration: 1}
-	costs, err := EvaluateBudgets(objs, budgets, q, DefaultTreeModel(), 8)
+	costs, err := EvaluateBudgets(objs, budgets, q, DefaultTreeModel(), 8, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +183,7 @@ func TestEvaluateBudgetsAndChoose(t *testing.T) {
 	if _, err := ChooseBudget(nil, 0.1); err == nil {
 		t.Fatal("accepted empty candidate list")
 	}
-	if _, err := EvaluateBudgets(nil, budgets, q, DefaultTreeModel(), 8); err == nil {
+	if _, err := EvaluateBudgets(nil, budgets, q, DefaultTreeModel(), 8, 0); err == nil {
 		t.Fatal("accepted empty object list")
 	}
 }

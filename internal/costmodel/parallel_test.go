@@ -1,0 +1,33 @@
+package costmodel
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"stindex/internal/datagen"
+)
+
+// TestEvaluateBudgetsParallelMatchesSerial asserts the concurrent budget
+// fan-out reproduces the serial prediction table exactly.
+func TestEvaluateBudgetsParallelMatchesSerial(t *testing.T) {
+	objs, err := datagen.Random(datagen.RandomConfig{N: 200, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgets := []int{0, 50, 100, 200, 300}
+	q := QueryProfile{ExtentX: 0.02, ExtentY: 0.02, Duration: 1}
+	want, err := EvaluateBudgets(objs, budgets, q, DefaultTreeModel(), 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, runtime.NumCPU(), 0} {
+		got, err := EvaluateBudgets(objs, budgets, q, DefaultTreeModel(), 8, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("parallelism=%d prediction table differs from serial:\n got %+v\nwant %+v", workers, got, want)
+		}
+	}
+}

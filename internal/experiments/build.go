@@ -36,7 +36,7 @@ func Build(cfg Config) ([]BuildRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		records := lagreedyRecords(objs, n*3/2)
+		records := lagreedyRecords(objs, n*3/2, cfg.Parallelism)
 		row := BuildRow{Size: n, Records: len(records)}
 
 		t0 := time.Now()

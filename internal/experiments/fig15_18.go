@@ -38,7 +38,7 @@ func Fig15(cfg Config) ([]Fig15Row, error) {
 	var rows []Fig15Row
 	for _, frac := range SplitSweepBudgets {
 		budget := int(frac * float64(n))
-		records := lagreedyRecords(objs, budget)
+		records := lagreedyRecords(objs, budget, cfg.Parallelism)
 		pprRes, _, err := measurePPR(records, queries)
 		if err != nil {
 			return nil, err
@@ -77,7 +77,7 @@ func Fig16(cfg Config) ([]Fig16Row, error) {
 	var rows []Fig16Row
 	for _, frac := range SplitSweepBudgets {
 		budget := int(frac * float64(n))
-		records := lagreedyRecords(objs, budget)
+		records := lagreedyRecords(objs, budget, cfg.Parallelism)
 		ppr, err := buildPPROnly(records)
 		if err != nil {
 			return nil, err

@@ -26,11 +26,12 @@ func toRecords(results []split.Result) []stx.Record {
 }
 
 // lagreedyRecords splits objs with the paper's recommended pipeline
-// (MergeSplit curves + LAGreedy distribution) under the given budget.
-func lagreedyRecords(objs []*trajectory.Object, budget int) []stx.Record {
-	curves := alloc.BuildCurves(objs, split.MergeCurve)
+// (MergeSplit curves + LAGreedy distribution) under the given budget,
+// running the per-object stages on workers (0 = GOMAXPROCS).
+func lagreedyRecords(objs []*trajectory.Object, budget, workers int) []stx.Record {
+	curves := alloc.BuildCurvesParallel(objs, split.MergeCurve, workers)
 	a := alloc.LAGreedy(curves, budget)
-	return toRecords(alloc.Materialize(objs, a, split.MergeSplit))
+	return toRecords(alloc.MaterializeParallel(objs, a, split.MergeSplit, workers))
 }
 
 // unsplitRecords returns the single-MBR representation.

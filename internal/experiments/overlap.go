@@ -42,7 +42,7 @@ func Overlap(cfg Config) ([]OverlapRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		records := lagreedyRecords(objs, n*3/2)
+		records := lagreedyRecords(objs, n*3/2, cfg.Parallelism)
 
 		hr, err := stx.BuildHR(records, stx.HROptions{})
 		if err != nil {

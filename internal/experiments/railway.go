@@ -39,8 +39,8 @@ func contendersOn(cfg Config, set datagen.QuerySetName, title string,
 		if err != nil {
 			return nil, err
 		}
-		ppr150 := lagreedyRecords(objs, n*3/2)
-		rst1 := lagreedyRecords(objs, n/100)
+		ppr150 := lagreedyRecords(objs, n*3/2, cfg.Parallelism)
+		rst1 := lagreedyRecords(objs, n/100, cfg.Parallelism)
 		piecewise := piecewiseRecords(objs)
 
 		pprRes, _, err := measurePPR(ppr150, queries)

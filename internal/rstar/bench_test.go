@@ -1,11 +1,32 @@
 package rstar
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
 	"stindex/internal/geom"
 )
+
+// BenchmarkBulkLoadSTRParallel measures the packed build across worker
+// counts; workers=1 is the serial baseline, 0 resolves to GOMAXPROCS.
+func BenchmarkBulkLoadSTRParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	items := make([]Item, 100000)
+	for i := range items {
+		items[i] = Item{Box: randBox3(rng), Ref: uint64(i)}
+	}
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := BulkLoadSTR(Options{BufferPages: 128, Parallelism: workers}, items); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
 
 func BenchmarkInsert(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))

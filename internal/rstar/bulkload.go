@@ -3,9 +3,9 @@ package rstar
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"stindex/internal/geom"
+	"stindex/internal/parallel"
 )
 
 // Item is one record for bulk loading: a 3D box plus an opaque reference.
@@ -25,11 +25,16 @@ type Item struct {
 //
 // Chunks are evenly balanced so every node (except possibly the root)
 // meets the MinEntries fill invariant.
+//
+// The axis sorts and per-slab tiling run on Options.Parallelism workers
+// (0 = GOMAXPROCS); node pages are still written serially in tiling
+// order, so every worker count produces a byte-identical tree.
 func BulkLoadSTR(opts Options, items []Item) (*Tree, error) {
 	opts, err := opts.withDefaults()
 	if err != nil {
 		return nil, err
 	}
+	workers := parallel.Workers(opts.Parallelism, len(items))
 	if len(items) == 0 {
 		return New(opts)
 	}
@@ -63,7 +68,7 @@ func BulkLoadSTR(opts Options, items []Item) (*Tree, error) {
 			t.height = height
 			return t, nil
 		}
-		groups := strTile(level, opts.MaxEntries)
+		groups := strTile(level, opts.MaxEntries, workers)
 		next := make([]entry, 0, len(groups))
 		for _, g := range groups {
 			n := &node{id: t.file.Allocate(), leaf: leaf, entries: g}
@@ -78,33 +83,36 @@ func BulkLoadSTR(opts Options, items []Item) (*Tree, error) {
 }
 
 // strTile groups entries into chunks of at most capacity, tiling by x,
-// then y, then the time axis, with balanced chunk sizes.
-func strTile(entries []entry, capacity int) [][]entry {
+// then y, then the time axis, with balanced chunk sizes. The x sort uses
+// all workers; the slabs — disjoint sub-slices after that sort — are then
+// tiled concurrently, one worker per slab, and their groups concatenated
+// in slab order, which reproduces the serial output exactly.
+func strTile(entries []entry, capacity, workers int) [][]entry {
 	nLeaves := (len(entries) + capacity - 1) / capacity
 	// Number of slabs along each of the first two axes: the cube-ish root
 	// of the leaf count.
 	sx := int(math.Ceil(math.Cbrt(float64(nLeaves))))
-	sortByCenter(entries, 0)
-	var groups [][]entry
-	for _, slab := range balancedChunks(entries, sx) {
+	sortByCenter(entries, 0, workers)
+	slabs := balancedChunks(entries, sx)
+	perSlab := make([][][]entry, len(slabs))
+	parallel.ForEach(len(slabs), workers, func(si int) {
+		slab := slabs[si]
 		perSlabLeaves := (len(slab) + capacity - 1) / capacity
 		sy := int(math.Ceil(math.Sqrt(float64(perSlabLeaves))))
-		sortByCenter(slab, 1)
+		sortByCenter(slab, 1, 1)
+		var groups [][]entry
 		for _, run := range balancedChunks(slab, sy) {
-			sortByCenter(run, 2)
+			sortByCenter(run, 2, 1)
 			k := (len(run) + capacity - 1) / capacity
 			groups = append(groups, balancedChunks(run, k)...)
 		}
+		perSlab[si] = groups
+	})
+	var groups [][]entry
+	for _, g := range perSlab {
+		groups = append(groups, g...)
 	}
 	return groups
-}
-
-// sortByCenter orders entries by their box center along one axis.
-func sortByCenter(entries []entry, axis int) {
-	sort.SliceStable(entries, func(i, j int) bool {
-		return entries[i].box.Min[axis]+entries[i].box.Max[axis] <
-			entries[j].box.Min[axis]+entries[j].box.Max[axis]
-	})
 }
 
 // balancedChunks splits a slice into k contiguous chunks whose sizes

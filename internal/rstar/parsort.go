@@ -1,0 +1,107 @@
+package rstar
+
+import (
+	"sort"
+
+	"stindex/internal/parallel"
+)
+
+// parallelSortMin is the slice length below which the chunked sort falls
+// back to a plain sort.SliceStable: goroutine and merge overhead beats
+// the win on small inputs.
+const parallelSortMin = 4096
+
+// centerKey is the STR ordering key along one axis: the (doubled) box
+// center. Comparisons use strict < exactly like the serial comparator,
+// so ties fall back to original order (stability).
+func centerKey(e *entry, axis int) float64 {
+	return e.box.Min[axis] + e.box.Max[axis]
+}
+
+// sortByCenter orders entries by their box center along one axis using
+// up to the given number of workers. Any worker count produces the exact
+// ordering of sort.SliceStable: chunks are sorted stably and merged with
+// ties taken from the leftmost chunk, which is equivalent to one stable
+// sort of the whole slice.
+func sortByCenter(entries []entry, axis, workers int) {
+	workers = parallel.Workers(workers, len(entries))
+	if workers == 1 || len(entries) < parallelSortMin {
+		sort.SliceStable(entries, func(i, j int) bool {
+			return centerKey(&entries[i], axis) < centerKey(&entries[j], axis)
+		})
+		return
+	}
+	parallelStableSort(entries, axis, workers)
+}
+
+// parallelStableSort sorts workers contiguous chunks concurrently, then
+// merges adjacent run pairs in parallel rounds, ping-ponging between the
+// input and one scratch buffer.
+func parallelStableSort(entries []entry, axis, workers int) {
+	bounds := runBounds(len(entries), workers)
+	parallel.ForEach(len(bounds)-1, workers, func(i int) {
+		seg := entries[bounds[i]:bounds[i+1]]
+		sort.SliceStable(seg, func(a, b int) bool {
+			return centerKey(&seg[a], axis) < centerKey(&seg[b], axis)
+		})
+	})
+
+	scratch := make([]entry, len(entries))
+	src, dst := entries, scratch
+	for len(bounds) > 2 {
+		runs := len(bounds) - 1
+		pairs := runs / 2
+		next := make([]int, 0, pairs+2)
+		for p := 0; p <= pairs; p++ {
+			next = append(next, bounds[2*p]) // 2*pairs <= runs, always valid
+		}
+		parallel.ForEach(pairs, workers, func(p int) {
+			lo, mid, hi := bounds[2*p], bounds[2*p+1], bounds[2*p+2]
+			mergeRuns(dst, src, lo, mid, hi, axis)
+		})
+		if runs%2 == 1 { // odd run out: carry it over untouched
+			lo, hi := bounds[runs-1], bounds[runs]
+			copy(dst[lo:hi], src[lo:hi])
+			next = append(next, hi)
+		}
+		src, dst = dst, src
+		bounds = next
+	}
+	if &src[0] != &entries[0] {
+		copy(entries, src)
+	}
+}
+
+// runBounds splits [0,n) into k near-equal contiguous runs, returning the
+// k+1 boundary offsets.
+func runBounds(n, k int) []int {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * n / k
+	}
+	return bounds
+}
+
+// mergeRuns merges the sorted runs src[lo:mid] and src[mid:hi] into
+// dst[lo:hi]. Ties take from the left run, preserving stability.
+func mergeRuns(dst, src []entry, lo, mid, hi, axis int) {
+	i, j, k := lo, mid, lo
+	for i < mid && j < hi {
+		if centerKey(&src[j], axis) < centerKey(&src[i], axis) {
+			dst[k] = src[j]
+			j++
+		} else {
+			dst[k] = src[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], src[i:mid])
+	copy(dst[k:hi], src[j:hi])
+}

@@ -35,7 +35,9 @@ func DPSplitMeasure(o *trajectory.Object, k int, m Measure) Result {
 	if k == 0 {
 		return buildResultMeasure(o, nil, m)
 	}
-	_, parent := dpTableMeasure(o, k, m)
+	s := dpFill(o, k, m)
+	defer releaseDPScratch(s)
+	parent := s.parent
 	cuts := make([]int, 0, k)
 	i := n
 	for l := k; l >= 1 && i > 1; l-- {
@@ -54,7 +56,9 @@ func DPSplitMeasure(o *trajectory.Object, k int, m Measure) Result {
 func DPCurveMeasure(o *trajectory.Object, maxSplits int, m Measure) []float64 {
 	n := o.Len()
 	k := ClampSplits(maxSplits, n)
-	vol, _ := dpTableMeasure(o, k, m)
+	s := dpFill(o, k, m)
+	defer releaseDPScratch(s)
+	vol := s.vol
 	curve := make([]float64, maxSplits+1)
 	for l := 0; l <= maxSplits; l++ {
 		if l <= k {
@@ -64,40 +68,6 @@ func DPCurveMeasure(o *trajectory.Object, maxSplits int, m Measure) []float64 {
 		}
 	}
 	return curve
-}
-
-// dpTableMeasure generalises dpTable to any measure.
-func dpTableMeasure(o *trajectory.Object, k int, m Measure) (vol [][]float64, parent [][]int32) {
-	n := o.Len()
-	vol = make([][]float64, k+1)
-	parent = make([][]int32, k+1)
-	for l := 0; l <= k; l++ {
-		vol[l] = make([]float64, n+1)
-		parent[l] = make([]int32, n+1)
-	}
-	span := make([]float64, n)
-	for i := 1; i <= n; i++ {
-		spanMeasures(o, i, m, span)
-		vol[0][i] = span[0]
-		for l := 1; l <= k; l++ {
-			if l >= i {
-				vol[l][i] = vol[i-1][i]
-				parent[l][i] = parent[i-1][i]
-				continue
-			}
-			best := vol[l-1][l] + span[l]
-			bestJ := int32(l)
-			for j := l + 1; j < i; j++ {
-				if c := vol[l-1][j] + span[j]; c < best {
-					best = c
-					bestJ = int32(j)
-				}
-			}
-			vol[l][i] = best
-			parent[l][i] = bestJ
-		}
-	}
-	return vol, parent
 }
 
 // spanMeasures fills dst[j] with measure(BoxOf(j, end)) via one backward

@@ -77,7 +77,9 @@ func (h *mergeHeap) Pop() interface{} {
 func mergeRun(o *trajectory.Object, targetSplits int, m Measure, observe func(splits int, vol float64)) []int {
 	n := o.Len()
 	targetSplits = ClampSplits(targetSplits, n)
-	segs := make([]mergeSeg, n)
+	scratch := acquireMergeScratch(n)
+	defer releaseMergeScratch(scratch)
+	segs := scratch.segs
 	total := 0.0
 	for i := 0; i < n; i++ {
 		r := o.InstantRect(i)
@@ -91,11 +93,12 @@ func mergeRun(o *trajectory.Object, targetSplits int, m Measure, observe func(sp
 		observe(n-1, total)
 	}
 
-	h := make(mergeHeap, 0, n)
+	h := scratch.h
 	for i := 0; i+1 < n; i++ {
 		h = append(h, candidate(segs, i, m))
 	}
 	heap.Init(&h)
+	defer func() { scratch.h = h }() // keep any growth for the next run
 
 	live := n
 	floor := targetSplits + 1

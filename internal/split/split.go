@@ -75,54 +75,20 @@ func ClampSplits(k, n int) int {
 	return k
 }
 
-// dpTable runs the paper's dynamic program and returns the full table:
-// vol[l][i] is the minimal total volume covering instants [0,i) using l
-// splits, and parent[l][i] is the start index of the last box in that
-// optimum. The budget k must already be clamped to [0, n-1].
-func dpTable(o *trajectory.Object, k int) (vol [][]float64, parent [][]int32) {
-	n := o.Len()
-	vol = make([][]float64, k+1)
-	parent = make([][]int32, k+1)
-	for l := 0; l <= k; l++ {
-		vol[l] = make([]float64, n+1)
-		parent[l] = make([]int32, n+1)
-	}
-	span := make([]float64, n) // span[j] = V[j, i) during the sweep for endpoint i
-	for i := 1; i <= n; i++ {
-		trajectory.SpanVolumes(o, i, span)
-		vol[0][i] = span[0]
-		for l := 1; l <= k; l++ {
-			if l >= i {
-				// More splits than cut slots: identical to using i-1 splits.
-				vol[l][i] = vol[i-1][i]
-				parent[l][i] = parent[i-1][i]
-				continue
-			}
-			best := vol[l-1][l] + span[l]
-			bestJ := int32(l)
-			for j := l + 1; j < i; j++ {
-				if c := vol[l-1][j] + span[j]; c < best {
-					best = c
-					bestJ = int32(j)
-				}
-			}
-			vol[l][i] = best
-			parent[l][i] = bestJ
-		}
-	}
-	return vol, parent
-}
-
 // DPSplit computes the optimal placement of k splits for o, minimising the
 // total volume of the k+1 boxes (paper §III-A.1, theorem 1). Budgets larger
-// than o.Len()-1 are clamped. Runs in O(n²·k) time and O(n·k) space.
+// than o.Len()-1 are clamped. Runs in O(n²·k) time and O(n·k) space; the
+// tables come from a pooled scratch (see scratch.go), so repeated calls —
+// and concurrent calls from the parallel curve builders — do not allocate.
 func DPSplit(o *trajectory.Object, k int) Result {
 	n := o.Len()
 	k = ClampSplits(k, n)
 	if k == 0 {
 		return buildResult(o, nil)
 	}
-	_, parent := dpTable(o, k)
+	s := dpFill(o, k, nil)
+	defer releaseDPScratch(s)
+	parent := s.parent
 
 	// Walk the parent pointers back from (k, n) to recover cut positions.
 	cuts := make([]int, 0, k)
@@ -150,7 +116,9 @@ func DPSplit(o *trajectory.Object, k int) Result {
 func DPCurve(o *trajectory.Object, maxSplits int) []float64 {
 	n := o.Len()
 	k := ClampSplits(maxSplits, n)
-	vol, _ := dpTable(o, k)
+	s := dpFill(o, k, nil)
+	defer releaseDPScratch(s)
+	vol := s.vol
 	curve := make([]float64, maxSplits+1)
 	for l := 0; l <= maxSplits; l++ {
 		if l <= k {

@@ -1,0 +1,66 @@
+package stindex
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestSplitDatasetParallelismIdentical asserts the facade-level
+// determinism guarantee: SplitDataset returns bit-identical records and
+// report for every Parallelism setting, across splitters, distributions
+// and the query-aware objective.
+func TestSplitDatasetParallelismIdentical(t *testing.T) {
+	objs, err := GenerateRandom(RandomDatasetConfig{N: 400, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	configs := []SplitConfig{
+		{Budget: 600},
+		{Budget: 600, Splitter: SplitterDP, Distribution: DistributionOptimal},
+		{Budget: 600, QueryAware: &QueryProfile{ExtentX: 0.01, ExtentY: 0.01}},
+	}
+	for ci, cfg := range configs {
+		cfg.Parallelism = 1
+		wantRecs, wantRep, err := SplitDataset(objs, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, runtime.NumCPU(), 0} {
+			cfg.Parallelism = workers
+			gotRecs, gotRep, err := SplitDataset(objs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wantRecs, gotRecs) {
+				t.Fatalf("config %d: records differ between Parallelism=1 and %d", ci, workers)
+			}
+			if wantRep != gotRep {
+				t.Fatalf("config %d: report differs: %+v vs %+v", ci, wantRep, gotRep)
+			}
+		}
+	}
+}
+
+// TestChooseBudgetParallelismIdentical asserts the analytical budget
+// chooser picks the same budget and prediction table regardless of the
+// worker count.
+func TestChooseBudgetParallelismIdentical(t *testing.T) {
+	objs, err := GenerateRandom(RandomDatasetConfig{N: 200, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantTable, err := ChooseBudget(objs, ChooseBudgetConfig{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 0} {
+		got, gotTable, err := ChooseBudget(objs, ChooseBudgetConfig{Parallelism: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want || !reflect.DeepEqual(wantTable, gotTable) {
+			t.Fatalf("Parallelism=%d chose %+v, serial chose %+v", workers, got, want)
+		}
+	}
+}
