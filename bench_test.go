@@ -7,6 +7,7 @@
 package stindex_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -629,4 +630,45 @@ func BenchmarkQueryThroughput(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkMeasureWorkloadParallel measures the full workload-measurement
+// loop — cold buffer per query, exact I/O accounting — across worker
+// counts. The averages are bit-identical for every setting; only the wall
+// clock changes (on a multi-core machine).
+func BenchmarkMeasureWorkloadParallel(b *testing.B) {
+	objs, err := stx.GenerateRandom(stx.RandomDatasetConfig{N: 1500, Horizon: 1000, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	records, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: 2250})
+	if err != nil {
+		b.Fatal(err)
+	}
+	idx, err := stx.BuildPPR(records, stx.PPROptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries, err := stx.GenerateQueries(stx.QuerySnapshotMixed, 1000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var base stx.WorkloadResult
+	for _, workers := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := stx.MeasureWorkloadParallel(idx, queries, workers)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if workers == 1 {
+					base = res
+				} else if base.Queries > 0 && res != base {
+					b.Fatalf("workers=%d changed the result: %+v vs %+v", workers, res, base)
+				}
+			}
+			b.ReportMetric(base.AvgIO, "avg-io")
+		})
+	}
 }

@@ -27,10 +27,10 @@ type ChooseBudgetConfig struct {
 	// Tolerance picks the smallest budget within this relative distance of
 	// the best predicted cost (default 5%).
 	Tolerance float64
-	// Parallelism is the worker count for curve construction and for
-	// evaluating the candidate budgets concurrently: 0 = GOMAXPROCS,
-	// 1 = serial. The chosen budget and prediction table are identical
-	// for every setting.
+	// Parallelism is the worker count for curve construction, for
+	// evaluating the candidate budgets concurrently, and for the sampling
+	// chooser's workload measurement: 0 = GOMAXPROCS, 1 = serial. The
+	// chosen budget and prediction table are identical for every setting.
 	Parallelism int
 }
 
@@ -126,7 +126,7 @@ func ChooseBudgetBySampling(objs []*Object, queries []Query, cfg ChooseBudgetCon
 		if err != nil {
 			return BudgetCandidate{}, nil, err
 		}
-		res, err := MeasureWorkload(idx, queries)
+		res, err := MeasureWorkloadParallel(idx, queries, cfg.Parallelism)
 		if err != nil {
 			return BudgetCandidate{}, nil, err
 		}

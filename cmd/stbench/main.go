@@ -49,7 +49,7 @@ func main() {
 		sizes   = flag.String("sizes", "", "comma-separated dataset sizes overriding the defaults")
 		queries = flag.Int("queries", 0, "queries per set (default 1000)")
 		seed    = flag.Int64("seed", 1, "generation seed")
-		par     = flag.Int("parallelism", 0, "worker count for the split pipeline (0 = all cores, 1 = serial; results are identical either way)")
+		par     = flag.Int("parallelism", 0, "worker count for the split pipeline and workload measurement (0 = all cores, 1 = serial; results are identical either way)")
 	)
 	flag.Parse()
 

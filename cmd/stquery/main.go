@@ -30,7 +30,7 @@ func main() {
 	var (
 		in       = flag.String("i", "", "input records (JSON lines from stsplit; default stdin)")
 		kind     = flag.String("index", "ppr", "index structure: ppr | rstar | rstar-packed | hybrid | hr")
-		par      = flag.Int("parallelism", 0, "worker count for bulk loading (rstar-packed): 0 = all cores, 1 = serial; the tree is identical either way")
+		par      = flag.Int("parallelism", 0, "worker count for bulk loading (rstar-packed) and workload measurement: 0 = all cores, 1 = serial; tree and averages are identical either way")
 		save     = flag.String("save", "", "write the built index image to this file (ppr/rstar only)")
 		load     = flag.String("load", "", "load an index image instead of building from records")
 		describe = flag.Bool("describe", false, "print the index's physical shape and exit")
@@ -107,7 +107,7 @@ func main() {
 	if *queries < len(qs) {
 		qs = qs[:*queries]
 	}
-	res, err := stx.MeasureWorkload(idx, qs)
+	res, err := stx.MeasureWorkloadParallel(idx, qs, *par)
 	if err != nil {
 		fatal(err)
 	}

@@ -2,6 +2,7 @@ package stindex
 
 import (
 	"stindex/internal/datagen"
+	"stindex/internal/parallel"
 	"stindex/internal/trajectory"
 )
 
@@ -143,6 +144,59 @@ func MeasureWorkload(idx Index, queries []Query) (WorkloadResult, error) {
 		}
 		totalIO += idx.IOStats().IO()
 		totalResults += len(ids)
+	}
+	res.Queries = len(queries)
+	if len(queries) > 0 {
+		res.AvgIO = float64(totalIO) / float64(len(queries))
+		res.AvgResult = float64(totalResults) / float64(len(queries))
+	}
+	return res, nil
+}
+
+// MeasureWorkloadParallel is MeasureWorkload across the given number of
+// workers (resolved via the Parallelism convention: <= 0 means
+// GOMAXPROCS, clamped to the query count). Each worker queries its own
+// read-only view of the index — a private buffer pool and decode cache
+// over the shared, frozen page file — so the cold-buffer discipline holds
+// per query exactly as in the serial loop. Query i writes its (I/O,
+// result-count) pair into slot i, so the aggregate is bit-identical for
+// every worker count, including 1; parallelism changes wall clock, never
+// the reported numbers.
+//
+// Indexes that do not implement QueryViewer fall back to the serial
+// MeasureWorkload.
+func MeasureWorkloadParallel(idx Index, queries []Query, workers int) (WorkloadResult, error) {
+	workers = parallel.Workers(workers, len(queries))
+	qv, ok := idx.(QueryViewer)
+	if workers <= 1 || !ok {
+		return MeasureWorkload(idx, queries)
+	}
+	views := make([]Index, workers)
+	for w := range views {
+		views[w] = qv.QueryView()
+	}
+	ios := make([]int64, len(queries))
+	counts := make([]int, len(queries))
+	errs := make([]error, len(queries))
+	parallel.ForEachWorker(len(queries), workers, func(w, i int) {
+		view := views[w]
+		view.ResetBuffer()
+		ids, err := RunQuery(view, queries[i])
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		ios[i] = view.IOStats().IO()
+		counts[i] = len(ids)
+	})
+	var res WorkloadResult
+	totalIO, totalResults := int64(0), 0
+	for i := range queries {
+		if errs[i] != nil {
+			return res, errs[i]
+		}
+		totalIO += ios[i]
+		totalResults += counts[i]
 	}
 	res.Queries = len(queries)
 	if len(queries) > 0 {

@@ -158,4 +158,10 @@ func (x *HRIndex) Kind() string { return "hr" }
 // Tree exposes the underlying overlapping R-tree.
 func (x *HRIndex) Tree() *hrtree.Tree { return x.tree }
 
+// QueryView implements QueryViewer: a read-only view with its own buffer
+// pool over the shared page file, for concurrent query measurement.
+func (x *HRIndex) QueryView() Index {
+	return &HRIndex{tree: x.tree.QueryView(), owners: x.owners}
+}
+
 var _ Index = (*HRIndex)(nil)

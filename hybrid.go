@@ -85,6 +85,16 @@ func (h *HybridIndex) Records() int { return h.ppr.Records() }
 // Kind implements Index.
 func (h *HybridIndex) Kind() string { return "hybrid" }
 
+// QueryView implements QueryViewer: views of both components sharing the
+// frozen page files, each with private buffer pools.
+func (h *HybridIndex) QueryView() Index {
+	return &HybridIndex{
+		ppr:       h.ppr.QueryView().(*PPRIndex),
+		rstar:     h.rstar.QueryView().(*RStarIndex),
+		threshold: h.threshold,
+	}
+}
+
 // PPR exposes the timestamp-side component.
 func (h *HybridIndex) PPR() *PPRIndex { return h.ppr }
 

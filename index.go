@@ -43,6 +43,18 @@ type Index interface {
 	Kind() string
 }
 
+// QueryViewer is implemented by indexes that can produce independent
+// read-only views of themselves: same pages, same layout, but a private
+// buffer pool (and decode cache) per view over the shared page file. A
+// built index is frozen storage, so any number of views may answer
+// queries concurrently — this is what MeasureWorkloadParallel fans out
+// over. Views must only be used for queries; mutating through a view is a
+// misuse.
+type QueryViewer interface {
+	// QueryView returns a new independent read-only view of the index.
+	QueryView() Index
+}
+
 // PPROptions configures BuildPPR. The zero value reproduces the paper's
 // setup: 50-entry nodes, 10-page LRU buffer, P_version = 0.22,
 // P_svo = 0.8, P_svu = 0.4.
@@ -166,6 +178,12 @@ func (x *PPRIndex) Kind() string { return "ppr" }
 // Tree exposes the underlying partially persistent R-tree for advanced
 // inspection (validation walks, ephemeral level statistics).
 func (x *PPRIndex) Tree() *pprtree.Tree { return x.tree }
+
+// QueryView implements QueryViewer: a read-only view with its own buffer
+// pool over the shared page file, for concurrent query measurement.
+func (x *PPRIndex) QueryView() Index {
+	return &PPRIndex{tree: x.tree.QueryView(), owners: x.owners}
+}
 
 // RStarOptions configures BuildRStar. The zero value reproduces the
 // paper's setup: 50-entry nodes, a 10-page LRU buffer, R* fill factors,
@@ -347,6 +365,12 @@ func (x *RStarIndex) Kind() string { return "rstar" }
 
 // Tree exposes the underlying R*-tree for advanced inspection.
 func (x *RStarIndex) Tree() *rstar.Tree { return x.tree }
+
+// QueryView implements QueryViewer: a read-only view with its own buffer
+// pool over the shared page file, for concurrent query measurement.
+func (x *RStarIndex) QueryView() Index {
+	return &RStarIndex{tree: x.tree.QueryView(), owners: x.owners, timeScale: x.timeScale}
+}
 
 // TimeScale returns the factor mapping time instants onto the unit range.
 func (x *RStarIndex) TimeScale() float64 { return x.timeScale }

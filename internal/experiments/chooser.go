@@ -82,7 +82,7 @@ func Chooser(cfg Config) ([]ChooserRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		res, _, err := measurePPR(records, pub)
+		res, _, err := measurePPR(records, pub, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}

@@ -53,7 +53,7 @@ func Fig14Commuter(cfg Config) ([]Fig14CommuterRow, error) {
 		} {
 			*alg.vol = alg.a.Volume
 			records := toRecords(alloc.MaterializeParallel(objs, alg.a, split.MergeSplit, cfg.Parallelism))
-			res, _, err := measurePPR(records, queries)
+			res, _, err := measurePPR(records, queries, cfg.Parallelism)
 			if err != nil {
 				return nil, err
 			}

@@ -31,8 +31,9 @@ type Config struct {
 	Queries int
 	// Seed for data and query generation.
 	Seed int64
-	// Parallelism is the worker count for the split pipeline's parallel
-	// stages (curve construction, record materialization): 0 selects
+	// Parallelism is the worker count for the parallel stages — the split
+	// pipeline (curve construction, record materialization) and workload
+	// measurement (per-worker read-only index views): 0 selects
 	// GOMAXPROCS, 1 forces serial runs — useful when timing the
 	// algorithms themselves. Results are identical for every setting.
 	Parallelism int

@@ -164,7 +164,7 @@ func Fig14(cfg Config) ([]Fig14Row, error) {
 			{"lagreedy", func() alloc.Assignment { return alloc.LAGreedy(curves, budget) }, &row.LAIO},
 		} {
 			records := toRecords(alloc.MaterializeParallel(objs, alg.run(), split.MergeSplit, cfg.Parallelism))
-			res, _, err := measurePPR(records, queries)
+			res, _, err := measurePPR(records, queries, cfg.Parallelism)
 			if err != nil {
 				return nil, err
 			}

@@ -39,11 +39,11 @@ func Fig15(cfg Config) ([]Fig15Row, error) {
 	for _, frac := range SplitSweepBudgets {
 		budget := int(frac * float64(n))
 		records := lagreedyRecords(objs, budget, cfg.Parallelism)
-		pprRes, _, err := measurePPR(records, queries)
+		pprRes, _, err := measurePPR(records, queries, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}
-		rstRes, _, err := measureRStar(records, queries)
+		rstRes, _, err := measureRStar(records, queries, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}

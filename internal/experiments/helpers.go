@@ -64,13 +64,15 @@ func toQueries(qs []datagen.Query) []stx.Query {
 	return out
 }
 
-// measurePPR builds a PPR-tree over the records and measures the workload.
-func measurePPR(records []stx.Record, qs []stx.Query) (stx.WorkloadResult, stx.Index, error) {
+// measurePPR builds a PPR-tree over the records and measures the
+// workload across the given number of query workers (0 = GOMAXPROCS;
+// the averages are bit-identical for every worker count).
+func measurePPR(records []stx.Record, qs []stx.Query, workers int) (stx.WorkloadResult, stx.Index, error) {
 	idx, err := stx.BuildPPR(records, stx.PPROptions{})
 	if err != nil {
 		return stx.WorkloadResult{}, nil, err
 	}
-	res, err := stx.MeasureWorkload(idx, qs)
+	res, err := stx.MeasureWorkloadParallel(idx, qs, workers)
 	return res, idx, err
 }
 
@@ -93,12 +95,12 @@ func buildRStarOnly(records []stx.Record) (int, error) {
 }
 
 // measureRStar builds a 3D R*-tree over the records and measures the
-// workload.
-func measureRStar(records []stx.Record, qs []stx.Query) (stx.WorkloadResult, stx.Index, error) {
+// workload across the given number of query workers.
+func measureRStar(records []stx.Record, qs []stx.Query, workers int) (stx.WorkloadResult, stx.Index, error) {
 	idx, err := stx.BuildRStar(records, stx.RStarOptions{ShuffleSeed: 42})
 	if err != nil {
 		return stx.WorkloadResult{}, nil, err
 	}
-	res, err := stx.MeasureWorkload(idx, qs)
+	res, err := stx.MeasureWorkloadParallel(idx, qs, workers)
 	return res, idx, err
 }

@@ -69,7 +69,7 @@ func Overlap(cfg Config) ([]OverlapRow, error) {
 			{hr, &row.HRRangeIO, rng},
 			{ppr, &row.PPRRangeIO, rng},
 		} {
-			res, err := stx.MeasureWorkload(m.idx, m.qs)
+			res, err := stx.MeasureWorkloadParallel(m.idx, m.qs, cfg.Parallelism)
 			if err != nil {
 				return nil, err
 			}

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelismIdenticalResults runs a query-heavy experiment at several
+// Parallelism settings and asserts the returned rows are identical: the
+// worker count may change wall clock, never a reported number.
+func TestParallelismIdenticalResults(t *testing.T) {
+	tiny := Config{Sizes: []int{300}, Queries: 60, Seed: 1}
+	run := func(par int) ([]Fig15Row, []OverlapRow) {
+		cfg := tiny
+		cfg.Parallelism = par
+		fig15, err := Fig15(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overlap, err := Overlap(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return fig15, overlap
+	}
+	wantFig15, wantOverlap := run(1)
+	for _, par := range []int{2, 0} {
+		fig15, overlap := run(par)
+		if !reflect.DeepEqual(fig15, wantFig15) {
+			t.Errorf("Fig15 differs at Parallelism=%d:\n got %+v\nwant %+v", par, fig15, wantFig15)
+		}
+		if !reflect.DeepEqual(overlap, wantOverlap) {
+			t.Errorf("Overlap differs at Parallelism=%d:\n got %+v\nwant %+v", par, overlap, wantOverlap)
+		}
+	}
+}

@@ -43,15 +43,15 @@ func contendersOn(cfg Config, set datagen.QuerySetName, title string,
 		rst1 := lagreedyRecords(objs, n/100, cfg.Parallelism)
 		piecewise := piecewiseRecords(objs)
 
-		pprRes, _, err := measurePPR(ppr150, queries)
+		pprRes, _, err := measurePPR(ppr150, queries, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}
-		rstRes, _, err := measureRStar(rst1, queries)
+		rstRes, _, err := measureRStar(rst1, queries, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}
-		pieceRes, _, err := measureRStar(piecewise, queries)
+		pieceRes, _, err := measureRStar(piecewise, queries, cfg.Parallelism)
 		if err != nil {
 			return nil, err
 		}

@@ -163,6 +163,11 @@ type Tree struct {
 	// other pages are shared history and must be copied before changing.
 	fresh  map[pagefile.PageID]bool
 	encBuf []byte
+	// Pooled query scratch (see the pprtree equivalents): taken at the
+	// start of a search, restored afterwards.
+	stack   []pagefile.PageID
+	seen    map[uint64]bool
+	visited map[pagefile.PageID]bool
 }
 
 // New creates an empty tree whose history begins at startTime.
@@ -205,12 +210,42 @@ func (t *Tree) File() *pagefile.File { return t.file }
 
 func (t *Tree) current() *version { return &t.versions[len(t.versions)-1] }
 
+// readNode returns a private decoded copy of the page for mutating paths.
 func (t *Tree) readNode(id pagefile.PageID) (*hnode, error) {
 	data, err := t.buf.Read(id)
 	if err != nil {
 		return nil, err
 	}
 	return decodeHNode(id, data)
+}
+
+// decodeHNodeCached adapts decodeHNode to the buffer's decode cache.
+func decodeHNodeCached(id pagefile.PageID, data []byte) (any, error) {
+	return decodeHNode(id, data)
+}
+
+// readShared returns the page's decoded node through the buffer's decode
+// cache; the node is shared and must not be mutated. I/O accounting is
+// identical to readNode.
+func (t *Tree) readShared(id pagefile.PageID) (*hnode, error) {
+	v, err := t.buf.ReadDecoded(id, decodeHNodeCached)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*hnode), nil
+}
+
+// QueryView returns a read-only view of the tree with a private buffer
+// pool (and decode cache) over the shared page file, for concurrent
+// queries against a frozen tree. Using a view for updates is a misuse.
+func (t *Tree) QueryView() *Tree {
+	cp := *t
+	cp.buf = pagefile.NewBuffer(t.file, t.opts.BufferPages)
+	cp.encBuf = nil
+	cp.stack = nil
+	cp.seen = nil
+	cp.visited = nil
+	return &cp
 }
 
 func (t *Tree) writeNode(n *hnode) error {

@@ -25,38 +25,54 @@ func (t *Tree) versionAt(q int64) *version {
 	return nil
 }
 
+// takeStack borrows the pooled traversal stack; pair with putStack.
+func (t *Tree) takeStack() []pagefile.PageID {
+	s := t.stack
+	t.stack = nil
+	return s[:0]
+}
+
+func (t *Tree) putStack(s []pagefile.PageID) { t.stack = s[:0] }
+
 // SnapshotSearch reports every record of the tree version at time at
 // whose rectangle intersects query.
+//
+// The traversal is iterative over a pooled stack and visits pages in
+// exactly the order the natural recursion would, so the LRU hit/miss
+// sequence — and with it every I/O count — is unchanged.
 func (t *Tree) SnapshotSearch(query geom.Rect, at int64, fn func(rect geom.Rect, ref uint64) bool) error {
 	v := t.versionAt(at)
 	if v == nil {
 		return nil
 	}
-	_, err := t.walk(v.page, query, fn)
-	return err
-}
+	stack := t.takeStack()
+	defer func() { t.putStack(stack) }()
 
-func (t *Tree) walk(id pagefile.PageID, query geom.Rect, fn func(geom.Rect, uint64) bool) (bool, error) {
-	n, err := t.readNode(id)
-	if err != nil {
-		return false, err
-	}
-	for _, e := range n.entries {
-		if !e.rect.Intersects(query) {
-			continue
+	stack = append(stack, v.page)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.readShared(id)
+		if err != nil {
+			return err
 		}
 		if n.leaf {
-			if !fn(e.rect, e.ref) {
-				return false, nil
+			for i := range n.entries {
+				e := &n.entries[i]
+				if e.rect.Intersects(query) && !fn(e.rect, e.ref) {
+					return nil
+				}
 			}
 			continue
 		}
-		cont, err := t.walk(pagefile.PageID(e.ref), query, fn)
-		if err != nil || !cont {
-			return cont, err
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			e := &n.entries[i]
+			if e.rect.Intersects(query) {
+				stack = append(stack, pagefile.PageID(e.ref))
+			}
 		}
 	}
-	return true, nil
+	return nil
 }
 
 // IntervalSearch reports every record alive at some instant of iv whose
@@ -67,54 +83,66 @@ func (t *Tree) IntervalSearch(query geom.Rect, iv geom.Interval, fn func(rect ge
 	if !iv.ValidInterval() {
 		return nil
 	}
-	seen := make(map[uint64]bool)
-	visited := make(map[pagefile.PageID]bool)
+	seen := t.seen
+	t.seen = nil
+	if seen == nil {
+		seen = make(map[uint64]bool)
+	} else {
+		clear(seen)
+	}
+	visited := t.visited
+	t.visited = nil
+	if visited == nil {
+		visited = make(map[pagefile.PageID]bool)
+	} else {
+		clear(visited)
+	}
+	stack := t.takeStack()
+	defer func() {
+		t.seen = seen
+		t.visited = visited
+		t.putStack(stack)
+	}()
+
 	for i := range t.versions {
 		v := &t.versions[i]
 		if !(geom.Interval{Start: v.start, End: v.end}).Overlaps(iv) {
 			continue
 		}
-		cont, err := t.dedupWalk(v.page, query, seen, visited, fn)
-		if err != nil {
-			return err
-		}
-		if !cont {
-			return nil
+		stack = append(stack[:0], v.page)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[id] {
+				continue
+			}
+			visited[id] = true
+			n, err := t.readShared(id)
+			if err != nil {
+				return err
+			}
+			if n.leaf {
+				for j := range n.entries {
+					e := &n.entries[j]
+					if !e.rect.Intersects(query) || seen[e.ref] {
+						continue
+					}
+					seen[e.ref] = true
+					if !fn(e.rect, e.ref) {
+						return nil
+					}
+				}
+				continue
+			}
+			for j := len(n.entries) - 1; j >= 0; j-- {
+				e := &n.entries[j]
+				if e.rect.Intersects(query) {
+					stack = append(stack, pagefile.PageID(e.ref))
+				}
+			}
 		}
 	}
 	return nil
-}
-
-func (t *Tree) dedupWalk(id pagefile.PageID, query geom.Rect, seen map[uint64]bool,
-	visited map[pagefile.PageID]bool, fn func(geom.Rect, uint64) bool) (bool, error) {
-	if visited[id] {
-		return true, nil
-	}
-	visited[id] = true
-	n, err := t.readNode(id)
-	if err != nil {
-		return false, err
-	}
-	for _, e := range n.entries {
-		if !e.rect.Intersects(query) {
-			continue
-		}
-		if n.leaf {
-			if seen[e.ref] {
-				continue
-			}
-			seen[e.ref] = true
-			if !fn(e.rect, e.ref) {
-				return false, nil
-			}
-			continue
-		}
-		cont, err := t.dedupWalk(pagefile.PageID(e.ref), query, seen, visited, fn)
-		if err != nil || !cont {
-			return cont, err
-		}
-	}
-	return true, nil
 }
 
 // CountSnapshot returns the matching record count at one instant.
@@ -141,7 +169,7 @@ func (t *Tree) Validate() error {
 		}
 		var walk func(id pagefile.PageID, depth int, isRoot bool) (geom.Rect, error)
 		walk = func(id pagefile.PageID, depth int, isRoot bool) (geom.Rect, error) {
-			n, err := t.readNode(id)
+			n, err := t.readShared(id)
 			if err != nil {
 				return geom.Rect{}, err
 			}

@@ -1,0 +1,49 @@
+package pagefile
+
+import (
+	"testing"
+)
+
+// populate fills the buffer with reads of the first n pages.
+func populate(b *Buffer, n int) {
+	for i := 0; i < n; i++ {
+		b.Read(PageID(i))
+	}
+}
+
+// BenchmarkBufferReset measures the cost of the paper's cold-cache
+// discipline: a 1000-query workload resets the pool 1000 times, so Reset
+// must not reallocate its maps and frames on every call.
+func BenchmarkBufferReset(b *testing.B) {
+	f := New(4096)
+	for i := 0; i < 64; i++ {
+		id := f.Allocate()
+		f.write(id, []byte{byte(i)})
+	}
+	buf := NewBuffer(f, 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for r := 0; r < 1000; r++ {
+			buf.Reset()
+			populate(buf, 10)
+		}
+	}
+}
+
+// BenchmarkBufferReadHit measures a warm read — the hot operation of every
+// tree traversal.
+func BenchmarkBufferReadHit(b *testing.B) {
+	f := New(4096)
+	id := f.Allocate()
+	f.write(id, []byte{1})
+	buf := NewBuffer(f, 10)
+	buf.Read(id)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := buf.Read(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package pagefile
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// countingDecode returns a decode func that counts invocations and parses
+// the page's first byte.
+func countingDecode(calls *int) func(PageID, []byte) (any, error) {
+	return func(_ PageID, data []byte) (any, error) {
+		*calls++
+		return int(data[0]), nil
+	}
+}
+
+// TestReadDecodedAccountingMatchesRead drives two buffers over the same
+// file with the same access sequence — one through Read, one through
+// ReadDecoded — and asserts the Stats are identical at every step. This is
+// the core exactness property: the decode cache must be invisible to the
+// paper's I/O metric.
+func TestReadDecodedAccountingMatchesRead(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := New(16)
+		var pages []PageID
+		for i := 0; i < 8; i++ {
+			p := f.Allocate()
+			if f.write(p, []byte{byte(i + 1)}) != nil {
+				return false
+			}
+			pages = append(pages, p)
+		}
+		capacity := 1 + r.Intn(4)
+		plain := NewBuffer(f, capacity)
+		cached := NewBuffer(f, capacity)
+		calls := 0
+		decode := countingDecode(&calls)
+		for op := 0; op < 300; op++ {
+			switch r.Intn(10) {
+			case 0:
+				plain.Reset()
+				cached.Reset()
+			case 1:
+				p := pages[r.Intn(len(pages))]
+				plain.Evict(p)
+				cached.Evict(p)
+			case 2:
+				p := pages[r.Intn(len(pages))]
+				v := []byte{byte(r.Intn(255) + 1)}
+				if plain.Write(p, v) != nil || cached.Write(p, v) != nil {
+					return false
+				}
+			default:
+				p := pages[r.Intn(len(pages))]
+				data, err1 := plain.Read(p)
+				v, err2 := cached.ReadDecoded(p, decode)
+				if err1 != nil || err2 != nil {
+					return false
+				}
+				if int(data[0]) != v.(int) {
+					return false
+				}
+			}
+			if plain.Stats() != cached.Stats() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadDecodedCachesAcrossReset(t *testing.T) {
+	f := New(16)
+	p := f.Allocate()
+	if err := f.write(p, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer(f, 2)
+	calls := 0
+	decode := countingDecode(&calls)
+
+	v1, err := b.ReadDecoded(p, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 || v1.(int) != 7 {
+		t.Fatalf("first decode: calls=%d v=%v", calls, v1)
+	}
+	// Still buffered: no re-decode, accounted as a hit.
+	if _, err := b.ReadDecoded(p, decode); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("warm repeat re-decoded: calls=%d", calls)
+	}
+	// Reset empties the pool (cold disk buffers) but the image is
+	// unchanged, so the parse survives while the read is still charged.
+	b.Reset()
+	v2, err := b.ReadDecoded(p, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 1 {
+		t.Fatalf("decode did not survive Reset: calls=%d", calls)
+	}
+	if v2 != v1 {
+		t.Fatal("decode identity changed across Reset")
+	}
+	if st := b.Stats(); st.Reads != 1 || st.Hits != 0 {
+		t.Fatalf("post-Reset accounting: %+v", st)
+	}
+}
+
+func TestReadDecodedInvalidatedByWrite(t *testing.T) {
+	f := New(16)
+	p := f.Allocate()
+	b := NewBuffer(f, 2)
+	calls := 0
+	decode := countingDecode(&calls)
+
+	if err := b.Write(p, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.ReadDecoded(p, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 1 || calls != 1 {
+		t.Fatalf("before write: v=%v calls=%d", v, calls)
+	}
+	if err := b.Write(p, []byte{2}); err != nil {
+		t.Fatal(err)
+	}
+	v, err = b.ReadDecoded(p, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 2 || calls != 2 {
+		t.Fatalf("after write: v=%v calls=%d", v, calls)
+	}
+}
+
+// TestReadDecodedInvalidatedByForeignWrite covers the view scenario's dual:
+// a write through a *different* buffer over the same file must still
+// invalidate this buffer's decode, because the page version lives on the
+// file, not the buffer.
+func TestReadDecodedInvalidatedByForeignWrite(t *testing.T) {
+	f := New(16)
+	p := f.Allocate()
+	if err := f.write(p, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	a := NewBuffer(f, 2)
+	other := NewBuffer(f, 2)
+	calls := 0
+	decode := countingDecode(&calls)
+
+	if v, err := a.ReadDecoded(p, decode); err != nil || v.(int) != 1 {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	if err := other.Write(p, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	// a's pool still holds the stale image; flush it so Read refetches.
+	a.Evict(p)
+	v, err := a.ReadDecoded(p, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 9 || calls != 2 {
+		t.Fatalf("foreign write not seen: v=%v calls=%d", v, calls)
+	}
+}
+
+func TestReadDecodedInvalidatedByPageReuse(t *testing.T) {
+	f := New(16)
+	p := f.Allocate()
+	if err := f.write(p, []byte{5}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer(f, 2)
+	calls := 0
+	decode := countingDecode(&calls)
+	if v, err := b.ReadDecoded(p, decode); err != nil || v.(int) != 5 {
+		t.Fatalf("v=%v err=%v", v, err)
+	}
+	// Free the page and reallocate it: same id, new identity. Allocate
+	// bumps the version, so even without an intervening Write the old
+	// decode must not resurface.
+	if err := f.Free(p); err != nil {
+		t.Fatal(err)
+	}
+	b.Evict(p)
+	p2 := f.Allocate()
+	if p2 != p {
+		t.Fatalf("expected page reuse, got %d", p2)
+	}
+	if err := f.write(p2, []byte{6}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.ReadDecoded(p2, decode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.(int) != 6 || calls != 2 {
+		t.Fatalf("reused page served stale decode: v=%v calls=%d", v, calls)
+	}
+}
+
+func TestEvictDropsDecode(t *testing.T) {
+	f := New(16)
+	p := f.Allocate()
+	if err := f.write(p, []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer(f, 2)
+	calls := 0
+	decode := countingDecode(&calls)
+	if _, err := b.ReadDecoded(p, decode); err != nil {
+		t.Fatal(err)
+	}
+	b.Evict(p)
+	if _, err := b.ReadDecoded(p, decode); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("Evict kept the decode: calls=%d", calls)
+	}
+}
+
+// TestResetReusesAllocations asserts the satellite requirement: a Reset
+// must not allocate, and the frames survive for reuse.
+func TestResetReusesAllocations(t *testing.T) {
+	f := New(64)
+	b := NewBuffer(f, 10)
+	var pages []PageID
+	for i := 0; i < 10; i++ {
+		p := f.Allocate()
+		if err := f.write(p, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, p)
+	}
+	// Warm once so every slot has its frame.
+	for _, p := range pages {
+		if _, err := b.Read(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Reset()
+		for _, p := range pages {
+			if _, err := b.Read(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("reset+refill allocates %.1f times per run", allocs)
+	}
+}

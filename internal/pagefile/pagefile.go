@@ -34,11 +34,22 @@ var (
 // File is an append-only-growing collection of fixed-size pages with a
 // free list. It is the "disk"; all latencies are zero, all accounting is
 // done by the Buffer on top.
+//
+// Concurrent reads: a File whose pages are no longer being mutated — no
+// Allocate, Free or write calls in flight, the frozen state of a built
+// index — is safe for any number of concurrent readers. Each reader must
+// own its Buffer (Buffers are not safe for concurrent use); the File
+// underneath is then shared without locking. This is what makes
+// per-worker query views over one index possible.
 type File struct {
 	pageSize int
 	pages    [][]byte
 	freed    map[PageID]bool
 	freeList []PageID
+	// versions counts the writes each page has received; Buffer decode
+	// caches validate against it, so any write exactly invalidates every
+	// cached parse of the page's previous image.
+	versions []uint64
 }
 
 // New creates an empty file with the given page size.
@@ -68,10 +79,12 @@ func (f *File) Allocate() PageID {
 		id := f.freeList[n-1]
 		f.freeList = f.freeList[:n-1]
 		delete(f.freed, id)
+		f.versions[id]++ // a reused id is logically a new page
 		return id
 	}
 	id := PageID(len(f.pages))
 	f.pages = append(f.pages, make([]byte, f.pageSize))
+	f.versions = append(f.versions, 0)
 	return id
 }
 
@@ -95,6 +108,7 @@ func (f *File) write(id PageID, data []byte) error {
 	if len(data) > f.pageSize {
 		return fmt.Errorf("%w: %d > %d", ErrPageTooLarge, len(data), f.pageSize)
 	}
+	f.versions[id]++
 	p := f.pages[id]
 	copy(p, data)
 	for i := len(data); i < f.pageSize; i++ {
@@ -111,6 +125,11 @@ func (f *File) read(id PageID) ([]byte, error) {
 	}
 	return f.pages[id], nil
 }
+
+// version returns the page's write counter. It changes exactly when the
+// page image can have changed (writes, id reuse), so it is a sound cache
+// validator for decoded copies of the image.
+func (f *File) version(id PageID) uint64 { return f.versions[id] }
 
 func (f *File) check(id PageID) error {
 	if int(id) >= len(f.pages) || f.freed[id] {

@@ -99,6 +99,7 @@ func ReadFile(r io.Reader) (*File, error) {
 			return nil, fmt.Errorf("pagefile: reading page %d: %w", i, err)
 		}
 		f.pages = append(f.pages, p)
+		f.versions = append(f.versions, 0)
 	}
 	return f, nil
 }

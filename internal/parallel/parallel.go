@@ -37,10 +37,21 @@ func Workers(p, n int) int {
 // With one worker (or one item) everything runs on the calling
 // goroutine, making the serial path literally the same code.
 func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach for callers that keep per-worker state (a
+// buffer pool, a decode cache, a scratch arena): fn additionally receives
+// the worker index w in [0, resolved workers), and every invocation with
+// the same w runs on the same goroutine. The item-claiming discipline is
+// unchanged — an atomic counter hands out items dynamically, and item i
+// must write only to data owned by item i, so results are bit-identical
+// for every worker count.
+func ForEachWorker(n, workers int, fn func(w, i int)) {
 	workers = Workers(workers, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -48,16 +59,16 @@ func ForEach(n, workers int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

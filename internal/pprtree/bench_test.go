@@ -25,6 +25,7 @@ func BenchmarkSnapshotSearch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := randQuery(rng)
@@ -41,6 +42,7 @@ func BenchmarkIntervalSearch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		q := randQuery(rng)

@@ -5,41 +5,86 @@ import (
 	"stindex/internal/pagefile"
 )
 
+// takeStack borrows the pooled traversal stack (empty, possibly with
+// retained capacity). Pair with putStack.
+func (t *Tree) takeStack() []pagefile.PageID {
+	s := t.stack
+	t.stack = nil
+	return s[:0]
+}
+
+func (t *Tree) putStack(s []pagefile.PageID) { t.stack = s[:0] }
+
+// takeSeen borrows the pooled leaf-reference dedup set, cleared.
+func (t *Tree) takeSeen() map[uint64]bool {
+	m := t.seen
+	t.seen = nil
+	if m == nil {
+		return make(map[uint64]bool)
+	}
+	clear(m)
+	return m
+}
+
+func (t *Tree) putSeen(m map[uint64]bool) { t.seen = m }
+
+// takeVisited borrows the pooled page-visit set, cleared.
+func (t *Tree) takeVisited() map[pagefile.PageID]bool {
+	m := t.visited
+	t.visited = nil
+	if m == nil {
+		return make(map[pagefile.PageID]bool)
+	}
+	clear(m)
+	return m
+}
+
+func (t *Tree) putVisited(m map[pagefile.PageID]bool) { t.visited = m }
+
 // SnapshotSearch reports every record alive at time t whose rectangle
 // intersects query, stopping early when fn returns false. This is the
 // paper's snapshot query: it resolves the root that was live at t via the
 // root log and then behaves like an ephemeral R-tree search over the
 // records alive at t. Node visits go through the buffer pool.
+//
+// The traversal is iterative over a pooled stack and visits pages in
+// exactly the order the natural recursion would (children left to right,
+// depth first), so the LRU hit/miss sequence — and with it every I/O
+// count — is identical to the recursive implementation's.
 func (t *Tree) SnapshotSearch(query geom.Rect, at int64, fn func(rect geom.Rect, ref uint64) bool) error {
 	root := t.rootAt(at)
 	if root == nil {
 		return nil
 	}
-	_, err := t.snapshotWalk(root.page, query, at, fn)
-	return err
-}
+	stack := t.takeStack()
+	defer func() { t.putStack(stack) }()
 
-func (t *Tree) snapshotWalk(id pagefile.PageID, query geom.Rect, at int64, fn func(geom.Rect, uint64) bool) (bool, error) {
-	n, err := t.readNode(id)
-	if err != nil {
-		return false, err
-	}
-	for _, e := range n.entries {
-		if !e.aliveAt(at) || !e.rect.Intersects(query) {
-			continue
+	stack = append(stack, root.page)
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.readShared(id)
+		if err != nil {
+			return err
 		}
 		if n.leaf {
-			if !fn(e.rect, e.ref) {
-				return false, nil
+			for i := range n.entries {
+				e := &n.entries[i]
+				if e.aliveAt(at) && e.rect.Intersects(query) && !fn(e.rect, e.ref) {
+					return nil
+				}
 			}
 			continue
 		}
-		cont, err := t.snapshotWalk(pagefile.PageID(e.ref), query, at, fn)
-		if err != nil || !cont {
-			return cont, err
+		// Reverse push so the LIFO pop visits children in entry order.
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			e := &n.entries[i]
+			if e.aliveAt(at) && e.rect.Intersects(query) {
+				stack = append(stack, pagefile.PageID(e.ref))
+			}
 		}
 	}
-	return true, nil
+	return nil
 }
 
 // IntervalSearch reports every record whose lifetime overlaps the
@@ -50,62 +95,16 @@ func (t *Tree) IntervalSearch(query geom.Rect, iv geom.Interval, fn func(rect ge
 	if !iv.ValidInterval() {
 		return nil
 	}
-	seen := make(map[uint64]bool)
-	visited := make(map[pagefile.PageID]bool)
-	for i := range t.roots {
-		r := &t.roots[i]
-		if !(geom.Interval{Start: r.start, End: r.end}).Overlaps(iv) {
-			continue
+	seen := t.takeSeen()
+	defer func() { t.putSeen(seen) }()
+	return t.intervalScan(query, iv, func(rect geom.Rect, _ geom.Interval, ref uint64) bool {
+		if seen[ref] {
+			return true
 		}
-		cont, err := t.intervalWalk(r.page, query, iv, seen, visited, fn)
-		if err != nil {
-			return err
-		}
-		if !cont {
-			return nil
-		}
-	}
-	return nil
+		seen[ref] = true
+		return fn(rect, ref)
+	})
 }
-
-func (t *Tree) intervalWalk(id pagefile.PageID, query geom.Rect, iv geom.Interval, seen map[uint64]bool, visited map[pagefile.PageID]bool, fn func(geom.Rect, uint64) bool) (bool, error) {
-	// Version copies make the structure a DAG: the same page can be
-	// reachable through several roots or parents. Visiting it once is
-	// enough — its contents are immutable history.
-	if visited[id] {
-		return true, nil
-	}
-	visited[id] = true
-	n, err := t.readNode(id)
-	if err != nil {
-		return false, err
-	}
-	for _, e := range n.entries {
-		if !e.interval().Overlaps(iv) || !e.rect.Intersects(query) {
-			continue
-		}
-		if n.leaf {
-			if seen[e.ref] {
-				continue
-			}
-			seen[e.ref] = true
-			if !fn(e.rect, e.ref) {
-				return false, nil
-			}
-			continue
-		}
-		cont, err := t.intervalWalk(pagefile.PageID(e.ref), query, iv, seen, visited, fn)
-		if err != nil || !cont {
-			return cont, err
-		}
-	}
-	return true, nil
-}
-
-// Touch advances the tree's clock without applying an update. Streaming
-// callers use it so that "no change at time t" still respects the
-// non-decreasing-time discipline.
-func (t *Tree) Touch(time int64) error { return t.advance(time) }
 
 // IntervalSearchRecords is IntervalSearch without duplicate elimination:
 // fn receives every version copy (rectangle, lifetime sub-interval,
@@ -116,49 +115,63 @@ func (t *Tree) IntervalSearchRecords(query geom.Rect, iv geom.Interval, fn func(
 	if !iv.ValidInterval() {
 		return nil
 	}
-	visited := make(map[pagefile.PageID]bool)
-	var walk func(id pagefile.PageID) (bool, error)
-	walk = func(id pagefile.PageID) (bool, error) {
-		if visited[id] {
-			return true, nil
+	return t.intervalScan(query, iv, fn)
+}
+
+// intervalScan walks every root whose span overlaps iv, visiting each
+// page once (version copies make the structure a DAG: the same page can
+// be reachable through several roots or parents; its contents are
+// immutable history, so one visit suffices). Iterative with pooled
+// scratch; page-visit order matches the recursive formulation exactly.
+func (t *Tree) intervalScan(query geom.Rect, iv geom.Interval, fn func(rect geom.Rect, iv geom.Interval, ref uint64) bool) error {
+	visited := t.takeVisited()
+	stack := t.takeStack()
+	defer func() {
+		t.putVisited(visited)
+		t.putStack(stack)
+	}()
+
+	for r := range t.roots {
+		root := &t.roots[r]
+		if !(geom.Interval{Start: root.start, End: root.end}).Overlaps(iv) {
+			continue
 		}
-		visited[id] = true
-		n, err := t.readNode(id)
-		if err != nil {
-			return false, err
-		}
-		for _, e := range n.entries {
-			if !e.interval().Overlaps(iv) || !e.rect.Intersects(query) {
+		stack = append(stack[:0], root.page)
+		for len(stack) > 0 {
+			id := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if visited[id] {
 				continue
 			}
+			visited[id] = true
+			n, err := t.readShared(id)
+			if err != nil {
+				return err
+			}
 			if n.leaf {
-				if !fn(e.rect, e.interval(), e.ref) {
-					return false, nil
+				for i := range n.entries {
+					e := &n.entries[i]
+					if e.interval().Overlaps(iv) && e.rect.Intersects(query) && !fn(e.rect, e.interval(), e.ref) {
+						return nil
+					}
 				}
 				continue
 			}
-			cont, err := walk(pagefile.PageID(e.ref))
-			if err != nil || !cont {
-				return cont, err
+			for i := len(n.entries) - 1; i >= 0; i-- {
+				e := &n.entries[i]
+				if e.interval().Overlaps(iv) && e.rect.Intersects(query) {
+					stack = append(stack, pagefile.PageID(e.ref))
+				}
 			}
-		}
-		return true, nil
-	}
-	for i := range t.roots {
-		r := &t.roots[i]
-		if !(geom.Interval{Start: r.start, End: r.end}).Overlaps(iv) {
-			continue
-		}
-		cont, err := walk(r.page)
-		if err != nil {
-			return err
-		}
-		if !cont {
-			return nil
 		}
 	}
 	return nil
 }
+
+// Touch advances the tree's clock without applying an update. Streaming
+// callers use it so that "no change at time t" still respects the
+// non-decreasing-time discipline.
+func (t *Tree) Touch(time int64) error { return t.advance(time) }
 
 // CountSnapshot returns the number of records alive at t intersecting query.
 func (t *Tree) CountSnapshot(query geom.Rect, at int64) (int, error) {

@@ -1,0 +1,98 @@
+package pprtree
+
+import (
+	"testing"
+
+	"stindex/internal/geom"
+)
+
+// TestExpandAliveInvalidatesDecodeCache is the stale-decode regression
+// test: searching populates the buffer's decode cache, then ExpandAlive
+// rewrites leaf and directory pages in place. A subsequent search must see
+// the grown rectangles — if a stale cached node survived the write, the
+// directory pruning would route the query away from the expanded record
+// and silently drop it.
+func TestExpandAliveInvalidatesDecodeCache(t *testing.T) {
+	tree, err := New(Options{MaxEntries: 8, BufferPages: 64}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.EnableExpansion(); err != nil {
+		t.Fatal(err)
+	}
+	// Enough records in the lower-left quadrant for a multi-level tree, so
+	// the expansion must rewrite directory pages, not just the leaf.
+	const n = 60
+	for i := 0; i < n; i++ {
+		x := 0.01 * float64(i%10)
+		y := 0.01 * float64(i/10)
+		r := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.005, MaxY: y + 0.005}
+		if err := tree.Insert(r, uint64(i), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	far := geom.Rect{MinX: 0.9, MinY: 0.9, MaxX: 0.95, MaxY: 0.95}
+
+	// Populate the decode cache along every path: the far query proves the
+	// region is empty and caches the (pre-expansion) directory nodes.
+	count := func(q geom.Rect, at int64) int {
+		c, err := tree.CountSnapshot(q, at)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if got := count(far, 0); got != 0 {
+		t.Fatalf("far region should start empty, found %d", got)
+	}
+	full := geom.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	if got := count(full, 0); got != n {
+		t.Fatalf("full query found %d of %d", got, n)
+	}
+
+	// Grow record 0's rectangle to also cover the far region, rewriting
+	// its leaf and the whole back-reference chain in place.
+	old := geom.Rect{MinX: 0, MinY: 0, MaxX: 0.005, MaxY: 0.005}
+	if err := tree.ExpandAlive(old, 0, far, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// The expanded record must now be reachable through the far region.
+	if got := count(far, 1); got != 1 {
+		t.Fatalf("stale decode: far query found %d records after expansion, want 1", got)
+	}
+	found := false
+	err = tree.SnapshotSearch(far, 1, func(r geom.Rect, ref uint64) bool {
+		if ref == 0 && r.Contains(far) {
+			found = true
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("expanded record 0 not reported with its grown rectangle")
+	}
+	if _, err := tree.Validate(); err != nil {
+		t.Fatalf("after expansion: %v", err)
+	}
+
+	// Repeat a few times to cycle decode entries through invalidation:
+	// each round caches the current shape with a probing query, grows the
+	// record further, and checks the new extent is visible immediately.
+	cur := old.Union(far)
+	for i := 0; i < 5; i++ {
+		add := geom.Rect{MinX: 1.0 + 0.1*float64(i), MinY: 0.2, MaxX: 1.05 + 0.1*float64(i), MaxY: 0.22}
+		if got := count(add, int64(i+1)); got != 0 {
+			t.Fatalf("round %d: region unexpectedly occupied (%d)", i, got)
+		}
+		if err := tree.ExpandAlive(cur, 0, add, int64(i+2)); err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		cur = cur.Union(add)
+		if got := count(add, int64(i+2)); got != 1 {
+			t.Fatalf("round %d: stale decode after expansion (found %d)", i, got)
+		}
+	}
+}

@@ -96,6 +96,12 @@ type Tree struct {
 	// it; non-nil only in online mode (EnableExpansion), where ExpandAlive
 	// needs to repair historical routing rectangles.
 	backRefs map[pagefile.PageID]map[pagefile.PageID]struct{}
+	// Pooled query scratch: taken at the start of a search, restored
+	// afterwards, so steady-state queries allocate nothing. A reentrant
+	// search from inside a callback allocates its own.
+	stack   []pagefile.PageID
+	seen    map[uint64]bool
+	visited map[pagefile.PageID]bool
 }
 
 // New creates an empty tree whose history begins at startTime.
@@ -165,12 +171,47 @@ func (t *Tree) rootAt(q int64) *rootSpan {
 	return nil
 }
 
+// readNode returns a private decoded copy of the page, parsed fresh from
+// the buffered image. Mutating paths (updates, version splits, expansion)
+// use it: they edit the node in place before writing it back.
 func (t *Tree) readNode(id pagefile.PageID) (*pnode, error) {
 	data, err := t.buf.Read(id)
 	if err != nil {
 		return nil, err
 	}
 	return decodePNode(id, data)
+}
+
+// decodePNodeCached adapts decodePNode to the buffer's decode cache.
+func decodePNodeCached(id pagefile.PageID, data []byte) (any, error) {
+	return decodePNode(id, data)
+}
+
+// readShared returns the page's decoded node through the buffer's decode
+// cache: repeat visits of an unchanged page — even across the cold-cache
+// Reset between queries — skip the parse. The node is shared; callers
+// must not mutate it. I/O accounting is identical to readNode.
+func (t *Tree) readShared(id pagefile.PageID) (*pnode, error) {
+	v, err := t.buf.ReadDecoded(id, decodePNodeCached)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*pnode), nil
+}
+
+// QueryView returns a read-only view of the tree: same pages, same root
+// log, same options, but a private buffer pool (and decode cache) over
+// the shared page file. Views answer queries concurrently with each other
+// and with the parent as long as nobody mutates the tree. Using a view
+// for updates is a misuse.
+func (t *Tree) QueryView() *Tree {
+	cp := *t
+	cp.buf = pagefile.NewBuffer(t.file, t.opts.BufferPages)
+	cp.encBuf = nil
+	cp.stack = nil
+	cp.seen = nil
+	cp.visited = nil
+	return &cp
 }
 
 func (t *Tree) writeNode(n *pnode) error {

@@ -48,7 +48,7 @@ func (t *Tree) Validate() (CheckReport, error) {
 
 	var walk func(id pagefile.PageID, depth, wantLeafDepth int) error
 	walk = func(id pagefile.PageID, depth, wantLeafDepth int) error {
-		n, err := t.readNode(id)
+		n, err := t.readShared(id)
 		if err != nil {
 			return err
 		}
@@ -97,7 +97,7 @@ func (t *Tree) Validate() (CheckReport, error) {
 				}
 				continue
 			}
-			child, err := t.readNode(pagefile.PageID(e.ref))
+			child, err := t.readShared(pagefile.PageID(e.ref))
 			if err != nil {
 				return err
 			}
@@ -198,7 +198,7 @@ func (t *Tree) EphemeralLevels(at int64) ([]EphemeralLevel, error) {
 	}
 	var walk func(id pagefile.PageID, depth int) error
 	walk = func(id pagefile.PageID, depth int) error {
-		n, err := t.readNode(id)
+		n, err := t.readShared(id)
 		if err != nil {
 			return err
 		}

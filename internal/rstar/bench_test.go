@@ -88,6 +88,7 @@ func BenchmarkSearch(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := tree.Count(randBox3(rng)); err != nil {

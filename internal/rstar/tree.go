@@ -63,7 +63,8 @@ func (o Options) withDefaults() (Options, error) {
 }
 
 // Tree is a 3D R*-tree stored on a simulated page file. Not safe for
-// concurrent use; wrap with external locking if needed.
+// concurrent use; wrap with external locking if needed, or fan queries
+// out over QueryView instances.
 type Tree struct {
 	opts   Options
 	file   *pagefile.File
@@ -72,6 +73,10 @@ type Tree struct {
 	height int // 1 = root is a leaf
 	size   int // number of data entries
 	encBuf []byte
+	// stack is the pooled traversal stack of Search: taken at the start of
+	// a search, restored afterwards, so steady-state queries allocate
+	// nothing (a reentrant search from inside fn simply allocates its own).
+	stack []pagefile.PageID
 }
 
 // New creates an empty tree.
@@ -110,12 +115,47 @@ func (t *Tree) File() *pagefile.File { return t.file }
 // Options returns the effective configuration.
 func (t *Tree) Options() Options { return t.opts }
 
+// readNode returns a private decoded copy of the page, parsed fresh from
+// the buffered image. Mutating paths (insert, delete, split) use it: they
+// are free to edit the node in place before writing it back.
 func (t *Tree) readNode(id pagefile.PageID) (*node, error) {
 	data, err := t.buf.Read(id)
 	if err != nil {
 		return nil, err
 	}
 	return decodeNode(id, data)
+}
+
+// decodeNodeCached adapts decodeNode to the buffer's decode cache.
+func decodeNodeCached(id pagefile.PageID, data []byte) (any, error) {
+	return decodeNode(id, data)
+}
+
+// readShared returns the page's decoded node through the buffer's decode
+// cache: a repeat visit of an unchanged page — even after the cold-cache
+// Reset between queries — skips the parse. The node is shared; callers
+// must not mutate it. I/O accounting is identical to readNode.
+func (t *Tree) readShared(id pagefile.PageID) (*node, error) {
+	v, err := t.buf.ReadDecoded(id, decodeNodeCached)
+	if err != nil {
+		return nil, err
+	}
+	return v.(*node), nil
+}
+
+// QueryView returns a read-only view of the tree: same pages, same
+// layout, same options, but a private buffer pool (and decode cache) over
+// the shared page file. Views answer queries concurrently with each other
+// and with the parent as long as nobody mutates the tree — the File's
+// frozen state is safe for concurrent readers, and all per-query state
+// (buffer, stats, traversal scratch) is per-view. Using a view for
+// inserts or deletes is a misuse.
+func (t *Tree) QueryView() *Tree {
+	cp := *t
+	cp.buf = pagefile.NewBuffer(t.file, t.opts.BufferPages)
+	cp.encBuf = nil
+	cp.stack = nil
+	return &cp
 }
 
 func (t *Tree) writeNode(n *node) error {
@@ -129,32 +169,41 @@ func (t *Tree) writeNode(n *node) error {
 // Search invokes fn for every data entry whose box intersects q, stopping
 // early when fn returns false. Node visits go through the buffer pool, so
 // t.Buffer().Stats() reflects the query's disk accesses.
+//
+// The traversal is iterative over a pooled stack and visits pages in
+// exactly the order the natural recursion would (children left to right,
+// depth first), so the LRU hit/miss sequence — and with it every I/O
+// count — is identical to the recursive implementation's.
 func (t *Tree) Search(q geom.Box3, fn func(b geom.Box3, ref uint64) bool) error {
-	_, err := t.search(t.root, q, fn)
-	return err
-}
+	stack := t.stack
+	t.stack = nil
+	stack = append(stack[:0], t.root)
+	defer func() { t.stack = stack[:0] }()
 
-func (t *Tree) search(id pagefile.PageID, q geom.Box3, fn func(geom.Box3, uint64) bool) (bool, error) {
-	n, err := t.readNode(id)
-	if err != nil {
-		return false, err
-	}
-	for _, e := range n.entries {
-		if !e.box.Intersects(q) {
-			continue
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n, err := t.readShared(id)
+		if err != nil {
+			return err
 		}
 		if n.leaf {
-			if !fn(e.box, e.ref) {
-				return false, nil
+			for _, e := range n.entries {
+				if e.box.Intersects(q) && !fn(e.box, e.ref) {
+					return nil
+				}
 			}
 			continue
 		}
-		cont, err := t.search(pagefile.PageID(e.ref), q, fn)
-		if err != nil || !cont {
-			return cont, err
+		// Push matching children in reverse so the LIFO pop visits them in
+		// entry order, mirroring the recursion's page-visit sequence.
+		for i := len(n.entries) - 1; i >= 0; i-- {
+			if e := &n.entries[i]; e.box.Intersects(q) {
+				stack = append(stack, pagefile.PageID(e.ref))
+			}
 		}
 	}
-	return true, nil
+	return nil
 }
 
 // Count returns the number of data entries intersecting q.
@@ -171,7 +220,7 @@ func (t *Tree) Validate() error {
 	leafDepth := -1
 	var walk func(id pagefile.PageID, depth int, isRoot bool) (geom.Box3, int, error)
 	walk = func(id pagefile.PageID, depth int, isRoot bool) (geom.Box3, int, error) {
-		n, err := t.readNode(id)
+		n, err := t.readShared(id)
 		if err != nil {
 			return geom.Box3{}, 0, err
 		}
@@ -244,7 +293,7 @@ func (t *Tree) Levels() ([]LevelStats, error) {
 	}
 	var walk func(id pagefile.PageID, depth int) error
 	walk = func(id pagefile.PageID, depth int) error {
-		n, err := t.readNode(id)
+		n, err := t.readShared(id)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,156 @@
+package stindex
+
+import (
+	"runtime"
+	"testing"
+)
+
+// goldenWorkload builds the fixed dataset and indexes used to pin the
+// workload I/O goldens: 1500 uniform objects split under a 1.5x budget,
+// indexed three ways.
+func goldenWorkload(t *testing.T) (ppr, rst, hr Index) {
+	t.Helper()
+	objs, err := GenerateRandom(RandomDatasetConfig{N: 1500, Horizon: 1000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := SplitDataset(objs, SplitConfig{Budget: 2250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPPR(records, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := BuildRStar(records, RStarOptions{ShuffleSeed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := BuildHR(records, HROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, r, h
+}
+
+func goldenQueries(t *testing.T, set QuerySet) []Query {
+	t.Helper()
+	qs, err := GenerateQueries(set, 1000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return qs[:200]
+}
+
+// TestWorkloadGoldenIO pins the exact AvgIO of the measurement pipeline on
+// a fixed dataset. These values are a deterministic function of the tree
+// layouts and the 10-page LRU policy; the decoded-node cache and the
+// iterative traversals must not move them by even one disk access — any
+// drift here means the paper's metric changed.
+func TestWorkloadGoldenIO(t *testing.T) {
+	ppr, rst, hr := goldenWorkload(t)
+	golden := []struct {
+		set       QuerySet
+		idx       Index
+		avgIO     float64
+		avgResult float64
+	}{
+		{QuerySnapshotMixed, ppr, 3.445, 14.87},
+		{QuerySnapshotMixed, rst, 10.44, 14.87},
+		{QuerySnapshotMixed, hr, 2.855, 14.87},
+		{QueryRangeSmall, ppr, 3.975, 15.425},
+		{QueryRangeSmall, rst, 10.205, 15.425},
+		{QueryRangeSmall, hr, 14.43, 15.425},
+	}
+	queries := map[QuerySet][]Query{
+		QuerySnapshotMixed: goldenQueries(t, QuerySnapshotMixed),
+		QueryRangeSmall:    goldenQueries(t, QueryRangeSmall),
+	}
+	for _, g := range golden {
+		res, err := MeasureWorkload(g.idx, queries[g.set])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.AvgIO != g.avgIO || res.AvgResult != g.avgResult {
+			t.Errorf("set=%s kind=%s: AvgIO=%v AvgResult=%v, want %v / %v",
+				g.set, g.idx.Kind(), res.AvgIO, res.AvgResult, g.avgIO, g.avgResult)
+		}
+	}
+}
+
+// TestMeasureWorkloadParallelBitIdentical asserts the tentpole guarantee:
+// for every worker count, MeasureWorkloadParallel returns exactly the
+// serial result — same AvgIO, same AvgResult, same query count.
+func TestMeasureWorkloadParallelBitIdentical(t *testing.T) {
+	ppr, rst, hr := goldenWorkload(t)
+	workerCounts := []int{1, 2, runtime.NumCPU()}
+	for _, set := range []QuerySet{QuerySnapshotMixed, QueryRangeSmall} {
+		qs := goldenQueries(t, set)
+		for _, idx := range []Index{ppr, rst, hr} {
+			want, err := MeasureWorkload(idx, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range workerCounts {
+				got, err := MeasureWorkloadParallel(idx, qs, w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Errorf("set=%s kind=%s workers=%d: %+v, want %+v", set, idx.Kind(), w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMeasureWorkloadParallelHybrid covers the composite index's view
+// plumbing (two component trees per view).
+func TestMeasureWorkloadParallelHybrid(t *testing.T) {
+	objs, err := GenerateRandom(RandomDatasetConfig{N: 400, Horizon: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := SplitDataset(objs, SplitConfig{Budget: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildHybrid(records, HybridOptions{RStar: RStarOptions{ShuffleSeed: 42}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := goldenQueries(t, QueryRangeMedium)
+	want, err := MeasureWorkload(idx, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{2, 0} {
+		got, err := MeasureWorkloadParallel(idx, qs, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: %+v, want %+v", w, got, want)
+		}
+	}
+}
+
+// opaqueIndex hides the QueryViewer implementation, forcing the serial
+// fallback path.
+type opaqueIndex struct{ Index }
+
+func TestMeasureWorkloadParallelFallback(t *testing.T) {
+	ppr, _, _ := goldenWorkload(t)
+	qs := goldenQueries(t, QuerySnapshotMixed)[:50]
+	want, err := MeasureWorkload(ppr, qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MeasureWorkloadParallel(opaqueIndex{ppr}, qs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("fallback: %+v, want %+v", got, want)
+	}
+}
