@@ -40,18 +40,27 @@ var runners = []struct {
 	{"chooser", func(c experiments.Config) error { _, err := experiments.Chooser(c); return err }},
 	{"overlap", func(c experiments.Config) error { _, err := experiments.Overlap(c); return err }},
 	{"build", func(c experiments.Config) error { _, err := experiments.Build(c); return err }},
+	{"persist", func(c experiments.Config) error { _, err := experiments.Persist(c); return err }},
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: all | table1 | table2 | fig11..fig18 | fig17r | fig18r (railway) | fig14c (commuter) | chooser (§IV) | overlap (HR vs PPR) | build")
+		exp     = flag.String("exp", "all", "experiment id: all | table1 | table2 | fig11..fig18 | fig17r | fig18r (railway) | fig14c (commuter) | chooser (§IV) | overlap (HR vs PPR) | build | persist")
 		full    = flag.Bool("full", false, "use the paper's dataset sizes (10k..80k); hours of CPU")
 		sizes   = flag.String("sizes", "", "comma-separated dataset sizes overriding the defaults")
 		queries = flag.Int("queries", 0, "queries per set (default 1000)")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		par     = flag.Int("parallelism", 0, "worker count for the split pipeline and workload measurement (0 = all cores, 1 = serial; results are identical either way)")
+		backend = flag.String("backend", "", "page-store backend for every index build: mem | disk (default: $STINDEX_BACKEND, then mem; results and AvgIO are identical either way)")
 	)
 	flag.Parse()
+	if *backend != "" {
+		// The experiments build through the facade's default backend, so
+		// the flag just routes through the same environment switch.
+		if err := os.Setenv("STINDEX_BACKEND", *backend); err != nil {
+			fatal(err)
+		}
+	}
 
 	cfg := experiments.Config{FullScale: *full, Queries: *queries, Seed: *seed, Parallelism: *par, Out: os.Stdout}
 	fmt.Fprintf(os.Stderr, "stbench: split pipeline running on %d worker(s)\n", parallel.Workers(*par, -1))

@@ -9,8 +9,9 @@
 //	stquery -i records.jsonl -index rstar-packed -parallelism 8 -set range-small
 //	stquery -i records.jsonl -index hybrid -set range-medium
 //	stquery -i records.jsonl -index ppr -rect 0.4,0.4,0.6,0.6 -t 500
-//	stquery -i records.jsonl -index ppr -save idx.ppr       # persist the built index
-//	stquery -load idx.ppr -index ppr -set snapshot-mixed    # reuse it
+//	stquery -i records.jsonl -index hr -save idx.sti        # persist the built index
+//	stquery -load idx.sti -set snapshot-mixed               # reopen lazily (kind autodetected)
+//	stquery -i records.jsonl -index ppr -backend disk ...   # build on the disk backend
 package main
 
 import (
@@ -31,8 +32,9 @@ func main() {
 		in       = flag.String("i", "", "input records (JSON lines from stsplit; default stdin)")
 		kind     = flag.String("index", "ppr", "index structure: ppr | rstar | rstar-packed | hybrid | hr")
 		par      = flag.Int("parallelism", 0, "worker count for bulk loading (rstar-packed) and workload measurement: 0 = all cores, 1 = serial; tree and averages are identical either way")
-		save     = flag.String("save", "", "write the built index image to this file (ppr/rstar only)")
-		load     = flag.String("load", "", "load an index image instead of building from records")
+		save     = flag.String("save", "", "write the built index container to this file (any kind)")
+		load     = flag.String("load", "", "open a saved index container lazily instead of building from records (kind autodetected; -index is ignored)")
+		backend  = flag.String("backend", "", "page-store backend for building: mem | disk (default: $STINDEX_BACKEND, then mem)")
 		describe = flag.Bool("describe", false, "print the index's physical shape and exit")
 		set      = flag.String("set", "", "standard query set (snapshot-tiny|snapshot-small|snapshot-mixed|snapshot-large|range-small|range-medium)")
 		queries  = flag.Int("queries", 1000, "number of queries from the set")
@@ -48,25 +50,26 @@ func main() {
 	var idx stx.Index
 	var err error
 	if *load != "" {
-		idx, err = loadIndex(*kind, *load)
+		idx, err = stx.OpenIndex(*load)
 		if err != nil {
 			fatal(err)
 		}
+		defer stx.CloseIndex(idx)
 	} else {
 		records, rerr := readRecords(*in)
 		if rerr != nil {
 			fatal(rerr)
 		}
-		idx, err = build(*kind, records, *par)
+		idx, err = build(*kind, records, *par, stx.Backend(*backend))
 		if err != nil {
 			fatal(err)
 		}
 	}
 	if *save != "" {
-		if err := saveIndex(idx, *save); err != nil {
+		if err := stx.SaveIndex(*save, idx); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "saved index image to %s\n", *save)
+		fmt.Fprintf(os.Stderr, "saved index container to %s\n", *save)
 	}
 	fmt.Fprintf(os.Stderr, "built %s index: %d records, %d pages (%d KiB)\n",
 		idx.Kind(), idx.Records(), idx.Pages(), idx.Bytes()/1024)
@@ -114,53 +117,23 @@ func main() {
 	fmt.Printf("set=%s queries=%d avg-io=%.2f avg-results=%.1f\n", *set, res.Queries, res.AvgIO, res.AvgResult)
 }
 
-func build(kind string, records []stx.Record, parallelism int) (stx.Index, error) {
+func build(kind string, records []stx.Record, parallelism int, backend stx.Backend) (stx.Index, error) {
 	switch kind {
 	case "ppr":
-		return stx.BuildPPR(records, stx.PPROptions{})
+		return stx.BuildPPR(records, stx.PPROptions{Backend: backend})
 	case "rstar":
-		return stx.BuildRStar(records, stx.RStarOptions{ShuffleSeed: 42})
+		return stx.BuildRStar(records, stx.RStarOptions{ShuffleSeed: 42, Backend: backend})
 	case "rstar-packed":
-		return stx.BuildRStarPacked(records, stx.RStarOptions{Parallelism: parallelism})
+		return stx.BuildRStarPacked(records, stx.RStarOptions{Parallelism: parallelism, Backend: backend})
 	case "hybrid":
-		return stx.BuildHybrid(records, stx.HybridOptions{RStar: stx.RStarOptions{ShuffleSeed: 42}})
+		return stx.BuildHybrid(records, stx.HybridOptions{
+			PPR:   stx.PPROptions{Backend: backend},
+			RStar: stx.RStarOptions{ShuffleSeed: 42, Backend: backend},
+		})
 	case "hr":
-		return stx.BuildHR(records, stx.HROptions{})
+		return stx.BuildHR(records, stx.HROptions{Backend: backend})
 	default:
 		return nil, fmt.Errorf("unknown index %q (want ppr, rstar, rstar-packed, hybrid or hr)", kind)
-	}
-}
-
-func saveIndex(idx stx.Index, path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	switch x := idx.(type) {
-	case *stx.PPRIndex:
-		_, err = x.WriteTo(f)
-	case *stx.RStarIndex:
-		_, err = x.WriteTo(f)
-	default:
-		return fmt.Errorf("index kind %q does not support -save", idx.Kind())
-	}
-	return err
-}
-
-func loadIndex(kind, path string) (stx.Index, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	switch kind {
-	case "ppr":
-		return stx.ReadPPRIndex(f)
-	case "rstar":
-		return stx.ReadRStarIndex(f)
-	default:
-		return nil, fmt.Errorf("index kind %q does not support -load", kind)
 	}
 }
 

@@ -30,16 +30,19 @@ func main() {
 
 	// Persist the index — pages, root log and all — as if shutting down.
 	var image bytes.Buffer
-	if _, err := idx.WriteTo(&image); err != nil {
+	if _, err := stx.EncodeIndex(&image, idx); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("persisted image: %d KiB\n", image.Len()/1024)
+	fmt.Printf("persisted container: %d KiB\n", image.Len()/1024)
 
 	// ... next morning: reload and append day two, instants [1000, 2000).
-	idx, err = stx.ReadPPRIndex(&image)
+	// (With a file instead of a buffer this would be stx.SaveIndex and a
+	// lazy stx.OpenIndex; appending needs the eager, writable decode.)
+	reloaded, err := stx.DecodeIndex(&image)
 	if err != nil {
 		log.Fatal(err)
 	}
+	idx = reloaded.(*stx.PPRIndex)
 	day2raw, err := stx.GenerateRandom(stx.RandomDatasetConfig{N: 800, Seed: 2})
 	if err != nil {
 		log.Fatal(err)

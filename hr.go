@@ -2,6 +2,7 @@ package stindex
 
 import (
 	"fmt"
+	"io"
 	"sort"
 
 	"stindex/internal/geom"
@@ -15,6 +16,8 @@ type HROptions struct {
 	MinEntries  int
 	PageSize    int
 	BufferPages int
+	// Backend selects where the tree's pages live (memory or disk).
+	Backend Backend
 }
 
 // HRIndex is an overlapping (historical) R-tree over the record set — the
@@ -29,6 +32,7 @@ type HROptions struct {
 type HRIndex struct {
 	tree   *hrtree.Tree
 	owners []int64
+	closer io.Closer // see PPRIndex.closer
 }
 
 // BuildHR indexes the records with an overlapping R-tree, replaying their
@@ -48,6 +52,7 @@ func BuildHR(records []Record, opts HROptions) (*HRIndex, error) {
 		MinEntries:  opts.MinEntries,
 		PageSize:    opts.PageSize,
 		BufferPages: opts.BufferPages,
+		Backend:     opts.Backend.internal(),
 	}, recs)
 	if err != nil {
 		return nil, err
@@ -109,28 +114,46 @@ func buildHRFromRecords(opts hrtree.Options, records []pprtree.Record) (*hrtree.
 // Snapshot implements Index.
 func (x *HRIndex) Snapshot(r Rect, t int64) ([]int64, error) {
 	var out []int64
+	var cbErr error
 	seen := make(map[int64]bool)
 	err := x.tree.SnapshotSearch(r.internal(), t, func(_ geom.Rect, ref uint64) bool {
-		if id := x.owners[ref]; !seen[id] {
+		id, err := ownerOf(x.owners, ref, "hr")
+		if err != nil {
+			cbErr = err
+			return false
+		}
+		if !seen[id] {
 			seen[id] = true
 			out = append(out, id)
 		}
 		return true
 	})
+	if err == nil {
+		err = cbErr
+	}
 	return out, err
 }
 
 // Range implements Index.
 func (x *HRIndex) Range(r Rect, iv Interval) ([]int64, error) {
 	var out []int64
+	var cbErr error
 	seen := make(map[int64]bool)
 	err := x.tree.IntervalSearch(r.internal(), iv.internal(), func(_ geom.Rect, ref uint64) bool {
-		if id := x.owners[ref]; !seen[id] {
+		id, err := ownerOf(x.owners, ref, "hr")
+		if err != nil {
+			cbErr = err
+			return false
+		}
+		if !seen[id] {
 			seen[id] = true
 			out = append(out, id)
 		}
 		return true
 	})
+	if err == nil {
+		err = cbErr
+	}
 	return out, err
 }
 
@@ -144,16 +167,27 @@ func (x *HRIndex) IOStats() IOStats {
 }
 
 // Pages implements Index.
-func (x *HRIndex) Pages() int { return x.tree.File().NumPages() }
+func (x *HRIndex) Pages() int { return x.tree.Store().NumPages() }
 
 // Bytes implements Index.
-func (x *HRIndex) Bytes() int64 { return x.tree.File().Bytes() }
+func (x *HRIndex) Bytes() int64 { return x.tree.Store().Bytes() }
 
 // Records implements Index.
 func (x *HRIndex) Records() int { return len(x.owners) }
 
 // Kind implements Index.
 func (x *HRIndex) Kind() string { return "hr" }
+
+// Close releases the container file of a lazily opened index; see
+// (*PPRIndex).Close.
+func (x *HRIndex) Close() error {
+	if x.closer == nil {
+		return nil
+	}
+	c := x.closer
+	x.closer = nil
+	return c.Close()
+}
 
 // Tree exposes the underlying overlapping R-tree.
 func (x *HRIndex) Tree() *hrtree.Tree { return x.tree }

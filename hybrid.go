@@ -1,6 +1,9 @@
 package stindex
 
-import "fmt"
+import (
+	"fmt"
+	"io"
+)
 
 // HybridOptions configures BuildHybrid.
 type HybridOptions struct {
@@ -27,6 +30,7 @@ type HybridIndex struct {
 	ppr       *PPRIndex
 	rstar     *RStarIndex
 	threshold int64
+	closer    io.Closer // see PPRIndex.closer
 }
 
 // BuildHybrid indexes the records with both structures.
@@ -84,6 +88,17 @@ func (h *HybridIndex) Records() int { return h.ppr.Records() }
 
 // Kind implements Index.
 func (h *HybridIndex) Kind() string { return "hybrid" }
+
+// Close releases the container file of a lazily opened index; see
+// (*PPRIndex).Close.
+func (h *HybridIndex) Close() error {
+	if h.closer == nil {
+		return nil
+	}
+	c := h.closer
+	h.closer = nil
+	return c.Close()
+}
 
 // QueryView implements QueryViewer: views of both components sharing the
 // frozen page files, each with private buffer pools.

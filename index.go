@@ -2,12 +2,31 @@ package stindex
 
 import (
 	"fmt"
+	"io"
 	"math/rand"
 
 	"stindex/internal/geom"
+	"stindex/internal/pagefile"
 	"stindex/internal/pprtree"
 	"stindex/internal/rstar"
 )
+
+// Backend names a page-store implementation for the index structures.
+// The default ("") consults the STINDEX_BACKEND environment variable and
+// falls back to memory. The backend choice never affects query results
+// or I/O statistics — only where the pages physically live.
+type Backend string
+
+const (
+	// BackendDefault defers to STINDEX_BACKEND, then memory.
+	BackendDefault Backend = ""
+	// BackendMemory keeps pages in memory (the simulated disk).
+	BackendMemory Backend = "mem"
+	// BackendDisk keeps pages in a temporary file, read lazily on demand.
+	BackendDisk Backend = "disk"
+)
+
+func (b Backend) internal() pagefile.Backend { return pagefile.Backend(b) }
 
 // IOStats reports buffer-pool traffic: Reads and Writes are disk accesses,
 // Hits were served from the pool.
@@ -65,12 +84,17 @@ type PPROptions struct {
 	PSvu        float64
 	PageSize    int
 	BufferPages int
+	// Backend selects where the tree's pages live (memory or disk).
+	Backend Backend
 }
 
 // PPRIndex is a partially persistent R-tree over the record set.
 type PPRIndex struct {
 	tree   *pprtree.Tree
 	owners []int64 // record ref -> object id
+	// closer holds the container file of a lazily opened index; nil for
+	// built indexes and query views.
+	closer io.Closer
 }
 
 // BuildPPR indexes the records with a partially persistent R-tree,
@@ -96,6 +120,7 @@ func BuildPPR(records []Record, opts PPROptions) (*PPRIndex, error) {
 		PSvu:        opts.PSvu,
 		PageSize:    opts.PageSize,
 		BufferPages: opts.BufferPages,
+		Backend:     opts.Backend.internal(),
 	}, recs)
 	if err != nil {
 		return nil, err
@@ -126,31 +151,59 @@ func (x *PPRIndex) Append(records []Record) error {
 	return nil
 }
 
+// ownerOf is the bounds-checked owner lookup shared by the query
+// callbacks: a reference beyond the owner table means a corrupt or
+// mismatched image, which must surface as an error, not a panic.
+func ownerOf(owners []int64, ref uint64, kind string) (int64, error) {
+	if ref >= uint64(len(owners)) {
+		return 0, fmt.Errorf("stindex: %s record ref %d beyond owner table of %d entries (corrupt index image?)", kind, ref, len(owners))
+	}
+	return owners[ref], nil
+}
+
 // Snapshot implements Index.
 func (x *PPRIndex) Snapshot(r Rect, t int64) ([]int64, error) {
 	var out []int64
+	var cbErr error
 	seen := make(map[int64]bool)
 	err := x.tree.SnapshotSearch(r.internal(), t, func(_ geom.Rect, ref uint64) bool {
-		if id := x.owners[ref]; !seen[id] {
+		id, err := ownerOf(x.owners, ref, "ppr")
+		if err != nil {
+			cbErr = err
+			return false
+		}
+		if !seen[id] {
 			seen[id] = true
 			out = append(out, id)
 		}
 		return true
 	})
+	if err == nil {
+		err = cbErr
+	}
 	return out, err
 }
 
 // Range implements Index.
 func (x *PPRIndex) Range(r Rect, iv Interval) ([]int64, error) {
 	var out []int64
+	var cbErr error
 	seen := make(map[int64]bool)
 	err := x.tree.IntervalSearch(r.internal(), iv.internal(), func(_ geom.Rect, ref uint64) bool {
-		if id := x.owners[ref]; !seen[id] {
+		id, err := ownerOf(x.owners, ref, "ppr")
+		if err != nil {
+			cbErr = err
+			return false
+		}
+		if !seen[id] {
 			seen[id] = true
 			out = append(out, id)
 		}
 		return true
 	})
+	if err == nil {
+		err = cbErr
+	}
 	return out, err
 }
 
@@ -164,16 +217,28 @@ func (x *PPRIndex) IOStats() IOStats {
 }
 
 // Pages implements Index.
-func (x *PPRIndex) Pages() int { return x.tree.File().NumPages() }
+func (x *PPRIndex) Pages() int { return x.tree.Store().NumPages() }
 
 // Bytes implements Index.
-func (x *PPRIndex) Bytes() int64 { return x.tree.File().Bytes() }
+func (x *PPRIndex) Bytes() int64 { return x.tree.Store().Bytes() }
 
 // Records implements Index.
 func (x *PPRIndex) Records() int { return len(x.owners) }
 
 // Kind implements Index.
 func (x *PPRIndex) Kind() string { return "ppr" }
+
+// Close releases the container file of a lazily opened index. Built
+// indexes and query views hold no file, so Close is a no-op for them.
+// Close only the parent handle, never while views are still querying.
+func (x *PPRIndex) Close() error {
+	if x.closer == nil {
+		return nil
+	}
+	c := x.closer
+	x.closer = nil
+	return c.Close()
+}
 
 // Tree exposes the underlying partially persistent R-tree for advanced
 // inspection (validation walks, ephemeral level statistics).
@@ -206,6 +271,8 @@ type RStarOptions struct {
 	// byte-identical for every setting. One-by-one insertion (BuildRStar)
 	// is inherently sequential and ignores it.
 	Parallelism int
+	// Backend selects where the tree's pages live (memory or disk).
+	Backend Backend
 }
 
 // RStarIndex is a 3-dimensional R*-tree over the record set, time as the
@@ -214,6 +281,7 @@ type RStarIndex struct {
 	tree      *rstar.Tree
 	owners    []int64
 	timeScale float64
+	closer    io.Closer // see PPRIndex.closer
 }
 
 // BuildRStar indexes the records with a 3D R*-tree.
@@ -244,6 +312,7 @@ func BuildRStar(records []Record, opts RStarOptions) (*RStarIndex, error) {
 		ReinsertCount: opts.ReinsertCount,
 		PageSize:      opts.PageSize,
 		BufferPages:   opts.BufferPages,
+		Backend:       opts.Backend.internal(),
 	})
 	if err != nil {
 		return nil, err
@@ -305,6 +374,7 @@ func BuildRStarPacked(records []Record, opts RStarOptions) (*RStarIndex, error) 
 		PageSize:      opts.PageSize,
 		BufferPages:   opts.BufferPages,
 		Parallelism:   opts.Parallelism,
+		Backend:       opts.Backend.internal(),
 	}, items)
 	if err != nil {
 		return nil, err
@@ -331,14 +401,23 @@ func (x *RStarIndex) Snapshot(r Rect, t int64) ([]int64, error) {
 // Range implements Index.
 func (x *RStarIndex) Range(r Rect, iv Interval) ([]int64, error) {
 	var out []int64
+	var cbErr error
 	seen := make(map[int64]bool)
 	err := x.tree.Search(x.queryBox(r, iv), func(_ geom.Box3, ref uint64) bool {
-		if id := x.owners[ref]; !seen[id] {
+		id, err := ownerOf(x.owners, ref, "rstar")
+		if err != nil {
+			cbErr = err
+			return false
+		}
+		if !seen[id] {
 			seen[id] = true
 			out = append(out, id)
 		}
 		return true
 	})
+	if err == nil {
+		err = cbErr
+	}
 	return out, err
 }
 
@@ -352,16 +431,27 @@ func (x *RStarIndex) IOStats() IOStats {
 }
 
 // Pages implements Index.
-func (x *RStarIndex) Pages() int { return x.tree.File().NumPages() }
+func (x *RStarIndex) Pages() int { return x.tree.Store().NumPages() }
 
 // Bytes implements Index.
-func (x *RStarIndex) Bytes() int64 { return x.tree.File().Bytes() }
+func (x *RStarIndex) Bytes() int64 { return x.tree.Store().Bytes() }
 
 // Records implements Index.
 func (x *RStarIndex) Records() int { return len(x.owners) }
 
 // Kind implements Index.
 func (x *RStarIndex) Kind() string { return "rstar" }
+
+// Close releases the container file of a lazily opened index; see
+// (*PPRIndex).Close.
+func (x *RStarIndex) Close() error {
+	if x.closer == nil {
+		return nil
+	}
+	c := x.closer
+	x.closer = nil
+	return c.Close()
+}
 
 // Tree exposes the underlying R*-tree for advanced inspection.
 func (x *RStarIndex) Tree() *rstar.Tree { return x.tree }

@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	stx "stindex"
+
+	"stindex/internal/datagen"
+)
+
+// PersistRow records the container save/reload costs of one index kind
+// at one dataset size, and the AvgIO check between the built index and
+// its lazily reopened copy.
+type PersistRow struct {
+	Size    int
+	Kind    string
+	Records int
+	// Bytes is the container image size on disk.
+	Bytes int64
+	// SaveTime is EncodeIndex through a buffered file writer.
+	SaveTime time.Duration
+	// EagerTime is DecodeIndex: every page materialised in memory.
+	EagerTime time.Duration
+	// OpenTime is OpenIndex: header and meta only, pages stay on disk.
+	OpenTime time.Duration
+	// BuiltAvgIO and LazyAvgIO are the snapshot-mixed workload averages
+	// on the built index and the lazily reopened one; the container
+	// format guarantees they match exactly.
+	BuiltAvgIO float64
+	LazyAvgIO  float64
+}
+
+// Persist measures the unified index container: save cost, eager load
+// (DecodeIndex) versus lazy open (OpenIndex), and the paper's AvgIO
+// metric replayed against the reopened index — which must be bit-equal
+// to the built one, since the page layout and buffer policy are
+// identical on both sides.
+func Persist(cfg Config) ([]PersistRow, error) {
+	cfg = cfg.withDefaults()
+	cfg.printf("Persistence — container save / eager load / lazy open (150%% splits)\n")
+	cfg.printf("%8s %8s %8s | %8s %10s %10s %10s | %8s %8s\n",
+		"objects", "kind", "records", "KiB", "save", "eager", "open", "avg-io", "reopen")
+	dir, err := os.MkdirTemp("", "stindex-persist")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	qs, err := cfg.queries(datagen.SnapshotMixed)
+	if err != nil {
+		return nil, err
+	}
+	queries := toQueries(qs)
+
+	var rows []PersistRow
+	for _, n := range cfg.Sizes {
+		objs, err := cfg.randomDataset(n)
+		if err != nil {
+			return nil, err
+		}
+		records := lagreedyRecords(objs, n*3/2, cfg.Parallelism)
+		builders := []struct {
+			kind  string
+			build func() (stx.Index, error)
+		}{
+			{"ppr", func() (stx.Index, error) { return stx.BuildPPR(records, stx.PPROptions{}) }},
+			{"rstar", func() (stx.Index, error) { return stx.BuildRStar(records, stx.RStarOptions{ShuffleSeed: 42}) }},
+			{"hr", func() (stx.Index, error) { return stx.BuildHR(records, stx.HROptions{}) }},
+			{"hybrid", func() (stx.Index, error) {
+				return stx.BuildHybrid(records, stx.HybridOptions{RStar: stx.RStarOptions{ShuffleSeed: 42}})
+			}},
+		}
+		for _, b := range builders {
+			built, err := b.build()
+			if err != nil {
+				return nil, err
+			}
+			builtRes, err := stx.MeasureWorkloadParallel(built, queries, cfg.Parallelism)
+			if err != nil {
+				return nil, err
+			}
+
+			path := filepath.Join(dir, fmt.Sprintf("%s-%d.sti", b.kind, n))
+			saveTime, err := timed(func() error { return stx.SaveIndex(path, built) })
+			if err != nil {
+				return nil, err
+			}
+			fi, err := os.Stat(path)
+			if err != nil {
+				return nil, err
+			}
+
+			var eager stx.Index
+			eagerTime, err := timed(func() error {
+				f, err := os.Open(path)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				eager, err = stx.DecodeIndex(f)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			if eager.Records() != built.Records() {
+				return nil, fmt.Errorf("persist: %s/%d: eager reload has %d records, built %d",
+					b.kind, n, eager.Records(), built.Records())
+			}
+
+			var lazy stx.Index
+			openTime, err := timed(func() error {
+				var err error
+				lazy, err = stx.OpenIndex(path)
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			lazyRes, err := stx.MeasureWorkloadParallel(lazy, queries, cfg.Parallelism)
+			if err != nil {
+				return nil, err
+			}
+			if err := stx.CloseIndex(lazy); err != nil {
+				return nil, err
+			}
+			if lazyRes.AvgIO != builtRes.AvgIO {
+				return nil, fmt.Errorf("persist: %s/%d: reopened AvgIO %.4f != built %.4f",
+					b.kind, n, lazyRes.AvgIO, builtRes.AvgIO)
+			}
+
+			row := PersistRow{
+				Size: n, Kind: b.kind, Records: built.Records(), Bytes: fi.Size(),
+				SaveTime: saveTime, EagerTime: eagerTime, OpenTime: openTime,
+				BuiltAvgIO: builtRes.AvgIO, LazyAvgIO: lazyRes.AvgIO,
+			}
+			rows = append(rows, row)
+			cfg.printf("%8d %8s %8d | %8d %10s %10s %10s | %8.3f %8.3f\n",
+				n, b.kind, row.Records, row.Bytes/1024,
+				row.SaveTime.Round(time.Microsecond), row.EagerTime.Round(time.Microsecond),
+				row.OpenTime.Round(time.Microsecond), row.BuiltAvgIO, row.LazyAvgIO)
+		}
+	}
+	cfg.printf("\n")
+	return rows, nil
+}

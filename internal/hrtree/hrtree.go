@@ -111,6 +111,10 @@ type Options struct {
 	MinEntries  int
 	PageSize    int
 	BufferPages int
+	// Backend selects the page-store implementation (memory or disk).
+	// The default consults the STINDEX_BACKEND environment variable and
+	// falls back to memory. The choice never affects I/O accounting.
+	Backend pagefile.Backend
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -152,7 +156,7 @@ type version struct {
 // non-decreasing time order. Not safe for concurrent use.
 type Tree struct {
 	opts     Options
-	file     *pagefile.File
+	file     pagefile.Store
 	buf      *pagefile.Buffer
 	versions []version
 	now      int64
@@ -176,7 +180,10 @@ func New(opts Options, startTime int64) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	file := pagefile.New(opts.PageSize)
+	file, err := pagefile.NewStore(opts.Backend, opts.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("hrtree: %w", err)
+	}
 	t := &Tree{
 		opts:  opts,
 		file:  file,
@@ -205,8 +212,8 @@ func (t *Tree) NumVersions() int { return len(t.versions) }
 // Buffer exposes the LRU pool.
 func (t *Tree) Buffer() *pagefile.Buffer { return t.buf }
 
-// File exposes the page file.
-func (t *Tree) File() *pagefile.File { return t.file }
+// Store exposes the page store.
+func (t *Tree) Store() pagefile.Store { return t.file }
 
 func (t *Tree) current() *version { return &t.versions[len(t.versions)-1] }
 

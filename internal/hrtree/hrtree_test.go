@@ -163,7 +163,7 @@ func TestHRTreeSharesUnchangedBranches(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	pagesBefore := tree.File().NumPages()
+	pagesBefore := tree.Store().NumPages()
 	const updates = 50
 	for i := 0; i < updates; i++ {
 		x, y := rng.Float64(), rng.Float64()
@@ -172,7 +172,7 @@ func TestHRTreeSharesUnchangedBranches(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	grown := tree.File().NumPages() - pagesBefore
+	grown := tree.Store().NumPages() - pagesBefore
 	// Each update copies about one root-to-leaf path (height ~3), never
 	// the whole tree (~60 pages).
 	if grown > updates*8 {

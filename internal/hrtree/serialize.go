@@ -1,0 +1,226 @@
+package hrtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"stindex/internal/pagefile"
+)
+
+// Tree image layout (little endian):
+//
+//	magic    [4]byte "STHR"
+//	version  uint32 1
+//	options  MaxEntries, MinEntries, PageSize, BufferPages (u32 each)
+//	state    now i64, size u64, alive u64
+//	versions count u32, then per version: page u32, start i64, end i64,
+//	         height u32
+//	pagefile extent (pagefile.WriteExtent)
+//
+// The fresh-page set is deliberately not stored: a reloaded tree starts a
+// new instant, so every page is shared history until the next update
+// copies its path — exactly the state advance() leaves behind.
+//
+// WriteMeta/ReadMeta handle everything up to the page extent; the index
+// container stores the extent separately so it can be opened lazily.
+const (
+	hrMagic   = "STHR"
+	hrVersion = 1
+)
+
+// WriteTo serialises the whole tree to w. Implements io.WriterTo.
+func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	n, err := t.WriteMeta(w)
+	if err != nil {
+		return n, err
+	}
+	fn, err := pagefile.WriteExtent(w, t.file)
+	return n + fn, err
+}
+
+// WriteMeta serialises everything except the page extent: options, state
+// and the root-version log.
+func (t *Tree) WriteMeta(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	wr := func(data []byte) error {
+		m, err := bw.Write(data)
+		n += int64(m)
+		return err
+	}
+	u32 := func(v uint32) error {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		return wr(b[:])
+	}
+	u64 := func(v uint64) error {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		return wr(b[:])
+	}
+	if err := wr([]byte(hrMagic)); err != nil {
+		return n, err
+	}
+	for _, step := range []error{
+		u32(hrVersion),
+		u32(uint32(t.opts.MaxEntries)), u32(uint32(t.opts.MinEntries)),
+		u32(uint32(t.opts.PageSize)), u32(uint32(t.opts.BufferPages)),
+		u64(uint64(t.now)), u64(uint64(t.size)), u64(uint64(t.alive)),
+		u32(uint32(len(t.versions))),
+	} {
+		if step != nil {
+			return n, step
+		}
+	}
+	for _, v := range t.versions {
+		for _, step := range []error{
+			u32(uint32(v.page)), u64(uint64(v.start)), u64(uint64(v.end)), u32(uint32(v.height)),
+		} {
+			if step != nil {
+				return n, step
+			}
+		}
+	}
+	return n, bw.Flush()
+}
+
+// ReadTree deserialises a tree image produced by WriteTo. The buffer pool
+// starts cold.
+func ReadTree(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	t, err := ReadMeta(br)
+	if err != nil {
+		return nil, err
+	}
+	file, err := pagefile.ReadExtentMem(br)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.AttachStore(file); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadMeta deserialises a WriteMeta image into a store-less tree; the
+// caller must AttachStore before use. It performs plain unbuffered reads,
+// so a following section of the same stream is not consumed.
+func ReadMeta(r io.Reader) (*Tree, error) {
+	var scratch [8]byte
+	u32 := func() (uint32, error) {
+		if _, err := io.ReadFull(r, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	u64 := func() (uint64, error) {
+		if _, err := io.ReadFull(r, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return nil, fmt.Errorf("hrtree: reading magic: %w", err)
+	}
+	if string(magic) != hrMagic {
+		return nil, fmt.Errorf("hrtree: bad magic %q", magic)
+	}
+	imgVersion, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	if imgVersion != hrVersion {
+		return nil, fmt.Errorf("hrtree: unsupported version %d", imgVersion)
+	}
+	var opts Options
+	fields := []*int{&opts.MaxEntries, &opts.MinEntries, &opts.PageSize, &opts.BufferPages}
+	for _, f := range fields {
+		v, err := u32()
+		if err != nil {
+			return nil, err
+		}
+		*f = int(v)
+	}
+	opts, err = opts.withDefaults()
+	if err != nil {
+		return nil, fmt.Errorf("hrtree: stored options invalid: %w", err)
+	}
+	t := &Tree{opts: opts, fresh: map[pagefile.PageID]bool{}}
+	if v, err := u64(); err != nil {
+		return nil, err
+	} else {
+		t.now = int64(v)
+	}
+	if v, err := u64(); err != nil {
+		return nil, err
+	} else {
+		t.size = int(v)
+	}
+	if v, err := u64(); err != nil {
+		return nil, err
+	} else {
+		t.alive = int(v)
+	}
+	numVersions, err := u32()
+	if err != nil {
+		return nil, err
+	}
+	// Appended incrementally: numVersions is untrusted, so reading drives
+	// the allocation rather than a pre-sized make.
+	var prevStart int64
+	for i := uint32(0); i < numVersions; i++ {
+		var span version
+		if v, err := u32(); err != nil {
+			return nil, err
+		} else {
+			span.page = pagefile.PageID(v)
+		}
+		if v, err := u64(); err != nil {
+			return nil, err
+		} else {
+			span.start = int64(v)
+		}
+		if v, err := u64(); err != nil {
+			return nil, err
+		} else {
+			span.end = int64(v)
+		}
+		if v, err := u32(); err != nil {
+			return nil, err
+		} else {
+			span.height = int(v)
+		}
+		if span.height < 1 {
+			return nil, fmt.Errorf("hrtree: version %d has height %d", i, span.height)
+		}
+		if i > 0 && span.start < prevStart {
+			return nil, fmt.Errorf("hrtree: version log not sorted at %d", i)
+		}
+		prevStart = span.start
+		t.versions = append(t.versions, span)
+	}
+	if len(t.versions) == 0 {
+		return nil, fmt.Errorf("hrtree: image has no root versions")
+	}
+	return t, nil
+}
+
+// AttachStore gives a ReadMeta tree its page store (either backend) and a
+// cold buffer pool, validating every logged root against the store. The
+// tree takes no ownership of the store's backing resources.
+func (t *Tree) AttachStore(store pagefile.Store) error {
+	if store.PageSize() != t.opts.PageSize {
+		return fmt.Errorf("hrtree: page size mismatch: options %d, store %d", t.opts.PageSize, store.PageSize())
+	}
+	for i, v := range t.versions {
+		if err := store.Check(v.page); err != nil {
+			return fmt.Errorf("hrtree: stored version %d root invalid: %w", i, err)
+		}
+	}
+	t.file = store
+	t.buf = pagefile.NewBuffer(store, t.opts.BufferPages)
+	return nil
+}

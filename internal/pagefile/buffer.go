@@ -33,8 +33,9 @@ type decodedPage struct {
 	value   any
 }
 
-// Buffer is an LRU buffer pool over a File. The paper uses a 10-page LRU
-// buffer, reset before every query; Reset provides exactly that.
+// Buffer is an LRU buffer pool over a Store — either backend. The paper
+// uses a 10-page LRU buffer, reset before every query; Reset provides
+// exactly that.
 //
 // Writes are write-through: the page image goes to the file immediately and
 // the buffered copy is refreshed, which matches how the original
@@ -48,7 +49,7 @@ type decodedPage struct {
 //
 // A Buffer additionally maintains a decoded-page cache (ReadDecoded): a
 // side table mapping a page id to the parsed form of its image, stamped
-// with the File's per-page version. The cache affects CPU cost only —
+// with the store's per-page version. The cache affects CPU cost only —
 // Stats{Reads,Writes,Hits} are accounted by exactly the same hit/miss
 // logic whether or not a decode is reused, so every I/O figure is
 // bit-identical with and without it. Reset deliberately keeps the decode
@@ -58,9 +59,9 @@ type decodedPage struct {
 // page's decode along with its frame.
 //
 // Not safe for concurrent use; give each goroutine its own Buffer over
-// the shared (frozen) File.
+// the shared (frozen) store.
 type Buffer struct {
-	file     *File
+	store    Store
 	capacity int
 	stats    Stats
 
@@ -73,13 +74,14 @@ type Buffer struct {
 	decoded map[PageID]decodedPage
 }
 
-// NewBuffer wraps file with an LRU pool of the given capacity (in pages).
-func NewBuffer(file *File, capacity int) *Buffer {
+// NewBuffer wraps a store with an LRU pool of the given capacity (in
+// pages).
+func NewBuffer(store Store, capacity int) *Buffer {
 	if capacity < 1 {
 		capacity = 1
 	}
 	b := &Buffer{
-		file:     file,
+		store:    store,
 		capacity: capacity,
 		index:    make(map[PageID]int32, capacity),
 		slots:    make([]slot, capacity),
@@ -99,8 +101,8 @@ func NewBuffer(file *File, capacity int) *Buffer {
 // Capacity returns the pool size in pages.
 func (b *Buffer) Capacity() int { return b.capacity }
 
-// File returns the underlying page file.
-func (b *Buffer) File() *File { return b.file }
+// Store returns the underlying page store.
+func (b *Buffer) Store() Store { return b.store }
 
 // Stats returns the traffic counters accumulated since the last ResetStats.
 func (b *Buffer) Stats() Stats { return b.stats }
@@ -181,7 +183,7 @@ func (b *Buffer) take() int32 {
 // frameFor returns slot i's page-sized frame, allocating it on first use.
 func (b *Buffer) frameFor(i int32) []byte {
 	if b.slots[i].frame == nil {
-		b.slots[i].frame = make([]byte, b.file.PageSize())
+		b.slots[i].frame = make([]byte, b.store.PageSize())
 	}
 	return b.slots[i].frame
 }
@@ -210,13 +212,24 @@ func (b *Buffer) Read(id PageID) ([]byte, error) {
 		b.stats.Hits++
 		return b.slots[i].frame, nil
 	}
-	data, err := b.file.read(id)
-	if err != nil {
+	// Validate the id before taking a slot so a bad request cannot evict a
+	// victim (which would perturb the I/O accounting of later reads).
+	if err := b.store.Check(id); err != nil {
+		return nil, err
+	}
+	i := b.take()
+	frame := b.frameFor(i)
+	if err := b.store.ReadPage(id, frame); err != nil {
+		// Recycle the slot; nothing became resident.
+		b.slots[i].next = b.free
+		b.free = i
 		return nil, err
 	}
 	b.stats.Reads++
-	i := b.install(id, data)
-	return b.slots[i].frame, nil
+	b.slots[i].id = id
+	b.index[id] = i
+	b.pushFront(i)
+	return frame, nil
 }
 
 // ReadDecoded returns the page's decoded form, parsing the image with
@@ -237,7 +250,7 @@ func (b *Buffer) ReadDecoded(id PageID, decode func(id PageID, data []byte) (any
 	if err != nil {
 		return nil, err
 	}
-	ver := b.file.version(id)
+	ver := b.store.Version(id)
 	if d, ok := b.decoded[id]; ok && d.version == ver {
 		return d.value, nil
 	}
@@ -250,10 +263,10 @@ func (b *Buffer) ReadDecoded(id PageID, decode func(id PageID, data []byte) (any
 }
 
 // Write stores a page image write-through and refreshes the buffered copy.
-// Any cached decode of the page is dropped (and the file's page version
+// Any cached decode of the page is dropped (and the store's page version
 // advances, so stale decodes can never resurface).
 func (b *Buffer) Write(id PageID, data []byte) error {
-	if err := b.file.write(id, data); err != nil {
+	if err := b.store.WritePage(id, data); err != nil {
 		return err
 	}
 	b.stats.Writes++

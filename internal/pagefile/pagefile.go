@@ -31,9 +31,9 @@ var (
 	ErrBadPage      = errors.New("pagefile: page id out of range or freed")
 )
 
-// File is an append-only-growing collection of fixed-size pages with a
-// free list. It is the "disk"; all latencies are zero, all accounting is
-// done by the Buffer on top.
+// File is the in-memory Store: an append-only-growing collection of
+// fixed-size pages with a free list. It is the simulated "disk"; all
+// latencies are zero, all accounting is done by the Buffer on top.
 //
 // Concurrent reads: a File whose pages are no longer being mutated — no
 // Allocate, Free or write calls in flight, the frozen state of a built
@@ -72,6 +72,9 @@ func (f *File) NumAllocated() int { return len(f.pages) }
 
 // Bytes returns the live disk footprint in bytes.
 func (f *File) Bytes() int64 { return int64(f.NumPages()) * int64(f.pageSize) }
+
+// FreeList returns a copy of the free list in reuse order.
+func (f *File) FreeList() []PageID { return append([]PageID(nil), f.freeList...) }
 
 // Allocate reserves a page and returns its id. Freed pages are reused.
 func (f *File) Allocate() PageID {
@@ -126,10 +129,29 @@ func (f *File) read(id PageID) ([]byte, error) {
 	return f.pages[id], nil
 }
 
-// version returns the page's write counter. It changes exactly when the
-// page image can have changed (writes, id reuse), so it is a sound cache
-// validator for decoded copies of the image.
-func (f *File) version(id PageID) uint64 { return f.versions[id] }
+// ReadPage implements Store, copying the page image into dst.
+func (f *File) ReadPage(id PageID, dst []byte) error {
+	data, err := f.read(id)
+	if err != nil {
+		return err
+	}
+	copy(dst, data)
+	return nil
+}
+
+// WritePage implements Store.
+func (f *File) WritePage(id PageID, data []byte) error { return f.write(id, data) }
+
+// Version implements Store: the page's write counter. It changes exactly
+// when the page image can have changed (writes, id reuse), so it is a
+// sound cache validator for decoded copies of the image.
+func (f *File) Version(id PageID) uint64 { return f.versions[id] }
+
+// Check implements Store.
+func (f *File) Check(id PageID) error { return f.check(id) }
+
+// Close implements Store; the in-memory store holds no resources.
+func (f *File) Close() error { return nil }
 
 func (f *File) check(id PageID) error {
 	if int(id) >= len(f.pages) || f.freed[id] {
@@ -137,3 +159,5 @@ func (f *File) check(id PageID) error {
 	}
 	return nil
 }
+
+var _ Store = (*File)(nil)

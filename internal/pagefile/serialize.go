@@ -5,9 +5,11 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
 )
 
-// File image layout (little endian):
+// Page-extent layout (little endian) — the page-store section of a saved
+// index, identical for both backends:
 //
 //	magic   [4]byte  "STPF"
 //	version uint32   1
@@ -16,14 +18,23 @@ import (
 //	numFree  uint32
 //	freeList [numFree]uint32
 //	pages    numPages × pageSize bytes
+//
+// Freed pages are written as zeros; their content is unobservable (a
+// freed page is never readable until it is reallocated and rewritten).
 const (
 	fileMagic   = "STPF"
 	fileVersion = 1
 )
 
-// WriteTo serialises the file, including freed pages (so page ids stay
-// stable), to w. Implements io.WriterTo.
-func (f *File) WriteTo(w io.Writer) (int64, error) {
+// extentHeaderSize is the fixed part of the extent layout.
+const extentHeaderSize = 4 + 4 + 4 + 4 + 4
+
+// maxPageSize bounds the page size accepted from untrusted images.
+const maxPageSize = 1 << 22
+
+// WriteExtent serialises a store's pages — including freed slots, so page
+// ids stay stable — to w. Works for either backend.
+func WriteExtent(w io.Writer, s Store) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
 	write := func(data []byte) error {
@@ -31,51 +42,75 @@ func (f *File) WriteTo(w io.Writer) (int64, error) {
 		n += int64(m)
 		return err
 	}
-	header := make([]byte, 4+4+4+4+4)
+	freeList := s.FreeList()
+	numPages := s.NumAllocated()
+	header := make([]byte, extentHeaderSize)
 	copy(header, fileMagic)
 	binary.LittleEndian.PutUint32(header[4:], fileVersion)
-	binary.LittleEndian.PutUint32(header[8:], uint32(f.pageSize))
-	binary.LittleEndian.PutUint32(header[12:], uint32(len(f.pages)))
-	binary.LittleEndian.PutUint32(header[16:], uint32(len(f.freeList)))
+	binary.LittleEndian.PutUint32(header[8:], uint32(s.PageSize()))
+	binary.LittleEndian.PutUint32(header[12:], uint32(numPages))
+	binary.LittleEndian.PutUint32(header[16:], uint32(len(freeList)))
 	if err := write(header); err != nil {
 		return n, err
 	}
 	buf4 := make([]byte, 4)
-	for _, id := range f.freeList {
+	for _, id := range freeList {
 		binary.LittleEndian.PutUint32(buf4, uint32(id))
 		if err := write(buf4); err != nil {
 			return n, err
 		}
 	}
-	for _, p := range f.pages {
-		if err := write(p); err != nil {
+	page := make([]byte, s.PageSize())
+	zero := make([]byte, s.PageSize())
+	for i := 0; i < numPages; i++ {
+		data := zero
+		if err := s.Check(PageID(i)); err == nil {
+			if err := s.ReadPage(PageID(i), page); err != nil {
+				return n, err
+			}
+			data = page
+		}
+		if err := write(data); err != nil {
 			return n, err
 		}
 	}
 	return n, bw.Flush()
 }
 
-// ReadFile deserialises a file image produced by WriteTo.
-func ReadFile(r io.Reader) (*File, error) {
+// WriteTo serialises the file as a page extent. Implements io.WriterTo.
+func (f *File) WriteTo(w io.Writer) (int64, error) { return WriteExtent(w, f) }
+
+// readExtentHeader parses and validates the fixed extent header.
+func readExtentHeader(header []byte) (pageSize, numPages, numFree int, err error) {
+	if string(header[:4]) != fileMagic {
+		return 0, 0, 0, fmt.Errorf("pagefile: bad magic %q", header[:4])
+	}
+	if v := binary.LittleEndian.Uint32(header[4:]); v != fileVersion {
+		return 0, 0, 0, fmt.Errorf("pagefile: unsupported version %d", v)
+	}
+	pageSize = int(binary.LittleEndian.Uint32(header[8:]))
+	numPages = int(binary.LittleEndian.Uint32(header[12:]))
+	numFree = int(binary.LittleEndian.Uint32(header[16:]))
+	if pageSize <= 0 || pageSize > maxPageSize {
+		return 0, 0, 0, fmt.Errorf("pagefile: implausible page size %d", pageSize)
+	}
+	if numFree > numPages {
+		return 0, 0, 0, fmt.Errorf("pagefile: %d free pages exceed %d allocated", numFree, numPages)
+	}
+	return pageSize, numPages, numFree, nil
+}
+
+// ReadExtentMem deserialises a page extent into an in-memory File,
+// materialising every page.
+func ReadExtentMem(r io.Reader) (*File, error) {
 	br := bufio.NewReader(r)
-	header := make([]byte, 20)
+	header := make([]byte, extentHeaderSize)
 	if _, err := io.ReadFull(br, header); err != nil {
 		return nil, fmt.Errorf("pagefile: reading header: %w", err)
 	}
-	if string(header[:4]) != fileMagic {
-		return nil, fmt.Errorf("pagefile: bad magic %q", header[:4])
-	}
-	if v := binary.LittleEndian.Uint32(header[4:]); v != fileVersion {
-		return nil, fmt.Errorf("pagefile: unsupported version %d", v)
-	}
-	pageSize := int(binary.LittleEndian.Uint32(header[8:]))
-	numPages := int(binary.LittleEndian.Uint32(header[12:]))
-	numFree := int(binary.LittleEndian.Uint32(header[16:]))
-	if pageSize <= 0 || pageSize > 1<<22 {
-		return nil, fmt.Errorf("pagefile: implausible page size %d", pageSize)
-	}
-	if numFree > numPages {
-		return nil, fmt.Errorf("pagefile: %d free pages exceed %d allocated", numFree, numPages)
+	pageSize, numPages, numFree, err := readExtentHeader(header)
+	if err != nil {
+		return nil, err
 	}
 	f := New(pageSize)
 	buf4 := make([]byte, 4)
@@ -102,4 +137,50 @@ func ReadFile(r io.Reader) (*File, error) {
 		f.versions = append(f.versions, 0)
 	}
 	return f, nil
+}
+
+// ReadFile deserialises a page extent into memory. Kept for callers of
+// the pre-backend API; new code should choose ReadExtentMem or OpenExtent.
+func ReadFile(r io.Reader) (*File, error) { return ReadExtentMem(r) }
+
+// OpenExtent wraps the page extent at offset off of f as a lazily read,
+// read-only DiskStore: only the header and free list are read here; page
+// images stay on disk until a Buffer faults them in. The caller retains
+// ownership of f (it must stay open for the store's lifetime). Returns
+// the store and the total extent length in bytes, so callers can locate
+// any following section.
+func OpenExtent(f *os.File, off int64) (*DiskStore, int64, error) {
+	header := make([]byte, extentHeaderSize)
+	if _, err := f.ReadAt(header, off); err != nil {
+		return nil, 0, fmt.Errorf("pagefile: reading extent header: %w", err)
+	}
+	pageSize, numPages, numFree, err := readExtentHeader(header)
+	if err != nil {
+		return nil, 0, err
+	}
+	base := off + extentHeaderSize + 4*int64(numFree)
+	length := base - off + int64(numPages)*int64(pageSize)
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("pagefile: sizing extent: %w", err)
+	}
+	if off+length > fi.Size() {
+		return nil, 0, fmt.Errorf("pagefile: extent of %d pages × %d bytes truncated at file size %d", numPages, pageSize, fi.Size())
+	}
+	var freeList []PageID
+	if numFree > 0 {
+		raw := make([]byte, 4*numFree)
+		if _, err := f.ReadAt(raw, off+extentHeaderSize); err != nil {
+			return nil, 0, fmt.Errorf("pagefile: reading free list: %w", err)
+		}
+		freeList = make([]PageID, numFree)
+		for i := range freeList {
+			id := PageID(binary.LittleEndian.Uint32(raw[4*i:]))
+			if int(id) >= numPages {
+				return nil, 0, fmt.Errorf("pagefile: free page %d out of range", id)
+			}
+			freeList[i] = id
+		}
+	}
+	return openDiskRegion(f, base, pageSize, numPages, freeList), length, nil
 }

@@ -1,0 +1,104 @@
+package pagefile
+
+import (
+	"errors"
+	"os"
+)
+
+// Backend names a page-store implementation.
+type Backend string
+
+const (
+	// BackendDefault defers to the STINDEX_BACKEND environment variable,
+	// falling back to the in-memory store.
+	BackendDefault Backend = ""
+	// BackendMemory is the in-memory simulated disk (File).
+	BackendMemory Backend = "mem"
+	// BackendDisk is the file-backed store (DiskStore): pages live in a
+	// real file and are read lazily on demand.
+	BackendDisk Backend = "disk"
+)
+
+// EnvBackend is the environment variable consulted by DefaultBackend.
+// Setting STINDEX_BACKEND=disk runs every default-configured index —
+// including the whole test suite — on the file-backed store.
+const EnvBackend = "STINDEX_BACKEND"
+
+// ErrReadOnly is returned by mutating operations on a read-only store
+// (an index container opened lazily from disk).
+var ErrReadOnly = errors.New("pagefile: store is read-only")
+
+// Store is the pluggable page-store backend underneath the index
+// structures: a page-addressed collection of fixed-size pages with a
+// LIFO free list and per-page version counters. The two implementations
+// — the in-memory File and the file-backed DiskStore — are required to
+// be observationally identical for every allocate/free/read/write
+// sequence, so the Buffer's I/O accounting (the paper's AvgIO metric) is
+// bit-identical regardless of backend.
+//
+// A Store whose pages are no longer being mutated (the frozen state of a
+// built index) is safe for any number of concurrent readers, each owning
+// its own Buffer; mutation requires external synchronisation.
+type Store interface {
+	// PageSize returns the size of every page in bytes.
+	PageSize() int
+	// NumPages returns the number of live (allocated, not freed) pages.
+	NumPages() int
+	// NumAllocated returns the number of pages ever allocated, including
+	// freed ones that have not been reused; it bounds the footprint.
+	NumAllocated() int
+	// Bytes returns the live footprint in bytes.
+	Bytes() int64
+	// FreeList returns a copy of the free list in reuse order (the last
+	// element is reused first).
+	FreeList() []PageID
+	// Allocate reserves a page and returns its id, reusing freed pages
+	// LIFO. On a read-only store it returns InvalidPage.
+	Allocate() PageID
+	// Free releases a page for reuse.
+	Free(id PageID) error
+	// Check reports whether id addresses a live page, without touching it.
+	Check(id PageID) error
+	// ReadPage copies the page image into dst, which must hold exactly
+	// PageSize bytes.
+	ReadPage(id PageID, dst []byte) error
+	// WritePage stores a page image; images shorter than PageSize are
+	// zero-padded.
+	WritePage(id PageID, data []byte) error
+	// Version returns the page's write counter. It changes exactly when
+	// the page image can have changed (writes, id reuse), so it is a
+	// sound cache validator for decoded copies of the image.
+	Version(id PageID) uint64
+	// Close releases any resources backing the store (file descriptors).
+	// Closing the in-memory store is a no-op. Closing a store shared by
+	// query views invalidates every view.
+	Close() error
+}
+
+// DefaultBackend returns the backend selected by the STINDEX_BACKEND
+// environment variable ("mem" or "disk"), defaulting to memory.
+func DefaultBackend() Backend {
+	switch Backend(os.Getenv(EnvBackend)) {
+	case BackendDisk:
+		return BackendDisk
+	default:
+		return BackendMemory
+	}
+}
+
+// NewStore creates an empty store of the requested backend.
+// BackendDefault consults STINDEX_BACKEND. The disk backend is backed by
+// an unlinked temporary file, so it never outlives the process.
+func NewStore(backend Backend, pageSize int) (Store, error) {
+	if backend == BackendDefault {
+		backend = DefaultBackend()
+	}
+	switch backend {
+	case BackendMemory:
+		return New(pageSize), nil
+	case BackendDisk:
+		return NewDiskStore(pageSize)
+	default:
+		return nil, errors.New("pagefile: unknown backend " + string(backend))
+	}
+}

@@ -11,8 +11,8 @@ func TestWorkers(t *testing.T) {
 	cases := []struct {
 		p, n, want int
 	}{
-		{0, -1, max},   // default resolves to GOMAXPROCS
-		{-3, -1, max},  // negative too
+		{0, -1, max},        // default resolves to GOMAXPROCS
+		{-3, -1, max},       // negative too
 		{0, 2, min(2, max)}, // clamped to item count
 		{4, 2, 2},
 		{4, 100, 4},

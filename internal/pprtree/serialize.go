@@ -20,7 +20,10 @@ import (
 //	roots     count u32, then per span: page u32, start i64, end i64, height u32
 //	backRefs  present u8; if 1: count u32, then per child: child u32,
 //	          parents count u32, parents u32...
-//	pagefile  image (pagefile.WriteTo)
+//	pagefile  extent (pagefile.WriteExtent)
+//
+// WriteMeta/ReadMeta handle everything up to the page extent; the index
+// container stores the extent separately so it can be opened lazily.
 const (
 	treeMagic   = "STPP"
 	treeVersion = 1
@@ -29,6 +32,17 @@ const (
 // WriteTo serialises the whole tree — options, root log, online-mode back
 // references, and every page — to w. Implements io.WriterTo.
 func (t *Tree) WriteTo(w io.Writer) (int64, error) {
+	n, err := t.WriteMeta(w)
+	if err != nil {
+		return n, err
+	}
+	fn, err := pagefile.WriteExtent(w, t.file)
+	return n + fn, err
+}
+
+// WriteMeta serialises everything except the page extent: options, state,
+// root log and online-mode back references.
+func (t *Tree) WriteMeta(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
 	wr := func(data []byte) error {
@@ -112,17 +126,32 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 			}
 		}
 	}
-	if err := bw.Flush(); err != nil {
-		return n, err
-	}
-	fn, err := t.file.WriteTo(w)
-	return n + fn, err
+	return n, bw.Flush()
 }
 
 // ReadTree deserialises a tree image produced by WriteTo. The buffer pool
 // starts cold.
 func ReadTree(r io.Reader) (*Tree, error) {
 	br := bufio.NewReader(r)
+	t, err := ReadMeta(br)
+	if err != nil {
+		return nil, err
+	}
+	file, err := pagefile.ReadExtentMem(br)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.AttachStore(file); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadMeta deserialises a WriteMeta image into a store-less tree; the
+// caller must AttachStore before use. It performs plain unbuffered reads,
+// so a following section of the same stream is not consumed.
+func ReadMeta(r io.Reader) (*Tree, error) {
+	br := r
 	var scratch [8]byte
 	u32 := func() (uint32, error) {
 		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
@@ -263,17 +292,20 @@ func ReadTree(r io.Reader) (*Tree, error) {
 			t.backRefs[pagefile.PageID(child)] = set
 		}
 	}
-	file, err := pagefile.ReadFile(br)
-	if err != nil {
-		return nil, err
-	}
-	if file.PageSize() != opts.PageSize {
-		return nil, fmt.Errorf("pprtree: page size mismatch: options %d, file %d", opts.PageSize, file.PageSize())
-	}
-	t.file = file
-	t.buf = pagefile.NewBuffer(file, opts.BufferPages)
-	if err := t.validateRootLog(); err != nil {
-		return nil, fmt.Errorf("pprtree: stored root log invalid: %w", err)
-	}
 	return t, nil
+}
+
+// AttachStore gives a ReadMeta tree its page store (either backend) and a
+// cold buffer pool, then validates the root log against the store. The
+// tree takes no ownership of the store's backing resources.
+func (t *Tree) AttachStore(store pagefile.Store) error {
+	if store.PageSize() != t.opts.PageSize {
+		return fmt.Errorf("pprtree: page size mismatch: options %d, store %d", t.opts.PageSize, store.PageSize())
+	}
+	t.file = store
+	t.buf = pagefile.NewBuffer(store, t.opts.BufferPages)
+	if err := t.validateRootLog(); err != nil {
+		return fmt.Errorf("pprtree: stored root log invalid: %w", err)
+	}
+	return nil
 }

@@ -26,6 +26,10 @@ type Options struct {
 	PageSize int
 	// BufferPages is the LRU pool capacity. Default 10.
 	BufferPages int
+	// Backend selects the page-store implementation (memory or disk).
+	// The default consults the STINDEX_BACKEND environment variable and
+	// falls back to memory. The choice never affects I/O accounting.
+	Backend pagefile.Backend
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -85,7 +89,7 @@ type rootSpan struct {
 // for concurrent use.
 type Tree struct {
 	opts   Options
-	file   *pagefile.File
+	file   pagefile.Store
 	buf    *pagefile.Buffer
 	roots  []rootSpan // historical first, live root last
 	now    int64      // largest update time seen
@@ -110,7 +114,10 @@ func New(opts Options, startTime int64) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	file := pagefile.New(opts.PageSize)
+	file, err := pagefile.NewStore(opts.Backend, opts.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("pprtree: %w", err)
+	}
 	t := &Tree{
 		opts: opts,
 		file: file,
@@ -143,8 +150,8 @@ func (t *Tree) NumRoots() int { return len(t.roots) }
 // Buffer exposes the LRU pool for I/O accounting and cache resets.
 func (t *Tree) Buffer() *pagefile.Buffer { return t.buf }
 
-// File exposes the underlying page file for space accounting.
-func (t *Tree) File() *pagefile.File { return t.file }
+// Store exposes the underlying page store for space accounting.
+func (t *Tree) Store() pagefile.Store { return t.file }
 
 // Options returns the effective configuration.
 func (t *Tree) Options() Options { return t.opts }

@@ -177,8 +177,8 @@ func TestQueryIOAccounting(t *testing.T) {
 	if st.Writes != 0 {
 		t.Fatalf("query performed %d writes", st.Writes)
 	}
-	if st.Reads > int64(tree.File().NumPages()) {
-		t.Fatalf("query read %d pages, tree only has %d", st.Reads, tree.File().NumPages())
+	if st.Reads > int64(tree.Store().NumPages()) {
+		t.Fatalf("query read %d pages, tree only has %d", st.Reads, tree.Store().NumPages())
 	}
 }
 

@@ -15,15 +15,31 @@ import (
 //	version  uint32 1
 //	options  MaxEntries, MinEntries, ReinsertCount, PageSize, BufferPages (u32 each)
 //	state    root u32, height u32, size u64
-//	pagefile image (pagefile.WriteTo)
+//	pagefile extent (pagefile.WriteExtent)
+//
+// WriteMeta/ReadMeta handle everything up to the page extent; the index
+// container stores the extent separately so it can be opened lazily.
 const (
 	rstarMagic   = "STRS"
 	rstarVersion = 1
 )
 
+const rstarMetaSize = 4 + 4 + 5*4 + 4 + 4 + 8
+
 // WriteTo serialises the whole tree to w. Implements io.WriterTo.
 func (t *Tree) WriteTo(w io.Writer) (int64, error) {
-	header := make([]byte, 4+4+5*4+4+4+8)
+	n, err := t.WriteMeta(w)
+	if err != nil {
+		return n, err
+	}
+	fn, err := pagefile.WriteExtent(w, t.file)
+	return n + fn, err
+}
+
+// WriteMeta serialises everything except the page extent: options and
+// root/height/size state.
+func (t *Tree) WriteMeta(w io.Writer) (int64, error) {
+	header := make([]byte, rstarMetaSize)
 	copy(header, rstarMagic)
 	off := 4
 	put32 := func(v uint32) {
@@ -41,20 +57,33 @@ func (t *Tree) WriteTo(w io.Writer) (int64, error) {
 	binary.LittleEndian.PutUint64(header[off:], uint64(t.size))
 
 	m, err := w.Write(header)
-	n := int64(m)
-	if err != nil {
-		return n, err
-	}
-	fn, err := t.file.WriteTo(w)
-	return n + fn, err
+	return int64(m), err
 }
 
 // ReadTree deserialises a tree image produced by WriteTo. The buffer pool
 // starts cold.
 func ReadTree(r io.Reader) (*Tree, error) {
 	br := bufio.NewReader(r)
-	header := make([]byte, 4+4+5*4+4+4+8)
-	if _, err := io.ReadFull(br, header); err != nil {
+	t, err := ReadMeta(br)
+	if err != nil {
+		return nil, err
+	}
+	file, err := pagefile.ReadExtentMem(br)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.AttachStore(file); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadMeta deserialises a WriteMeta image into a store-less tree; the
+// caller must AttachStore before use. It performs a single exact-size
+// read, so a following section of the same stream is not consumed.
+func ReadMeta(r io.Reader) (*Tree, error) {
+	header := make([]byte, rstarMetaSize)
+	if _, err := io.ReadFull(r, header); err != nil {
 		return nil, fmt.Errorf("rstar: reading header: %w", err)
 	}
 	if string(header[:4]) != rstarMagic {
@@ -83,23 +112,28 @@ func ReadTree(r io.Reader) (*Tree, error) {
 	root := pagefile.PageID(get32())
 	height := int(get32())
 	size := int(binary.LittleEndian.Uint64(header[off:]))
-
-	file, err := pagefile.ReadFile(br)
-	if err != nil {
-		return nil, err
-	}
-	if file.PageSize() != opts.PageSize {
-		return nil, fmt.Errorf("rstar: page size mismatch: options %d, file %d", opts.PageSize, file.PageSize())
-	}
 	if height < 1 || size < 0 {
 		return nil, fmt.Errorf("rstar: implausible stored state height=%d size=%d", height, size)
 	}
 	return &Tree{
 		opts:   opts,
-		file:   file,
-		buf:    pagefile.NewBuffer(file, opts.BufferPages),
 		root:   root,
 		height: height,
 		size:   size,
 	}, nil
+}
+
+// AttachStore gives a ReadMeta tree its page store (either backend) and a
+// cold buffer pool, validating the root page against the store. The tree
+// takes no ownership of the store's backing resources.
+func (t *Tree) AttachStore(store pagefile.Store) error {
+	if store.PageSize() != t.opts.PageSize {
+		return fmt.Errorf("rstar: page size mismatch: options %d, store %d", t.opts.PageSize, store.PageSize())
+	}
+	if err := store.Check(t.root); err != nil {
+		return fmt.Errorf("rstar: stored root invalid: %w", err)
+	}
+	t.file = store
+	t.buf = pagefile.NewBuffer(store, t.opts.BufferPages)
+	return nil
 }

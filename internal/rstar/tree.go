@@ -28,6 +28,10 @@ type Options struct {
 	// wall clock, never structure. Queries and inserts are unaffected
 	// (the tree itself is not safe for concurrent use).
 	Parallelism int
+	// Backend selects the page-store implementation (memory or disk).
+	// The default consults the STINDEX_BACKEND environment variable and
+	// falls back to memory. The choice never affects I/O accounting.
+	Backend pagefile.Backend
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -67,7 +71,7 @@ func (o Options) withDefaults() (Options, error) {
 // out over QueryView instances.
 type Tree struct {
 	opts   Options
-	file   *pagefile.File
+	file   pagefile.Store
 	buf    *pagefile.Buffer
 	root   pagefile.PageID
 	height int // 1 = root is a leaf
@@ -85,7 +89,10 @@ func New(opts Options) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	file := pagefile.New(opts.PageSize)
+	file, err := pagefile.NewStore(opts.Backend, opts.PageSize)
+	if err != nil {
+		return nil, fmt.Errorf("rstar: %w", err)
+	}
 	t := &Tree{
 		opts:   opts,
 		file:   file,
@@ -109,8 +116,8 @@ func (t *Tree) Height() int { return t.height }
 // Buffer exposes the LRU pool, for I/O accounting and cache resets.
 func (t *Tree) Buffer() *pagefile.Buffer { return t.buf }
 
-// File exposes the underlying page file, for space accounting.
-func (t *Tree) File() *pagefile.File { return t.file }
+// Store exposes the underlying page store, for space accounting.
+func (t *Tree) Store() pagefile.Store { return t.file }
 
 // Options returns the effective configuration.
 func (t *Tree) Options() Options { return t.opts }

@@ -2,135 +2,429 @@ package stindex
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+	"os"
 
+	"stindex/internal/hrtree"
+	"stindex/internal/pagefile"
 	"stindex/internal/pprtree"
 	"stindex/internal/rstar"
+	"stindex/internal/stream"
 )
 
-// Index image layout (little endian):
+// Index container layout (little endian) — one self-describing format
+// for every index kind:
 //
-//	magic   [4]byte "STIX"
-//	version uint32  1
-//	kind    uint8   1 = ppr, 2 = rstar
-//	extra   rstar only: timeScale float64
-//	owners  count uint64, then count × int64 object ids
-//	tree    the structure's own image
+//	magic    [4]byte "STIC"
+//	version  u32  1
+//	kind     u8   1 = ppr, 2 = rstar, 3 = hr, 4 = hybrid, 5 = stream
+//	extents  u8   page extents following the meta section (2 for hybrid)
+//	reserved u16  0
+//	metaLen  u64
+//	meta     metaLen bytes (kind-specific, see below)
+//	extent   page extent(s) (pagefile.WriteExtent / OpenExtent)
+//
+// Meta sections:
+//
+//	ppr     owner table, pprtree meta
+//	rstar   timeScale f64, owner table, rstar meta
+//	hr      owner table, hrtree meta
+//	hybrid  threshold i64, timeScale f64, owner table (shared by both
+//	        components), pprtree meta, rstar meta (extent order: ppr,
+//	        rstar)
+//	stream  stream meta (owners and open pieces live inside it)
+//
+// An owner table is count u64 followed by count object ids (i64): the
+// record-ref → object mapping of the facade index.
+//
+// Page extents sit at the end so OpenIndex can map them lazily: only the
+// meta section is read at open time; pages are faulted in on demand by
+// the query path's buffer pool.
 const (
-	indexMagic   = "STIX"
-	indexVersion = 1
-	kindPPR      = 1
-	kindRStar    = 2
+	containerMagic   = "STIC"
+	containerVersion = 1
+
+	kindPPR    byte = 1
+	kindRStar  byte = 2
+	kindHR     byte = 3
+	kindHybrid byte = 4
+	kindStream byte = 5
 )
 
-func writeIndexHeader(w io.Writer, kind byte, owners []int64, extra []byte) (int64, error) {
-	var n int64
-	buf := make([]byte, 0, 4+4+1+len(extra)+8+8*len(owners))
-	buf = append(buf, indexMagic...)
-	buf = binary.LittleEndian.AppendUint32(buf, indexVersion)
-	buf = append(buf, kind)
-	buf = append(buf, extra...)
+const containerHeaderSize = 4 + 4 + 1 + 1 + 2 + 8
+
+// maxOwners bounds the owner count accepted from untrusted images.
+const maxOwners = 1 << 32
+
+func appendOwners(buf []byte, owners []int64) []byte {
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(len(owners)))
 	for _, id := range owners {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
 	}
-	m, err := w.Write(buf)
-	return n + int64(m), err
+	return buf
 }
 
-func readIndexHeader(br *bufio.Reader, wantKind byte, extraLen int) (owners []int64, extra []byte, err error) {
-	head := make([]byte, 4+4+1)
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, nil, fmt.Errorf("stindex: reading index header: %w", err)
-	}
-	if string(head[:4]) != indexMagic {
-		return nil, nil, fmt.Errorf("stindex: bad index magic %q", head[:4])
-	}
-	if v := binary.LittleEndian.Uint32(head[4:]); v != indexVersion {
-		return nil, nil, fmt.Errorf("stindex: unsupported index version %d", v)
-	}
-	if head[8] != wantKind {
-		return nil, nil, fmt.Errorf("stindex: index kind %d, want %d", head[8], wantKind)
-	}
-	extra = make([]byte, extraLen)
-	if _, err := io.ReadFull(br, extra); err != nil {
-		return nil, nil, err
-	}
+func readOwners(r io.Reader) ([]int64, error) {
 	var cnt [8]byte
-	if _, err := io.ReadFull(br, cnt[:]); err != nil {
-		return nil, nil, err
+	if _, err := io.ReadFull(r, cnt[:]); err != nil {
+		return nil, fmt.Errorf("stindex: reading owner count: %w", err)
 	}
 	count := binary.LittleEndian.Uint64(cnt[:])
-	if count > 1<<32 {
-		return nil, nil, fmt.Errorf("stindex: implausible owner count %d", count)
+	if count > maxOwners {
+		return nil, fmt.Errorf("stindex: implausible owner count %d", count)
 	}
 	// The count is untrusted input: let reading drive the allocation
 	// instead of pre-sizing from the header.
+	var owners []int64
 	var v [8]byte
 	for i := uint64(0); i < count; i++ {
-		if _, err := io.ReadFull(br, v[:]); err != nil {
-			return nil, nil, err
+		if _, err := io.ReadFull(r, v[:]); err != nil {
+			return nil, fmt.Errorf("stindex: reading owner table: %w", err)
 		}
 		owners = append(owners, int64(binary.LittleEndian.Uint64(v[:])))
 	}
-	return owners, extra, nil
+	return owners, nil
 }
 
-// WriteTo serialises the index — records, tree pages and all — so it can
-// be reloaded with ReadPPRIndex without rebuilding. Implements
-// io.WriterTo.
-func (x *PPRIndex) WriteTo(w io.Writer) (int64, error) {
-	n, err := writeIndexHeader(w, kindPPR, x.owners, nil)
+// encodeContainerMeta dispatches on the concrete index type, returning
+// the container kind byte, the kind-specific meta blob and the page
+// stores to append as extents (in on-disk order).
+func encodeContainerMeta(x Index) (byte, []byte, []pagefile.Store, error) {
+	var meta bytes.Buffer
+	switch ix := x.(type) {
+	case *PPRIndex:
+		meta.Write(appendOwners(nil, ix.owners))
+		if _, err := ix.tree.WriteMeta(&meta); err != nil {
+			return 0, nil, nil, err
+		}
+		return kindPPR, meta.Bytes(), []pagefile.Store{ix.tree.Store()}, nil
+	case *RStarIndex:
+		var head [8]byte
+		binary.LittleEndian.PutUint64(head[:], math.Float64bits(ix.timeScale))
+		meta.Write(head[:])
+		meta.Write(appendOwners(nil, ix.owners))
+		if _, err := ix.tree.WriteMeta(&meta); err != nil {
+			return 0, nil, nil, err
+		}
+		return kindRStar, meta.Bytes(), []pagefile.Store{ix.tree.Store()}, nil
+	case *HRIndex:
+		meta.Write(appendOwners(nil, ix.owners))
+		if _, err := ix.tree.WriteMeta(&meta); err != nil {
+			return 0, nil, nil, err
+		}
+		return kindHR, meta.Bytes(), []pagefile.Store{ix.tree.Store()}, nil
+	case *HybridIndex:
+		var head [16]byte
+		binary.LittleEndian.PutUint64(head[:8], uint64(ix.threshold))
+		binary.LittleEndian.PutUint64(head[8:], math.Float64bits(ix.rstar.timeScale))
+		meta.Write(head[:])
+		// Both components index the same records, so one owner table
+		// serves both (shared again on load).
+		meta.Write(appendOwners(nil, ix.ppr.owners))
+		if _, err := ix.ppr.tree.WriteMeta(&meta); err != nil {
+			return 0, nil, nil, err
+		}
+		if _, err := ix.rstar.tree.WriteMeta(&meta); err != nil {
+			return 0, nil, nil, err
+		}
+		return kindHybrid, meta.Bytes(), []pagefile.Store{ix.ppr.tree.Store(), ix.rstar.tree.Store()}, nil
+	case *StreamIndex:
+		if _, err := ix.ix.WriteMeta(&meta); err != nil {
+			return 0, nil, nil, err
+		}
+		return kindStream, meta.Bytes(), []pagefile.Store{ix.ix.Tree().Store()}, nil
+	default:
+		return 0, nil, nil, fmt.Errorf("stindex: cannot serialise index kind %q (%T)", x.Kind(), x)
+	}
+}
+
+// decodeContainerMeta parses a kind-specific meta blob into a store-less
+// index plus one attach callback per expected page extent (in on-disk
+// order).
+func decodeContainerMeta(kind byte, meta []byte) (Index, []func(pagefile.Store) error, error) {
+	mr := bytes.NewReader(meta)
+	var x Index
+	var attach []func(pagefile.Store) error
+	switch kind {
+	case kindPPR:
+		owners, err := readOwners(mr)
+		if err != nil {
+			return nil, nil, err
+		}
+		tree, err := pprtree.ReadMeta(mr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stindex: ppr meta: %w", err)
+		}
+		x = &PPRIndex{tree: tree, owners: owners}
+		attach = []func(pagefile.Store) error{tree.AttachStore}
+	case kindRStar:
+		var head [8]byte
+		if _, err := io.ReadFull(mr, head[:]); err != nil {
+			return nil, nil, fmt.Errorf("stindex: rstar meta: %w", err)
+		}
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(head[:]))
+		if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return nil, nil, fmt.Errorf("stindex: implausible stored time scale %g", scale)
+		}
+		owners, err := readOwners(mr)
+		if err != nil {
+			return nil, nil, err
+		}
+		tree, err := rstar.ReadMeta(mr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stindex: rstar meta: %w", err)
+		}
+		x = &RStarIndex{tree: tree, owners: owners, timeScale: scale}
+		attach = []func(pagefile.Store) error{tree.AttachStore}
+	case kindHR:
+		owners, err := readOwners(mr)
+		if err != nil {
+			return nil, nil, err
+		}
+		tree, err := hrtree.ReadMeta(mr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stindex: hr meta: %w", err)
+		}
+		x = &HRIndex{tree: tree, owners: owners}
+		attach = []func(pagefile.Store) error{tree.AttachStore}
+	case kindHybrid:
+		var head [16]byte
+		if _, err := io.ReadFull(mr, head[:]); err != nil {
+			return nil, nil, fmt.Errorf("stindex: hybrid meta: %w", err)
+		}
+		threshold := int64(binary.LittleEndian.Uint64(head[:8]))
+		if threshold < 0 {
+			return nil, nil, fmt.Errorf("stindex: negative stored interval threshold %d", threshold)
+		}
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(head[8:]))
+		if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return nil, nil, fmt.Errorf("stindex: implausible stored time scale %g", scale)
+		}
+		owners, err := readOwners(mr)
+		if err != nil {
+			return nil, nil, err
+		}
+		pt, err := pprtree.ReadMeta(mr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stindex: hybrid ppr meta: %w", err)
+		}
+		rt, err := rstar.ReadMeta(mr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stindex: hybrid rstar meta: %w", err)
+		}
+		x = &HybridIndex{
+			ppr:       &PPRIndex{tree: pt, owners: owners},
+			rstar:     &RStarIndex{tree: rt, owners: owners, timeScale: scale},
+			threshold: threshold,
+		}
+		attach = []func(pagefile.Store) error{pt.AttachStore, rt.AttachStore}
+	case kindStream:
+		ix, err := stream.ReadMeta(mr)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stindex: stream meta: %w", err)
+		}
+		x = &StreamIndex{ix: ix}
+		attach = []func(pagefile.Store) error{ix.AttachStore}
+	default:
+		return nil, nil, fmt.Errorf("stindex: unknown index kind %d", kind)
+	}
+	if mr.Len() != 0 {
+		return nil, nil, fmt.Errorf("stindex: %d bytes of trailing garbage after index meta", mr.Len())
+	}
+	return x, attach, nil
+}
+
+// EncodeIndex serialises any index — ppr, rstar, hr, hybrid, or a
+// snapshot of a stream index — as a self-describing container to w.
+// DecodeIndex and OpenIndex read it back; the kind is autodetected.
+func EncodeIndex(w io.Writer, x Index) (int64, error) {
+	kind, meta, stores, err := encodeContainerMeta(x)
+	if err != nil {
+		return 0, err
+	}
+	header := make([]byte, containerHeaderSize)
+	copy(header, containerMagic)
+	binary.LittleEndian.PutUint32(header[4:], containerVersion)
+	header[8] = kind
+	header[9] = byte(len(stores))
+	binary.LittleEndian.PutUint64(header[12:], uint64(len(meta)))
+	m, err := w.Write(header)
+	n := int64(m)
 	if err != nil {
 		return n, err
 	}
-	tn, err := x.tree.WriteTo(w)
-	return n + tn, err
-}
-
-// ReadPPRIndex loads an index image written by (*PPRIndex).WriteTo. The
-// buffer pool starts cold.
-func ReadPPRIndex(r io.Reader) (*PPRIndex, error) {
-	br := bufio.NewReader(r)
-	owners, _, err := readIndexHeader(br, kindPPR, 0)
-	if err != nil {
-		return nil, err
-	}
-	tree, err := pprtree.ReadTree(br)
-	if err != nil {
-		return nil, err
-	}
-	return &PPRIndex{tree: tree, owners: owners}, nil
-}
-
-// WriteTo serialises the index for ReadRStarIndex. Implements io.WriterTo.
-func (x *RStarIndex) WriteTo(w io.Writer) (int64, error) {
-	extra := binary.LittleEndian.AppendUint64(nil, math.Float64bits(x.timeScale))
-	n, err := writeIndexHeader(w, kindRStar, x.owners, extra)
+	m, err = w.Write(meta)
+	n += int64(m)
 	if err != nil {
 		return n, err
 	}
-	tn, err := x.tree.WriteTo(w)
-	return n + tn, err
+	for _, s := range stores {
+		en, err := pagefile.WriteExtent(w, s)
+		n += en
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
 }
 
-// ReadRStarIndex loads an index image written by (*RStarIndex).WriteTo.
-func ReadRStarIndex(r io.Reader) (*RStarIndex, error) {
+// SaveIndex writes the index's container image to path. An interrupted
+// write leaves a truncated file, which OpenIndex and DecodeIndex reject.
+func SaveIndex(path string, x Index) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("stindex: saving index: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	if _, err := EncodeIndex(bw, x); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return fmt.Errorf("stindex: saving index: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("stindex: saving index: %w", err)
+	}
+	return nil
+}
+
+func parseContainerHeader(header []byte) (kind byte, extents int, metaLen uint64, err error) {
+	if string(header[:4]) != containerMagic {
+		return 0, 0, 0, fmt.Errorf("stindex: bad container magic %q", header[:4])
+	}
+	if v := binary.LittleEndian.Uint32(header[4:]); v != containerVersion {
+		return 0, 0, 0, fmt.Errorf("stindex: unsupported container version %d", v)
+	}
+	kind = header[8]
+	extents = int(header[9])
+	metaLen = binary.LittleEndian.Uint64(header[12:])
+	wantExtents := 1
+	if kind == kindHybrid {
+		wantExtents = 2
+	}
+	if extents != wantExtents {
+		return 0, 0, 0, fmt.Errorf("stindex: kind %d container with %d extents, want %d", kind, extents, wantExtents)
+	}
+	return kind, extents, metaLen, nil
+}
+
+// DecodeIndex reads a container image from r, materialising every page
+// in memory (the eager counterpart of OpenIndex). The kind is
+// autodetected; type-assert the result for kind-specific APIs.
+func DecodeIndex(r io.Reader) (Index, error) {
 	br := bufio.NewReader(r)
-	owners, extra, err := readIndexHeader(br, kindRStar, 8)
+	header := make([]byte, containerHeaderSize)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("stindex: reading container header: %w", err)
+	}
+	_, extents, metaLen, err := parseContainerHeader(header)
 	if err != nil {
 		return nil, err
 	}
-	tree, err := rstar.ReadTree(br)
+	// metaLen is untrusted: copy through a bounded reader so allocation is
+	// driven by bytes actually present, not by the header's claim.
+	var metaBuf bytes.Buffer
+	if _, err := io.CopyN(&metaBuf, br, int64(metaLen)); err != nil {
+		return nil, fmt.Errorf("stindex: reading container meta: %w", err)
+	}
+	x, attach, err := decodeContainerMeta(header[8], metaBuf.Bytes())
 	if err != nil {
 		return nil, err
 	}
-	scale := math.Float64frombits(binary.LittleEndian.Uint64(extra))
-	if scale <= 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
-		return nil, fmt.Errorf("stindex: implausible stored time scale %g", scale)
+	for i := 0; i < extents; i++ {
+		file, err := pagefile.ReadExtentMem(br)
+		if err != nil {
+			return nil, fmt.Errorf("stindex: reading page extent %d: %w", i, err)
+		}
+		if err := attach[i](file); err != nil {
+			return nil, err
+		}
 	}
-	return &RStarIndex{tree: tree, owners: owners, timeScale: scale}, nil
+	return x, nil
+}
+
+// OpenIndex opens a saved container lazily: only the header and meta
+// section are read here; tree pages stay on disk and are faulted in on
+// demand by the buffer pool, so opening a multi-gigabyte index is
+// instant. The returned index is read-only (mutating it fails cleanly)
+// and holds the file open — Close it when done. Query results and I/O
+// statistics are bit-identical to the eagerly loaded and the originally
+// built index.
+func OpenIndex(path string) (Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("stindex: opening index: %w", err)
+	}
+	x, err := openIndexFile(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return x, nil
+}
+
+func openIndexFile(f *os.File) (Index, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("stindex: opening index: %w", err)
+	}
+	header := make([]byte, containerHeaderSize)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		return nil, fmt.Errorf("stindex: reading container header: %w", err)
+	}
+	kind, extents, metaLen, err := parseContainerHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	if int64(metaLen) < 0 || containerHeaderSize+int64(metaLen) > fi.Size() {
+		return nil, fmt.Errorf("stindex: container meta of %d bytes truncated at file size %d", metaLen, fi.Size())
+	}
+	meta := make([]byte, metaLen)
+	if _, err := f.ReadAt(meta, containerHeaderSize); err != nil {
+		return nil, fmt.Errorf("stindex: reading container meta: %w", err)
+	}
+	x, attach, err := decodeContainerMeta(kind, meta)
+	if err != nil {
+		return nil, err
+	}
+	off := int64(containerHeaderSize) + int64(metaLen)
+	for i := 0; i < extents; i++ {
+		store, length, err := pagefile.OpenExtent(f, off)
+		if err != nil {
+			return nil, fmt.Errorf("stindex: opening page extent %d: %w", i, err)
+		}
+		if err := attach[i](store); err != nil {
+			return nil, err
+		}
+		off += length
+	}
+	switch ix := x.(type) {
+	case *PPRIndex:
+		ix.closer = f
+	case *RStarIndex:
+		ix.closer = f
+	case *HRIndex:
+		ix.closer = f
+	case *HybridIndex:
+		ix.closer = f
+	case *StreamIndex:
+		ix.closer = f
+	}
+	return x, nil
+}
+
+// CloseIndex releases any file resources the index holds (a no-op for
+// built, in-memory indexes). Convenient when holding an Index without
+// knowing its concrete type.
+func CloseIndex(x Index) error {
+	if c, ok := x.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
 }

@@ -2,118 +2,300 @@ package stindex
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
 
-func TestPPRIndexRoundTrip(t *testing.T) {
+// persistFixtures builds one index of every container kind over the same
+// dataset on the given backend.
+func persistFixtures(t *testing.T, backend Backend) map[string]Index {
+	t.Helper()
 	objs := genObjects(t, 300, 21)
 	records, _, err := SplitDataset(objs, SplitConfig{Budget: 450})
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig, err := BuildPPR(records, PPROptions{})
+	ppr, err := BuildPPR(records, PPROptions{Backend: backend})
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
-	if _, err := orig.WriteTo(&buf); err != nil {
-		t.Fatal(err)
-	}
-	loaded, err := ReadPPRIndex(&buf)
+	rstar, err := BuildRStar(records, RStarOptions{ShuffleSeed: 5, Backend: backend})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if loaded.Records() != orig.Records() || loaded.Pages() != orig.Pages() {
-		t.Fatalf("loaded index shape differs: %d/%d records, %d/%d pages",
-			loaded.Records(), orig.Records(), loaded.Pages(), orig.Pages())
-	}
-	if _, err := loaded.Tree().Validate(); err != nil {
-		t.Fatalf("loaded tree invalid: %v", err)
-	}
-	queries, err := GenerateQueries(QuerySnapshotMixed, 1000, 31)
+	hr, err := BuildHR(records, HROptions{Backend: backend})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for qi, q := range queries[:80] {
+	hybrid, err := BuildHybrid(records, HybridOptions{
+		PPR:   PPROptions{Backend: backend},
+		RStar: RStarOptions{ShuffleSeed: 5, Backend: backend},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Index{"ppr": ppr, "rstar": rstar, "hr": hr, "hybrid": hybrid}
+}
+
+func persistQueries(t *testing.T) []Query {
+	t.Helper()
+	snap, err := GenerateQueries(QuerySnapshotMixed, 1000, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, err := GenerateQueries(QueryRangeSmall, 1000, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(snap[:40:40], rng[:40]...)
+}
+
+// expectSameAnswers runs the queries on both indexes and demands
+// identical result sets and identical cold-buffer I/O statistics.
+func expectSameAnswers(t *testing.T, label string, orig, loaded Index, queries []Query) {
+	t.Helper()
+	for qi, q := range queries {
 		a, err := RunQuery(orig, q)
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("%s query %d on original: %v", label, qi, err)
 		}
 		b, err := RunQuery(loaded, q)
 		if err != nil {
-			t.Fatal(err)
+			t.Fatalf("%s query %d on loaded: %v", label, qi, err)
 		}
 		if !equalIDs(sortedIDs(a), sortedIDs(b)) {
-			t.Fatalf("query %d: original %d results, loaded %d", qi, len(a), len(b))
+			t.Fatalf("%s query %d: original %d results, loaded %d", label, qi, len(a), len(b))
 		}
 	}
-	// Identical cold-cache I/O: the loaded tree is byte-identical.
+	// Replaying the workload cold must cost exactly the same disk
+	// accesses: the loaded tree's page layout is byte-identical and the
+	// buffer policy deterministic (the paper's AvgIO metric depends on
+	// both).
 	orig.ResetBuffer()
 	loaded.ResetBuffer()
-	if _, err := RunQuery(orig, queries[0]); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := RunQuery(loaded, queries[0]); err != nil {
-		t.Fatal(err)
+	for _, q := range queries[:10] {
+		if _, err := RunQuery(orig, q); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RunQuery(loaded, q); err != nil {
+			t.Fatal(err)
+		}
 	}
 	if orig.IOStats() != loaded.IOStats() {
-		t.Fatalf("I/O differs after reload: %+v vs %+v", orig.IOStats(), loaded.IOStats())
+		t.Fatalf("%s: I/O differs after reload: %+v vs %+v", label, orig.IOStats(), loaded.IOStats())
 	}
 }
 
-func TestRStarIndexRoundTrip(t *testing.T) {
-	objs := genObjects(t, 300, 22)
-	records, _, err := SplitDataset(objs, SplitConfig{Budget: 300})
+// TestContainerRoundTripAllKinds saves and reloads every index kind
+// through both the eager (Encode/Decode) and lazy (Save/Open) paths, on
+// both page-store backends, and demands identical answers and I/O.
+func TestContainerRoundTripAllKinds(t *testing.T) {
+	queries := persistQueries(t)
+	for _, backend := range []Backend{BackendMemory, BackendDisk} {
+		fixtures := persistFixtures(t, backend)
+		dir := t.TempDir()
+		for kind, orig := range fixtures {
+			label := kind + "/" + string(backend)
+
+			var buf bytes.Buffer
+			if _, err := EncodeIndex(&buf, orig); err != nil {
+				t.Fatalf("%s: encode: %v", label, err)
+			}
+			decoded, err := DecodeIndex(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatalf("%s: decode: %v", label, err)
+			}
+			if decoded.Kind() != orig.Kind() {
+				t.Fatalf("%s: decoded kind %q, want %q", label, decoded.Kind(), orig.Kind())
+			}
+			if decoded.Records() != orig.Records() || decoded.Pages() != orig.Pages() {
+				t.Fatalf("%s: decoded shape %d records/%d pages, want %d/%d",
+					label, decoded.Records(), decoded.Pages(), orig.Records(), orig.Pages())
+			}
+			expectSameAnswers(t, label+"/eager", orig, decoded, queries)
+
+			path := filepath.Join(dir, kind+".sti")
+			if err := SaveIndex(path, orig); err != nil {
+				t.Fatalf("%s: save: %v", label, err)
+			}
+			opened, err := OpenIndex(path)
+			if err != nil {
+				t.Fatalf("%s: open: %v", label, err)
+			}
+			if opened.Kind() != orig.Kind() {
+				t.Fatalf("%s: opened kind %q, want %q", label, opened.Kind(), orig.Kind())
+			}
+			expectSameAnswers(t, label+"/lazy", orig, opened, queries)
+			if err := CloseIndex(opened); err != nil {
+				t.Fatalf("%s: close: %v", label, err)
+			}
+			if err := CloseIndex(opened); err != nil {
+				t.Fatalf("%s: second close: %v", label, err)
+			}
+		}
+	}
+}
+
+// TestCrossBackendBitIdentical builds the same indexes on the in-memory
+// and disk-backed stores and demands byte-identical container images —
+// the two backends must produce the same page layout, free list and
+// allocation order.
+func TestCrossBackendBitIdentical(t *testing.T) {
+	mem := persistFixtures(t, BackendMemory)
+	disk := persistFixtures(t, BackendDisk)
+	for kind, a := range mem {
+		b := disk[kind]
+		var abuf, bbuf bytes.Buffer
+		if _, err := EncodeIndex(&abuf, a); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := EncodeIndex(&bbuf, b); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(abuf.Bytes(), bbuf.Bytes()) {
+			t.Fatalf("%s: mem and disk backends produced different container images (%d vs %d bytes)",
+				kind, abuf.Len(), bbuf.Len())
+		}
+	}
+}
+
+// TestStreamSnapshotRoundTrip persists a live streaming index mid-history
+// and reopens it: historical queries must answer identically, and the
+// lazily reopened copy must be read-only.
+func TestStreamSnapshotRoundTrip(t *testing.T) {
+	objs := genObjects(t, 120, 13)
+	six, err := NewStreamIndex(StreamOptions{Lambda: 0.5}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	orig, err := BuildRStar(records, RStarOptions{ShuffleSeed: 5})
+	type ev struct {
+		t     int64
+		obj   int
+		final bool
+	}
+	var events []ev
+	for i, o := range objs {
+		lt := o.Lifetime()
+		for tm := lt.Start; tm < lt.End; tm++ {
+			events = append(events, ev{t: tm, obj: i})
+		}
+		events = append(events, ev{t: lt.End, obj: i, final: true})
+	}
+	sortEvents := func(a, b int) bool {
+		if events[a].t != events[b].t {
+			return events[a].t < events[b].t
+		}
+		return events[a].final && !events[b].final
+	}
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && sortEvents(j, j-1); j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	// Replay only the first 70% of history so live, still-open objects
+	// are part of the persisted state.
+	cut := events[len(events)*7/10].t
+	for _, e := range events {
+		if e.t >= cut {
+			break
+		}
+		o := objs[e.obj]
+		if e.final {
+			if err := six.Finish(o.ID(), e.t); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		r, _ := o.At(e.t)
+		if err := six.Observe(o.ID(), e.t, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if six.Live() == 0 {
+		t.Fatal("want live objects at the cut point")
+	}
+
+	path := filepath.Join(t.TempDir(), "stream.sti")
+	if err := SaveIndex(path, six); err != nil {
+		t.Fatal(err)
+	}
+	opened, err := OpenIndex(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var buf bytes.Buffer
-	if _, err := orig.WriteTo(&buf); err != nil {
-		t.Fatal(err)
+	defer CloseIndex(opened)
+	reopened, ok := opened.(*StreamIndex)
+	if !ok {
+		t.Fatalf("opened %T, want *StreamIndex", opened)
 	}
-	loaded, err := ReadRStarIndex(&buf)
-	if err != nil {
-		t.Fatal(err)
+	if reopened.Records() != six.Records() || reopened.Cuts() != six.Cuts() || reopened.Live() != six.Live() {
+		t.Fatalf("reopened counters differ: records %d/%d cuts %d/%d live %d/%d",
+			reopened.Records(), six.Records(), reopened.Cuts(), six.Cuts(), reopened.Live(), six.Live())
 	}
-	if loaded.TimeScale() != orig.TimeScale() {
-		t.Fatalf("time scale differs: %g vs %g", loaded.TimeScale(), orig.TimeScale())
-	}
-	if err := loaded.Tree().Validate(); err != nil {
-		t.Fatalf("loaded tree invalid: %v", err)
-	}
-	queries, err := GenerateQueries(QueryRangeSmall, 1000, 33)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for qi, q := range queries[:80] {
-		a, err := RunQuery(orig, q)
+	window := Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.7, MaxY: 0.7}
+	for _, at := range []int64{0, cut / 2, cut - 1} {
+		a, err := six.Snapshot(window, at)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, err := RunQuery(loaded, q)
+		b, err := reopened.Snapshot(window, at)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if !equalIDs(sortedIDs(a), sortedIDs(b)) {
-			t.Fatalf("query %d: original %d results, loaded %d", qi, len(a), len(b))
+			t.Fatalf("t=%d: original %d results, reopened %d", at, len(a), len(b))
 		}
+	}
+	a, err := six.Range(window, Interval{Start: 0, End: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := reopened.Range(window, Interval{Start: 0, End: cut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalIDs(sortedIDs(a), sortedIDs(b)) {
+		t.Fatalf("range: original %d results, reopened %d", len(a), len(b))
+	}
+	// Identical cold-buffer I/O on the historical workload.
+	six.ResetBuffer()
+	reopened.ResetBuffer()
+	if _, err := six.Snapshot(window, cut/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reopened.Snapshot(window, cut/2); err != nil {
+		t.Fatal(err)
+	}
+	if six.IOStats() != reopened.IOStats() {
+		t.Fatalf("I/O differs after reopen: %+v vs %+v", six.IOStats(), reopened.IOStats())
+	}
+	// The lazily opened snapshot sits on a read-only store: growing the
+	// history must fail cleanly, not corrupt the file.
+	if err := reopened.Observe(objs[0].ID(), cut+1000, window); err == nil {
+		t.Fatal("Observe succeeded on a read-only reopened snapshot")
 	}
 }
 
+// TestPersistRejectsGarbage feeds the container readers malformed input:
+// they must return errors — never panic, never mis-load.
 func TestPersistRejectsGarbage(t *testing.T) {
-	if _, err := ReadPPRIndex(strings.NewReader("garbage data stream")); err == nil {
-		t.Fatal("accepted garbage as a PPR image")
+	if _, err := DecodeIndex(strings.NewReader("garbage data stream")); err == nil {
+		t.Fatal("accepted garbage as a container")
 	}
-	if _, err := ReadRStarIndex(strings.NewReader("garbage data stream")); err == nil {
-		t.Fatal("accepted garbage as an R* image")
+	dir := t.TempDir()
+	garbagePath := filepath.Join(dir, "garbage.sti")
+	if err := os.WriteFile(garbagePath, []byte("garbage data stream"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenIndex(garbagePath); err == nil {
+		t.Fatal("opened garbage as a container")
+	}
+	if _, err := OpenIndex(filepath.Join(dir, "missing.sti")); err == nil {
+		t.Fatal("opened a missing file")
 	}
 
-	// Kind mismatch: a PPR image is not an R* image.
 	objs := genObjects(t, 50, 23)
 	records := UnsplitRecords(objs)
 	ppr, err := BuildPPR(records, PPROptions{})
@@ -121,15 +303,106 @@ func TestPersistRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if _, err := ppr.WriteTo(&buf); err != nil {
+	if _, err := EncodeIndex(&buf, ppr); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ReadRStarIndex(bytes.NewReader(buf.Bytes())); err == nil {
-		t.Fatal("loaded a PPR image as an R* index")
+	image := buf.Bytes()
+
+	// Truncations at every structural boundary and mid-section.
+	for _, cut := range []int{0, 3, containerHeaderSize - 1, containerHeaderSize,
+		containerHeaderSize + 4, len(image) / 2, len(image) - 1} {
+		if _, err := DecodeIndex(bytes.NewReader(image[:cut])); err == nil {
+			t.Fatalf("accepted a container truncated at %d of %d bytes", cut, len(image))
+		}
+		p := filepath.Join(dir, "trunc.sti")
+		if err := os.WriteFile(p, image[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if x, err := OpenIndex(p); err == nil {
+			CloseIndex(x)
+			t.Fatalf("opened a container truncated at %d of %d bytes", cut, len(image))
+		}
 	}
 
-	// Truncated image.
-	if _, err := ReadPPRIndex(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
-		t.Fatal("accepted a truncated image")
+	// Unknown kind byte.
+	bad := bytes.Clone(image)
+	bad[8] = 42
+	if _, err := DecodeIndex(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted an unknown index kind")
 	}
+
+	// Kind/extent mismatch: a hybrid header claims two extents but a ppr
+	// image carries one.
+	bad = bytes.Clone(image)
+	bad[8] = 4
+	if _, err := DecodeIndex(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted a hybrid header over a single-extent image")
+	}
+
+	// Unsupported container version.
+	bad = bytes.Clone(image)
+	bad[4] = 99
+	if _, err := DecodeIndex(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted an unsupported container version")
+	}
+
+	// Absurd meta length must not pre-allocate or mis-parse.
+	bad = bytes.Clone(image)
+	for i := 12; i < 20; i++ {
+		bad[i] = 0xff
+	}
+	if _, err := DecodeIndex(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted an absurd meta length")
+	}
+	p := filepath.Join(dir, "meta.sti")
+	if err := os.WriteFile(p, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if x, err := OpenIndex(p); err == nil {
+		CloseIndex(x)
+		t.Fatal("opened a container with an absurd meta length")
+	}
+}
+
+// FuzzOpenIndex drives both container readers with mutated images. The
+// property under test is "errors, not panics": any byte stream must
+// either load into a queryable index or be rejected cleanly.
+func FuzzOpenIndex(f *testing.F) {
+	objs, err := GenerateRandom(RandomDatasetConfig{N: 40, Seed: 9})
+	if err != nil {
+		f.Fatal(err)
+	}
+	records := UnsplitRecords(objs)
+	seed := func(x Index, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := EncodeIndex(&buf, x); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	seed(BuildPPR(records, PPROptions{}))
+	seed(BuildRStar(records, RStarOptions{ShuffleSeed: 5}))
+	seed(BuildHR(records, HROptions{}))
+	seed(BuildHybrid(records, HybridOptions{}))
+	f.Add([]byte("STIC"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if x, err := DecodeIndex(bytes.NewReader(data)); err == nil {
+			_, _ = x.Snapshot(Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8}, 10)
+			_, _ = x.Range(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Interval{Start: 0, End: 100})
+		}
+		path := filepath.Join(t.TempDir(), "fuzz.sti")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if x, err := OpenIndex(path); err == nil {
+			_, _ = x.Snapshot(Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.8, MaxY: 0.8}, 10)
+			_, _ = x.Range(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, Interval{Start: 0, End: 100})
+			CloseIndex(x)
+		}
+	})
 }

@@ -2,6 +2,7 @@ package stindex
 
 import (
 	"fmt"
+	"io"
 
 	"stindex/internal/geom"
 	"stindex/internal/pprtree"
@@ -27,7 +28,8 @@ type StreamOptions struct {
 // range queries are answerable at any moment, including for still-live
 // objects.
 type StreamIndex struct {
-	ix *stream.Indexer
+	ix     *stream.Indexer
+	closer io.Closer // see PPRIndex.closer
 }
 
 // NewStreamIndex creates an empty streaming index whose history begins at
@@ -42,6 +44,7 @@ func NewStreamIndex(opts StreamOptions, startTime int64) (*StreamIndex, error) {
 			PSvu:        opts.PPR.PSvu,
 			PageSize:    opts.PPR.PageSize,
 			BufferPages: opts.PPR.BufferPages,
+			Backend:     opts.PPR.Backend.internal(),
 		},
 	}, startTime)
 	if err != nil {
@@ -85,10 +88,10 @@ func (s *StreamIndex) IOStats() IOStats {
 }
 
 // Pages returns the index's live page count.
-func (s *StreamIndex) Pages() int { return s.ix.Tree().File().NumPages() }
+func (s *StreamIndex) Pages() int { return s.ix.Tree().Store().NumPages() }
 
 // Bytes returns the index's disk footprint.
-func (s *StreamIndex) Bytes() int64 { return s.ix.Tree().File().Bytes() }
+func (s *StreamIndex) Bytes() int64 { return s.ix.Tree().Store().Bytes() }
 
 // Records returns the number of lifetime pieces created so far.
 func (s *StreamIndex) Records() int { return s.ix.Records() }
@@ -101,6 +104,18 @@ func (s *StreamIndex) Live() int { return s.ix.Live() }
 
 // Kind implements the Index naming convention.
 func (s *StreamIndex) Kind() string { return "stream-ppr" }
+
+// Close releases the container file of a lazily opened snapshot; see
+// (*PPRIndex).Close. A snapshot opened from disk is read-only: Observe
+// and Finish fail because the underlying store rejects writes.
+func (s *StreamIndex) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	c := s.closer
+	s.closer = nil
+	return c.Close()
+}
 
 // StreamIndex satisfies Index, so the measurement helpers and wrappers
 // (MeasureWorkload, Synchronized) work on it too.
