@@ -1,0 +1,83 @@
+package stindex
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestMeasureWorkloadCtxCancelled asserts both measurement paths abort
+// with the context's error once it is cancelled: an already-cancelled
+// context stops the measurement before the first query, and a context
+// cancelled mid-run stops it without visiting every query.
+func TestMeasureWorkloadCtxCancelled(t *testing.T) {
+	ppr, _, _ := goldenWorkload(t)
+	qs := goldenQueries(t, QuerySnapshotMixed)
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MeasureWorkloadCtx(cancelled, ppr, qs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial: err = %v, want context.Canceled", err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		if _, err := MeasureWorkloadParallelCtx(cancelled, ppr, qs, workers); !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+
+	// Cancel mid-run: a counting index cancels the context after a few
+	// queries; the loop must stop claiming work shortly after.
+	ctx, cancelMid := context.WithCancel(context.Background())
+	defer cancelMid()
+	seen := 0
+	counting := &cancellingIndex{Index: ppr, after: 5, cancel: cancelMid, seen: &seen}
+	if _, err := MeasureWorkloadCtx(ctx, counting, qs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run: err = %v, want context.Canceled", err)
+	}
+	if seen >= len(qs) {
+		t.Fatalf("mid-run: all %d queries ran despite cancellation", len(qs))
+	}
+}
+
+// cancellingIndex cancels its context after a fixed number of queries.
+type cancellingIndex struct {
+	Index
+	after  int
+	cancel context.CancelFunc
+	seen   *int
+}
+
+func (c *cancellingIndex) Snapshot(r Rect, t int64) ([]int64, error) {
+	*c.seen++
+	if *c.seen == c.after {
+		c.cancel()
+	}
+	return c.Index.Snapshot(r, t)
+}
+
+func (c *cancellingIndex) Range(r Rect, iv Interval) ([]int64, error) {
+	*c.seen++
+	if *c.seen == c.after {
+		c.cancel()
+	}
+	return c.Index.Range(r, iv)
+}
+
+// TestChooseBudgetBySamplingCtxCancelled asserts the sampling chooser's
+// budget loop honours cancellation.
+func TestChooseBudgetBySamplingCtxCancelled(t *testing.T) {
+	objs, err := GenerateRandom(RandomDatasetConfig{N: 200, Horizon: 500, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := GenerateQueries(QuerySnapshotSmall, 500, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = ChooseBudgetBySamplingCtx(ctx, objs, qs[:50], ChooseBudgetConfig{}, 0.5, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package stindex
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -92,6 +93,15 @@ func ChooseBudget(objs []*Object, cfg ChooseBudgetConfig) (BudgetCandidate, []Bu
 // full dataset.
 func ChooseBudgetBySampling(objs []*Object, queries []Query, cfg ChooseBudgetConfig,
 	sampleFraction float64, seed int64) (BudgetCandidate, []BudgetCandidate, error) {
+	return ChooseBudgetBySamplingCtx(context.Background(), objs, queries, cfg, sampleFraction, seed)
+}
+
+// ChooseBudgetBySamplingCtx is ChooseBudgetBySampling with cooperative
+// cancellation: the context is checked before each candidate budget's
+// build-and-measure step and threaded into the workload measurement, so
+// an expensive sampling run aborts promptly when ctx is cancelled.
+func ChooseBudgetBySamplingCtx(ctx context.Context, objs []*Object, queries []Query,
+	cfg ChooseBudgetConfig, sampleFraction float64, seed int64) (BudgetCandidate, []BudgetCandidate, error) {
 
 	if len(objs) == 0 {
 		return BudgetCandidate{}, nil, fmt.Errorf("stindex: empty object collection")
@@ -117,6 +127,9 @@ func ChooseBudgetBySampling(objs []*Object, queries []Query, cfg ChooseBudgetCon
 
 	var table []BudgetCandidate
 	for _, budget := range cfg.Budgets {
+		if err := ctx.Err(); err != nil {
+			return BudgetCandidate{}, nil, err
+		}
 		scaled := int(float64(budget) * sampleFraction)
 		records, rep, err := SplitDataset(sample, SplitConfig{Budget: scaled, Parallelism: cfg.Parallelism})
 		if err != nil {
@@ -126,7 +139,7 @@ func ChooseBudgetBySampling(objs []*Object, queries []Query, cfg ChooseBudgetCon
 		if err != nil {
 			return BudgetCandidate{}, nil, err
 		}
-		res, err := MeasureWorkloadParallel(idx, queries, cfg.Parallelism)
+		res, err := MeasureWorkloadParallelCtx(ctx, idx, queries, cfg.Parallelism)
 		if err != nil {
 			return BudgetCandidate{}, nil, err
 		}

@@ -12,18 +12,25 @@
 //	stquery -i records.jsonl -index hr -save idx.sti        # persist the built index
 //	stquery -load idx.sti -set snapshot-mixed               # reopen lazily (kind autodetected)
 //	stquery -i records.jsonl -index ppr -backend disk ...   # build on the disk backend
+//	stquery -i records.jsonl -index ppr -serve :8080        # build, then serve it over HTTP
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	stx "stindex"
 
+	"stindex/internal/service"
 	"stindex/internal/stio"
 )
 
@@ -40,6 +47,7 @@ func main() {
 		queries  = flag.Int("queries", 1000, "number of queries from the set")
 		seed     = flag.Int64("seed", 1, "query generation seed")
 		horizon  = flag.Int64("horizon", 1000, "time horizon for query placement")
+		serve    = flag.String("serve", "", "serve the built or loaded index over HTTP on this address (snapshot name \"default\"; same endpoints as stserve)")
 		rect     = flag.String("rect", "", "single query rectangle: minx,miny,maxx,maxy")
 		at       = flag.Int64("t", -1, "single snapshot query time")
 		from     = flag.Int64("from", -1, "single range query start")
@@ -83,6 +91,13 @@ func main() {
 		return
 	}
 
+	if *serve != "" {
+		if err := serveIndex(*serve, idx); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
 	if *rect != "" {
 		q, err := parseSingle(*rect, *at, *from, *to)
 		if err != nil {
@@ -115,6 +130,35 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("set=%s queries=%d avg-io=%.2f avg-results=%.1f\n", *set, res.Queries, res.AvgIO, res.AvgResult)
+}
+
+// serveIndex publishes idx as snapshot "default" and serves the stserve
+// HTTP API on addr until SIGINT/SIGTERM, then drains gracefully. The
+// service takes ownership of the index (closing is idempotent, so the
+// caller's deferred CloseIndex stays safe).
+func serveIndex(addr string, idx stx.Index) error {
+	svc := service.New(service.Config{})
+	if _, err := svc.Registry().Publish("default", idx); err != nil {
+		return err
+	}
+	srv := &http.Server{Addr: addr, Handler: service.NewHandler(svc)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving %s index on %s (snapshot \"default\"); SIGINT drains\n", idx.Kind(), addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-sigCh:
+	case err := <-errCh:
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "stquery: shutdown: %v\n", err)
+	}
+	return svc.Close()
 }
 
 func build(kind string, records []stx.Record, parallelism int, backend stx.Backend) (stx.Index, error) {

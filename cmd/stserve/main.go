@@ -1,0 +1,120 @@
+// Command stserve serves spatiotemporal queries over HTTP/JSON from
+// saved index containers: a snapshot registry with atomic hot-swap, a
+// session pool of per-worker query views, a bounded admission queue and
+// built-in metrics.
+//
+// Usage:
+//
+//	stserve -load default=index.sti
+//	stserve -listen :8080 -load fleet=fleet.sti -load rail=rail.sti -workers 8
+//	stserve -load default=index.sti -queue 128 -reject -timeout 500ms
+//
+// Endpoints (see internal/service.NewHandler):
+//
+//	GET  /query?rect=minx,miny,maxx,maxy&t=5         snapshot query
+//	GET  /query?rect=...&from=0&to=100               range query
+//	POST /query            {"snapshot","rect":[...],"t"} or {"rect","from","to"}
+//	GET  /snapshots        list registered snapshots
+//	POST /snapshots/load   {"name","path"}  load or hot-swap a container
+//	POST /snapshots/drop   {"name"}
+//	GET  /metrics          QPS, latency percentiles, hit rates, queue depth
+//	GET  /healthz
+//
+// SIGINT/SIGTERM drain gracefully: in-flight and queued queries finish,
+// then the containers close.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"stindex/internal/service"
+)
+
+// loadFlags collects repeatable -load name=path pairs in order.
+type loadFlags []struct{ name, path string }
+
+func (l *loadFlags) String() string { return fmt.Sprintf("%d snapshots", len(*l)) }
+
+func (l *loadFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*l = append(*l, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var loads loadFlags
+	var (
+		listen  = flag.String("listen", ":8080", "HTTP listen address")
+		workers = flag.Int("workers", 0, "session-pool size: concurrently executing queries (0 = all cores)")
+		queue   = flag.Int("queue", 0, "admission queue depth (0 = 64)")
+		batch   = flag.Int("batch", 0, "same-snapshot batch size per worker (0/1 = no batching)")
+		timeout = flag.Duration("timeout", 0, "default per-query deadline for requests without one (0 = none)")
+		reject  = flag.Bool("reject", false, "fail fast with 503 when the queue is full instead of blocking")
+		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+	)
+	flag.Var(&loads, "load", "snapshot to serve, as name=container-path (repeatable)")
+	flag.Parse()
+	if len(loads) == 0 {
+		fatal(errors.New("provide at least one -load name=path"))
+	}
+
+	svc := service.New(service.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		BatchSize:      *batch,
+		DefaultTimeout: *timeout,
+		RejectWhenFull: *reject,
+	})
+	for _, l := range loads {
+		snap, err := svc.Registry().Load(l.name, l.path)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "stserve: loaded %q from %s (gen %d)\n", snap.Name(), l.path, snap.Gen())
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: service.NewHandler(svc)}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "stserve: listening on %s\n", *listen)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "stserve: %s — draining\n", sig)
+	case err := <-errCh:
+		fatal(err)
+	}
+
+	// Stop accepting connections and wait for in-flight HTTP requests,
+	// then drain the query queue and close the containers.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "stserve: shutdown: %v\n", err)
+	}
+	if err := svc.Close(); err != nil {
+		fatal(err)
+	}
+	m := svc.Metrics()
+	fmt.Fprintf(os.Stderr, "stserve: served %d queries (%.1f qps, p99 %dµs), bye\n",
+		m.Completed, m.QPS, m.P99US)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stserve:", err)
+	os.Exit(1)
+}

@@ -1,6 +1,8 @@
 package stindex
 
 import (
+	"context"
+
 	"stindex/internal/datagen"
 	"stindex/internal/parallel"
 	"stindex/internal/trajectory"
@@ -134,9 +136,20 @@ type WorkloadResult struct {
 // buffer pool is reset before each query — and reports the average number
 // of disk accesses.
 func MeasureWorkload(idx Index, queries []Query) (WorkloadResult, error) {
+	return MeasureWorkloadCtx(context.Background(), idx, queries)
+}
+
+// MeasureWorkloadCtx is MeasureWorkload with cooperative cancellation:
+// the context is checked before each query, so a long measurement aborts
+// within one query's work of ctx being cancelled, returning the context's
+// error.
+func MeasureWorkloadCtx(ctx context.Context, idx Index, queries []Query) (WorkloadResult, error) {
 	var res WorkloadResult
 	totalIO, totalResults := int64(0), 0
 	for _, q := range queries {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		idx.ResetBuffer()
 		ids, err := RunQuery(idx, q)
 		if err != nil {
@@ -166,10 +179,19 @@ func MeasureWorkload(idx Index, queries []Query) (WorkloadResult, error) {
 // Indexes that do not implement QueryViewer fall back to the serial
 // MeasureWorkload.
 func MeasureWorkloadParallel(idx Index, queries []Query, workers int) (WorkloadResult, error) {
+	return MeasureWorkloadParallelCtx(context.Background(), idx, queries, workers)
+}
+
+// MeasureWorkloadParallelCtx is MeasureWorkloadParallel with cooperative
+// cancellation: once ctx is done no further queries are claimed, the
+// in-flight ones finish, and the context's error is returned. This is
+// what lets a serving layer enforce deadlines end to end across a long
+// measurement.
+func MeasureWorkloadParallelCtx(ctx context.Context, idx Index, queries []Query, workers int) (WorkloadResult, error) {
 	workers = parallel.Workers(workers, len(queries))
 	qv, ok := idx.(QueryViewer)
 	if workers <= 1 || !ok {
-		return MeasureWorkload(idx, queries)
+		return MeasureWorkloadCtx(ctx, idx, queries)
 	}
 	views := make([]Index, workers)
 	for w := range views {
@@ -178,7 +200,7 @@ func MeasureWorkloadParallel(idx Index, queries []Query, workers int) (WorkloadR
 	ios := make([]int64, len(queries))
 	counts := make([]int, len(queries))
 	errs := make([]error, len(queries))
-	parallel.ForEachWorker(len(queries), workers, func(w, i int) {
+	ctxErr := parallel.ForEachWorkerCtx(ctx, len(queries), workers, func(w, i int) {
 		view := views[w]
 		view.ResetBuffer()
 		ids, err := RunQuery(view, queries[i])
@@ -190,6 +212,9 @@ func MeasureWorkloadParallel(idx Index, queries []Query, workers int) (WorkloadR
 		counts[i] = len(ids)
 	})
 	var res WorkloadResult
+	if ctxErr != nil {
+		return res, ctxErr
+	}
 	totalIO, totalResults := int64(0), 0
 	for i := range queries {
 		if errs[i] != nil {

@@ -2,7 +2,6 @@ package stindex
 
 import (
 	"fmt"
-	"io"
 	"sort"
 
 	"stindex/internal/geom"
@@ -32,7 +31,7 @@ type HROptions struct {
 type HRIndex struct {
 	tree   *hrtree.Tree
 	owners []int64
-	closer io.Closer // see PPRIndex.closer
+	closer fileHandle // see PPRIndex.closer
 }
 
 // BuildHR indexes the records with an overlapping R-tree, replaying their
@@ -179,15 +178,8 @@ func (x *HRIndex) Records() int { return len(x.owners) }
 func (x *HRIndex) Kind() string { return "hr" }
 
 // Close releases the container file of a lazily opened index; see
-// (*PPRIndex).Close.
-func (x *HRIndex) Close() error {
-	if x.closer == nil {
-		return nil
-	}
-	c := x.closer
-	x.closer = nil
-	return c.Close()
-}
+// (*PPRIndex).Close. Idempotent, safe for concurrent callers.
+func (x *HRIndex) Close() error { return x.closer.close() }
 
 // Tree exposes the underlying overlapping R-tree.
 func (x *HRIndex) Tree() *hrtree.Tree { return x.tree }

@@ -2,7 +2,6 @@ package stindex
 
 import (
 	"fmt"
-	"io"
 )
 
 // HybridOptions configures BuildHybrid.
@@ -30,7 +29,7 @@ type HybridIndex struct {
 	ppr       *PPRIndex
 	rstar     *RStarIndex
 	threshold int64
-	closer    io.Closer // see PPRIndex.closer
+	closer    fileHandle // see PPRIndex.closer
 }
 
 // BuildHybrid indexes the records with both structures.
@@ -90,15 +89,8 @@ func (h *HybridIndex) Records() int { return h.ppr.Records() }
 func (h *HybridIndex) Kind() string { return "hybrid" }
 
 // Close releases the container file of a lazily opened index; see
-// (*PPRIndex).Close.
-func (h *HybridIndex) Close() error {
-	if h.closer == nil {
-		return nil
-	}
-	c := h.closer
-	h.closer = nil
-	return c.Close()
-}
+// (*PPRIndex).Close. Idempotent, safe for concurrent callers.
+func (h *HybridIndex) Close() error { return h.closer.close() }
 
 // QueryView implements QueryViewer: views of both components sharing the
 // frozen page files, each with private buffer pools.

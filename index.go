@@ -4,12 +4,54 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"stindex/internal/geom"
 	"stindex/internal/pagefile"
 	"stindex/internal/pprtree"
 	"stindex/internal/rstar"
 )
+
+// ErrReadOnly is returned by every mutating facade method — Append,
+// Observe, Finish, FinishAll — when the index was opened read-only from a
+// container file (OpenIndex). Test with errors.Is: lower layers wrap it.
+// Queries, statistics, Describe, Save/Encode and QueryView remain fully
+// usable on a read-only index.
+var ErrReadOnly = pagefile.ErrReadOnly
+
+// readOnlyStore reports whether a page store rejects mutation (the
+// read-only window of a lazily opened container).
+func readOnlyStore(s pagefile.Store) bool {
+	ro, ok := s.(interface{ ReadOnly() bool })
+	return ok && ro.ReadOnly()
+}
+
+// fileHandle guards the container file of a lazily opened index. Close is
+// idempotent and safe to call concurrently: the first call closes the
+// file, every later one is a no-op returning nil — so CloseIndex can be
+// called from deferred cleanup paths and serving-layer refcount drains
+// without coordinating who closes last.
+type fileHandle struct {
+	mu sync.Mutex
+	c  io.Closer
+}
+
+func (h *fileHandle) set(c io.Closer) {
+	h.mu.Lock()
+	h.c = c
+	h.mu.Unlock()
+}
+
+func (h *fileHandle) close() error {
+	h.mu.Lock()
+	c := h.c
+	h.c = nil
+	h.mu.Unlock()
+	if c == nil {
+		return nil
+	}
+	return c.Close()
+}
 
 // Backend names a page-store implementation for the index structures.
 // The default ("") consults the STINDEX_BACKEND environment variable and
@@ -92,9 +134,9 @@ type PPROptions struct {
 type PPRIndex struct {
 	tree   *pprtree.Tree
 	owners []int64 // record ref -> object id
-	// closer holds the container file of a lazily opened index; nil for
+	// closer holds the container file of a lazily opened index; empty for
 	// built indexes and query views.
-	closer io.Closer
+	closer fileHandle
 }
 
 // BuildPPR indexes the records with a partially persistent R-tree,
@@ -131,8 +173,12 @@ func BuildPPR(records []Record, opts PPROptions) (*PPRIndex, error) {
 // Append indexes additional records into an existing PPR index. Partial
 // persistence keeps history closed: every appended record's lifetime must
 // begin at or after the index's current time. Useful for chunked builds
-// and for extending a reloaded index as the evolution continues.
+// and for extending a reloaded index as the evolution continues. On an
+// index opened read-only from a container, Append fails with ErrReadOnly.
 func (x *PPRIndex) Append(records []Record) error {
+	if readOnlyStore(x.tree.Store()) {
+		return fmt.Errorf("stindex: appending to opened index: %w", ErrReadOnly)
+	}
 	recs := make([]pprtree.Record, len(records))
 	base := uint64(len(x.owners))
 	newOwners := make([]int64, len(records))
@@ -230,15 +276,10 @@ func (x *PPRIndex) Kind() string { return "ppr" }
 
 // Close releases the container file of a lazily opened index. Built
 // indexes and query views hold no file, so Close is a no-op for them.
-// Close only the parent handle, never while views are still querying.
-func (x *PPRIndex) Close() error {
-	if x.closer == nil {
-		return nil
-	}
-	c := x.closer
-	x.closer = nil
-	return c.Close()
-}
+// Close is idempotent and safe to call concurrently — the first call
+// closes the file, later calls return nil. Close only the parent handle,
+// never while views are still querying.
+func (x *PPRIndex) Close() error { return x.closer.close() }
 
 // Tree exposes the underlying partially persistent R-tree for advanced
 // inspection (validation walks, ephemeral level statistics).
@@ -281,7 +322,7 @@ type RStarIndex struct {
 	tree      *rstar.Tree
 	owners    []int64
 	timeScale float64
-	closer    io.Closer // see PPRIndex.closer
+	closer    fileHandle // see PPRIndex.closer
 }
 
 // BuildRStar indexes the records with a 3D R*-tree.
@@ -443,15 +484,8 @@ func (x *RStarIndex) Records() int { return len(x.owners) }
 func (x *RStarIndex) Kind() string { return "rstar" }
 
 // Close releases the container file of a lazily opened index; see
-// (*PPRIndex).Close.
-func (x *RStarIndex) Close() error {
-	if x.closer == nil {
-		return nil
-	}
-	c := x.closer
-	x.closer = nil
-	return c.Close()
-}
+// (*PPRIndex).Close. Idempotent, safe for concurrent callers.
+func (x *RStarIndex) Close() error { return x.closer.close() }
 
 // Tree exposes the underlying R*-tree for advanced inspection.
 func (x *RStarIndex) Tree() *rstar.Tree { return x.tree }

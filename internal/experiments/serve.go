@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	stx "stindex"
+
+	"stindex/internal/datagen"
+	"stindex/internal/service"
+)
+
+// ServeRow records the serving throughput of one configuration: an
+// opened container queried through the concurrent service at one worker
+// count and queue depth.
+type ServeRow struct {
+	Size    int
+	Backend string
+	Workers int
+	Queue   int
+	Batch   int
+	Clients int
+	Queries int
+	// QPS is completed queries per wall-clock second of the run.
+	QPS float64
+	// P50US/P99US are latency percentile upper bounds in microseconds
+	// (enqueue to answer, power-of-two buckets).
+	P50US int64
+	P99US int64
+	// HitRate is the served snapshot's buffer hit rate across the run.
+	HitRate float64
+}
+
+// Serve measures the concurrent query service: one saved container per
+// backend, served to a fixed client fleet across worker counts and queue
+// depths. Unlike the paper's cold-buffer discipline, the serving path
+// keeps session buffers warm — the hit rate column shows what that buys.
+func Serve(cfg Config) ([]ServeRow, error) {
+	cfg = cfg.withDefaults()
+	n := cfg.Sizes[len(cfg.Sizes)-1]
+	cfg.printf("Serving — stserve engine throughput, %d objects (150%% splits), warm buffers\n", n)
+	cfg.printf("%8s %8s %8s %8s | %10s %8s %8s %8s\n",
+		"backend", "workers", "queue", "batch", "qps", "p50µs", "p99µs", "hit-rate")
+
+	dir, err := os.MkdirTemp("", "stindex-serve")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	objs, err := cfg.randomDataset(n)
+	if err != nil {
+		return nil, err
+	}
+	records := lagreedyRecords(objs, n*3/2, cfg.Parallelism)
+	qs, err := cfg.queries(datagen.SnapshotMixed)
+	if err != nil {
+		return nil, err
+	}
+	queries := toQueries(qs)
+
+	const clients = 8
+	var rows []ServeRow
+	for _, backend := range []stx.Backend{stx.BackendMemory, stx.BackendDisk} {
+		built, err := stx.BuildPPR(records, stx.PPROptions{Backend: backend})
+		if err != nil {
+			return nil, err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("serve-%s.sti", backend))
+		if err := stx.SaveIndex(path, built); err != nil {
+			return nil, err
+		}
+		for _, conf := range []struct{ workers, queue, batch int }{
+			{1, 64, 1},
+			{2, 64, 1},
+			{4, 64, 1},
+			{8, 64, 1},
+			{4, 16, 1},
+			{4, 256, 1},
+			{4, 64, 8},
+		} {
+			row, err := serveOnce(path, string(backend), n, conf.workers, conf.queue, conf.batch, clients, queries)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+			cfg.printf("%8s %8d %8d %8d | %10.0f %8d %8d %8.3f\n",
+				row.Backend, row.Workers, row.Queue, row.Batch, row.QPS, row.P50US, row.P99US, row.HitRate)
+		}
+	}
+	cfg.printf("\n")
+	return rows, nil
+}
+
+// serveOnce runs the full query set from a fixed client fleet against a
+// freshly opened container and reports the service's own metrics.
+func serveOnce(path, backend string, size, workers, queue, batch, clients int, queries []stx.Query) (ServeRow, error) {
+	svc := service.New(service.Config{Workers: workers, QueueDepth: queue, BatchSize: batch})
+	if _, err := svc.Registry().Load("bench", path); err != nil {
+		svc.Close()
+		return ServeRow{}, err
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Stagger starting offsets so clients do not move in lockstep.
+			off := c * len(queries) / clients
+			for i := range queries {
+				q := queries[(off+i)%len(queries)]
+				if _, err := svc.Query(context.Background(), "bench", q); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(errCh)
+	for err := range errCh {
+		svc.Close()
+		return ServeRow{}, err
+	}
+
+	m := svc.Metrics()
+	row := ServeRow{
+		Size: size, Backend: backend, Workers: workers, Queue: queue, Batch: batch,
+		Clients: clients, Queries: int(m.Completed),
+		QPS:   float64(m.Completed) / elapsed.Seconds(),
+		P50US: m.P50US, P99US: m.P99US,
+	}
+	if len(m.Snapshots) == 1 {
+		row.HitRate = m.Snapshots[0].HitRate
+	}
+	if err := svc.Close(); err != nil {
+		return ServeRow{}, err
+	}
+	return row, nil
+}

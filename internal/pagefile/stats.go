@@ -1,0 +1,49 @@
+package pagefile
+
+import "sync/atomic"
+
+// HitRate returns the fraction of page requests served from the buffer
+// pool: Hits / (Hits + Reads). Writes are excluded — they are
+// write-through traffic, not requests the pool could have absorbed. A
+// traffic-free Stats reports 0.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Reads
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Add returns the element-wise sum of two Stats.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{Reads: s.Reads + o.Reads, Writes: s.Writes + o.Writes, Hits: s.Hits + o.Hits}
+}
+
+// Sub returns the element-wise difference s - o: the traffic between two
+// snapshots of the same Buffer's counters.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{Reads: s.Reads - o.Reads, Writes: s.Writes - o.Writes, Hits: s.Hits - o.Hits}
+}
+
+// AtomicStats is a Stats accumulator safe for concurrent use: many
+// readers — each owning a private Buffer over one shared frozen Store —
+// fold their per-query traffic deltas into one place, and a metrics
+// scraper reads a consistent-enough snapshot without stopping them. The
+// three counters are updated independently (a concurrent Load may observe
+// one query's reads before its hits), which is fine for monitoring; exact
+// per-query accounting stays with the per-Buffer Stats.
+type AtomicStats struct {
+	reads, writes, hits atomic.Int64
+}
+
+// Add folds a traffic delta into the accumulator.
+func (a *AtomicStats) Add(s Stats) {
+	a.reads.Add(s.Reads)
+	a.writes.Add(s.Writes)
+	a.hits.Add(s.Hits)
+}
+
+// Load returns the accumulated totals.
+func (a *AtomicStats) Load() Stats {
+	return Stats{Reads: a.reads.Load(), Writes: a.writes.Load(), Hits: a.hits.Load()}
+}

@@ -36,9 +36,17 @@ var ErrReadOnly = errors.New("pagefile: store is read-only")
 // sequence, so the Buffer's I/O accounting (the paper's AvgIO metric) is
 // bit-identical regardless of backend.
 //
-// A Store whose pages are no longer being mutated (the frozen state of a
-// built index) is safe for any number of concurrent readers, each owning
-// its own Buffer; mutation requires external synchronisation.
+// Concurrent-read guarantee: a Store whose pages are no longer being
+// mutated — no Allocate, Free or WritePage in flight, the frozen state of
+// a built or lazily opened index — is safe for any number of concurrent
+// readers, each owning its own Buffer. Concretely, Check, ReadPage,
+// Version, PageSize, NumPages, NumAllocated, Bytes and FreeList may all
+// be called from any goroutine against a frozen store without locking;
+// both implementations uphold this (File reads immutable slices, DiskStore
+// uses positioned ReadAt, atomic per call). Mutation requires external
+// synchronisation and invalidates the guarantee while it is in flight.
+// The serving layer's session pool relies on exactly this contract: one
+// frozen store, many per-worker Buffers.
 type Store interface {
 	// PageSize returns the size of every page in bytes.
 	PageSize() int

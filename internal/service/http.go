@@ -1,0 +1,256 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	stx "stindex"
+)
+
+// NewHandler exposes the service over HTTP/JSON — the API stserve
+// binds:
+//
+//	GET|POST /query           run one query
+//	GET      /snapshots       list registered snapshots
+//	POST     /snapshots/load  {"name": ..., "path": ...} load or hot-swap
+//	POST     /snapshots/drop  {"name": ...}
+//	GET      /metrics         serving counters + per-snapshot stats
+//	GET      /healthz         liveness
+//
+// GET /query parameters: snapshot (default "default"), rect=minx,miny,
+// maxx,maxy, and either t=<instant> or from=<start>&to=<end>. POST /query
+// takes the same fields as JSON: {"snapshot": ..., "rect": [minx,miny,
+// maxx,maxy], "t": ...} or {"rect": [...], "from": ..., "to": ...}.
+//
+// The snapshot-management endpoints open operator-supplied paths on the
+// server host; expose them only to trusted operators (stserve is an
+// internal service, not an internet-facing one).
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(s, w, r)
+	})
+	mux.HandleFunc("/snapshots", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			httpError(w, http.StatusMethodNotAllowed, "GET only")
+			return
+		}
+		infos := s.Registry().List()
+		sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+		writeJSON(w, http.StatusOK, map[string]any{"snapshots": infos})
+	})
+	mux.HandleFunc("/snapshots/load", func(w http.ResponseWriter, r *http.Request) {
+		handleLoad(s, w, r)
+	})
+	mux.HandleFunc("/snapshots/drop", func(w http.ResponseWriter, r *http.Request) {
+		handleDrop(s, w, r)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// queryRequest is the POST /query body; GET parameters map onto the same
+// fields.
+type queryRequest struct {
+	Snapshot string     `json:"snapshot"`
+	Rect     [4]float64 `json:"rect"`
+	T        *int64     `json:"t,omitempty"`
+	From     *int64     `json:"from,omitempty"`
+	To       *int64     `json:"to,omitempty"`
+}
+
+func (qr queryRequest) toQuery() (string, stx.Query, error) {
+	name := qr.Snapshot
+	if name == "" {
+		name = "default"
+	}
+	rect := stx.Rect{MinX: qr.Rect[0], MinY: qr.Rect[1], MaxX: qr.Rect[2], MaxY: qr.Rect[3]}
+	if rect.MinX > rect.MaxX || rect.MinY > rect.MaxY {
+		return "", stx.Query{}, fmt.Errorf("degenerate rect %v", qr.Rect)
+	}
+	switch {
+	case qr.T != nil:
+		return name, stx.Query{Rect: rect, Interval: stx.Interval{Start: *qr.T, End: *qr.T + 1}}, nil
+	case qr.From != nil && qr.To != nil:
+		if *qr.To <= *qr.From {
+			return "", stx.Query{}, fmt.Errorf("empty interval [%d, %d)", *qr.From, *qr.To)
+		}
+		return name, stx.Query{Rect: rect, Interval: stx.Interval{Start: *qr.From, End: *qr.To}}, nil
+	default:
+		return "", stx.Query{}, errors.New("provide t (snapshot) or from and to (range)")
+	}
+}
+
+func parseQueryGET(r *http.Request) (queryRequest, error) {
+	var qr queryRequest
+	v := r.URL.Query()
+	qr.Snapshot = v.Get("snapshot")
+	rectStr := v.Get("rect")
+	if rectStr == "" {
+		return qr, errors.New("missing rect=minx,miny,maxx,maxy")
+	}
+	parts := strings.Split(rectStr, ",")
+	if len(parts) != 4 {
+		return qr, fmt.Errorf("rect wants 4 coordinates, got %d", len(parts))
+	}
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return qr, fmt.Errorf("rect coordinate %d: %v", i, err)
+		}
+		qr.Rect[i] = f
+	}
+	parseInt := func(key string) (*int64, error) {
+		s := v.Get(key)
+		if s == "" {
+			return nil, nil
+		}
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", key, err)
+		}
+		return &n, nil
+	}
+	var err error
+	if qr.T, err = parseInt("t"); err != nil {
+		return qr, err
+	}
+	if qr.From, err = parseInt("from"); err != nil {
+		return qr, err
+	}
+	if qr.To, err = parseInt("to"); err != nil {
+		return qr, err
+	}
+	return qr, nil
+}
+
+// queryResponse is the /query answer.
+type queryResponse struct {
+	Snapshot  string  `json:"snapshot"`
+	Gen       uint64  `json:"gen"`
+	Count     int     `json:"count"`
+	IDs       []int64 `json:"ids"`
+	IO        int64   `json:"io"`
+	ElapsedUS int64   `json:"elapsed_us"`
+}
+
+func handleQuery(s *Service, w http.ResponseWriter, r *http.Request) {
+	var qr queryRequest
+	var err error
+	switch r.Method {
+	case http.MethodGet:
+		qr, err = parseQueryGET(r)
+	case http.MethodPost:
+		err = json.NewDecoder(r.Body).Decode(&qr)
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	name, q, err := qr.toQuery()
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	start := time.Now()
+	res, err := s.Query(r.Context(), name, q)
+	if err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	ids := res.IDs
+	if ids == nil {
+		ids = []int64{}
+	}
+	writeJSON(w, http.StatusOK, queryResponse{
+		Snapshot:  res.Snapshot,
+		Gen:       res.Gen,
+		Count:     len(ids),
+		IDs:       ids,
+		IO:        res.IO,
+		ElapsedUS: time.Since(start).Microseconds(),
+	})
+}
+
+func handleLoad(s *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+		Path string `json:"path"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Name == "" || req.Path == "" {
+		httpError(w, http.StatusBadRequest, "name and path are required")
+		return
+	}
+	snap, err := s.Registry().Load(req.Name, req.Path)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, snap.info())
+}
+
+func handleDrop(s *Service, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req struct {
+		Name string `json:"name"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := s.Registry().Drop(req.Name); err != nil {
+		httpError(w, statusFor(err), err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"dropped": req.Name})
+}
+
+// statusFor maps service errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownSnapshot):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

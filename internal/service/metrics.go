@@ -1,0 +1,134 @@
+package service
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the number of power-of-two latency buckets: bucket i
+// counts latencies in [2^(i-1), 2^i) microseconds (bucket 0 is < 1µs),
+// so 40 buckets cover sub-microsecond to ~6 days.
+const histBuckets = 40
+
+// histogram is a lock-free latency histogram. Record and quantile
+// estimation are safe for concurrent use; quantiles are bucket upper
+// bounds, i.e. exact to within a factor of two — plenty for p50/p95/p99
+// monitoring, with client-side timing used where exactness matters.
+type histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNS   atomic.Int64
+}
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	if us < 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(us)) // 1µs -> 1, 2-3µs -> 2, ...
+	if b >= histBuckets {
+		b = histBuckets - 1
+	}
+	return b
+}
+
+func (h *histogram) record(d time.Duration) {
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(int64(d))
+}
+
+// quantile returns an upper bound on the q-quantile latency (q in
+// [0,1]); 0 when nothing was recorded.
+func (h *histogram) quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= target {
+			// Upper bound of bucket i: 2^i microseconds (bucket 0: 1µs).
+			if i == 0 {
+				return time.Microsecond
+			}
+			return time.Duration(1<<uint(i)) * time.Microsecond
+		}
+	}
+	return time.Duration(1<<uint(histBuckets-1)) * time.Microsecond
+}
+
+func (h *histogram) mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sumNS.Load() / n)
+}
+
+// serviceMetrics aggregates the serving counters.
+type serviceMetrics struct {
+	start     time.Time
+	completed atomic.Int64 // queries answered (successfully)
+	failed    atomic.Int64 // queries whose execution returned an error
+	rejected  atomic.Int64 // admissions refused because the queue was full
+	timedOut  atomic.Int64 // requests whose context expired before completion
+	latency   histogram    // enqueue-to-answer, completed queries only
+}
+
+// Metrics is a point-in-time snapshot of the service's counters,
+// JSON-ready for the /metrics endpoint.
+type Metrics struct {
+	Uptime   string `json:"uptime"`
+	UptimeNS int64  `json:"uptime_ns"`
+
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+	TimedOut  int64 `json:"timed_out"`
+
+	// QPS is completed queries per second of uptime (cumulative).
+	QPS float64 `json:"qps"`
+
+	// Latency percentiles are upper bounds from a power-of-two-bucket
+	// histogram of enqueue-to-answer times.
+	AvgLatencyUS int64 `json:"avg_latency_us"`
+	P50US        int64 `json:"p50_us"`
+	P95US        int64 `json:"p95_us"`
+	P99US        int64 `json:"p99_us"`
+
+	Workers       int `json:"workers"`
+	QueueDepth    int `json:"queue_depth"`
+	QueueCapacity int `json:"queue_capacity"`
+	BatchSize     int `json:"batch_size"`
+
+	Snapshots []SnapshotInfo `json:"snapshots"`
+}
+
+func (m *serviceMetrics) snapshot() Metrics {
+	up := time.Since(m.start)
+	completed := m.completed.Load()
+	qps := 0.0
+	if up > 0 {
+		qps = float64(completed) / up.Seconds()
+	}
+	return Metrics{
+		Uptime:       up.Round(time.Millisecond).String(),
+		UptimeNS:     int64(up),
+		Completed:    completed,
+		Failed:       m.failed.Load(),
+		Rejected:     m.rejected.Load(),
+		TimedOut:     m.timedOut.Load(),
+		QPS:          qps,
+		AvgLatencyUS: m.latency.mean().Microseconds(),
+		P50US:        m.latency.quantile(0.50).Microseconds(),
+		P95US:        m.latency.quantile(0.95).Microseconds(),
+		P99US:        m.latency.quantile(0.99).Microseconds(),
+	}
+}

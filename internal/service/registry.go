@@ -1,0 +1,263 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	stx "stindex"
+
+	"stindex/internal/pagefile"
+)
+
+// ErrUnknownSnapshot is returned by Acquire and the query paths when the
+// requested snapshot name is not (or no longer) registered.
+var ErrUnknownSnapshot = errors.New("service: unknown snapshot")
+
+// Registry is the snapshot registry: a named collection of opened index
+// containers that can be loaded, hot-swapped and dropped atomically while
+// queries are in flight. Every snapshot is refcounted — the registry
+// holds one reference while the snapshot is current, and every Acquire
+// takes another — so a swap or drop retires the old snapshot immediately
+// (no new queries can reach it) but closes its container file only after
+// the last in-flight lease is released. That is what makes hot-swapping
+// safe: readers never observe a closed store.
+//
+// All methods are safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	snaps map[string]*Snapshot
+	gen   atomic.Uint64
+}
+
+// NewRegistry creates an empty snapshot registry.
+func NewRegistry() *Registry {
+	return &Registry{snaps: make(map[string]*Snapshot)}
+}
+
+// Snapshot is one registered index: a frozen, queryable container plus
+// its refcount and per-snapshot serving statistics. Snapshots are
+// created by Load/Publish and only ever handed out through leases.
+type Snapshot struct {
+	name string
+	gen  uint64 // registry-wide unique; bumped on every load/swap
+	path string // source container, "" for Publish
+	idx  stx.Index
+	// shared serialises queries for index kinds that cannot produce
+	// per-worker views (no QueryViewer); nil otherwise.
+	shared *stx.SyncIndex
+	// refs counts the registry's own reference plus one per live lease;
+	// the container closes when it reaches zero.
+	refs    atomic.Int64
+	queries atomic.Int64
+	stats   pagefile.AtomicStats
+}
+
+// Name returns the snapshot's registry name.
+func (s *Snapshot) Name() string { return s.name }
+
+// Gen returns the snapshot's registry-wide unique generation; a swap
+// under the same name installs a snapshot with a higher generation.
+func (s *Snapshot) Gen() uint64 { return s.gen }
+
+// recordQuery folds one query's buffer traffic into the snapshot's
+// serving statistics.
+func (s *Snapshot) recordQuery(delta pagefile.Stats) {
+	s.queries.Add(1)
+	s.stats.Add(delta)
+}
+
+// release drops one reference, closing the container when the last
+// holder lets go. Close errors are returned to the releasing caller —
+// in practice the last lease or the retiring registry operation.
+func (s *Snapshot) release() error {
+	if s.refs.Add(-1) == 0 {
+		return stx.CloseIndex(s.idx)
+	}
+	return nil
+}
+
+// Lease is a counted reference to a snapshot. A lease pins the
+// snapshot's container open: hot-swaps and drops retire the snapshot but
+// its pages stay readable until Release. Leases are cheap (one atomic
+// add) and must be released exactly once.
+type Lease struct {
+	snap *Snapshot
+}
+
+// Snapshot returns the leased snapshot.
+func (l *Lease) Snapshot() *Snapshot { return l.snap }
+
+// Index returns the leased snapshot's underlying index. Callers must
+// treat it as read-only and must not retain it past Release.
+func (l *Lease) Index() stx.Index { return l.snap.idx }
+
+// View returns an index through which this lease's holder may query: a
+// private read-only view (own buffer pool and decode cache over the
+// shared frozen store) when the kind supports it, else the snapshot's
+// mutex-guarded shared wrapper. The view must not outlive the snapshot's
+// generation — cache it keyed by (name, gen), as Session does.
+func (l *Lease) View() stx.Index {
+	if qv, ok := l.snap.idx.(stx.QueryViewer); ok {
+		return qv.QueryView()
+	}
+	return l.snap.shared
+}
+
+// Release returns the lease's reference. The error is non-nil only when
+// this release was the one that closed a retired snapshot's container
+// and the close failed.
+func (l *Lease) Release() error {
+	return l.snap.release()
+}
+
+// Acquire leases the named snapshot.
+func (r *Registry) Acquire(name string) (*Lease, error) {
+	r.mu.RLock()
+	snap, ok := r.snaps[name]
+	if ok {
+		// The registry's own reference is still held (retirement removes
+		// the map entry first, under the write lock), so the count is
+		// necessarily >= 1 here and the snapshot cannot close under us.
+		snap.refs.Add(1)
+	}
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownSnapshot, name)
+	}
+	return &Lease{snap: snap}, nil
+}
+
+// Load opens the container at path lazily and installs it under name,
+// atomically replacing (hot-swapping) any snapshot previously registered
+// under that name. The replaced snapshot is retired: new queries go to
+// the new snapshot immediately, in-flight leases finish on the old one,
+// and its container file closes when the last lease is released.
+func (r *Registry) Load(name, path string) (*Snapshot, error) {
+	idx, err := stx.OpenIndex(path)
+	if err != nil {
+		return nil, err
+	}
+	return r.install(name, path, idx)
+}
+
+// Publish installs an already-built or eagerly decoded index under name,
+// with the same hot-swap semantics as Load. The registry takes ownership:
+// the index is closed (CloseIndex) when the snapshot is retired and
+// drained. The index must be frozen — no concurrent mutation while
+// registered.
+func (r *Registry) Publish(name string, idx stx.Index) (*Snapshot, error) {
+	return r.install(name, "", idx)
+}
+
+func (r *Registry) install(name, path string, idx stx.Index) (*Snapshot, error) {
+	snap := &Snapshot{
+		name: name,
+		gen:  r.gen.Add(1),
+		path: path,
+		idx:  idx,
+	}
+	if _, ok := idx.(stx.QueryViewer); !ok {
+		snap.shared = stx.Synchronized(idx)
+	}
+	snap.refs.Store(1) // the registry's reference
+	r.mu.Lock()
+	old := r.snaps[name]
+	r.snaps[name] = snap
+	r.mu.Unlock()
+	if old != nil {
+		if err := old.release(); err != nil {
+			return snap, fmt.Errorf("service: closing replaced snapshot %q: %w", name, err)
+		}
+	}
+	return snap, nil
+}
+
+// Drop retires the named snapshot: it disappears from the registry
+// immediately and its container closes once the last in-flight lease is
+// released.
+func (r *Registry) Drop(name string) error {
+	r.mu.Lock()
+	snap, ok := r.snaps[name]
+	if ok {
+		delete(r.snaps, name)
+	}
+	r.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownSnapshot, name)
+	}
+	return snap.release()
+}
+
+// Names returns the registered snapshot names, unordered.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.snaps))
+	for name := range r.snaps {
+		names = append(names, name)
+	}
+	return names
+}
+
+// SnapshotInfo is one registry entry's externally visible state.
+type SnapshotInfo struct {
+	Name    string  `json:"name"`
+	Gen     uint64  `json:"gen"`
+	Kind    string  `json:"kind"`
+	Path    string  `json:"path,omitempty"`
+	Records int     `json:"records"`
+	Pages   int     `json:"pages"`
+	Bytes   int64   `json:"bytes"`
+	Leases  int64   `json:"leases"` // live leases, excluding the registry's own reference
+	Queries int64   `json:"queries"`
+	Reads   int64   `json:"reads"`
+	Hits    int64   `json:"hits"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+func (s *Snapshot) info() SnapshotInfo {
+	st := s.stats.Load()
+	return SnapshotInfo{
+		Name:    s.name,
+		Gen:     s.gen,
+		Kind:    s.idx.Kind(),
+		Path:    s.path,
+		Records: s.idx.Records(),
+		Pages:   s.idx.Pages(),
+		Bytes:   s.idx.Bytes(),
+		Leases:  s.refs.Load() - 1,
+		Queries: s.queries.Load(),
+		Reads:   st.Reads,
+		Hits:    st.Hits,
+		HitRate: st.HitRate(),
+	}
+}
+
+// List returns the state of every registered snapshot, unordered.
+func (r *Registry) List() []SnapshotInfo {
+	r.mu.RLock()
+	snaps := make([]*Snapshot, 0, len(r.snaps))
+	for _, s := range r.snaps {
+		snaps = append(snaps, s)
+	}
+	r.mu.RUnlock()
+	infos := make([]SnapshotInfo, len(snaps))
+	for i, s := range snaps {
+		infos[i] = s.info()
+	}
+	return infos
+}
+
+// Close drops every snapshot. In-flight leases still drain as usual; the
+// first close error (if any) is returned.
+func (r *Registry) Close() error {
+	var first error
+	for _, name := range r.Names() {
+		if err := r.Drop(name); err != nil && first == nil && !errors.Is(err, ErrUnknownSnapshot) {
+			first = err
+		}
+	}
+	return first
+}

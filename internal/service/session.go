@@ -1,0 +1,98 @@
+package service
+
+import (
+	"context"
+
+	stx "stindex"
+
+	"stindex/internal/pagefile"
+)
+
+// Session is one worker's private query state: for every snapshot it has
+// served it caches a read-only view — a private LRU buffer pool and
+// decoded-node cache over the snapshot's shared frozen store — keyed by
+// the snapshot's generation, so a hot-swap transparently invalidates the
+// old view. Unlike the paper's cold-cache measurement discipline, a
+// serving session keeps its buffer warm across queries; the per-snapshot
+// buffer hit rate in /metrics comes from exactly these pools.
+//
+// A Session is NOT safe for concurrent use — it is the "one goroutine,
+// one view" end of the pagefile concurrency contract. The Service owns
+// one Session per worker; embedders doing their own scheduling can run
+// one Session per goroutine directly against a shared Registry.
+type Session struct {
+	reg   *Registry
+	views map[string]sessionView
+}
+
+type sessionView struct {
+	gen  uint64
+	view stx.Index
+	// prev is the view's cumulative I/O counter at the end of the last
+	// query; the difference across a query is that query's traffic.
+	prev stx.IOStats
+}
+
+// NewSession creates a session over the registry.
+func NewSession(reg *Registry) *Session {
+	return &Session{reg: reg, views: make(map[string]sessionView)}
+}
+
+// Result is one served query's outcome.
+type Result struct {
+	// IDs are the matching object ids (de-duplicated, discovery order).
+	IDs []int64
+	// IO is the number of disk accesses this query cost through the
+	// session's warm buffer pool. For snapshot kinds without per-worker
+	// views (no QueryViewer — e.g. stream indexes) concurrent queries
+	// share one pool and IO is only an approximation.
+	IO int64
+	// Snapshot and Gen identify which snapshot (and which generation of
+	// it, across hot-swaps) answered.
+	Snapshot string
+	Gen      uint64
+}
+
+// Query leases the named snapshot, runs q on this session's view of it,
+// and releases the lease. The context is checked before execution; the
+// tree walk itself is not interruptible (queries are short).
+func (s *Session) Query(ctx context.Context, snapshot string, q stx.Query) (Result, error) {
+	lease, err := s.reg.Acquire(snapshot)
+	if err != nil {
+		return Result{}, err
+	}
+	defer lease.Release()
+	return s.QueryLeased(ctx, lease, q)
+}
+
+// QueryLeased runs q against an already-acquired lease — the batching
+// path, which acquires one lease for a run of same-snapshot requests.
+// The caller keeps ownership of the lease.
+func (s *Session) QueryLeased(ctx context.Context, lease *Lease, q stx.Query) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	snap := lease.Snapshot()
+	sv, ok := s.views[snap.name]
+	if !ok || sv.gen != snap.gen {
+		// First visit, or the snapshot was hot-swapped: build a fresh
+		// view over the new generation. The old view (if any) held no
+		// resources beyond its buffers; dropping the reference is enough.
+		sv = sessionView{gen: snap.gen, view: lease.View()}
+		sv.prev = sv.view.IOStats()
+	}
+	ids, err := stx.RunQuery(sv.view, q)
+	after := sv.view.IOStats()
+	delta := pagefile.Stats{
+		Reads:  after.Reads - sv.prev.Reads,
+		Writes: after.Writes - sv.prev.Writes,
+		Hits:   after.Hits - sv.prev.Hits,
+	}
+	sv.prev = after
+	s.views[snap.name] = sv
+	snap.recordQuery(delta)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{IDs: ids, IO: delta.Reads + delta.Writes, Snapshot: snap.name, Gen: snap.gen}, nil
+}

@@ -352,10 +352,16 @@ func DecodeIndex(r io.Reader) (Index, error) {
 // OpenIndex opens a saved container lazily: only the header and meta
 // section are read here; tree pages stay on disk and are faulted in on
 // demand by the buffer pool, so opening a multi-gigabyte index is
-// instant. The returned index is read-only (mutating it fails cleanly)
-// and holds the file open — Close it when done. Query results and I/O
-// statistics are bit-identical to the eagerly loaded and the originally
-// built index.
+// instant. The returned index is read-only and holds the file open —
+// Close it when done. Query results and I/O statistics are bit-identical
+// to the eagerly loaded and the originally built index.
+//
+// What is safe on a read-only opened index: Snapshot, Range, ResetBuffer,
+// IOStats, Pages, Bytes, Records, Kind, Describe, QueryView (any number
+// of concurrent views over the frozen pages), and re-serialising with
+// EncodeIndex/SaveIndex. Mutators — (*PPRIndex).Append,
+// (*StreamIndex).Observe / Finish / FinishAll — fail with ErrReadOnly
+// (test with errors.Is).
 func OpenIndex(path string) (Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -406,22 +412,25 @@ func openIndexFile(f *os.File) (Index, error) {
 	}
 	switch ix := x.(type) {
 	case *PPRIndex:
-		ix.closer = f
+		ix.closer.set(f)
 	case *RStarIndex:
-		ix.closer = f
+		ix.closer.set(f)
 	case *HRIndex:
-		ix.closer = f
+		ix.closer.set(f)
 	case *HybridIndex:
-		ix.closer = f
+		ix.closer.set(f)
 	case *StreamIndex:
-		ix.closer = f
+		ix.closer.set(f)
 	}
 	return x, nil
 }
 
 // CloseIndex releases any file resources the index holds (a no-op for
 // built, in-memory indexes). Convenient when holding an Index without
-// knowing its concrete type.
+// knowing its concrete type. Idempotent and safe for concurrent callers:
+// the first close releases the container file, every later or concurrent
+// one returns nil — so deferred cleanup and serving-layer refcount drains
+// can race without a double-close reaching the file descriptor.
 func CloseIndex(x Index) error {
 	if c, ok := x.(io.Closer); ok {
 		return c.Close()

@@ -1,0 +1,129 @@
+package stindex
+
+import (
+	"errors"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// buildSmallPPRContainer saves a small built PPR index and returns its
+// container path.
+func buildSmallPPRContainer(t *testing.T) string {
+	t.Helper()
+	objs, err := GenerateRandom(RandomDatasetConfig{N: 150, Horizon: 400, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := SplitDataset(objs, SplitConfig{Budget: 225})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildPPR(records, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ppr.sti")
+	if err := SaveIndex(path, idx); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCloseIdempotentAndConcurrent asserts the satellite contract: Close
+// on an opened index is idempotent — and safe even when many goroutines
+// race to close the same handle (run under -race).
+func TestCloseIdempotentAndConcurrent(t *testing.T) {
+	path := buildSmallPPRContainer(t)
+	x, err := OpenIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := CloseIndex(x); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if err := CloseIndex(x); err != nil {
+		t.Fatalf("close after close: %v", err)
+	}
+
+	// Built, in-memory indexes: CloseIndex is a no-op, repeatedly.
+	objs, err := GenerateRandom(RandomDatasetConfig{N: 50, Horizon: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := SplitDataset(objs, SplitConfig{Budget: 75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := BuildPPR(records, PPROptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := CloseIndex(built); err != nil {
+			t.Fatalf("close built #%d: %v", i, err)
+		}
+	}
+}
+
+// TestReadOnlyErrOnOpenedIndex asserts every mutating facade method on a
+// lazily opened index fails with ErrReadOnly, detectable via errors.Is.
+func TestReadOnlyErrOnOpenedIndex(t *testing.T) {
+	path := buildSmallPPRContainer(t)
+	x, err := OpenIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseIndex(x)
+	ppr := x.(*PPRIndex)
+	appendErr := ppr.Append([]Record{{
+		Rect:     Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2},
+		Interval: Interval{Start: 10000, End: 10010},
+		ObjectID: 99999,
+	}})
+	if !errors.Is(appendErr, ErrReadOnly) {
+		t.Fatalf("Append on opened index: err = %v, want ErrReadOnly", appendErr)
+	}
+	// Queries stay fully usable.
+	if _, err := ppr.Snapshot(Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, 100); err != nil {
+		t.Fatalf("query after rejected append: %v", err)
+	}
+
+	// Stream snapshots: Observe / Finish / FinishAll all report ErrReadOnly.
+	st, err := NewStreamIndex(StreamOptions{}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := int64(0); tt < 20; tt++ {
+		if err := st.Observe(7, tt, Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.5, MaxY: 0.5}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	spath := filepath.Join(t.TempDir(), "stream.sti")
+	if err := SaveIndex(spath, st); err != nil {
+		t.Fatal(err)
+	}
+	sx, err := OpenIndex(spath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer CloseIndex(sx)
+	snap := sx.(*StreamIndex)
+	if err := snap.Observe(7, 20, Rect{MinX: 0.4, MinY: 0.4, MaxX: 0.5, MaxY: 0.5}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Observe on opened snapshot: err = %v, want ErrReadOnly", err)
+	}
+	if err := snap.Finish(7, 21); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("Finish on opened snapshot: err = %v, want ErrReadOnly", err)
+	}
+	if err := snap.FinishAll(21); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("FinishAll on opened snapshot: err = %v, want ErrReadOnly", err)
+	}
+}

@@ -1,0 +1,55 @@
+// Command checkmetrics validates an stserve /metrics scrape piped on
+// stdin: at least N completed queries (argv[1]), zero failures, non-zero
+// QPS and latency percentiles, and live per-snapshot statistics. Used by
+// scripts/smoke_stserve.sh.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+
+	"stindex/internal/service"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		die("usage: checkmetrics <min-completed> < metrics.json")
+	}
+	min, err := strconv.ParseInt(os.Args[1], 10, 64)
+	if err != nil {
+		die("bad min-completed %q: %v", os.Args[1], err)
+	}
+	var m service.Metrics
+	if err := json.NewDecoder(os.Stdin).Decode(&m); err != nil {
+		die("decoding metrics: %v", err)
+	}
+	if m.Completed < min {
+		die("completed = %d, want >= %d", m.Completed, min)
+	}
+	if m.Failed != 0 || m.Rejected != 0 {
+		die("failed = %d rejected = %d, want 0", m.Failed, m.Rejected)
+	}
+	if m.QPS <= 0 {
+		die("qps = %v, want > 0", m.QPS)
+	}
+	if m.P50US <= 0 || m.P95US <= 0 || m.P99US <= 0 {
+		die("degenerate percentiles: p50=%d p95=%d p99=%d", m.P50US, m.P95US, m.P99US)
+	}
+	if len(m.Snapshots) == 0 {
+		die("no snapshots in metrics")
+	}
+	for _, s := range m.Snapshots {
+		if s.Queries > 0 && s.Reads+s.Hits == 0 {
+			die("snapshot %q served %d queries with no buffer traffic", s.Name, s.Queries)
+		}
+	}
+	fmt.Printf("metrics ok: completed=%d qps=%.0f p50=%dµs p99=%dµs\n",
+		m.Completed, m.QPS, m.P50US, m.P99US)
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "checkmetrics: "+format+"\n", args...)
+	os.Exit(1)
+}

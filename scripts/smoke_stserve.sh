@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# End-to-end smoke test for stserve: build the CLIs, generate and save a
+# container, serve it, fire >= 1000 queries from >= 8 concurrent clients,
+# check /metrics and hot-swap, and shut down gracefully with SIGTERM.
+# Exits non-zero on any failure. Used by CI; runnable locally:
+#
+#   ./scripts/smoke_stserve.sh
+set -euo pipefail
+
+CLIENTS=${CLIENTS:-8}
+QUERIES_PER_CLIENT=${QUERIES_PER_CLIENT:-125}   # 8 x 125 = 1000
+PORT=${PORT:-18431}
+ADDR="127.0.0.1:${PORT}"
+
+workdir=$(mktemp -d)
+serve_pid=""
+cleanup() {
+  [ -n "$serve_pid" ] && kill -9 "$serve_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== building CLIs"
+go build -o "$workdir" ./cmd/stgen ./cmd/stsplit ./cmd/stquery ./cmd/stserve
+
+echo "== generating container"
+"$workdir/stgen" -n 800 -horizon 500 -seed 3 -o "$workdir/objs.jsonl"
+"$workdir/stsplit" -i "$workdir/objs.jsonl" -budget 1200 -o "$workdir/recs.jsonl"
+"$workdir/stquery" -i "$workdir/recs.jsonl" -index ppr -save "$workdir/idx.sti" \
+  -set snapshot-mixed -queries 10 >/dev/null
+cp "$workdir/idx.sti" "$workdir/idx2.sti"
+
+echo "== starting stserve on $ADDR"
+"$workdir/stserve" -listen "$ADDR" -load "default=$workdir/idx.sti" -workers 4 \
+  2>"$workdir/serve.log" &
+serve_pid=$!
+
+for i in $(seq 1 50); do
+  curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+  [ "$i" = 50 ] && { echo "server never came up"; cat "$workdir/serve.log"; exit 1; }
+  sleep 0.1
+done
+
+echo "== firing $CLIENTS x $QUERIES_PER_CLIENT concurrent queries"
+client() {
+  local id=$1 fails=0
+  for i in $(seq 1 "$QUERIES_PER_CLIENT"); do
+    t=$(( (id * 131 + i * 7) % 400 ))
+    if ! curl -sf "http://$ADDR/query?rect=0.3,0.3,0.7,0.7&t=$t" >/dev/null; then
+      fails=$((fails + 1))
+    fi
+  done
+  echo "$fails" > "$workdir/fails.$id"
+}
+client_pids=()
+for c in $(seq 1 "$CLIENTS"); do client "$c" & client_pids+=("$!"); done
+wait "${client_pids[@]}"
+
+total_fails=0
+for c in $(seq 1 "$CLIENTS"); do
+  total_fails=$((total_fails + $(cat "$workdir/fails.$c")))
+done
+if [ "$total_fails" -ne 0 ]; then
+  echo "FAIL: $total_fails query errors"; cat "$workdir/serve.log"; exit 1
+fi
+echo "   zero errors"
+
+echo "== hot-swapping the snapshot"
+curl -sf -X POST "http://$ADDR/snapshots/load" \
+  -d "{\"name\":\"default\",\"path\":\"$workdir/idx2.sti\"}" >/dev/null
+curl -sf "http://$ADDR/query?rect=0.3,0.3,0.7,0.7&t=100" >/dev/null
+
+echo "== scraping /metrics"
+metrics=$(curl -sf "http://$ADDR/metrics")
+echo "$metrics" | head -c 400; echo
+want=$((CLIENTS * QUERIES_PER_CLIENT))
+go run ./scripts/checkmetrics.go "$want" <<<"$metrics"
+
+echo "== graceful shutdown (SIGTERM)"
+kill -TERM "$serve_pid"
+for i in $(seq 1 50); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  [ "$i" = 50 ] && { echo "server did not drain"; exit 1; }
+  sleep 0.1
+done
+wait "$serve_pid" 2>/dev/null || true
+serve_pid=""
+grep -q "bye" "$workdir/serve.log" || { echo "no graceful exit line"; cat "$workdir/serve.log"; exit 1; }
+echo "SMOKE OK"

@@ -2,7 +2,6 @@ package stindex
 
 import (
 	"fmt"
-	"io"
 
 	"stindex/internal/geom"
 	"stindex/internal/pprtree"
@@ -29,7 +28,7 @@ type StreamOptions struct {
 // objects.
 type StreamIndex struct {
 	ix     *stream.Indexer
-	closer io.Closer // see PPRIndex.closer
+	closer fileHandle // see PPRIndex.closer
 }
 
 // NewStreamIndex creates an empty streaming index whose history begins at
@@ -53,19 +52,43 @@ func NewStreamIndex(opts StreamOptions, startTime int64) (*StreamIndex, error) {
 	return &StreamIndex{ix: ix}, nil
 }
 
+// readOnlyErr reports ErrReadOnly when the snapshot was opened from a
+// container (its store rejects writes), nil otherwise.
+func (s *StreamIndex) readOnlyErr(op string) error {
+	if readOnlyStore(s.ix.Tree().Store()) {
+		return fmt.Errorf("stindex: %s on opened stream snapshot: %w", op, ErrReadOnly)
+	}
+	return nil
+}
+
 // Observe reports that object objID occupies r at time t. Observations
 // must be globally non-decreasing in time and consecutive per object; use
-// Finish when an object disappears (it may reappear later).
+// Finish when an object disappears (it may reappear later). On a snapshot
+// opened read-only from a container, Observe fails with ErrReadOnly.
 func (s *StreamIndex) Observe(objID, t int64, r Rect) error {
+	if err := s.readOnlyErr("Observe"); err != nil {
+		return err
+	}
 	return s.ix.Observe(objID, t, r.internal())
 }
 
 // Finish ends object objID's current lifetime at t (its last observation
-// was at t-1).
-func (s *StreamIndex) Finish(objID, t int64) error { return s.ix.Finish(objID, t) }
+// was at t-1). Fails with ErrReadOnly on an opened snapshot.
+func (s *StreamIndex) Finish(objID, t int64) error {
+	if err := s.readOnlyErr("Finish"); err != nil {
+		return err
+	}
+	return s.ix.Finish(objID, t)
+}
 
-// FinishAll ends every live object at t.
-func (s *StreamIndex) FinishAll(t int64) error { return s.ix.FinishAll(t) }
+// FinishAll ends every live object at t. Fails with ErrReadOnly on an
+// opened snapshot.
+func (s *StreamIndex) FinishAll(t int64) error {
+	if err := s.readOnlyErr("FinishAll"); err != nil {
+		return err
+	}
+	return s.ix.FinishAll(t)
+}
 
 // Snapshot returns the objects whose piece rectangles intersect r at
 // instant t — past or present.
@@ -106,16 +129,10 @@ func (s *StreamIndex) Live() int { return s.ix.Live() }
 func (s *StreamIndex) Kind() string { return "stream-ppr" }
 
 // Close releases the container file of a lazily opened snapshot; see
-// (*PPRIndex).Close. A snapshot opened from disk is read-only: Observe
-// and Finish fail because the underlying store rejects writes.
-func (s *StreamIndex) Close() error {
-	if s.closer == nil {
-		return nil
-	}
-	c := s.closer
-	s.closer = nil
-	return c.Close()
-}
+// (*PPRIndex).Close. Idempotent, safe for concurrent callers. A snapshot
+// opened from disk is read-only: Observe, Finish and FinishAll fail with
+// ErrReadOnly.
+func (s *StreamIndex) Close() error { return s.closer.close() }
 
 // StreamIndex satisfies Index, so the measurement helpers and wrappers
 // (MeasureWorkload, Synchronized) work on it too.
