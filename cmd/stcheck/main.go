@@ -1,0 +1,117 @@
+// Command stcheck runs the correctness harness: the differential query
+// oracle (every index kind vs a brute-force scan, both page-store
+// backends, serial and parallel), the structural invariant walkers, and
+// the fault-injection matrix. It exits non-zero on the first
+// discrepancy, printing the workload seed — and fault schedule, when one
+// was armed — needed to replay it.
+//
+// Usage:
+//
+//	stcheck                                  # 3 seeds, all kinds, both backends
+//	stcheck -seed 42 -seeds 1                # replay one failing seed
+//	stcheck -kinds ppr,stream -n 1000        # focus on two kinds, bigger data
+//	stcheck -nofaults                        # oracle only, skip the fault matrix
+//	stcheck -schedules read@1,rand:7:0.1     # custom fault schedules
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	stx "stindex"
+
+	"stindex/internal/check"
+)
+
+func main() {
+	var (
+		n           = flag.Int("n", 400, "objects per workload")
+		queries     = flag.Int("queries", 200, "queries per workload")
+		horizon     = flag.Int64("horizon", 1000, "evolution length in time instants")
+		seed        = flag.Int64("seed", 1, "first workload seed")
+		seeds       = flag.Int("seeds", 3, "number of consecutive seeds to run")
+		kinds       = flag.String("kinds", "", "comma-separated index kinds (default: ppr,rstar,hr,hybrid,stream)")
+		backend     = flag.String("backend", "both", "page-store backend to check: mem | disk | both")
+		parallelism = flag.String("parallelism", "1,4", "comma-separated worker counts for the parallel passes")
+		nofaults    = flag.Bool("nofaults", false, "skip the fault-injection matrix")
+		schedules   = flag.String("schedules", "", "comma-separated fault schedules overriding the defaults (see DESIGN.md for the grammar); ';' separates rules within one schedule")
+		verbose     = flag.Bool("v", false, "log every pass to stderr")
+	)
+	flag.Parse()
+
+	cfg := check.DiffConfig{
+		Objects: *n,
+		Horizon: *horizon,
+		Queries: *queries,
+	}
+	if *kinds != "" {
+		for _, k := range strings.Split(*kinds, ",") {
+			cfg.Kinds = append(cfg.Kinds, strings.TrimSpace(k))
+		}
+	}
+	switch *backend {
+	case "mem":
+		cfg.Backends = []stx.Backend{stx.BackendMemory}
+	case "disk":
+		cfg.Backends = []stx.Backend{stx.BackendDisk}
+	case "both", "":
+	default:
+		fatal(fmt.Errorf("unknown backend %q (want mem, disk or both)", *backend))
+	}
+	for _, p := range strings.Split(*parallelism, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || w < 1 {
+			fatal(fmt.Errorf("bad parallelism %q", p))
+		}
+		cfg.Parallelism = append(cfg.Parallelism, w)
+	}
+	if *verbose {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "stcheck: "+format+"\n", args...)
+		}
+	}
+	if *schedules != "" {
+		var scheds []string
+		for _, s := range strings.Split(*schedules, ",") {
+			s = strings.ReplaceAll(strings.TrimSpace(s), ";", ",")
+			if _, err := check.ParseSchedule(s); err != nil {
+				fatal(err)
+			}
+			scheds = append(scheds, s)
+		}
+		check.DefaultReadSchedules = scheds
+	}
+
+	for i := 0; i < *seeds; i++ {
+		cfg.Seed = *seed + int64(i)
+		drep, err := check.RunDiff(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("differential check FAILED — replay with -seed %d -seeds 1: %w", cfg.Seed, err))
+		}
+		fmt.Printf("stcheck: seed %d: %d oracle passes, %d comparisons ok\n",
+			cfg.Seed, drep.Passes, drep.Compared)
+		if *nofaults {
+			continue
+		}
+		frep, err := check.RunFaultMatrix(cfg)
+		if err != nil {
+			fatal(fmt.Errorf("fault matrix FAILED — replay with -seed %d -seeds 1: %w", cfg.Seed, err))
+		}
+		fmt.Printf("stcheck: seed %d: %d fault schedules ok, %d faults injected and contained\n",
+			cfg.Seed, frep.Schedules, frep.Injected)
+	}
+	if !*nofaults {
+		if err := check.VerifyBufferFaults(); err != nil {
+			fatal(err)
+		}
+		fmt.Println("stcheck: buffer fault semantics ok")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "stcheck:", err)
+	os.Exit(1)
+}

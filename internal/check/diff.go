@@ -1,0 +1,183 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"sync"
+
+	stx "stindex"
+)
+
+// DiffConfig parameterises one differential run. The zero value is
+// filled in by withDefaults: every kind, both backends, parallelism 1
+// and 4, a 400-object workload over horizon 1000 with 200 queries.
+type DiffConfig struct {
+	Kinds       []string
+	Backends    []stx.Backend
+	Parallelism []int
+	Objects     int
+	Horizon     int64
+	Queries     int
+	Seed        int64
+	Logf        func(format string, args ...any)
+}
+
+func (c DiffConfig) withDefaults() DiffConfig {
+	if len(c.Kinds) == 0 {
+		c.Kinds = AllKinds
+	}
+	if len(c.Backends) == 0 {
+		c.Backends = []stx.Backend{stx.BackendMemory, stx.BackendDisk}
+	}
+	if len(c.Parallelism) == 0 {
+		c.Parallelism = []int{1, 4}
+	}
+	if c.Objects == 0 {
+		c.Objects = 400
+	}
+	if c.Horizon == 0 {
+		c.Horizon = 1000
+	}
+	if c.Queries == 0 {
+		c.Queries = 200
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// DiffReport summarises a completed differential run.
+type DiffReport struct {
+	Seed     int64
+	Queries  int
+	Passes   int // (kind, backend, parallelism) combinations compared
+	Compared int // individual query comparisons
+}
+
+// RunDiff cross-checks every configured index kind against the
+// brute-force oracle: build on each backend, validate structural
+// invariants, compare every query answer at each parallelism level, and
+// round-trip each kind through a saved container (OpenIndex) once. Any
+// mismatch error names the seed, kind, backend, parallelism and query
+// index — everything needed to reproduce it.
+func RunDiff(cfg DiffConfig) (DiffReport, error) {
+	cfg = cfg.withDefaults()
+	rep := DiffReport{Seed: cfg.Seed}
+	wl, err := GenerateWorkload(cfg.Objects, cfg.Horizon, cfg.Seed, cfg.Queries)
+	if err != nil {
+		return rep, err
+	}
+	rep.Queries = len(wl.Queries)
+	for bi, backend := range cfg.Backends {
+		for _, kind := range cfg.Kinds {
+			idx, err := BuildKind(kind, wl, backend)
+			if err != nil {
+				return rep, fmt.Errorf("check: seed %d: building %s/%s: %w", cfg.Seed, kind, backend, err)
+			}
+			expected, err := ExpectedAnswers(idx, wl)
+			if err != nil {
+				return rep, fmt.Errorf("check: seed %d: %s/%s: %w", cfg.Seed, kind, backend, err)
+			}
+			if err := CheckInvariants(idx); err != nil {
+				return rep, fmt.Errorf("check: seed %d: %s/%s: %w", cfg.Seed, kind, backend, err)
+			}
+			for _, par := range cfg.Parallelism {
+				cfg.Logf("diff seed=%d kind=%s backend=%s parallelism=%d", cfg.Seed, kind, backend, par)
+				if err := diffPass(idx, wl, expected, par); err != nil {
+					return rep, fmt.Errorf("check: seed %d: %s/%s x%d: %w", cfg.Seed, kind, backend, par, err)
+				}
+				rep.Passes++
+				rep.Compared += len(wl.Queries)
+			}
+			if bi == 0 {
+				cfg.Logf("diff seed=%d kind=%s container round-trip", cfg.Seed, kind)
+				if err := containerPass(idx, wl, expected); err != nil {
+					return rep, fmt.Errorf("check: seed %d: %s container round-trip: %w", cfg.Seed, kind, err)
+				}
+				rep.Passes++
+				rep.Compared += len(wl.Queries)
+			}
+		}
+	}
+	return rep, nil
+}
+
+// diffPass compares every query answer against the oracle. Parallelism
+// above 1 partitions the queries across goroutines, each holding its own
+// QueryView (kinds without views — the stream index — share a
+// mutex-synchronized wrapper), so the concurrent traversal, buffer and
+// decode-cache paths are the ones exercised.
+func diffPass(idx stx.Index, wl *Workload, expected [][]int64, parallelism int) error {
+	if parallelism <= 1 {
+		return diffRange(idx, wl, expected, 0, len(wl.Queries), 1)
+	}
+	qv, viewer := idx.(stx.QueryViewer)
+	var shared stx.Index
+	if !viewer {
+		shared = stx.Synchronized(idx)
+	}
+	errs := make([]error, parallelism)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		view := shared
+		if viewer {
+			view = qv.QueryView()
+		}
+		wg.Add(1)
+		go func(w int, view stx.Index) {
+			defer wg.Done()
+			errs[w] = diffRange(view, wl, expected, w, len(wl.Queries), parallelism)
+		}(w, view)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// diffRange checks queries lo, lo+stride, lo+2*stride, … < hi.
+func diffRange(idx stx.Index, wl *Workload, expected [][]int64, lo, hi, stride int) error {
+	for i := lo; i < hi; i += stride {
+		got, err := stx.RunQuery(idx, wl.Queries[i])
+		if err != nil {
+			return fmt.Errorf("query %d (%+v): %w", i, wl.Queries[i], err)
+		}
+		if !SameIDs(got, expected[i]) {
+			return fmt.Errorf("query %d (%+v): index returned %v, oracle says %v",
+				i, wl.Queries[i], SortedIDs(got), expected[i])
+		}
+	}
+	return nil
+}
+
+// containerPass round-trips the index through its on-disk container —
+// SaveIndex, lazy OpenIndex, invariants, a full serial diff — proving
+// the persisted image answers bit-identically to the built one.
+func containerPass(idx stx.Index, wl *Workload, expected [][]int64) error {
+	f, err := os.CreateTemp("", "stcheck-*.stic")
+	if err != nil {
+		return err
+	}
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	if err := stx.SaveIndex(path, idx); err != nil {
+		return fmt.Errorf("saving container: %w", err)
+	}
+	opened, err := stx.OpenIndex(path)
+	if err != nil {
+		return fmt.Errorf("opening container: %w", err)
+	}
+	defer stx.CloseIndex(opened)
+	if err := CheckInvariants(opened); err != nil {
+		return fmt.Errorf("opened container: %w", err)
+	}
+	if err := diffRange(opened, wl, expected, 0, len(wl.Queries), 1); err != nil {
+		return fmt.Errorf("opened container: %w", err)
+	}
+	return stx.CloseIndex(opened)
+}

@@ -1,0 +1,279 @@
+package check
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+
+	stx "stindex"
+	"stindex/internal/pagefile"
+)
+
+// DefaultReadSchedules are the read-path fault schedules RunFaultMatrix
+// drives every index kind through: first-read failure, a mid-traversal
+// failure, a periodic failure, a short (truncated) read, and a seeded
+// random 2% failure rate.
+var DefaultReadSchedules = []string{"read@1", "read@5", "read/7", "short@3", "rand:99:0.02"}
+
+// FaultReport summarises a fault-matrix run.
+type FaultReport struct {
+	Seed      int64
+	Schedules int    // (kind, schedule) combinations driven
+	Injected  uint64 // total faults fired across all of them
+}
+
+// RunFaultMatrix proves every index kind degrades cleanly under storage
+// faults. For each kind it saves a container, reopens it with each
+// schedule of DefaultReadSchedules injected under the page stores, and
+// requires that under faults every query either matches the oracle or
+// fails with an error wrapping ErrInjected — never a panic, never a
+// silently wrong answer. It then disarms the faults, resets the buffer
+// pool, and requires every query to match the oracle exactly, proving no
+// fault left corrupted state behind (stale cache frames, poisoned decode
+// cache, broken traversal state).
+func RunFaultMatrix(cfg DiffConfig) (FaultReport, error) {
+	cfg = cfg.withDefaults()
+	rep := FaultReport{Seed: cfg.Seed}
+	wl, err := GenerateWorkload(cfg.Objects, cfg.Horizon, cfg.Seed, cfg.Queries)
+	if err != nil {
+		return rep, err
+	}
+	for _, kind := range cfg.Kinds {
+		built, err := BuildKind(kind, wl, stx.BackendMemory)
+		if err != nil {
+			return rep, fmt.Errorf("check: seed %d: building %s for fault matrix: %w", cfg.Seed, kind, err)
+		}
+		expected, err := ExpectedAnswers(built, wl)
+		if err != nil {
+			return rep, fmt.Errorf("check: seed %d: %s: %w", cfg.Seed, kind, err)
+		}
+		f, err := os.CreateTemp("", "stcheck-fault-*.stic")
+		if err != nil {
+			return rep, err
+		}
+		path := f.Name()
+		f.Close()
+		if err := stx.SaveIndex(path, built); err != nil {
+			os.Remove(path)
+			return rep, fmt.Errorf("check: seed %d: saving %s container: %w", cfg.Seed, kind, err)
+		}
+		for _, schedStr := range DefaultReadSchedules {
+			cfg.Logf("faults seed=%d kind=%s schedule=%s", cfg.Seed, kind, schedStr)
+			injected, err := runFaultSchedule(kind, path, schedStr, wl, expected)
+			rep.Injected += injected
+			if err != nil {
+				os.Remove(path)
+				return rep, fmt.Errorf("check: seed %d: kind %s schedule %s: %w", cfg.Seed, kind, schedStr, err)
+			}
+			rep.Schedules++
+		}
+		os.Remove(path)
+	}
+	return rep, nil
+}
+
+// runFaultSchedule opens the container with one fault schedule armed,
+// runs the armed pass, then the disarmed recheck pass.
+func runFaultSchedule(kind, path, schedStr string, wl *Workload, expected [][]int64) (uint64, error) {
+	sched, err := ParseSchedule(schedStr)
+	if err != nil {
+		return 0, err
+	}
+	wrap, stores := Wrapper(sched)
+	idx, err := stx.OpenIndexWrapped(path, wrap)
+	if err != nil {
+		// A fault during the open itself must still surface as a clean
+		// injected error, never as a decoding panic or a zombie index.
+		if errors.Is(err, ErrInjected) {
+			return 1, nil
+		}
+		return 0, fmt.Errorf("open: %w", err)
+	}
+	defer stx.CloseIndex(idx)
+
+	// Armed pass: every query either agrees with the oracle or fails with
+	// the injected error. Anything else — a panic would abort the run, a
+	// differing answer fails here — means a fault corrupted a query.
+	for i, q := range wl.Queries {
+		got, err := stx.RunQuery(idx, q)
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				return injectedCount(stores), fmt.Errorf("query %d under faults: unexpected error: %w", i, err)
+			}
+			continue
+		}
+		if !SameIDs(got, expected[i]) {
+			return injectedCount(stores), fmt.Errorf("query %d under faults: wrong answer %v, oracle says %v",
+				i, SortedIDs(got), expected[i])
+		}
+	}
+	injected := injectedCount(stores)
+	if injected == 0 && !strings.HasPrefix(schedStr, "rand:") {
+		return injected, fmt.Errorf("deterministic schedule never fired (%d reads seen)", readCount(stores))
+	}
+
+	// Disarmed recheck: the same index, faults off, buffer pool cleared.
+	// Every answer must now be oracle-exact — a failed read must not have
+	// left a partial frame resident, a short read must not have poisoned
+	// the decode cache.
+	for _, fs := range *stores {
+		fs.Disarm()
+	}
+	idx.ResetBuffer()
+	for i, q := range wl.Queries {
+		got, err := stx.RunQuery(idx, q)
+		if err != nil {
+			return injected, fmt.Errorf("query %d after disarm: %w", i, err)
+		}
+		if !SameIDs(got, expected[i]) {
+			return injected, fmt.Errorf("query %d after disarm: corrupted answer %v, oracle says %v",
+				i, SortedIDs(got), expected[i])
+		}
+	}
+	if err := CheckInvariants(idx); err != nil {
+		return injected, fmt.Errorf("after disarm: %w", err)
+	}
+	if err := stx.CloseIndex(idx); err != nil {
+		return injected, fmt.Errorf("close after disarm: %w", err)
+	}
+	return injected, nil
+}
+
+func injectedCount(stores *[]*FaultStore) uint64 {
+	var n uint64
+	for _, fs := range *stores {
+		n += fs.Injected()
+	}
+	return n
+}
+
+func readCount(stores *[]*FaultStore) uint64 {
+	var n uint64
+	for _, fs := range *stores {
+		r, _, _ := fs.Ops()
+		n += r
+	}
+	return n
+}
+
+// VerifyBufferFaults drives the Buffer directly over a FaultStore on
+// both backends, through the write-path rules the query-only matrix
+// cannot reach, and asserts the exact failure semantics the Buffer
+// documents: a failed write leaves the buffered copy and the stats
+// untouched, a torn write is visible on re-read exactly as the torn
+// image (never the stale pre-tear decode), a failed read leaves nothing
+// resident, and a failing Close propagates.
+func VerifyBufferFaults() error {
+	for _, backend := range []pagefile.Backend{pagefile.BackendMemory, pagefile.BackendDisk} {
+		if err := verifyBufferFaultsOn(backend); err != nil {
+			return fmt.Errorf("check: buffer faults on %s: %w", backend, err)
+		}
+	}
+	return nil
+}
+
+func verifyBufferFaultsOn(backend pagefile.Backend) error {
+	const pageSize = 128
+	pageA := bytes.Repeat([]byte{0xA1}, pageSize)
+	pageB := bytes.Repeat([]byte{0xB2}, pageSize)
+
+	// Failed write: write@2 fails the second write before the store sees
+	// it; the first page's image and the write stats must be untouched.
+	inner, err := pagefile.NewStore(backend, pageSize)
+	if err != nil {
+		return err
+	}
+	defer inner.Close()
+	fs := NewFaultStore(inner, MustSchedule("write@2,close@1"))
+	buf := pagefile.NewBuffer(fs, 4)
+	a, b := fs.Allocate(), fs.Allocate()
+	if err := buf.Write(a, pageA); err != nil {
+		return fmt.Errorf("first write: %v", err)
+	}
+	if err := buf.Write(b, pageB); !errors.Is(err, ErrInjected) {
+		return fmt.Errorf("write@2 did not propagate, got %v", err)
+	}
+	if st := buf.Stats(); st.Writes != 1 {
+		return fmt.Errorf("failed write perturbed stats: %+v", st)
+	}
+	got, err := buf.Read(a)
+	if err != nil || !bytes.Equal(got, pageA) {
+		return fmt.Errorf("page A corrupted after failed write: %v", err)
+	}
+	// Failing Close propagates through the wrapper.
+	if err := fs.Close(); !errors.Is(err, ErrInjected) {
+		return fmt.Errorf("close@1 did not propagate, got %v", err)
+	}
+
+	// Torn write: the first half of the new image is persisted, the tail
+	// zeroed, the error surfaced — and a fresh read sees exactly the torn
+	// image, with the decode cache re-decoding (the version advanced), not
+	// serving the pre-tear parse.
+	inner2, err := pagefile.NewStore(backend, pageSize)
+	if err != nil {
+		return err
+	}
+	defer inner2.Close()
+	fs2 := NewFaultStore(inner2, MustSchedule("torn@2"))
+	buf2 := pagefile.NewBuffer(fs2, 4)
+	p := fs2.Allocate()
+	if err := buf2.Write(p, pageA); err != nil {
+		return fmt.Errorf("seed write: %v", err)
+	}
+	decodes := 0
+	decode := func(id pagefile.PageID, data []byte) (any, error) {
+		decodes++
+		return append([]byte(nil), data...), nil
+	}
+	if _, err := buf2.ReadDecoded(p, decode); err != nil {
+		return fmt.Errorf("seed decode: %v", err)
+	}
+	if err := buf2.Write(p, pageB); !errors.Is(err, ErrInjected) {
+		return fmt.Errorf("torn@2 did not propagate, got %v", err)
+	}
+	buf2.Reset() // drop the pool so the next read hits the torn disk image
+	torn := append(append([]byte(nil), pageB[:pageSize/2]...), make([]byte, pageSize-pageSize/2)...)
+	v, err := buf2.ReadDecoded(p, decode)
+	if err != nil {
+		return fmt.Errorf("read after torn write: %v", err)
+	}
+	if !bytes.Equal(v.([]byte), torn) {
+		return fmt.Errorf("torn page image wrong: got %x... want %x...", v.([]byte)[:8], torn[:8])
+	}
+	if decodes != 2 {
+		return fmt.Errorf("decode cache served a stale pre-tear parse (%d decodes)", decodes)
+	}
+
+	// Periodic write failure: write/3 fails writes 3, 6, 9, … and only
+	// those; failed reads leave nothing resident (the retry succeeds).
+	inner3, err := pagefile.NewStore(backend, pageSize)
+	if err != nil {
+		return err
+	}
+	defer inner3.Close()
+	fs3 := NewFaultStore(inner3, MustSchedule("write/3,read@1"))
+	buf3 := pagefile.NewBuffer(fs3, 2)
+	q := fs3.Allocate()
+	failures := 0
+	for i := 1; i <= 9; i++ {
+		if err := buf3.Write(q, pageA); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				return fmt.Errorf("write %d: %v", i, err)
+			}
+			failures++
+		}
+	}
+	if failures != 3 {
+		return fmt.Errorf("write/3 fired %d times over 9 writes, want 3", failures)
+	}
+	buf3.Reset()
+	if _, err := buf3.Read(q); !errors.Is(err, ErrInjected) {
+		return fmt.Errorf("read@1 did not propagate, got %v", err)
+	}
+	if got, err := buf3.Read(q); err != nil || !bytes.Equal(got, pageA) {
+		return fmt.Errorf("retry after failed read: %v", err)
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package check
+
+import (
+	"sort"
+
+	stx "stindex"
+)
+
+// Oracle answers queries by brute-force linear scan over a record set —
+// the ground truth every index kind must reproduce exactly. The match
+// predicate is the indexes' own: closed-rectangle intersection (touching
+// boundaries intersect) and half-open interval overlap, de-duplicated to
+// object granularity. Results are returned sorted, the canonical form
+// for set comparison (index traversal order is kind-specific and
+// meaningless).
+type Oracle struct {
+	records []stx.Record
+}
+
+// NewOracle builds an oracle over the records an index was built from
+// (or, for the stream kind, the pieces it actually created — see
+// StreamIndex.PieceRecords).
+func NewOracle(records []stx.Record) *Oracle {
+	return &Oracle{records: records}
+}
+
+// rectIntersects mirrors geom.Rect.Intersects on the facade type:
+// closed-boundary intersection of valid rectangles.
+func rectIntersects(a, b stx.Rect) bool {
+	return a.MinX <= b.MaxX && b.MinX <= a.MaxX &&
+		a.MinY <= b.MaxY && b.MinY <= a.MaxY
+}
+
+// Query answers one query: the sorted IDs of the objects owning at least
+// one matching record.
+func (o *Oracle) Query(q stx.Query) []int64 {
+	seen := make(map[int64]bool)
+	var out []int64
+	for _, r := range o.records {
+		if r.Interval.Start >= q.Interval.End || q.Interval.Start >= r.Interval.End {
+			continue
+		}
+		if !rectIntersects(r.Rect, q.Rect) {
+			continue
+		}
+		if !seen[r.ObjectID] {
+			seen[r.ObjectID] = true
+			out = append(out, r.ObjectID)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Answers precomputes the oracle answer for every query.
+func (o *Oracle) Answers(qs []stx.Query) [][]int64 {
+	out := make([][]int64, len(qs))
+	for i, q := range qs {
+		out[i] = o.Query(q)
+	}
+	return out
+}
+
+// SortedIDs returns a sorted copy of ids — the canonical form the
+// differential comparisons use.
+func SortedIDs(ids []int64) []int64 {
+	out := append([]int64(nil), ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SameIDs reports whether two ID lists contain exactly the same set
+// (order-insensitive, both sides are sorted copies).
+func SameIDs(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := SortedIDs(a), SortedIDs(b)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}

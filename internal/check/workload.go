@@ -1,0 +1,142 @@
+package check
+
+import (
+	"fmt"
+
+	stx "stindex"
+)
+
+// AllKinds lists every index kind the harness covers.
+var AllKinds = []string{"ppr", "rstar", "hr", "hybrid", "stream"}
+
+// Workload is one seeded differential workload: a generated dataset, the
+// offline split records the batch-built kinds index, and a mixed query
+// set spanning the paper's snapshot and range profiles.
+type Workload struct {
+	Seed    int64
+	Horizon int64
+	Objects []*stx.Object
+	Records []stx.Record
+	Queries []stx.Query
+}
+
+// GenerateWorkload builds a workload deterministically from its seed:
+// same seed, same objects, same records, same queries — a failure report
+// carrying the seed is a full reproduction recipe.
+func GenerateWorkload(objects int, horizon, seed int64, queries int) (*Workload, error) {
+	objs, err := stx.GenerateRandom(stx.RandomDatasetConfig{N: objects, Horizon: horizon, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("check: generating dataset (seed %d): %w", seed, err)
+	}
+	records, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: objects * 3 / 2})
+	if err != nil {
+		return nil, fmt.Errorf("check: splitting dataset (seed %d): %w", seed, err)
+	}
+	// A mixed profile: small and large snapshots, short and medium ranges,
+	// interleaved so a truncated prefix still covers every shape.
+	sets := []stx.QuerySet{stx.QuerySnapshotMixed, stx.QuerySnapshotLarge, stx.QueryRangeSmall, stx.QueryRangeMedium}
+	if queries < len(sets) {
+		queries = len(sets)
+	}
+	per := (queries + len(sets) - 1) / len(sets)
+	var qs []stx.Query
+	for i, set := range sets {
+		batch, err := stx.GenerateQueries(set, horizon, seed+int64(i)*101)
+		if err != nil {
+			return nil, fmt.Errorf("check: generating %s queries (seed %d): %w", set, seed, err)
+		}
+		if len(batch) > per {
+			batch = batch[:per]
+		}
+		qs = append(qs, batch...)
+	}
+	if len(qs) > queries {
+		qs = qs[:queries]
+	}
+	return &Workload{Seed: seed, Horizon: horizon, Objects: objs, Records: records, Queries: qs}, nil
+}
+
+// BuildKind builds one index kind over the workload on the given backend.
+// The batch kinds index the workload's offline split records; the stream
+// kind replays the objects through the online rule observation by
+// observation (its piece set — and therefore its reference answers — is
+// its own, see StreamIndex.PieceRecords).
+func BuildKind(kind string, wl *Workload, backend stx.Backend) (stx.Index, error) {
+	switch kind {
+	case "ppr":
+		return stx.BuildPPR(wl.Records, stx.PPROptions{Backend: backend})
+	case "rstar":
+		return stx.BuildRStar(wl.Records, stx.RStarOptions{ShuffleSeed: 42, Backend: backend})
+	case "hr":
+		return stx.BuildHR(wl.Records, stx.HROptions{Backend: backend})
+	case "hybrid":
+		return stx.BuildHybrid(wl.Records, stx.HybridOptions{
+			PPR:   stx.PPROptions{Backend: backend},
+			RStar: stx.RStarOptions{ShuffleSeed: 42, Backend: backend},
+		})
+	case "stream", "stream-ppr":
+		return buildStream(wl.Objects, backend)
+	}
+	return nil, fmt.Errorf("check: unknown index kind %q", kind)
+}
+
+// buildStream replays the objects in global time order through the
+// online indexer (eager cutting: Lambda 0 exercises the most pieces).
+func buildStream(objs []*stx.Object, backend stx.Backend) (*stx.StreamIndex, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("check: no objects to stream")
+	}
+	start, end := objs[0].Lifetime().Start, objs[0].Lifetime().End
+	for _, o := range objs {
+		lt := o.Lifetime()
+		if lt.Start < start {
+			start = lt.Start
+		}
+		if lt.End > end {
+			end = lt.End
+		}
+	}
+	six, err := stx.NewStreamIndex(stx.StreamOptions{PPR: stx.PPROptions{Backend: backend}}, start)
+	if err != nil {
+		return nil, err
+	}
+	for t := start; t <= end; t++ {
+		for _, o := range objs {
+			lt := o.Lifetime()
+			if t == lt.End {
+				if err := six.Finish(o.ID(), t); err != nil {
+					return nil, fmt.Errorf("check: stream finish object %d at %d: %w", o.ID(), t, err)
+				}
+			}
+			if lt.Start <= t && t < lt.End {
+				r, ok := o.At(t)
+				if !ok {
+					return nil, fmt.Errorf("check: object %d has no position at %d inside its lifetime", o.ID(), t)
+				}
+				if err := six.Observe(o.ID(), t, r); err != nil {
+					return nil, fmt.Errorf("check: stream observe object %d at %d: %w", o.ID(), t, err)
+				}
+			}
+		}
+	}
+	if six.Live() > 0 {
+		if err := six.FinishAll(end + 1); err != nil {
+			return nil, err
+		}
+	}
+	return six, nil
+}
+
+// ExpectedAnswers computes the reference answers for an index over the
+// workload: the offline-record oracle for the batch kinds, the index's
+// own piece set for the stream kind.
+func ExpectedAnswers(idx stx.Index, wl *Workload) ([][]int64, error) {
+	if s, ok := idx.(*stx.StreamIndex); ok {
+		pieces, err := s.PieceRecords()
+		if err != nil {
+			return nil, fmt.Errorf("check: extracting stream pieces: %w", err)
+		}
+		return NewOracle(pieces).Answers(wl.Queries), nil
+	}
+	return NewOracle(wl.Records).Answers(wl.Queries), nil
+}

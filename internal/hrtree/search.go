@@ -49,9 +49,16 @@ func (t *Tree) SnapshotSearch(query geom.Rect, at int64, fn func(rect geom.Rect,
 	defer func() { t.putStack(stack) }()
 
 	stack = append(stack, v.page)
+	// One version of the HR-tree is a strict tree (sharing happens only
+	// across versions): more visits than existing pages proves a reference
+	// cycle in a corrupt structure — fail instead of looping forever.
+	visits, maxVisits := 0, t.file.NumPages()
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		if visits++; visits > maxVisits {
+			return fmt.Errorf("hrtree: snapshot traversal visited more pages than exist (%d): reference cycle in corrupt structure", maxVisits)
+		}
 		n, err := t.readShared(id)
 		if err != nil {
 			return err

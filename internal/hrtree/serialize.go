@@ -28,6 +28,10 @@ import (
 const (
 	hrMagic   = "STHR"
 	hrVersion = 1
+
+	// maxStoredBufferPages bounds the deserialised pool size; the field is
+	// untrusted container input and sizes an eager allocation.
+	maxStoredBufferPages = 1 << 20
 )
 
 // WriteTo serialises the whole tree to w. Implements io.WriterTo.
@@ -143,6 +147,11 @@ func ReadMeta(r io.Reader) (*Tree, error) {
 			return nil, err
 		}
 		*f = int(v)
+	}
+	// The stored pool size is untrusted and sizes an eager allocation in
+	// AttachStore; a corrupt value must fail here, not OOM there.
+	if opts.BufferPages > maxStoredBufferPages {
+		return nil, fmt.Errorf("hrtree: stored buffer pool of %d pages is implausible", opts.BufferPages)
 	}
 	opts, err = opts.withDefaults()
 	if err != nil {

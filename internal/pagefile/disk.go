@@ -187,9 +187,10 @@ func (d *DiskStore) WritePage(id PageID, data []byte) error {
 }
 
 // Version implements Store. Read-only stores are frozen, so every page
-// stays at version 0 forever and decodes never go stale.
+// stays at version 0 forever and decodes never go stale. As with File, an
+// out-of-range id reports version 0 instead of panicking.
 func (d *DiskStore) Version(id PageID) uint64 {
-	if d.readOnly {
+	if d.readOnly || int(id) >= len(d.versions) {
 		return 0
 	}
 	return d.versions[id]

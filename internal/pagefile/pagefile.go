@@ -144,8 +144,15 @@ func (f *File) WritePage(id PageID, data []byte) error { return f.write(id, data
 
 // Version implements Store: the page's write counter. It changes exactly
 // when the page image can have changed (writes, id reuse), so it is a
-// sound cache validator for decoded copies of the image.
-func (f *File) Version(id PageID) uint64 { return f.versions[id] }
+// sound cache validator for decoded copies of the image. An out-of-range
+// id reports version 0 rather than panicking — corrupt references must
+// surface as read errors, never crash the accounting path.
+func (f *File) Version(id PageID) uint64 {
+	if int(id) >= len(f.versions) {
+		return 0
+	}
+	return f.versions[id]
+}
 
 // Check implements Store.
 func (f *File) Check(id PageID) error { return f.check(id) }

@@ -1,6 +1,8 @@
 package pprtree
 
 import (
+	"fmt"
+
 	"stindex/internal/geom"
 	"stindex/internal/pagefile"
 )
@@ -60,9 +62,17 @@ func (t *Tree) SnapshotSearch(query geom.Rect, at int64, fn func(rect geom.Rect,
 	defer func() { t.putStack(stack) }()
 
 	stack = append(stack, root.page)
+	// At one instant the alive structure is a tree, so a legitimate
+	// traversal visits each page at most once; exceeding the page count
+	// proves a reference cycle (corrupt container) — error out instead of
+	// looping forever.
+	visits, maxVisits := 0, t.file.NumPages()
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		if visits++; visits > maxVisits {
+			return fmt.Errorf("pprtree: snapshot traversal visited more pages than exist (%d): reference cycle in corrupt structure", maxVisits)
+		}
 		n, err := t.readShared(id)
 		if err != nil {
 			return err

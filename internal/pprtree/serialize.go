@@ -27,6 +27,10 @@ import (
 const (
 	treeMagic   = "STPP"
 	treeVersion = 1
+
+	// maxStoredBufferPages bounds the deserialised pool size; the field is
+	// untrusted container input and sizes an eager allocation.
+	maxStoredBufferPages = 1 << 20
 )
 
 // WriteTo serialises the whole tree — options, root log, online-mode back
@@ -208,6 +212,11 @@ func ReadMeta(r io.Reader) (*Tree, error) {
 		return nil, err
 	} else {
 		opts.BufferPages = int(v)
+	}
+	// The stored pool size is untrusted and sizes an eager allocation in
+	// AttachStore; a corrupt value must fail here, not OOM there.
+	if opts.BufferPages > maxStoredBufferPages {
+		return nil, fmt.Errorf("pprtree: stored buffer pool of %d pages is implausible", opts.BufferPages)
 	}
 	opts, err = opts.withDefaults()
 	if err != nil {

@@ -22,6 +22,10 @@ import (
 const (
 	rstarMagic   = "STRS"
 	rstarVersion = 1
+
+	// maxStoredBufferPages bounds the deserialised pool size; the field is
+	// untrusted container input and sizes an eager allocation.
+	maxStoredBufferPages = 1 << 20
 )
 
 const rstarMetaSize = 4 + 4 + 5*4 + 4 + 4 + 8
@@ -104,6 +108,11 @@ func ReadMeta(r io.Reader) (*Tree, error) {
 		ReinsertCount: int(get32()),
 		PageSize:      int(get32()),
 		BufferPages:   int(get32()),
+	}
+	// The stored pool size is untrusted and sizes an eager allocation in
+	// AttachStore; a corrupt value must fail here, not OOM there.
+	if opts.BufferPages > maxStoredBufferPages {
+		return nil, fmt.Errorf("rstar: stored buffer pool of %d pages is implausible", opts.BufferPages)
 	}
 	opts, err := opts.withDefaults()
 	if err != nil {

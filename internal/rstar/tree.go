@@ -187,9 +187,16 @@ func (t *Tree) Search(q geom.Box3, fn func(b geom.Box3, ref uint64) bool) error 
 	stack = append(stack[:0], t.root)
 	defer func() { t.stack = stack[:0] }()
 
+	// An R-tree is a strict tree: visiting more pages than the file holds
+	// proves a reference cycle (corrupt structure) — fail instead of
+	// looping forever.
+	visits, maxVisits := 0, t.file.NumPages()
 	for len(stack) > 0 {
 		id := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		if visits++; visits > maxVisits {
+			return fmt.Errorf("rstar: traversal visited more pages than exist (%d): reference cycle in corrupt structure", maxVisits)
+		}
 		n, err := t.readShared(id)
 		if err != nil {
 			return err

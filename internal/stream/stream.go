@@ -175,14 +175,23 @@ func (ix *Indexer) newRef(objID int64) uint64 {
 // intersect query at instant t (historical instants included).
 func (ix *Indexer) Snapshot(query geom.Rect, t int64) ([]int64, error) {
 	var out []int64
+	var cbErr error
 	seen := make(map[int64]bool)
 	err := ix.tree.SnapshotSearch(query, t, func(_ geom.Rect, ref uint64) bool {
-		if id := ix.owners[ref]; !seen[id] {
+		id, ok := ix.OwnerRef(ref)
+		if !ok {
+			cbErr = fmt.Errorf("stream: record ref %d has no owner (corrupt index image?)", ref)
+			return false
+		}
+		if !seen[id] {
 			seen[id] = true
 			out = append(out, id)
 		}
 		return true
 	})
+	if err == nil {
+		err = cbErr
+	}
 	return out, err
 }
 
@@ -190,14 +199,23 @@ func (ix *Indexer) Snapshot(query geom.Rect, t int64) ([]int64, error) {
 // query at some instant of iv.
 func (ix *Indexer) Range(query geom.Rect, iv geom.Interval) ([]int64, error) {
 	var out []int64
+	var cbErr error
 	seen := make(map[int64]bool)
 	err := ix.tree.IntervalSearch(query, iv, func(_ geom.Rect, ref uint64) bool {
-		if id := ix.owners[ref]; !seen[id] {
+		id, ok := ix.OwnerRef(ref)
+		if !ok {
+			cbErr = fmt.Errorf("stream: record ref %d has no owner (corrupt index image?)", ref)
+			return false
+		}
+		if !seen[id] {
 			seen[id] = true
 			out = append(out, id)
 		}
 		return true
 	})
+	if err == nil {
+		err = cbErr
+	}
 	return out, err
 }
 
@@ -248,5 +266,15 @@ func (ix *Indexer) Pieces() ([]pprtree.Record, error) {
 	return out, nil
 }
 
-// Owner returns the object that owns a record reference.
+// Owner returns the object that owns a record reference, or 0 for an
+// unknown reference; OwnerRef distinguishes the two.
 func (ix *Indexer) Owner(ref uint64) int64 { return ix.owners[ref] }
+
+// OwnerRef returns the object owning a record reference and whether the
+// reference is known. The query paths use it so a dangling reference in a
+// corrupt image surfaces as an error instead of silently becoming
+// object 0.
+func (ix *Indexer) OwnerRef(ref uint64) (int64, bool) {
+	id, ok := ix.owners[ref]
+	return id, ok
+}

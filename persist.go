@@ -314,10 +314,32 @@ func parseContainerHeader(header []byte) (kind byte, extents int, metaLen uint64
 	return kind, extents, metaLen, nil
 }
 
+// StoreWrapper intercepts each page extent store as a container is
+// decoded or opened, before it is attached to the index structure. It is
+// the testing seam of internal/check: wrapping every extent in a
+// fault-injecting store proves the query paths surface storage errors
+// cleanly. A nil wrapper (or one returning its argument) is the identity.
+type StoreWrapper func(pagefile.Store) pagefile.Store
+
+// wrapStore applies an optional StoreWrapper.
+func wrapStore(s pagefile.Store, wrap StoreWrapper) pagefile.Store {
+	if wrap == nil {
+		return s
+	}
+	return wrap(s)
+}
+
 // DecodeIndex reads a container image from r, materialising every page
 // in memory (the eager counterpart of OpenIndex). The kind is
 // autodetected; type-assert the result for kind-specific APIs.
 func DecodeIndex(r io.Reader) (Index, error) {
+	return DecodeIndexWrapped(r, nil)
+}
+
+// DecodeIndexWrapped is DecodeIndex with every page extent store passed
+// through wrap before being attached — the fault-injection seam for
+// in-memory containers.
+func DecodeIndexWrapped(r io.Reader, wrap StoreWrapper) (Index, error) {
 	br := bufio.NewReader(r)
 	header := make([]byte, containerHeaderSize)
 	if _, err := io.ReadFull(br, header); err != nil {
@@ -342,7 +364,7 @@ func DecodeIndex(r io.Reader) (Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stindex: reading page extent %d: %w", i, err)
 		}
-		if err := attach[i](file); err != nil {
+		if err := attach[i](wrapStore(file, wrap)); err != nil {
 			return nil, err
 		}
 	}
@@ -363,11 +385,20 @@ func DecodeIndex(r io.Reader) (Index, error) {
 // (*StreamIndex).Observe / Finish / FinishAll — fail with ErrReadOnly
 // (test with errors.Is).
 func OpenIndex(path string) (Index, error) {
+	return OpenIndexWrapped(path, nil)
+}
+
+// OpenIndexWrapped is OpenIndex with every page extent store passed
+// through wrap before being attached — the fault-injection seam for
+// on-disk containers. The wrapped stores see exactly the traffic the
+// query paths generate, so a fault-injecting wrapper exercises the
+// Buffer, the decode cache and the tree traversals over either backend.
+func OpenIndexWrapped(path string, wrap StoreWrapper) (Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("stindex: opening index: %w", err)
 	}
-	x, err := openIndexFile(f)
+	x, err := openIndexFile(f, wrap)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -375,7 +406,7 @@ func OpenIndex(path string) (Index, error) {
 	return x, nil
 }
 
-func openIndexFile(f *os.File) (Index, error) {
+func openIndexFile(f *os.File, wrap StoreWrapper) (Index, error) {
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("stindex: opening index: %w", err)
@@ -405,7 +436,7 @@ func openIndexFile(f *os.File) (Index, error) {
 		if err != nil {
 			return nil, fmt.Errorf("stindex: opening page extent %d: %w", i, err)
 		}
-		if err := attach[i](store); err != nil {
+		if err := attach[i](wrapStore(store, wrap)); err != nil {
 			return nil, err
 		}
 		off += length

@@ -128,6 +128,36 @@ func (s *StreamIndex) Live() int { return s.ix.Live() }
 // Kind implements the Index naming convention.
 func (s *StreamIndex) Kind() string { return "stream-ppr" }
 
+// Tree exposes the underlying partially persistent R-tree for advanced
+// inspection (validation walks, statistics).
+func (s *StreamIndex) Tree() *pprtree.Tree { return s.ix.Tree() }
+
+// PieceRecords reconstructs the lifetime pieces the online split rule has
+// created so far as facade records (one per piece, ObjectID = owning
+// object, open pieces ending at Now). This is the record set the stream
+// index actually answers queries over — its online cuts differ from any
+// offline split — so a brute-force scan of PieceRecords is the reference
+// answer for differential checking.
+func (s *StreamIndex) PieceRecords() ([]Record, error) {
+	pieces, err := s.ix.Pieces()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Record, len(pieces))
+	for i, p := range pieces {
+		id, ok := s.ix.OwnerRef(p.Ref)
+		if !ok {
+			return nil, fmt.Errorf("stindex: stream piece ref %d has no owner (corrupt index image?)", p.Ref)
+		}
+		out[i] = Record{
+			Rect:     fromGeomRect(p.Rect),
+			Interval: Interval{Start: p.Interval.Start, End: p.Interval.End},
+			ObjectID: id,
+		}
+	}
+	return out, nil
+}
+
 // Close releases the container file of a lazily opened snapshot; see
 // (*PPRIndex).Close. Idempotent, safe for concurrent callers. A snapshot
 // opened from disk is read-only: Observe, Finish and FinishAll fail with
