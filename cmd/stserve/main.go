@@ -8,6 +8,7 @@
 //	stserve -load default=index.sti
 //	stserve -listen :8080 -load fleet=fleet.sti -load rail=rail.sti -workers 8
 //	stserve -load default=index.sti -queue 128 -reject -timeout 500ms
+//	stserve -load default=index.sti -backend mmap -cache-mb 256
 //
 // Endpoints (see internal/service.NewHandler):
 //
@@ -36,6 +37,8 @@ import (
 	"syscall"
 	"time"
 
+	stx "stindex"
+
 	"stindex/internal/service"
 )
 
@@ -63,11 +66,19 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "default per-query deadline for requests without one (0 = none)")
 		reject  = flag.Bool("reject", false, "fail fast with 503 when the queue is full instead of blocking")
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
+		cacheMB = flag.Int("cache-mb", 0, "shared page-cache budget in MiB across all snapshots (0 = no shared cache)")
+		backend = flag.String("backend", "", "container read flavour: disk (lazy pread), mmap, mem (eager); default STINDEX_BACKEND, then disk")
 	)
 	flag.Var(&loads, "load", "snapshot to serve, as name=container-path (repeatable)")
 	flag.Parse()
 	if len(loads) == 0 {
 		fatal(errors.New("provide at least one -load name=path"))
+	}
+
+	switch *backend {
+	case "", "disk", "mmap", "mem":
+	default:
+		fatal(fmt.Errorf("unknown -backend %q (want disk, mmap or mem)", *backend))
 	}
 
 	svc := service.New(service.Config{
@@ -76,6 +87,8 @@ func main() {
 		BatchSize:      *batch,
 		DefaultTimeout: *timeout,
 		RejectWhenFull: *reject,
+		CacheMB:        *cacheMB,
+		OpenBackend:    stx.Backend(*backend),
 	})
 	for _, l := range loads {
 		snap, err := svc.Registry().Load(l.name, l.path)

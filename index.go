@@ -66,6 +66,13 @@ const (
 	BackendMemory Backend = "mem"
 	// BackendDisk keeps pages in a temporary file, read lazily on demand.
 	BackendDisk Backend = "disk"
+	// BackendMmap memory-maps a saved container's page extents when
+	// opening it (OpenIndexOptions): page reads cost zero syscalls, the
+	// kernel's page cache is the disk buffer. As a *build* backend it is
+	// identical to BackendDisk — building mutates pages, which a read-only
+	// mapping cannot; the mmap choice takes effect at open time. Falls
+	// back to the lazily read window where mmap is unavailable.
+	BackendMmap Backend = "mmap"
 )
 
 func (b Backend) internal() pagefile.Backend { return pagefile.Backend(b) }

@@ -6,11 +6,13 @@ import (
 	"sync"
 
 	stx "stindex"
+	"stindex/internal/pagefile"
 )
 
 // DiffConfig parameterises one differential run. The zero value is
-// filled in by withDefaults: every kind, both backends, parallelism 1
-// and 4, a 400-object workload over horizon 1000 with 200 queries.
+// filled in by withDefaults: every kind, all three backends (memory,
+// disk, mmap-opened), parallelism 1 and 4, a 400-object workload over
+// horizon 1000 with 200 queries.
 type DiffConfig struct {
 	Kinds       []string
 	Backends    []stx.Backend
@@ -27,7 +29,7 @@ func (c DiffConfig) withDefaults() DiffConfig {
 		c.Kinds = AllKinds
 	}
 	if len(c.Backends) == 0 {
-		c.Backends = []stx.Backend{stx.BackendMemory, stx.BackendDisk}
+		c.Backends = []stx.Backend{stx.BackendMemory, stx.BackendDisk, stx.BackendMmap}
 	}
 	if len(c.Parallelism) == 0 {
 		c.Parallelism = []int{1, 4}
@@ -56,11 +58,14 @@ type DiffReport struct {
 }
 
 // RunDiff cross-checks every configured index kind against the
-// brute-force oracle: build on each backend, validate structural
-// invariants, compare every query answer at each parallelism level, and
-// round-trip each kind through a saved container (OpenIndex) once. Any
-// mismatch error names the seed, kind, backend, parallelism and query
-// index — everything needed to reproduce it.
+// brute-force oracle: build on each backend (BackendMmap builds in
+// memory and reopens the saved container memory-mapped), validate
+// structural invariants, compare every query answer at each parallelism
+// level, and round-trip each kind through a saved container twice — once
+// plain (OpenIndex) and once with a shared page cache interposed, whose
+// cache-served second pass must still be oracle-exact. Any mismatch
+// error names the seed, kind, backend, parallelism and query index —
+// everything needed to reproduce it.
 func RunDiff(cfg DiffConfig) (DiffReport, error) {
 	cfg = cfg.withDefaults()
 	rep := DiffReport{Seed: cfg.Seed}
@@ -97,6 +102,17 @@ func RunDiff(cfg DiffConfig) (DiffReport, error) {
 				}
 				rep.Passes++
 				rep.Compared += len(wl.Queries)
+				cfg.Logf("diff seed=%d kind=%s shared-cache round-trip", cfg.Seed, kind)
+				if err := sharedCachePass(idx, wl, expected); err != nil {
+					return rep, fmt.Errorf("check: seed %d: %s shared-cache round-trip: %w", cfg.Seed, kind, err)
+				}
+				rep.Passes++
+				rep.Compared += 2 * len(wl.Queries)
+			}
+			// Mmap-flavoured kinds hold the container file and mapping;
+			// in-memory builds make this a no-op.
+			if err := stx.CloseIndex(idx); err != nil {
+				return rep, fmt.Errorf("check: seed %d: closing %s/%s: %w", cfg.Seed, kind, backend, err)
 			}
 		}
 	}
@@ -178,6 +194,54 @@ func containerPass(idx stx.Index, wl *Workload, expected [][]int64) error {
 	}
 	if err := diffRange(opened, wl, expected, 0, len(wl.Queries), 1); err != nil {
 		return fmt.Errorf("opened container: %w", err)
+	}
+	return stx.CloseIndex(opened)
+}
+
+// sharedCachePass round-trips the index through its container opened
+// with a registry-style shared page cache interposed under the buffer
+// pool. A first pass warms the cache, the private pools are reset, and a
+// second pass — now served largely from the shared cache — must still be
+// oracle-exact; the pass fails if the cache absorbed nothing, and the
+// retired generation must release every entry.
+func sharedCachePass(idx stx.Index, wl *Workload, expected [][]int64) error {
+	f, err := os.CreateTemp("", "stcheck-cache-*.stic")
+	if err != nil {
+		return err
+	}
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	if err := stx.SaveIndex(path, idx); err != nil {
+		return fmt.Errorf("saving container: %w", err)
+	}
+	cache := pagefile.NewSharedCache(16 << 20)
+	counters := &pagefile.CacheCounters{}
+	ext := uint32(0)
+	opened, err := stx.OpenIndexOptions(path, stx.OpenOptions{
+		Wrap: func(s pagefile.Store) pagefile.Store {
+			ws := cache.WrapStore(1, ext, s, counters)
+			ext++
+			return ws
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("opening container: %w", err)
+	}
+	defer stx.CloseIndex(opened)
+	if err := diffRange(opened, wl, expected, 0, len(wl.Queries), 1); err != nil {
+		return fmt.Errorf("cache warm pass: %w", err)
+	}
+	opened.ResetBuffer()
+	if err := diffRange(opened, wl, expected, 0, len(wl.Queries), 1); err != nil {
+		return fmt.Errorf("cache-served pass: %w", err)
+	}
+	if cv := counters.Load(); cv.SharedHits == 0 {
+		return fmt.Errorf("shared cache absorbed nothing (%d store reads)", cv.StoreReads)
+	}
+	cache.Retire(1)
+	if n := cache.EntriesForGen(1); n != 0 {
+		return fmt.Errorf("retired generation still holds %d cache entries", n)
 	}
 	return stx.CloseIndex(opened)
 }

@@ -16,8 +16,9 @@ func TestRunDiffSmall(t *testing.T) {
 	if err != nil {
 		t.Fatalf("seed %d: %v", rep.Seed, err)
 	}
-	// 2 backends x 5 kinds x 2 parallelism levels + 5 container round-trips.
-	if want := 2*5*2 + 5; rep.Passes != want {
+	// 3 backends x 5 kinds x 2 parallelism levels + 5 container
+	// round-trips + 5 shared-cache round-trips.
+	if want := 3*5*2 + 5 + 5; rep.Passes != want {
 		t.Errorf("Passes = %d, want %d", rep.Passes, want)
 	}
 	if rep.Compared == 0 || rep.Queries == 0 {
@@ -36,7 +37,9 @@ func TestRunFaultMatrixSmall(t *testing.T) {
 	if err != nil {
 		t.Fatalf("seed %d: %v", rep.Seed, err)
 	}
-	if want := len(AllKinds) * len(DefaultReadSchedules); rep.Schedules != want {
+	// Every kind runs every schedule in every open flavour (pread, mmap,
+	// disk + shared cache).
+	if want := len(AllKinds) * len(faultVariants) * len(DefaultReadSchedules); rep.Schedules != want {
 		t.Errorf("Schedules = %d, want %d", rep.Schedules, want)
 	}
 	if rep.Injected == 0 {

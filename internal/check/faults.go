@@ -17,22 +17,49 @@ import (
 // random 2% failure rate.
 var DefaultReadSchedules = []string{"read@1", "read@5", "read/7", "short@3", "rand:99:0.02"}
 
+// faultVariant is one open flavour the fault matrix drives each schedule
+// through: the backend the container is reopened with, and whether a
+// shared page cache sits between the fault-injecting store and the
+// buffer pool (the registry's serving arrangement).
+type faultVariant struct {
+	backend stx.Backend
+	cached  bool
+}
+
+func (v faultVariant) String() string {
+	if v.cached {
+		return string(v.backend) + "+cache"
+	}
+	return string(v.backend)
+}
+
+// faultVariants covers the pread window, the memory-mapped flavour, and
+// the shared-cache serving composition.
+var faultVariants = []faultVariant{
+	{stx.BackendDisk, false},
+	{stx.BackendMmap, false},
+	{stx.BackendDisk, true},
+}
+
 // FaultReport summarises a fault-matrix run.
 type FaultReport struct {
 	Seed      int64
-	Schedules int    // (kind, schedule) combinations driven
+	Schedules int    // (kind, variant, schedule) combinations driven
 	Injected  uint64 // total faults fired across all of them
 }
 
 // RunFaultMatrix proves every index kind degrades cleanly under storage
-// faults. For each kind it saves a container, reopens it with each
-// schedule of DefaultReadSchedules injected under the page stores, and
-// requires that under faults every query either matches the oracle or
-// fails with an error wrapping ErrInjected — never a panic, never a
-// silently wrong answer. It then disarms the faults, resets the buffer
-// pool, and requires every query to match the oracle exactly, proving no
-// fault left corrupted state behind (stale cache frames, poisoned decode
-// cache, broken traversal state).
+// faults. For each kind it saves a container, reopens it in each flavour
+// of faultVariants with each schedule of DefaultReadSchedules injected
+// under the page stores, and requires that under faults every query
+// either matches the oracle or fails with an error wrapping ErrInjected
+// — never a panic, never a silently wrong answer. It then disarms the
+// faults, resets the buffer pool, and requires every query to match the
+// oracle exactly, proving no fault left corrupted state behind (stale
+// cache frames, poisoned decode cache, broken traversal state). The
+// cached variant additionally proves the shared cache never retains a
+// page from a failed or short read: cached answers after disarm must
+// still be oracle-exact.
 func RunFaultMatrix(cfg DiffConfig) (FaultReport, error) {
 	cfg = cfg.withDefaults()
 	rep := FaultReport{Seed: cfg.Seed}
@@ -59,30 +86,49 @@ func RunFaultMatrix(cfg DiffConfig) (FaultReport, error) {
 			os.Remove(path)
 			return rep, fmt.Errorf("check: seed %d: saving %s container: %w", cfg.Seed, kind, err)
 		}
-		for _, schedStr := range DefaultReadSchedules {
-			cfg.Logf("faults seed=%d kind=%s schedule=%s", cfg.Seed, kind, schedStr)
-			injected, err := runFaultSchedule(kind, path, schedStr, wl, expected)
-			rep.Injected += injected
-			if err != nil {
-				os.Remove(path)
-				return rep, fmt.Errorf("check: seed %d: kind %s schedule %s: %w", cfg.Seed, kind, schedStr, err)
+		for _, variant := range faultVariants {
+			for _, schedStr := range DefaultReadSchedules {
+				cfg.Logf("faults seed=%d kind=%s variant=%s schedule=%s", cfg.Seed, kind, variant, schedStr)
+				injected, err := runFaultSchedule(kind, path, schedStr, wl, expected, variant)
+				rep.Injected += injected
+				if err != nil {
+					os.Remove(path)
+					return rep, fmt.Errorf("check: seed %d: kind %s variant %s schedule %s: %w",
+						cfg.Seed, kind, variant, schedStr, err)
+				}
+				rep.Schedules++
 			}
-			rep.Schedules++
 		}
 		os.Remove(path)
 	}
 	return rep, nil
 }
 
-// runFaultSchedule opens the container with one fault schedule armed,
-// runs the armed pass, then the disarmed recheck pass.
-func runFaultSchedule(kind, path, schedStr string, wl *Workload, expected [][]int64) (uint64, error) {
+// runFaultSchedule opens the container in the variant's flavour with one
+// fault schedule armed, runs the armed pass, then the disarmed recheck
+// pass. In the cached variant the shared cache wraps the fault store, so
+// cache misses reach the injector while hits are legally served — but
+// only pages that were read successfully ever populate the cache, which
+// the disarmed oracle-exact recheck proves.
+func runFaultSchedule(kind, path, schedStr string, wl *Workload, expected [][]int64, variant faultVariant) (uint64, error) {
 	sched, err := ParseSchedule(schedStr)
 	if err != nil {
 		return 0, err
 	}
 	wrap, stores := Wrapper(sched)
-	idx, err := stx.OpenIndexWrapped(path, wrap)
+	opts := stx.OpenOptions{Backend: variant.backend, Wrap: wrap}
+	var cache *pagefile.SharedCache
+	counters := &pagefile.CacheCounters{}
+	if variant.cached {
+		cache = pagefile.NewSharedCache(16 << 20)
+		ext := uint32(0)
+		opts.Wrap = func(s pagefile.Store) pagefile.Store {
+			ws := cache.WrapStore(1, ext, wrap(s), counters)
+			ext++
+			return ws
+		}
+	}
+	idx, err := stx.OpenIndexOptions(path, opts)
 	if err != nil {
 		// A fault during the open itself must still surface as a clean
 		// injected error, never as a decoding panic or a zombie index.
@@ -134,6 +180,14 @@ func runFaultSchedule(kind, path, schedStr string, wl *Workload, expected [][]in
 	}
 	if err := CheckInvariants(idx); err != nil {
 		return injected, fmt.Errorf("after disarm: %w", err)
+	}
+	if variant.cached {
+		// The variant only means something if the cache actually carried
+		// traffic: with the private pools reset, the recheck must have
+		// been served at least partly from pages cached earlier.
+		if cv := counters.Load(); cv.SharedHits == 0 {
+			return injected, fmt.Errorf("shared cache inert under faults (%d store reads)", cv.StoreReads)
+		}
 	}
 	if err := stx.CloseIndex(idx); err != nil {
 		return injected, fmt.Errorf("close after disarm: %w", err)

@@ -2,6 +2,7 @@ package check
 
 import (
 	"fmt"
+	"os"
 
 	stx "stindex"
 )
@@ -61,7 +62,14 @@ func GenerateWorkload(objects int, horizon, seed int64, queries int) (*Workload,
 // kind replays the objects through the online rule observation by
 // observation (its piece set — and therefore its reference answers — is
 // its own, see StreamIndex.PieceRecords).
+//
+// BackendMmap is an open-time flavour, not a build flavour: the kind is
+// built in memory, saved to a container, and reopened memory-mapped, so
+// diffing it exercises the mmap read path end to end.
 func BuildKind(kind string, wl *Workload, backend stx.Backend) (stx.Index, error) {
+	if backend == stx.BackendMmap {
+		return buildKindOpened(kind, wl, backend)
+	}
 	switch kind {
 	case "ppr":
 		return stx.BuildPPR(wl.Records, stx.PPROptions{Backend: backend})
@@ -78,6 +86,28 @@ func BuildKind(kind string, wl *Workload, backend stx.Backend) (stx.Index, error
 		return buildStream(wl.Objects, backend)
 	}
 	return nil, fmt.Errorf("check: unknown index kind %q", kind)
+}
+
+// buildKindOpened builds the kind in memory, saves it to a temporary
+// container, and reopens it with the requested read flavour. The temp
+// file is unlinked right away — the open descriptor keeps the image
+// readable until the caller's CloseIndex.
+func buildKindOpened(kind string, wl *Workload, backend stx.Backend) (stx.Index, error) {
+	built, err := BuildKind(kind, wl, stx.BackendMemory)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.CreateTemp("", "stcheck-open-*.stic")
+	if err != nil {
+		return nil, err
+	}
+	path := f.Name()
+	f.Close()
+	defer os.Remove(path)
+	if err := stx.SaveIndex(path, built); err != nil {
+		return nil, fmt.Errorf("check: saving %s container for %s open: %w", kind, backend, err)
+	}
+	return stx.OpenIndexOptions(path, stx.OpenOptions{Backend: backend})
 }
 
 // buildStream replays the objects in global time order through the

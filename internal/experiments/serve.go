@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"context"
-	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
@@ -14,12 +13,16 @@ import (
 	"stindex/internal/service"
 )
 
-// ServeRow records the serving throughput of one configuration: an
-// opened container queried through the concurrent service at one worker
-// count and queue depth.
+// ServeRow records the serving throughput of one configuration: a saved
+// container opened in one read flavour, queried through the concurrent
+// service at one worker count, queue depth and shared-cache budget.
 type ServeRow struct {
-	Size    int
+	Size int
+	// Backend is the container read flavour the registry opened the
+	// snapshot with: mem (eager), disk (lazy pread window), mmap.
 	Backend string
+	// CacheMB is the registry's shared page-cache budget (0 = disabled).
+	CacheMB int
 	Workers int
 	Queue   int
 	Batch   int
@@ -31,20 +34,27 @@ type ServeRow struct {
 	// (enqueue to answer, power-of-two buckets).
 	P50US int64
 	P99US int64
-	// HitRate is the served snapshot's buffer hit rate across the run.
+	// HitRate is the fraction of page requests absorbed before the store:
+	// (buffer hits + shared-cache hits) / buffer lookups.
 	HitRate float64
+	// SharedHitRate is the fraction of buffer-pool misses the shared
+	// cache absorbed instead of the page store.
+	SharedHitRate float64
 }
 
-// Serve measures the concurrent query service: one saved container per
-// backend, served to a fixed client fleet across worker counts and queue
-// depths. Unlike the paper's cold-buffer discipline, the serving path
-// keeps session buffers warm — the hit rate column shows what that buys.
+// Serve measures the concurrent query service in two sweeps over one
+// saved container: the service shape (worker count, queue depth, batch
+// size on the lazy disk flavour, no shared cache) and the serving hot
+// path (mem/disk/mmap open flavours crossed with shared-cache budgets at
+// a fixed service shape). Unlike the paper's cold-buffer discipline, the
+// serving path keeps session buffers warm — the hit-rate columns show
+// what the warm pools and the shared cache each buy.
 func Serve(cfg Config) ([]ServeRow, error) {
 	cfg = cfg.withDefaults()
 	n := cfg.Sizes[len(cfg.Sizes)-1]
 	cfg.printf("Serving — stserve engine throughput, %d objects (150%% splits), warm buffers\n", n)
-	cfg.printf("%8s %8s %8s %8s | %10s %8s %8s %8s\n",
-		"backend", "workers", "queue", "batch", "qps", "p50µs", "p99µs", "hit-rate")
+	cfg.printf("%8s %8s %8s %8s %8s | %10s %8s %8s %9s %10s\n",
+		"backend", "cache", "workers", "queue", "batch", "qps", "p50µs", "p99µs", "hit-rate", "shared-hit")
 
 	dir, err := os.MkdirTemp("", "stindex-serve")
 	if err != nil {
@@ -63,33 +73,50 @@ func Serve(cfg Config) ([]ServeRow, error) {
 	}
 	queries := toQueries(qs)
 
+	built, err := stx.BuildPPR(records, stx.PPROptions{Backend: stx.BackendMemory})
+	if err != nil {
+		return nil, err
+	}
+	path := filepath.Join(dir, "serve.sti")
+	if err := stx.SaveIndex(path, built); err != nil {
+		return nil, err
+	}
+
 	const clients = 8
 	var rows []ServeRow
-	for _, backend := range []stx.Backend{stx.BackendMemory, stx.BackendDisk} {
-		built, err := stx.BuildPPR(records, stx.PPROptions{Backend: backend})
+	emit := func(backend stx.Backend, cacheMB, workers, queue, batch int) error {
+		row, err := serveOnce(path, backend, cacheMB, n, workers, queue, batch, clients, queries)
 		if err != nil {
+			return err
+		}
+		rows = append(rows, row)
+		cfg.printf("%8s %7dM %8d %8d %8d | %10.0f %8d %8d %9.3f %10.3f\n",
+			row.Backend, row.CacheMB, row.Workers, row.Queue, row.Batch,
+			row.QPS, row.P50US, row.P99US, row.HitRate, row.SharedHitRate)
+		return nil
+	}
+
+	// Sweep 1 — service shape on the lazy disk flavour, no shared cache.
+	for _, conf := range []struct{ workers, queue, batch int }{
+		{1, 64, 1},
+		{2, 64, 1},
+		{4, 64, 1},
+		{8, 64, 1},
+		{4, 16, 1},
+		{4, 256, 1},
+		{4, 64, 8},
+	} {
+		if err := emit(stx.BackendDisk, 0, conf.workers, conf.queue, conf.batch); err != nil {
 			return nil, err
 		}
-		path := filepath.Join(dir, fmt.Sprintf("serve-%s.sti", backend))
-		if err := stx.SaveIndex(path, built); err != nil {
-			return nil, err
-		}
-		for _, conf := range []struct{ workers, queue, batch int }{
-			{1, 64, 1},
-			{2, 64, 1},
-			{4, 64, 1},
-			{8, 64, 1},
-			{4, 16, 1},
-			{4, 256, 1},
-			{4, 64, 8},
-		} {
-			row, err := serveOnce(path, string(backend), n, conf.workers, conf.queue, conf.batch, clients, queries)
-			if err != nil {
+	}
+	// Sweep 2 — the serving hot path: open flavour x shared-cache budget
+	// at a fixed service shape.
+	for _, backend := range []stx.Backend{stx.BackendMemory, stx.BackendDisk, stx.BackendMmap} {
+		for _, cacheMB := range []int{0, 8, 64} {
+			if err := emit(backend, cacheMB, 4, 64, 1); err != nil {
 				return nil, err
 			}
-			rows = append(rows, row)
-			cfg.printf("%8s %8d %8d %8d | %10.0f %8d %8d %8.3f\n",
-				row.Backend, row.Workers, row.Queue, row.Batch, row.QPS, row.P50US, row.P99US, row.HitRate)
 		}
 	}
 	cfg.printf("\n")
@@ -98,8 +125,14 @@ func Serve(cfg Config) ([]ServeRow, error) {
 
 // serveOnce runs the full query set from a fixed client fleet against a
 // freshly opened container and reports the service's own metrics.
-func serveOnce(path, backend string, size, workers, queue, batch, clients int, queries []stx.Query) (ServeRow, error) {
-	svc := service.New(service.Config{Workers: workers, QueueDepth: queue, BatchSize: batch})
+func serveOnce(path string, backend stx.Backend, cacheMB, size, workers, queue, batch, clients int, queries []stx.Query) (ServeRow, error) {
+	svc := service.New(service.Config{
+		Workers:     workers,
+		QueueDepth:  queue,
+		BatchSize:   batch,
+		CacheMB:     cacheMB,
+		OpenBackend: backend,
+	})
 	if _, err := svc.Registry().Load("bench", path); err != nil {
 		svc.Close()
 		return ServeRow{}, err
@@ -133,13 +166,18 @@ func serveOnce(path, backend string, size, workers, queue, batch, clients int, q
 
 	m := svc.Metrics()
 	row := ServeRow{
-		Size: size, Backend: backend, Workers: workers, Queue: queue, Batch: batch,
+		Size: size, Backend: string(backend), CacheMB: cacheMB,
+		Workers: workers, Queue: queue, Batch: batch,
 		Clients: clients, Queries: int(m.Completed),
 		QPS:   float64(m.Completed) / elapsed.Seconds(),
 		P50US: m.P50US, P99US: m.P99US,
 	}
 	if len(m.Snapshots) == 1 {
-		row.HitRate = m.Snapshots[0].HitRate
+		info := m.Snapshots[0]
+		row.HitRate = info.HitRate
+		if info.Reads > 0 {
+			row.SharedHitRate = float64(info.SharedHits) / float64(info.Reads)
+		}
 	}
 	if err := svc.Close(); err != nil {
 		return ServeRow{}, err

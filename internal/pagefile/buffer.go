@@ -72,6 +72,12 @@ type Buffer struct {
 	free  int32            // free-slot chain (linked via next)
 
 	decoded map[PageID]decodedPage
+
+	// shared is the cross-buffer decode tier, present when the store
+	// implements SharedDecodeCache (the serving layer's shared cache
+	// wrapper). Checked after the private decode map on a decode miss;
+	// fresh decodes are published back to it.
+	shared SharedDecodeCache
 }
 
 // NewBuffer wraps a store with an LRU pool of the given capacity (in
@@ -89,6 +95,7 @@ func NewBuffer(store Store, capacity int) *Buffer {
 		tail:     nilSlot,
 		decoded:  make(map[PageID]decodedPage),
 	}
+	b.shared, _ = store.(SharedDecodeCache)
 	for i := range b.slots {
 		b.slots[i].next = int32(i) + 1
 		b.slots[i].prev = nilSlot
@@ -254,11 +261,20 @@ func (b *Buffer) ReadDecoded(id PageID, decode func(id PageID, data []byte) (any
 	if d, ok := b.decoded[id]; ok && d.version == ver {
 		return d.value, nil
 	}
+	if b.shared != nil {
+		if v, ok := b.shared.CachedDecode(id, ver); ok {
+			b.decoded[id] = decodedPage{version: ver, value: v}
+			return v, nil
+		}
+	}
 	v, err := decode(id, data)
 	if err != nil {
 		return nil, err
 	}
 	b.decoded[id] = decodedPage{version: ver, value: v}
+	if b.shared != nil {
+		b.shared.PublishDecode(id, ver, v)
+	}
 	return v, nil
 }
 

@@ -1,0 +1,219 @@
+package pagefile
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// MmapStore is the memory-mapped flavour of the read-only container
+// window: the page region of a saved extent is mapped straight into the
+// address space, so a page read is a bounds check plus one copy into the
+// caller's frame — zero read syscalls, the kernel's page cache is the
+// disk buffer. It is always read-only (a container extent is frozen by
+// construction); mutating operations fail exactly like the pread
+// window's.
+//
+// Like every frozen Store, an MmapStore is safe for any number of
+// concurrent readers each owning a private Buffer. Close unmaps the
+// region and is idempotent; the container file itself stays owned by
+// whoever opened it.
+type MmapStore struct {
+	mu       sync.Mutex
+	mapping  []byte // full page-aligned mapping; munmap target
+	data     []byte // the extent's page region within mapping
+	pageSize int
+	n        int // pages ever allocated
+	freed    map[PageID]bool
+	freeList []PageID
+}
+
+// newMmapStore maps the page region of the extent described by the
+// read-only pread window d. It fails where mmap is unavailable (platform
+// or filesystem); callers fall back to the pread window.
+func newMmapStore(f *os.File, d *DiskStore) (*MmapStore, error) {
+	if !mmapSupported {
+		return nil, errMmapUnsupported
+	}
+	m := &MmapStore{
+		pageSize: d.pageSize,
+		n:        d.n,
+		freed:    d.freed,
+		freeList: d.freeList,
+	}
+	length := int64(m.n) * int64(m.pageSize)
+	if length > 0 {
+		align := int64(os.Getpagesize())
+		aligned := d.base &^ (align - 1)
+		mapping, err := mmapFile(f, aligned, int(d.base-aligned+length))
+		if err != nil {
+			return nil, fmt.Errorf("pagefile: mapping extent: %w", err)
+		}
+		m.mapping = mapping
+		m.data = mapping[d.base-aligned:]
+	}
+	return m, nil
+}
+
+// PageSize implements Store.
+func (m *MmapStore) PageSize() int { return m.pageSize }
+
+// NumPages implements Store.
+func (m *MmapStore) NumPages() int { return m.n - len(m.freeList) }
+
+// NumAllocated implements Store.
+func (m *MmapStore) NumAllocated() int { return m.n }
+
+// Bytes implements Store.
+func (m *MmapStore) Bytes() int64 { return int64(m.NumPages()) * int64(m.pageSize) }
+
+// FreeList implements Store.
+func (m *MmapStore) FreeList() []PageID { return append([]PageID(nil), m.freeList...) }
+
+// ReadOnly reports that the store rejects mutation, like every opened
+// container window.
+func (m *MmapStore) ReadOnly() bool { return true }
+
+// Allocate implements Store; mapped extents are frozen.
+func (m *MmapStore) Allocate() PageID { return InvalidPage }
+
+// Free implements Store; mapped extents are frozen.
+func (m *MmapStore) Free(PageID) error { return ErrReadOnly }
+
+// WritePage implements Store; mapped extents are frozen.
+func (m *MmapStore) WritePage(PageID, []byte) error { return ErrReadOnly }
+
+// Check implements Store.
+func (m *MmapStore) Check(id PageID) error {
+	if int(id) >= m.n || m.freed[id] {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	return nil
+}
+
+// ReadPage implements Store: one copy out of the mapped region, no
+// syscalls.
+func (m *MmapStore) ReadPage(id PageID, dst []byte) error {
+	if err := m.Check(id); err != nil {
+		return err
+	}
+	data := m.data
+	if data == nil {
+		return fmt.Errorf("%w: %d (store closed)", ErrBadPage, id)
+	}
+	off := int(id) * m.pageSize
+	copy(dst[:m.pageSize], data[off:off+m.pageSize])
+	return nil
+}
+
+// Version implements Store. A mapped extent is frozen, so every page
+// stays at version 0 forever — decodes never go stale.
+func (m *MmapStore) Version(PageID) uint64 { return 0 }
+
+// Close unmaps the region. Idempotent and safe for concurrent callers;
+// reads racing a Close observe either the mapping or a clean ErrBadPage,
+// but the serving layer's refcounting never lets that race happen.
+func (m *MmapStore) Close() error {
+	m.mu.Lock()
+	mapping := m.mapping
+	m.mapping = nil
+	m.data = nil
+	m.mu.Unlock()
+	if mapping == nil {
+		return nil
+	}
+	return munmapFile(mapping)
+}
+
+var _ Store = (*MmapStore)(nil)
+
+// roStore freezes an in-memory File that was materialised from a saved
+// container: reads pass through, mutation fails with ErrReadOnly, and
+// every page reports version 0 — the same observable contract as the
+// pread and mmap container windows.
+type roStore struct {
+	Store
+}
+
+// Allocate implements Store; the materialised extent is frozen.
+func (r *roStore) Allocate() PageID { return InvalidPage }
+
+// Free implements Store; the materialised extent is frozen.
+func (r *roStore) Free(PageID) error { return ErrReadOnly }
+
+// WritePage implements Store; the materialised extent is frozen.
+func (r *roStore) WritePage(PageID, []byte) error { return ErrReadOnly }
+
+// Version implements Store; frozen pages never change.
+func (r *roStore) Version(PageID) uint64 { return 0 }
+
+// ReadOnly reports that the store rejects mutation.
+func (r *roStore) ReadOnly() bool { return true }
+
+// materializeStore copies every live page of a read-only extent window
+// into an in-memory File with the identical allocation state (page ids,
+// free list, reuse order), wrapped read-only. Re-encoding the result is
+// byte-identical to re-encoding the window it came from.
+func materializeStore(s Store) (Store, error) {
+	f := New(s.PageSize())
+	for i := 0; i < s.NumAllocated(); i++ {
+		f.Allocate()
+	}
+	buf := make([]byte, s.PageSize())
+	for i := 0; i < s.NumAllocated(); i++ {
+		id := PageID(i)
+		if s.Check(id) != nil {
+			continue
+		}
+		if err := s.ReadPage(id, buf); err != nil {
+			return nil, err
+		}
+		if err := f.WritePage(id, buf); err != nil {
+			return nil, err
+		}
+	}
+	for _, id := range s.FreeList() {
+		if err := f.Free(id); err != nil {
+			return nil, err
+		}
+	}
+	return &roStore{Store: f}, nil
+}
+
+// OpenExtentBackend opens the page extent at offset off of f with the
+// requested open flavour:
+//
+//   - BackendDisk (and BackendDefault): the lazily read pread window of
+//     OpenExtent — one positioned read syscall per buffer miss.
+//   - BackendMmap: a memory-mapped window (MmapStore) — zero read
+//     syscalls. Falls back to the pread window gracefully when mmap is
+//     unavailable (platform or filesystem).
+//   - BackendMemory: every page materialised eagerly into memory and
+//     frozen — the fastest to read, the slowest to open.
+//
+// All three flavours are observationally identical read-only stores:
+// same page ids, same free list, version 0 everywhere, ErrReadOnly on
+// mutation. The caller retains ownership of f; the returned store's
+// Close releases only the store's own resources (the mapping, for mmap).
+func OpenExtentBackend(f *os.File, off int64, backend Backend) (Store, int64, error) {
+	d, length, err := OpenExtent(f, off)
+	if err != nil {
+		return nil, 0, err
+	}
+	switch backend {
+	case BackendMmap:
+		m, merr := newMmapStore(f, d)
+		if merr != nil {
+			return d, length, nil // graceful fallback to pread
+		}
+		return m, length, nil
+	case BackendMemory:
+		mem, merr := materializeStore(d)
+		if merr != nil {
+			return nil, 0, merr
+		}
+		return mem, length, nil
+	default:
+		return d, length, nil
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !unix
+
+package pagefile
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports whether this platform can memory-map files.
+const mmapSupported = false
+
+var errMmapUnsupported = errors.New("pagefile: mmap not supported on this platform")
+
+func mmapFile(*os.File, int64, int) ([]byte, error) { return nil, errMmapUnsupported }
+
+func munmapFile([]byte) error { return nil }

@@ -1,0 +1,259 @@
+package pagefile
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildTestExtent builds a File with a mixed allocate/write/free history
+// and saves it as an extent in a temp file, returning the file (opened
+// for reading) and the extent offset. The caller closes the file.
+func buildTestExtent(t *testing.T, pageSize, pages, frees int) (*os.File, int64, *File) {
+	t.Helper()
+	src := New(pageSize)
+	for i := 0; i < pages; i++ {
+		id := src.Allocate()
+		img := bytes.Repeat([]byte{byte(i + 1)}, pageSize)
+		img[0] = byte(id)
+		if err := src.WritePage(id, img); err != nil {
+			t.Fatalf("WritePage(%d): %v", id, err)
+		}
+	}
+	for i := 0; i < frees; i++ {
+		if err := src.Free(PageID(i * 2)); err != nil {
+			t.Fatalf("Free(%d): %v", i*2, err)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "extent.stpf")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	// Leave an unaligned prefix before the extent so the mmap path has to
+	// exercise its offset-alignment arithmetic.
+	prefix := []byte("prefix-bytes-to-misalign!")
+	if _, err := f.Write(prefix); err != nil {
+		t.Fatalf("prefix: %v", err)
+	}
+	if _, err := WriteExtent(f, src); err != nil {
+		t.Fatalf("WriteExtent: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	ro, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	f.Close()
+	t.Cleanup(func() { ro.Close() })
+	return ro, int64(len(prefix)), src
+}
+
+// assertFrozenParity checks that got is observationally identical to the
+// source store it was opened from: same shape, same free list, same live
+// page images, version 0 everywhere, and ErrReadOnly/InvalidPage on
+// mutation.
+func assertFrozenParity(t *testing.T, got Store, src *File) {
+	t.Helper()
+	if got.PageSize() != src.PageSize() {
+		t.Fatalf("PageSize = %d, want %d", got.PageSize(), src.PageSize())
+	}
+	if got.NumPages() != src.NumPages() {
+		t.Errorf("NumPages = %d, want %d", got.NumPages(), src.NumPages())
+	}
+	if got.NumAllocated() != src.NumAllocated() {
+		t.Errorf("NumAllocated = %d, want %d", got.NumAllocated(), src.NumAllocated())
+	}
+	if got.Bytes() != src.Bytes() {
+		t.Errorf("Bytes = %d, want %d", got.Bytes(), src.Bytes())
+	}
+	gf, sf := got.FreeList(), src.FreeList()
+	if len(gf) != len(sf) {
+		t.Fatalf("FreeList len = %d, want %d", len(gf), len(sf))
+	}
+	for i := range gf {
+		if gf[i] != sf[i] {
+			t.Errorf("FreeList[%d] = %d, want %d", i, gf[i], sf[i])
+		}
+	}
+	want := make([]byte, src.PageSize())
+	have := make([]byte, src.PageSize())
+	for i := 0; i < src.NumAllocated(); i++ {
+		id := PageID(i)
+		serr, gerr := src.Check(id), got.Check(id)
+		if (serr == nil) != (gerr == nil) {
+			t.Fatalf("Check(%d): src %v, got %v", id, serr, gerr)
+		}
+		if serr != nil {
+			continue
+		}
+		if err := src.ReadPage(id, want); err != nil {
+			t.Fatalf("src.ReadPage(%d): %v", id, err)
+		}
+		if err := got.ReadPage(id, have); err != nil {
+			t.Fatalf("got.ReadPage(%d): %v", id, err)
+		}
+		if !bytes.Equal(want, have) {
+			t.Errorf("page %d image differs", id)
+		}
+		if v := got.Version(id); v != 0 {
+			t.Errorf("Version(%d) = %d, want 0", id, v)
+		}
+	}
+	if id := got.Allocate(); id != InvalidPage {
+		t.Errorf("Allocate = %d, want InvalidPage", id)
+	}
+	if err := got.WritePage(0, want); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("WritePage err = %v, want ErrReadOnly", err)
+	}
+	liveID := PageID(src.NumAllocated() - 1)
+	if err := got.Free(liveID); !errors.Is(err, ErrReadOnly) {
+		t.Errorf("Free err = %v, want ErrReadOnly", err)
+	}
+	ro, ok := got.(interface{ ReadOnly() bool })
+	if !ok || !ro.ReadOnly() {
+		t.Errorf("store does not report ReadOnly")
+	}
+}
+
+func TestOpenExtentBackendFlavours(t *testing.T) {
+	f, off, src := buildTestExtent(t, 256, 9, 3)
+	for _, backend := range []Backend{BackendDefault, BackendDisk, BackendMmap, BackendMemory} {
+		t.Run(string(backend), func(t *testing.T) {
+			s, n, err := OpenExtentBackend(f, off, backend)
+			if err != nil {
+				t.Fatalf("OpenExtentBackend(%q): %v", backend, err)
+			}
+			defer s.Close()
+			if n <= 0 {
+				t.Fatalf("extent length = %d", n)
+			}
+			if backend == BackendMmap && mmapSupported {
+				if _, ok := s.(*MmapStore); !ok {
+					t.Fatalf("backend mmap returned %T, want *MmapStore", s)
+				}
+			}
+			assertFrozenParity(t, s, src)
+
+			// Re-encoding the opened window must be byte-identical to
+			// re-encoding the source, whatever the flavour.
+			var wantBuf, gotBuf bytes.Buffer
+			if _, err := WriteExtent(&wantBuf, src); err != nil {
+				t.Fatalf("WriteExtent(src): %v", err)
+			}
+			if _, err := WriteExtent(&gotBuf, s); err != nil {
+				t.Fatalf("WriteExtent(%q): %v", backend, err)
+			}
+			if !bytes.Equal(wantBuf.Bytes(), gotBuf.Bytes()) {
+				t.Errorf("re-encode differs from source for backend %q", backend)
+			}
+		})
+	}
+}
+
+func TestMmapStoreEmptyExtent(t *testing.T) {
+	f, off, src := buildTestExtent(t, 128, 0, 0)
+	s, _, err := OpenExtentBackend(f, off, BackendMmap)
+	if err != nil {
+		t.Fatalf("OpenExtentBackend: %v", err)
+	}
+	defer s.Close()
+	assertFrozenParity(t, s, src)
+}
+
+func TestMmapStoreCloseIdempotent(t *testing.T) {
+	if !mmapSupported {
+		t.Skip("mmap not supported on this platform")
+	}
+	f, off, _ := buildTestExtent(t, 128, 4, 0)
+	s, _, err := OpenExtentBackend(f, off, BackendMmap)
+	if err != nil {
+		t.Fatalf("OpenExtentBackend: %v", err)
+	}
+	m, ok := s.(*MmapStore)
+	if !ok {
+		t.Fatalf("got %T, want *MmapStore", s)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	buf := make([]byte, m.PageSize())
+	if err := m.ReadPage(0, buf); err == nil {
+		t.Fatalf("ReadPage after Close succeeded")
+	}
+}
+
+func TestMmapStoreConcurrentReaders(t *testing.T) {
+	f, off, src := buildTestExtent(t, 256, 16, 4)
+	s, _, err := OpenExtentBackend(f, off, BackendMmap)
+	if err != nil {
+		t.Fatalf("OpenExtentBackend: %v", err)
+	}
+	defer s.Close()
+
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func() {
+			buf := make([]byte, s.PageSize())
+			want := make([]byte, s.PageSize())
+			for iter := 0; iter < 200; iter++ {
+				for i := 0; i < src.NumAllocated(); i++ {
+					id := PageID(i)
+					if src.Check(id) != nil {
+						continue
+					}
+					if err := s.ReadPage(id, buf); err != nil {
+						done <- err
+						return
+					}
+					src.ReadPage(id, want)
+					if !bytes.Equal(buf, want) {
+						done <- errors.New("page image mismatch under concurrency")
+						return
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDefaultOpenBackend(t *testing.T) {
+	t.Setenv(EnvBackend, "")
+	if b := DefaultOpenBackend(); b != BackendDisk {
+		t.Errorf("default open backend = %q, want disk", b)
+	}
+	t.Setenv(EnvBackend, "mem")
+	if b := DefaultOpenBackend(); b != BackendDisk {
+		t.Errorf("open backend under mem = %q, want disk", b)
+	}
+	t.Setenv(EnvBackend, "mmap")
+	if b := DefaultOpenBackend(); b != BackendMmap {
+		t.Errorf("open backend under mmap = %q, want mmap", b)
+	}
+	// Builds under mmap land on the disk store.
+	if b := DefaultBackend(); b != BackendDisk {
+		t.Errorf("build backend under mmap = %q, want disk", b)
+	}
+	s, err := NewStore(BackendMmap, 128)
+	if err != nil {
+		t.Fatalf("NewStore(mmap): %v", err)
+	}
+	defer s.Close()
+	if _, ok := s.(*DiskStore); !ok {
+		t.Errorf("NewStore(mmap) = %T, want *DiskStore", s)
+	}
+}

@@ -1,0 +1,27 @@
+//go:build unix
+
+package pagefile
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can memory-map files.
+const mmapSupported = true
+
+// errMmapUnsupported is never returned on unix platforms; it exists so
+// platform-independent code can reference one sentinel.
+var errMmapUnsupported = errors.New("pagefile: mmap not supported on this platform")
+
+// mmapFile maps length bytes of f starting at the page-aligned offset
+// off, read-only and shared (the kernel's page cache backs the mapping
+// directly, so reads cost no syscalls and no user-space copies beyond
+// the Buffer's own frame fill).
+func mmapFile(f *os.File, off int64, length int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), off, length, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -1,0 +1,464 @@
+package pagefile
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// cacheStripeCount is the number of lock stripes; a power of two so the
+// stripe pick is a mask. 64 stripes keep lock contention negligible even
+// with dozens of serving workers hammering one hot snapshot.
+const cacheStripeCount = 64
+
+// cacheEntryOverhead approximates the bookkeeping bytes an entry costs
+// beyond its page image (map slot, entry struct, LRU links), so the byte
+// budget stays honest on small pages.
+const cacheEntryOverhead = 96
+
+// pageKey identifies one cached page globally: the owning snapshot
+// generation (registry-wide unique, bumped on every load and hot-swap),
+// the extent ordinal within the container (a hybrid container has two
+// extents whose PageIDs overlap), and the page id. Because the
+// generation is part of the key, a lookup can never return a retired
+// generation's page to a newer one — hot-swap safety is structural, not
+// a protocol.
+type pageKey struct {
+	gen uint64
+	ext uint32
+	id  PageID
+}
+
+func (k pageKey) stripe() uint32 {
+	h := (uint64(k.id)+1)*0x9E3779B97F4A7C15 ^ k.gen*0xBF58476D1CE4E5B9 ^ uint64(k.ext)<<32
+	h ^= h >> 29
+	return uint32(h) & (cacheStripeCount - 1)
+}
+
+// cacheEntry is one resident page: its raw image, its shared decoded
+// form (when some reader has parsed it), and its LRU links within the
+// stripe.
+type cacheEntry struct {
+	key        pageKey
+	prev, next *cacheEntry
+	page       []byte
+	decoded    any
+	hasDecoded bool
+	cost       int64
+}
+
+// cacheStripe is one lock-striped shard: a map plus an intrusive LRU
+// list, evicted by bytes against the stripe's share of the budget.
+type cacheStripe struct {
+	mu         sync.Mutex
+	entries    map[pageKey]*cacheEntry
+	head, tail *cacheEntry
+	bytes      int64
+}
+
+// SharedCacheStats is a point-in-time snapshot of a SharedCache's
+// counters. Hits/Misses count raw-page lookups; DecodeHits/DecodeMisses
+// count decoded-node lookups; Evictions counts entries pushed out by the
+// byte budget (generation retirement is not an eviction).
+type SharedCacheStats struct {
+	Hits         int64 `json:"hits"`
+	Misses       int64 `json:"misses"`
+	DecodeHits   int64 `json:"decode_hits"`
+	DecodeMisses int64 `json:"decode_misses"`
+	Evictions    int64 `json:"evictions"`
+	Entries      int   `json:"entries"`
+	Bytes        int64 `json:"bytes"`
+	Budget       int64 `json:"budget"`
+}
+
+// HitRate returns the fraction of raw-page lookups served from the
+// cache; 0 when there was no traffic.
+func (s SharedCacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// SharedCache is a lock-striped, generation-keyed read cache over frozen
+// page stores — the serving layer's shared warm tier. Opened containers
+// are immutable, so raw page images and their decoded node forms can be
+// shared by every session of a snapshot instead of each session hoarding
+// a private 10-page pool; the cache is sized by a byte budget (split
+// evenly across stripes) with per-stripe LRU eviction.
+//
+// One SharedCache serves a whole registry: entries are keyed by
+// (generation, extent, page), so concurrent snapshots — and the old and
+// new generation during a hot-swap — never collide, and Retire drops a
+// retired generation's entries promptly once its last lease drains.
+//
+// All methods are safe for concurrent use. A nil *SharedCache is valid
+// everywhere and behaves as "no cache".
+type SharedCache struct {
+	stripeBudget int64
+	stripes      [cacheStripeCount]cacheStripe
+
+	hits, misses             atomic.Int64
+	decodeHits, decodeMisses atomic.Int64
+	evictions                atomic.Int64
+}
+
+// NewSharedCache creates a cache with the given total byte budget;
+// budgets <= 0 return nil (no cache), which every method tolerates.
+func NewSharedCache(budgetBytes int64) *SharedCache {
+	if budgetBytes <= 0 {
+		return nil
+	}
+	c := &SharedCache{stripeBudget: budgetBytes / cacheStripeCount}
+	if c.stripeBudget < 1 {
+		c.stripeBudget = 1
+	}
+	for i := range c.stripes {
+		c.stripes[i].entries = make(map[pageKey]*cacheEntry)
+	}
+	return c
+}
+
+// Budget returns the configured total byte budget (0 for a nil cache).
+func (c *SharedCache) Budget() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.stripeBudget * cacheStripeCount
+}
+
+func (s *cacheStripe) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *cacheStripe) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *cacheStripe) moveFront(e *cacheEntry) {
+	if s.head == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// evictOver drops LRU entries until the stripe is within budget, never
+// evicting keep (the entry just touched).
+func (s *cacheStripe) evictOver(c *SharedCache, keep *cacheEntry) {
+	for s.bytes > c.stripeBudget && s.tail != nil && s.tail != keep {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.entries, victim.key)
+		s.bytes -= victim.cost
+		c.evictions.Add(1)
+	}
+}
+
+// getPage copies the cached image of k into dst and reports whether it
+// was resident.
+func (c *SharedCache) getPage(k pageKey, dst []byte) bool {
+	if c == nil {
+		return false
+	}
+	s := &c.stripes[k.stripe()]
+	s.mu.Lock()
+	e := s.entries[k]
+	if e == nil || e.page == nil {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return false
+	}
+	s.moveFront(e)
+	copy(dst, e.page)
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return true
+}
+
+// putPage inserts (or refreshes) the raw image of k. data is copied.
+func (c *SharedCache) putPage(k pageKey, data []byte) {
+	if c == nil {
+		return
+	}
+	page := append([]byte(nil), data...)
+	cost := int64(len(page)) + cacheEntryOverhead
+	s := &c.stripes[k.stripe()]
+	s.mu.Lock()
+	e := s.entries[k]
+	if e == nil {
+		e = &cacheEntry{key: k}
+		s.entries[k] = e
+		s.pushFront(e)
+	} else {
+		s.moveFront(e)
+	}
+	if e.page == nil {
+		e.page = page
+		e.cost += cost
+		s.bytes += cost
+	}
+	s.evictOver(c, e)
+	s.mu.Unlock()
+}
+
+// getDecoded returns the shared decoded form of k, if some reader has
+// published one.
+func (c *SharedCache) getDecoded(k pageKey) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	s := &c.stripes[k.stripe()]
+	s.mu.Lock()
+	e := s.entries[k]
+	if e == nil || !e.hasDecoded {
+		s.mu.Unlock()
+		c.decodeMisses.Add(1)
+		return nil, false
+	}
+	s.moveFront(e)
+	v := e.decoded
+	s.mu.Unlock()
+	c.decodeHits.Add(1)
+	return v, true
+}
+
+// putDecoded publishes the decoded form of k, charged at cost bytes
+// (callers estimate with the page size — a decoded node is the same
+// order of magnitude as its image). Decoded values are shared across
+// goroutines; they must be treated as immutable, which is already the
+// Buffer.ReadDecoded contract.
+func (c *SharedCache) putDecoded(k pageKey, v any, cost int64) {
+	if c == nil {
+		return
+	}
+	cost += cacheEntryOverhead
+	s := &c.stripes[k.stripe()]
+	s.mu.Lock()
+	e := s.entries[k]
+	if e == nil {
+		e = &cacheEntry{key: k}
+		s.entries[k] = e
+		s.pushFront(e)
+	} else {
+		s.moveFront(e)
+	}
+	if !e.hasDecoded {
+		e.decoded = v
+		e.hasDecoded = true
+		e.cost += cost
+		s.bytes += cost
+	}
+	s.evictOver(c, e)
+	s.mu.Unlock()
+}
+
+// Retire drops every entry of the given generation, releasing its share
+// of the budget promptly. Call it when the generation's last lease has
+// drained (no reader can repopulate it afterwards); the generation key
+// already guarantees no other generation could ever see those entries.
+func (c *SharedCache) Retire(gen uint64) {
+	if c == nil {
+		return
+	}
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		for k, e := range s.entries {
+			if k.gen == gen {
+				s.unlink(e)
+				delete(s.entries, k)
+				s.bytes -= e.cost
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+// EntriesForGen counts the resident entries of one generation — a
+// test/debugging helper for asserting prompt retirement.
+func (c *SharedCache) EntriesForGen(gen uint64) int {
+	if c == nil {
+		return 0
+	}
+	n := 0
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		for k := range s.entries {
+			if k.gen == gen {
+				n++
+			}
+		}
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns a point-in-time snapshot of the cache counters and
+// residency.
+func (c *SharedCache) Stats() SharedCacheStats {
+	if c == nil {
+		return SharedCacheStats{}
+	}
+	st := SharedCacheStats{
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
+		DecodeHits:   c.decodeHits.Load(),
+		DecodeMisses: c.decodeMisses.Load(),
+		Evictions:    c.evictions.Load(),
+		Budget:       c.Budget(),
+	}
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		st.Bytes += s.bytes
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// CacheCounters accumulates one consumer's (typically one snapshot's)
+// shared-cache traffic: of the page requests that missed the private
+// session pools, how many the shared cache absorbed (SharedHits) versus
+// how many reached the backing store (StoreReads) — plus the decoded-node
+// split (DecodeHits vs Decodes actually performed). Safe for concurrent
+// use.
+type CacheCounters struct {
+	sharedHits, storeReads, decodeHits, decodes atomic.Int64
+}
+
+// CacheCounterValues is a point-in-time copy of CacheCounters.
+type CacheCounterValues struct {
+	SharedHits int64
+	StoreReads int64
+	DecodeHits int64
+	Decodes    int64
+}
+
+// Load returns the accumulated totals (zeros for a nil receiver).
+func (c *CacheCounters) Load() CacheCounterValues {
+	if c == nil {
+		return CacheCounterValues{}
+	}
+	return CacheCounterValues{
+		SharedHits: c.sharedHits.Load(),
+		StoreReads: c.storeReads.Load(),
+		DecodeHits: c.decodeHits.Load(),
+		Decodes:    c.decodes.Load(),
+	}
+}
+
+// SharedDecodeCache is implemented by stores that can share decoded page
+// forms across buffers (the shared-cache store wrapper). Buffer wires it
+// into ReadDecoded automatically: private decode map first, then the
+// shared tier, decoding only when both miss. Implementations only share
+// version-0 (frozen) pages — a nonzero version means the page can still
+// change, and cross-buffer invalidation is not worth the coordination.
+type SharedDecodeCache interface {
+	// CachedDecode returns the shared decoded form of the page, if any.
+	CachedDecode(id PageID, version uint64) (any, bool)
+	// PublishDecode shares a freshly decoded form with other buffers.
+	PublishDecode(id PageID, version uint64, v any)
+}
+
+// cachedStore interposes the shared cache between a Buffer and a frozen
+// backing store: raw-page misses of the private pools are served from
+// the striped cache when resident, and decoded nodes are shared through
+// the SharedDecodeCache interface. Everything else forwards.
+type cachedStore struct {
+	Store
+	cache    *SharedCache
+	gen      uint64
+	ext      uint32
+	counters *CacheCounters
+}
+
+// WrapStore interposes the cache in front of a frozen store, keying its
+// entries by (gen, ext). counters may be nil; when non-nil it receives
+// the per-consumer hit/read split (share one CacheCounters across the
+// extents of one snapshot). A nil cache returns s unchanged.
+func (c *SharedCache) WrapStore(gen uint64, ext uint32, s Store, counters *CacheCounters) Store {
+	if c == nil {
+		return s
+	}
+	return &cachedStore{Store: s, cache: c, gen: gen, ext: ext, counters: counters}
+}
+
+func (cs *cachedStore) key(id PageID) pageKey {
+	return pageKey{gen: cs.gen, ext: cs.ext, id: id}
+}
+
+// ReadPage implements Store: striped-cache lookup first, backing store
+// on a miss (populating the cache on success). Errors never populate.
+func (cs *cachedStore) ReadPage(id PageID, dst []byte) error {
+	if cs.cache.getPage(cs.key(id), dst) {
+		if cs.counters != nil {
+			cs.counters.sharedHits.Add(1)
+		}
+		return nil
+	}
+	if err := cs.Store.ReadPage(id, dst); err != nil {
+		return err
+	}
+	if cs.counters != nil {
+		cs.counters.storeReads.Add(1)
+	}
+	cs.cache.putPage(cs.key(id), dst[:cs.Store.PageSize()])
+	return nil
+}
+
+// ReadOnly forwards the underlying store's read-only contract, so the
+// facade's ErrReadOnly detection sees through the wrapper.
+func (cs *cachedStore) ReadOnly() bool {
+	ro, ok := cs.Store.(interface{ ReadOnly() bool })
+	return ok && ro.ReadOnly()
+}
+
+// CachedDecode implements SharedDecodeCache. Only frozen (version 0)
+// pages are shared; serving stores are always frozen.
+func (cs *cachedStore) CachedDecode(id PageID, version uint64) (any, bool) {
+	if version != 0 {
+		return nil, false
+	}
+	v, ok := cs.cache.getDecoded(cs.key(id))
+	if ok && cs.counters != nil {
+		cs.counters.decodeHits.Add(1)
+	}
+	return v, ok
+}
+
+// PublishDecode implements SharedDecodeCache.
+func (cs *cachedStore) PublishDecode(id PageID, version uint64, v any) {
+	if version != 0 {
+		return
+	}
+	if cs.counters != nil {
+		cs.counters.decodes.Add(1)
+	}
+	cs.cache.putDecoded(cs.key(id), v, int64(cs.Store.PageSize()))
+}
+
+var (
+	_ Store             = (*cachedStore)(nil)
+	_ SharedDecodeCache = (*cachedStore)(nil)
+)

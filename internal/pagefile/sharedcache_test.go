@@ -1,0 +1,311 @@
+package pagefile
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// buildFrozenFile returns a read-only in-memory store with n distinct
+// pages, suitable as the backing tier under a shared cache.
+func buildFrozenFile(t *testing.T, pageSize, n int) Store {
+	t.Helper()
+	f := New(pageSize)
+	for i := 0; i < n; i++ {
+		id := f.Allocate()
+		img := bytes.Repeat([]byte{byte(i + 1)}, pageSize)
+		if err := f.WritePage(id, img); err != nil {
+			t.Fatalf("WritePage: %v", err)
+		}
+	}
+	return &roStore{Store: f}
+}
+
+func TestSharedCacheNilSafe(t *testing.T) {
+	var c *SharedCache
+	if got := NewSharedCache(0); got != nil {
+		t.Fatalf("NewSharedCache(0) = %v, want nil", got)
+	}
+	if c.getPage(pageKey{}, nil) {
+		t.Error("nil cache reported a hit")
+	}
+	c.putPage(pageKey{}, []byte{1})
+	if _, ok := c.getDecoded(pageKey{}); ok {
+		t.Error("nil cache reported a decode hit")
+	}
+	c.putDecoded(pageKey{}, 42, 10)
+	c.Retire(1)
+	if n := c.EntriesForGen(1); n != 0 {
+		t.Errorf("nil cache EntriesForGen = %d", n)
+	}
+	if st := c.Stats(); st != (SharedCacheStats{}) {
+		t.Errorf("nil cache Stats = %+v", st)
+	}
+	base := buildFrozenFile(t, 64, 1)
+	if got := c.WrapStore(1, 0, base, nil); got != base {
+		t.Errorf("nil cache WrapStore did not pass through")
+	}
+}
+
+func TestSharedCachePageRoundTrip(t *testing.T) {
+	c := NewSharedCache(1 << 20)
+	k := pageKey{gen: 3, ext: 1, id: 7}
+	dst := make([]byte, 8)
+	if c.getPage(k, dst) {
+		t.Fatal("hit on empty cache")
+	}
+	c.putPage(k, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	if !c.getPage(k, dst) {
+		t.Fatal("miss after put")
+	}
+	if !bytes.Equal(dst, []byte{1, 2, 3, 4, 5, 6, 7, 8}) {
+		t.Fatalf("got %v", dst)
+	}
+	// A different generation, extent, or id never sees the entry.
+	for _, other := range []pageKey{{gen: 4, ext: 1, id: 7}, {gen: 3, ext: 0, id: 7}, {gen: 3, ext: 1, id: 8}} {
+		if c.getPage(other, dst) {
+			t.Errorf("key %+v hit entry of %+v", other, k)
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v, want 1 hit, 1 entry", st)
+	}
+	if st.HitRate() <= 0 {
+		t.Errorf("hit rate = %v", st.HitRate())
+	}
+}
+
+func TestSharedCacheEviction(t *testing.T) {
+	const pageSize = 1024
+	// Budget for roughly two pages per stripe; inserting many pages that
+	// hash to arbitrary stripes must keep every stripe within budget.
+	c := NewSharedCache(int64(cacheStripeCount) * (pageSize + cacheEntryOverhead) * 2)
+	img := make([]byte, pageSize)
+	for i := 0; i < 10*cacheStripeCount; i++ {
+		c.putPage(pageKey{gen: 1, id: PageID(i)}, img)
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions after overfill: %+v", st)
+	}
+	if st.Bytes > c.Budget() {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, c.Budget())
+	}
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		s.mu.Lock()
+		over := s.bytes > c.stripeBudget
+		n := len(s.entries)
+		b := s.bytes
+		s.mu.Unlock()
+		if over {
+			t.Fatalf("stripe %d over budget: %d bytes, %d entries", i, b, n)
+		}
+	}
+}
+
+func TestSharedCacheRetire(t *testing.T) {
+	c := NewSharedCache(1 << 20)
+	img := []byte{9, 9, 9, 9}
+	for gen := uint64(1); gen <= 3; gen++ {
+		for i := 0; i < 50; i++ {
+			c.putPage(pageKey{gen: gen, id: PageID(i)}, img)
+		}
+	}
+	if n := c.EntriesForGen(2); n != 50 {
+		t.Fatalf("gen 2 entries = %d, want 50", n)
+	}
+	before := c.Stats().Bytes
+	c.Retire(2)
+	if n := c.EntriesForGen(2); n != 0 {
+		t.Fatalf("gen 2 entries after Retire = %d", n)
+	}
+	if n := c.EntriesForGen(1); n != 50 {
+		t.Fatalf("Retire(2) touched gen 1: %d entries", n)
+	}
+	if n := c.EntriesForGen(3); n != 50 {
+		t.Fatalf("Retire(2) touched gen 3: %d entries", n)
+	}
+	after := c.Stats().Bytes
+	if after >= before {
+		t.Fatalf("Retire released no bytes: %d -> %d", before, after)
+	}
+	dst := make([]byte, 4)
+	if c.getPage(pageKey{gen: 2, id: 0}, dst) {
+		t.Fatal("retired page still served")
+	}
+}
+
+func TestCachedStoreServesHitsAndCounts(t *testing.T) {
+	const pageSize = 128
+	base := buildFrozenFile(t, pageSize, 8)
+	c := NewSharedCache(1 << 20)
+	var counters CacheCounters
+	s := c.WrapStore(7, 0, base, &counters)
+
+	if ro, ok := s.(interface{ ReadOnly() bool }); !ok || !ro.ReadOnly() {
+		t.Fatal("wrapped store lost its ReadOnly contract")
+	}
+
+	dst := make([]byte, pageSize)
+	want := make([]byte, pageSize)
+	// First pass: all store reads, cache fills.
+	for i := 0; i < 8; i++ {
+		if err := s.ReadPage(PageID(i), dst); err != nil {
+			t.Fatalf("ReadPage: %v", err)
+		}
+	}
+	// Second pass: all shared hits, bit-identical images.
+	for i := 0; i < 8; i++ {
+		if err := s.ReadPage(PageID(i), dst); err != nil {
+			t.Fatalf("ReadPage: %v", err)
+		}
+		base.ReadPage(PageID(i), want)
+		if !bytes.Equal(dst, want) {
+			t.Fatalf("cached image of page %d differs", i)
+		}
+	}
+	v := counters.Load()
+	if v.StoreReads != 8 || v.SharedHits != 8 {
+		t.Fatalf("counters = %+v, want 8 store reads and 8 shared hits", v)
+	}
+	// Errors must not populate or count.
+	if err := s.ReadPage(PageID(99), dst); err == nil {
+		t.Fatal("read of bad page succeeded")
+	}
+	if got := counters.Load(); got.StoreReads != 8 {
+		t.Fatalf("error read counted: %+v", got)
+	}
+}
+
+func TestSharedDecodeAcrossBuffers(t *testing.T) {
+	const pageSize = 128
+	base := buildFrozenFile(t, pageSize, 4)
+	c := NewSharedCache(1 << 20)
+	var counters CacheCounters
+	s := c.WrapStore(1, 0, base, &counters)
+
+	decodes := 0
+	decode := func(id PageID, data []byte) (any, error) {
+		decodes++
+		return int(data[0]), nil
+	}
+
+	b1 := NewBuffer(s, 10)
+	for i := 0; i < 4; i++ {
+		if _, err := b1.ReadDecoded(PageID(i), decode); err != nil {
+			t.Fatalf("b1 decode: %v", err)
+		}
+	}
+	if decodes != 4 {
+		t.Fatalf("decodes after first buffer = %d, want 4", decodes)
+	}
+
+	// A second session's buffer reuses the published decodes: zero new
+	// decode calls, same shared values.
+	b2 := NewBuffer(s, 10)
+	for i := 0; i < 4; i++ {
+		v, err := b2.ReadDecoded(PageID(i), decode)
+		if err != nil {
+			t.Fatalf("b2 decode: %v", err)
+		}
+		if v.(int) != i+1 {
+			t.Fatalf("page %d decoded to %v, want %d", i, v, i+1)
+		}
+	}
+	if decodes != 4 {
+		t.Fatalf("second buffer re-decoded: %d decode calls", decodes)
+	}
+	v := counters.Load()
+	if v.Decodes != 4 || v.DecodeHits != 4 {
+		t.Fatalf("decode counters = %+v, want 4 decodes and 4 hits", v)
+	}
+
+	// The I/O accounting contract holds: both buffers miss identically.
+	if got := b1.Stats().Reads; got != 4 {
+		t.Fatalf("b1 reads = %d, want 4", got)
+	}
+	if got := b2.Stats().Reads; got != 4 {
+		t.Fatalf("b2 reads = %d, want 4", got)
+	}
+}
+
+func TestSharedDecodeIgnoresMutableVersions(t *testing.T) {
+	// A writable store has nonzero versions after writes; the shared tier
+	// must refuse to serve or publish those pages.
+	f := New(64)
+	id := f.Allocate()
+	if err := f.WritePage(id, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	c := NewSharedCache(1 << 20)
+	s := c.WrapStore(1, 0, f, nil)
+	sd := s.(SharedDecodeCache)
+	sd.PublishDecode(id, f.Version(id), "decoded")
+	if _, ok := sd.CachedDecode(id, f.Version(id)); ok {
+		t.Fatal("mutable-version decode was shared")
+	}
+	st := c.Stats()
+	if st.Entries != 0 {
+		t.Fatalf("mutable page cached: %+v", st)
+	}
+}
+
+func TestSharedCacheConcurrent(t *testing.T) {
+	const pageSize = 256
+	base := buildFrozenFile(t, pageSize, 32)
+	c := NewSharedCache(1 << 20)
+	var counters CacheCounters
+	s := c.WrapStore(5, 0, base, &counters)
+	decode := func(id PageID, data []byte) (any, error) { return int(data[0]), nil }
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			b := NewBuffer(s, 4)
+			for iter := 0; iter < 300; iter++ {
+				id := PageID((seed*31 + iter*7) % 32)
+				v, err := b.ReadDecoded(id, decode)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v.(int) != int(id)+1 {
+					errs <- &PageError{}
+					return
+				}
+				if iter%50 == 0 {
+					b.Reset()
+				}
+			}
+		}(g)
+	}
+	// A concurrent retirer on a different generation must not disturb the
+	// readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			c.putPage(pageKey{gen: 99, id: PageID(i)}, make([]byte, pageSize))
+			c.Retire(99)
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	v := counters.Load()
+	if v.SharedHits == 0 {
+		t.Fatalf("no shared hits under concurrency: %+v", v)
+	}
+}
+
+// PageError is a trivial error used by the concurrency test.
+type PageError struct{}
+
+func (*PageError) Error() string { return "decoded value mismatch" }

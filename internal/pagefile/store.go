@@ -17,6 +17,13 @@ const (
 	// BackendDisk is the file-backed store (DiskStore): pages live in a
 	// real file and are read lazily on demand.
 	BackendDisk Backend = "disk"
+	// BackendMmap is the memory-mapped flavour of the container window:
+	// opened extents are mapped read-only (MmapStore), so page reads cost
+	// zero syscalls. It only exists as an *open* flavour — building an
+	// index with BackendMmap uses the file-backed DiskStore (a build
+	// mutates pages, which a mapping cannot), and the mmap choice takes
+	// effect when the saved container is opened.
+	BackendMmap Backend = "mmap"
 )
 
 // EnvBackend is the environment variable consulted by DefaultBackend.
@@ -83,15 +90,30 @@ type Store interface {
 	Close() error
 }
 
-// DefaultBackend returns the backend selected by the STINDEX_BACKEND
-// environment variable ("mem" or "disk"), defaulting to memory.
+// DefaultBackend returns the *build* backend selected by the
+// STINDEX_BACKEND environment variable, defaulting to memory. "mmap"
+// selects the disk store for builds (mmap is a read-only open flavour;
+// see BackendMmap) so that STINDEX_BACKEND=mmap runs builds on real
+// files and opens on mappings.
 func DefaultBackend() Backend {
 	switch Backend(os.Getenv(EnvBackend)) {
-	case BackendDisk:
+	case BackendDisk, BackendMmap:
 		return BackendDisk
 	default:
 		return BackendMemory
 	}
+}
+
+// DefaultOpenBackend returns the *open* flavour selected by the
+// STINDEX_BACKEND environment variable: "mmap" opens saved containers
+// through memory mappings, anything else through the lazily read pread
+// window (the historical default — "mem" deliberately does NOT eager-load
+// opens, so the env variable keeps its established meaning for builds).
+func DefaultOpenBackend() Backend {
+	if Backend(os.Getenv(EnvBackend)) == BackendMmap {
+		return BackendMmap
+	}
+	return BackendDisk
 }
 
 // NewStore creates an empty store of the requested backend.
@@ -104,7 +126,10 @@ func NewStore(backend Backend, pageSize int) (Store, error) {
 	switch backend {
 	case BackendMemory:
 		return New(pageSize), nil
-	case BackendDisk:
+	case BackendDisk, BackendMmap:
+		// Builds mutate pages; mmap is a read-only open flavour, so a
+		// "mmap" build lands on the file-backed store (same layout, same
+		// container image — the mapping happens at open time).
 		return NewDiskStore(pageSize)
 	default:
 		return nil, errors.New("pagefile: unknown backend " + string(backend))

@@ -1,0 +1,242 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	stx "stindex"
+)
+
+// buildIndexSeed builds a PPR index over a seed-controlled dataset, so
+// two seeds give two snapshots with genuinely different answers.
+func buildIndexSeed(t *testing.T, seed int64) stx.Index {
+	t.Helper()
+	objs, err := stx.GenerateRandom(stx.RandomDatasetConfig{N: 400, Horizon: 500, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	records, _, err := stx.SplitDataset(objs, stx.SplitConfig{Budget: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := stx.BuildPPR(records, stx.PPROptions{Backend: stx.BackendMemory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
+// expectedAnswers runs the workload against a private eager copy of the
+// container — the reference answers for that container.
+func expectedAnswers(t *testing.T, path string, queries []stx.Query) [][]int64 {
+	t.Helper()
+	ix, err := stx.OpenIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stx.CloseIndex(ix)
+	out := make([][]int64, len(queries))
+	for i, q := range queries {
+		ids, err := stx.RunQuery(ix, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = ids
+	}
+	return out
+}
+
+// TestSharedCacheAbsorbsRepeatTraffic pins the tentpole's point: across
+// sessions, page requests that miss the private pools are served by the
+// registry-wide shared cache instead of the store, the split counters
+// partition cleanly, and answers stay bit-identical to an uncached
+// registry.
+func TestSharedCacheAbsorbsRepeatTraffic(t *testing.T) {
+	path := saveContainer(t, buildIndexSeed(t, 11))
+	queries := testQueries(t, 40)
+	want := expectedAnswers(t, path, queries)
+
+	reg := NewRegistryConfig(RegistryConfig{CacheBytes: 32 << 20})
+	if reg.Cache() == nil {
+		t.Fatal("configured registry has no cache")
+	}
+	if _, err := reg.Load("data", path); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	// Several fresh sessions in sequence: the first warms the shared
+	// cache, later ones should be absorbed by it.
+	for s := 0; s < 4; s++ {
+		sess := NewSession(reg)
+		for i, q := range queries {
+			res, err := sess.Query(context.Background(), "data", q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(res.IDs, want[i]) {
+				t.Fatalf("session %d query %d: ids %v, want %v", s, i, res.IDs, want[i])
+			}
+		}
+	}
+
+	infos := reg.List()
+	if len(infos) != 1 {
+		t.Fatalf("List returned %d entries", len(infos))
+	}
+	info := infos[0]
+	if info.SharedHits == 0 {
+		t.Fatalf("no shared-cache hits after repeat sessions: %+v", info)
+	}
+	if info.SharedHits+info.StoreReads != info.Reads {
+		t.Fatalf("counters do not partition: shared %d + store %d != reads %d",
+			info.SharedHits, info.StoreReads, info.Reads)
+	}
+	if info.HitRate <= 0 || info.HitRate > 1 {
+		t.Fatalf("hit rate out of range: %v", info.HitRate)
+	}
+	if info.Decodes == 0 || info.DecodeHits == 0 {
+		t.Fatalf("decode sharing inert: %+v", info)
+	}
+	if st := reg.Cache().Stats(); st.Bytes == 0 || st.Entries == 0 {
+		t.Fatalf("cache reports no residency: %+v", st)
+	}
+}
+
+// TestHotSwapRetiresCacheGeneration is the stale-page regression test:
+// queries run concurrently with repeated hot-swaps between two different
+// datasets under one name, and every answer must match the dataset of
+// the generation that served it — a stale shared-cache page would break
+// that. After the registry closes, no retired generation may have
+// resident cache entries. Run under -race in CI.
+func TestHotSwapRetiresCacheGeneration(t *testing.T) {
+	pathA := saveContainer(t, buildIndexSeed(t, 11))
+	pathB := saveContainer(t, buildIndexSeed(t, 77))
+	queries := testQueries(t, 12)
+	wantA := expectedAnswers(t, pathA, queries)
+	wantB := expectedAnswers(t, pathB, queries)
+
+	reg := NewRegistryConfig(RegistryConfig{CacheBytes: 16 << 20})
+	snap, err := reg.Load("data", pathA)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One goroutine performs every load, so generations are handed out
+	// sequentially and the gen → dataset mapping is known before the
+	// queries start: base+1+i serves paths[i%2].
+	const swaps = 40
+	base := snap.Gen()
+	paths := []string{pathB, pathA}
+	genPath := map[uint64]string{base: pathA}
+	allGens := []uint64{base}
+	for i := 0; i < swaps; i++ {
+		genPath[base+1+uint64(i)] = paths[i%2]
+		allGens = append(allGens, base+1+uint64(i))
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errCh := make(chan error, 8)
+
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sess := NewSession(reg)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				qi := i % len(queries)
+				res, err := sess.Query(context.Background(), "data", queries[qi])
+				if err != nil {
+					errCh <- err
+					return
+				}
+				path := genPath[res.Gen]
+				var want []int64
+				switch path {
+				case pathA:
+					want = wantA[qi]
+				case pathB:
+					want = wantB[qi]
+				default:
+					t.Errorf("result from unknown generation %d", res.Gen)
+					errCh <- nil
+					return
+				}
+				if !sameIDs(res.IDs, want) {
+					t.Errorf("gen %d (%s) query %d: got %v, want %v — stale page served across hot-swap",
+						res.Gen, path, qi, res.IDs, want)
+					errCh <- nil
+					return
+				}
+			}
+		}()
+	}
+
+	for i := 0; i < swaps; i++ {
+		snap, err := reg.Load("data", paths[i%2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Gen() != base+1+uint64(i) {
+			t.Fatalf("generation %d handed out for swap %d, want %d", snap.Gen(), i, base+1+uint64(i))
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+		return // an Errorf above already failed the test
+	default:
+	}
+
+	// Every generation but the live one has fully drained; its cache
+	// entries must be gone the moment the last lease released.
+	live := allGens[len(allGens)-1]
+	for _, gen := range allGens {
+		if gen == live {
+			continue
+		}
+		if n := reg.Cache().EntriesForGen(gen); n != 0 {
+			t.Fatalf("retired generation %d still holds %d cache entries", gen, n)
+		}
+	}
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Cache().EntriesForGen(live); n != 0 {
+		t.Fatalf("closed registry's live generation %d still holds %d cache entries", live, n)
+	}
+}
+
+// TestPublishServesUncached pins that Publish-ed (in-memory) snapshots
+// bypass the shared cache but still answer correctly with zeroed split
+// counters.
+func TestPublishServesUncached(t *testing.T) {
+	reg := NewRegistryConfig(RegistryConfig{CacheBytes: 8 << 20})
+	if _, err := reg.Publish("mem", buildIndexSeed(t, 11)); err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+	sess := NewSession(reg)
+	for _, q := range testQueries(t, 10) {
+		if _, err := sess.Query(context.Background(), "mem", q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	info := reg.List()[0]
+	if info.SharedHits != 0 || info.StoreReads != 0 {
+		t.Fatalf("published snapshot touched the shared cache: %+v", info)
+	}
+	if st := reg.Cache().Stats(); st.Entries != 0 {
+		t.Fatalf("published snapshot populated the cache: %+v", st)
+	}
+}

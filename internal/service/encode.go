@@ -1,0 +1,186 @@
+package service
+
+import (
+	"encoding/binary"
+	"strconv"
+	"sync"
+	"unicode/utf8"
+)
+
+// The /query answer is the serving hot path: at steady state it must not
+// allocate. encoding/json reflects over the value and allocates per call,
+// so the response is rendered by hand — either as the same JSON the
+// reflective encoder used to produce, or as a compact binary frame — into
+// a pooled buffer that is recycled after the write.
+
+// respBufPool recycles response buffers across /query requests. Pooling
+// the slice via a pointer keeps the pool interface-conversion
+// allocation-free.
+var respBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+// getRespBuf fetches an empty response buffer from the pool.
+func getRespBuf() *[]byte {
+	bp := respBufPool.Get().(*[]byte)
+	*bp = (*bp)[:0]
+	return bp
+}
+
+// putRespBuf recycles a response buffer. Oversized buffers (a huge
+// result set) are dropped instead of pinning their backing arrays in the
+// pool.
+func putRespBuf(bp *[]byte) {
+	if cap(*bp) > 1<<20 {
+		return
+	}
+	respBufPool.Put(bp)
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal, escaping exactly
+// the characters encoding/json escapes by default (quotes, backslash,
+// control characters, and the HTML-unsafe <, >, &, U+2028, U+2029), so
+// hand-rolled responses are byte-compatible with the reflective encoder.
+func appendJSONString(buf []byte, s string) []byte {
+	buf = append(buf, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		b := s[i]
+		if b < utf8.RuneSelf {
+			if b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&' {
+				i++
+				continue
+			}
+			buf = append(buf, s[start:i]...)
+			switch b {
+			case '"':
+				buf = append(buf, '\\', '"')
+			case '\\':
+				buf = append(buf, '\\', '\\')
+			case '\n':
+				buf = append(buf, '\\', 'n')
+			case '\r':
+				buf = append(buf, '\\', 'r')
+			case '\t':
+				buf = append(buf, '\\', 't')
+			default:
+				buf = append(buf, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		r, size := utf8.DecodeRuneInString(s[i:])
+		if r == utf8.RuneError && size == 1 {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if r == '\u2028' || r == '\u2029' {
+			buf = append(buf, s[start:i]...)
+			buf = append(buf, '\\', 'u', '2', '0', '2', hexDigits[r&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	buf = append(buf, s[start:]...)
+	return append(buf, '"')
+}
+
+// appendQueryResponseJSON renders the /query JSON answer — the exact
+// shape (field order, escaping, trailing newline) encoding/json produced
+// for the queryResponse struct — without allocating beyond buf's growth.
+func appendQueryResponseJSON(buf []byte, snapshot string, gen uint64, ids []int64, io, elapsedUS int64) []byte {
+	buf = append(buf, `{"snapshot":`...)
+	buf = appendJSONString(buf, snapshot)
+	buf = append(buf, `,"gen":`...)
+	buf = strconv.AppendUint(buf, gen, 10)
+	buf = append(buf, `,"count":`...)
+	buf = strconv.AppendInt(buf, int64(len(ids)), 10)
+	buf = append(buf, `,"ids":[`...)
+	for i, id := range ids {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendInt(buf, id, 10)
+	}
+	buf = append(buf, `],"io":`...)
+	buf = strconv.AppendInt(buf, io, 10)
+	buf = append(buf, `,"elapsed_us":`...)
+	buf = strconv.AppendInt(buf, elapsedUS, 10)
+	return append(buf, '}', '\n')
+}
+
+// Binary query-response frame (little endian), selected with
+// Accept: application/x-stindex or ?format=binary:
+//
+//	magic      [4]byte "STQ1"
+//	reserved   u32  0
+//	gen        u64
+//	io         u64
+//	elapsed_us u64
+//	nameLen    u16
+//	name       nameLen bytes (snapshot name, UTF-8)
+//	count      u32
+//	ids        count × i64
+const (
+	binaryMagic = "STQ1"
+	// BinaryContentType is the media type of the binary /query frame.
+	BinaryContentType = "application/x-stindex"
+)
+
+// appendQueryResponseBinary renders the binary /query frame.
+func appendQueryResponseBinary(buf []byte, snapshot string, gen uint64, ids []int64, io, elapsedUS int64) []byte {
+	buf = append(buf, binaryMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, gen)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(io))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(elapsedUS))
+	if len(snapshot) > 1<<16-1 {
+		snapshot = snapshot[:1<<16-1]
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(snapshot)))
+	buf = append(buf, snapshot...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
+	for _, id := range ids {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	return buf
+}
+
+// DecodeBinaryResponse parses a binary /query frame — the client-side
+// counterpart of the encoder, used by tests and benchmark drivers.
+func DecodeBinaryResponse(frame []byte) (snapshot string, gen uint64, ids []int64, io, elapsedUS int64, ok bool) {
+	const head = 4 + 4 + 8 + 8 + 8 + 2
+	if len(frame) < head || string(frame[:4]) != binaryMagic {
+		return "", 0, nil, 0, 0, false
+	}
+	gen = binary.LittleEndian.Uint64(frame[8:])
+	io = int64(binary.LittleEndian.Uint64(frame[16:]))
+	elapsedUS = int64(binary.LittleEndian.Uint64(frame[24:]))
+	nameLen := int(binary.LittleEndian.Uint16(frame[32:]))
+	if len(frame) < head+nameLen+4 {
+		return "", 0, nil, 0, 0, false
+	}
+	snapshot = string(frame[head : head+nameLen])
+	rest := frame[head+nameLen:]
+	count := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if len(rest) != count*8 {
+		return "", 0, nil, 0, 0, false
+	}
+	ids = make([]int64, count)
+	for i := range ids {
+		ids[i] = int64(binary.LittleEndian.Uint64(rest[i*8:]))
+	}
+	return snapshot, gen, ids, io, elapsedUS, true
+}

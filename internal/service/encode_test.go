@@ -1,0 +1,261 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"testing"
+
+	stx "stindex"
+)
+
+// TestAppendQueryResponseJSONMatchesEncodingJSON pins the hand-rolled
+// encoder to the reflective one byte for byte, across the envelope
+// shapes the server produces (empty results, negative ids, snapshot
+// names needing escapes).
+func TestAppendQueryResponseJSONMatchesEncodingJSON(t *testing.T) {
+	cases := []queryResponse{
+		{Snapshot: "default", Gen: 1, Count: 0, IDs: []int64{}, IO: 0, ElapsedUS: 0},
+		{Snapshot: "data", Gen: 42, Count: 3, IDs: []int64{7, -9, math.MaxInt64}, IO: 12, ElapsedUS: 345},
+		{Snapshot: "", Gen: 0, Count: 1, IDs: []int64{math.MinInt64}, IO: -1, ElapsedUS: 9999999},
+		{Snapshot: `we"ird\name`, Gen: 3, Count: 0, IDs: []int64{}, IO: 1, ElapsedUS: 2},
+		{Snapshot: "tab\there\nand<html>&stuff", Gen: 8, Count: 2, IDs: []int64{1, 2}, IO: 3, ElapsedUS: 4},
+		{Snapshot: "unicode-\u2028\u2029-héllo", Gen: 9, Count: 0, IDs: []int64{}, IO: 0, ElapsedUS: 1},
+		{Snapshot: "bad-utf8-\xff", Gen: 10, Count: 0, IDs: []int64{}, IO: 0, ElapsedUS: 1},
+	}
+	for _, c := range cases {
+		want, err := json.Marshal(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, '\n') // json.Encoder.Encode appends a newline
+		got := appendQueryResponseJSON(nil, c.Snapshot, c.Gen, c.IDs, c.IO, c.ElapsedUS)
+		if string(got) != string(want) {
+			t.Errorf("snapshot %q:\n got %s\nwant %s", c.Snapshot, got, want)
+		}
+	}
+}
+
+func TestBinaryResponseRoundTrip(t *testing.T) {
+	ids := []int64{5, -17, 0, math.MaxInt64, math.MinInt64}
+	frame := appendQueryResponseBinary(nil, "snap-1", 77, ids, 123, 456)
+	name, gen, gotIDs, io, elapsed, ok := DecodeBinaryResponse(frame)
+	if !ok {
+		t.Fatal("frame did not decode")
+	}
+	if name != "snap-1" || gen != 77 || io != 123 || elapsed != 456 {
+		t.Fatalf("envelope: name=%q gen=%d io=%d elapsed=%d", name, gen, io, elapsed)
+	}
+	if !reflect.DeepEqual(gotIDs, ids) {
+		t.Fatalf("ids: got %v, want %v", gotIDs, ids)
+	}
+
+	// Truncated and corrupted frames are rejected, not misparsed.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, _, _, _, ok := DecodeBinaryResponse(frame[:cut]); ok {
+			t.Fatalf("truncated frame of %d bytes decoded", cut)
+		}
+	}
+	bad := append([]byte(nil), frame...)
+	bad[0] = 'X'
+	if _, _, _, _, _, ok := DecodeBinaryResponse(bad); ok {
+		t.Fatal("bad magic decoded")
+	}
+}
+
+// TestQueryEncodePathZeroAllocs is the acceptance gate: at steady state
+// (pool warmed), rendering a /query response — JSON or binary — performs
+// zero heap allocations per operation.
+func TestQueryEncodePathZeroAllocs(t *testing.T) {
+	ids := make([]int64, 64)
+	for i := range ids {
+		ids[i] = int64(i * 7337)
+	}
+	run := func(name string, f func()) {
+		f() // warm the pool outside the measurement
+		if allocs := testing.AllocsPerRun(200, f); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
+		}
+	}
+	run("json", func() {
+		bp := getRespBuf()
+		*bp = appendQueryResponseJSON(*bp, "default", 3, ids, 64, 120)
+		putRespBuf(bp)
+	})
+	run("binary", func() {
+		bp := getRespBuf()
+		*bp = appendQueryResponseBinary(*bp, "default", 3, ids, 64, 120)
+		putRespBuf(bp)
+	})
+}
+
+// TestParseQueryGETZeroAllocs pins the request-parsing half of the hot
+// path: a plain GET /query parameter set parses without heap
+// allocations.
+func TestParseQueryGETZeroAllocs(t *testing.T) {
+	u, err := url.Parse("http://host/query?snapshot=default&rect=0.5,1.5,10.25,20.75&from=10&to=90")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &http.Request{Method: http.MethodGet, URL: u}
+	qr, err := parseQueryGET(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qr.Snapshot != "default" || !qr.HasFrom || !qr.HasTo || qr.From != 10 || qr.To != 90 {
+		t.Fatalf("parsed %+v", qr)
+	}
+	if qr.Rect != [4]float64{0.5, 1.5, 10.25, 20.75} {
+		t.Fatalf("rect %v", qr.Rect)
+	}
+	if allocs := testing.AllocsPerRun(200, func() {
+		if _, err := parseQueryGET(r); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("parseQueryGET: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestQueryParamUnescapes(t *testing.T) {
+	raw := "snapshot=my%20snap&rect=0,0,1,1&t=5&plus=a+b"
+	if v, ok := queryParam(raw, "snapshot"); !ok || v != "my snap" {
+		t.Fatalf("snapshot = %q, %v", v, ok)
+	}
+	if v, ok := queryParam(raw, "plus"); !ok || v != "a b" {
+		t.Fatalf("plus = %q, %v", v, ok)
+	}
+	if _, ok := queryParam(raw, "absent"); ok {
+		t.Fatal("absent key reported present")
+	}
+	if v, ok := queryParam(raw, "t"); !ok || v != "5" {
+		t.Fatalf("t = %q, %v", v, ok)
+	}
+}
+
+func BenchmarkQueryResponseJSON(b *testing.B) {
+	ids := make([]int64, 64)
+	for i := range ids {
+		ids[i] = int64(i * 7337)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp := getRespBuf()
+		*bp = appendQueryResponseJSON(*bp, "default", 3, ids, 64, 120)
+		putRespBuf(bp)
+	}
+}
+
+func BenchmarkQueryResponseBinary(b *testing.B) {
+	ids := make([]int64, 64)
+	for i := range ids {
+		ids[i] = int64(i * 7337)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bp := getRespBuf()
+		*bp = appendQueryResponseBinary(*bp, "default", 3, ids, 64, 120)
+		putRespBuf(bp)
+	}
+}
+
+func BenchmarkQueryResponseJSONReflect(b *testing.B) {
+	// The encoding/json baseline the hand-rolled encoder replaced.
+	ids := make([]int64, 64)
+	for i := range ids {
+		ids[i] = int64(i * 7337)
+	}
+	resp := queryResponse{Snapshot: "default", Gen: 3, Count: len(ids), IDs: ids, IO: 64, ElapsedUS: 120}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := json.Marshal(resp); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseQueryGET(b *testing.B) {
+	u, err := url.Parse("http://host/query?snapshot=default&rect=0.5,1.5,10.25,20.75&from=10&to=90")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := &http.Request{Method: http.MethodGet, URL: u}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := parseQueryGET(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestHTTPBinaryProtocol drives the binary /query path end to end: both
+// selectors (Accept header and ?format=binary) return a parseable frame
+// whose ids match the JSON answer.
+func TestHTTPBinaryProtocol(t *testing.T) {
+	idx := buildIndex(t, "mem")
+	path := saveContainer(t, idx)
+	q := testQueries(t, 1)[0]
+	want, err := stx.RunQuery(idx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	svc := New(Config{Workers: 2, CacheMB: 8})
+	defer svc.Close()
+	if _, err := svc.Registry().Load("default", path); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+
+	urlStr := fmt.Sprintf("%s/query?rect=%g,%g,%g,%g&t=%d",
+		srv.URL, q.Rect.MinX, q.Rect.MinY, q.Rect.MaxX, q.Rect.MaxY, q.Interval.Start)
+
+	fetch := func(accept, extra string) []byte {
+		req, err := http.NewRequest(http.MethodGet, urlStr+extra, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != BinaryContentType {
+			t.Fatalf("Content-Type %q, want %q", ct, BinaryContentType)
+		}
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	for _, frame := range [][]byte{fetch(BinaryContentType, ""), fetch("", "&format=binary")} {
+		name, _, ids, _, _, ok := DecodeBinaryResponse(frame)
+		if !ok {
+			t.Fatal("binary frame did not decode")
+		}
+		if name != "default" {
+			t.Fatalf("snapshot %q", name)
+		}
+		if !sameIDs(ids, want) {
+			t.Fatalf("binary ids %v, want %v", ids, want)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/url"
 	"sort"
 	"strconv"
 	"strings"
@@ -61,14 +62,44 @@ func NewHandler(s *Service) http.Handler {
 	return mux
 }
 
-// queryRequest is the POST /query body; GET parameters map onto the same
-// fields.
+// queryRequest is the parsed /query input; GET parameters and the POST
+// JSON body map onto the same fields. Value fields plus presence flags
+// (instead of pointers) keep the steady-state GET parse allocation-free.
 type queryRequest struct {
+	Snapshot string
+	Rect     [4]float64
+	T        int64
+	From     int64
+	To       int64
+	HasT     bool
+	HasFrom  bool
+	HasTo    bool
+	Binary   bool // answer with the binary frame (?format=binary)
+}
+
+// queryRequestJSON is the POST /query body — the wire shape with
+// optional fields as pointers, decoded reflectively (the POST path is
+// for ad-hoc use; GET is the hot path).
+type queryRequestJSON struct {
 	Snapshot string     `json:"snapshot"`
 	Rect     [4]float64 `json:"rect"`
 	T        *int64     `json:"t,omitempty"`
 	From     *int64     `json:"from,omitempty"`
 	To       *int64     `json:"to,omitempty"`
+}
+
+func (j queryRequestJSON) request() queryRequest {
+	qr := queryRequest{Snapshot: j.Snapshot, Rect: j.Rect}
+	if j.T != nil {
+		qr.T, qr.HasT = *j.T, true
+	}
+	if j.From != nil {
+		qr.From, qr.HasFrom = *j.From, true
+	}
+	if j.To != nil {
+		qr.To, qr.HasTo = *j.To, true
+	}
+	return qr
 }
 
 func (qr queryRequest) toQuery() (string, stx.Query, error) {
@@ -81,62 +112,98 @@ func (qr queryRequest) toQuery() (string, stx.Query, error) {
 		return "", stx.Query{}, fmt.Errorf("degenerate rect %v", qr.Rect)
 	}
 	switch {
-	case qr.T != nil:
-		return name, stx.Query{Rect: rect, Interval: stx.Interval{Start: *qr.T, End: *qr.T + 1}}, nil
-	case qr.From != nil && qr.To != nil:
-		if *qr.To <= *qr.From {
-			return "", stx.Query{}, fmt.Errorf("empty interval [%d, %d)", *qr.From, *qr.To)
+	case qr.HasT:
+		return name, stx.Query{Rect: rect, Interval: stx.Interval{Start: qr.T, End: qr.T + 1}}, nil
+	case qr.HasFrom && qr.HasTo:
+		if qr.To <= qr.From {
+			return "", stx.Query{}, fmt.Errorf("empty interval [%d, %d)", qr.From, qr.To)
 		}
-		return name, stx.Query{Rect: rect, Interval: stx.Interval{Start: *qr.From, End: *qr.To}}, nil
+		return name, stx.Query{Rect: rect, Interval: stx.Interval{Start: qr.From, End: qr.To}}, nil
 	default:
 		return "", stx.Query{}, errors.New("provide t (snapshot) or from and to (range)")
 	}
 }
 
+// queryParam returns one raw query-string value without materialising
+// the url.Values map (r.URL.Query() allocates per request). Unescaping
+// is deferred to the rare values that actually contain an escape.
+func queryParam(rawQuery, key string) (string, bool) {
+	for rawQuery != "" {
+		var pair string
+		pair, rawQuery, _ = strings.Cut(rawQuery, "&")
+		k, v, _ := strings.Cut(pair, "=")
+		if k != key {
+			continue
+		}
+		if strings.IndexByte(v, '%') >= 0 || strings.IndexByte(v, '+') >= 0 {
+			if u, err := url.QueryUnescape(v); err == nil {
+				return u, true
+			}
+		}
+		return v, true
+	}
+	return "", false
+}
+
+// parseQueryGET parses the /query parameters straight off the raw query
+// string. Steady state (plain numeric parameters, no percent escapes) it
+// performs no heap allocations.
 func parseQueryGET(r *http.Request) (queryRequest, error) {
 	var qr queryRequest
-	v := r.URL.Query()
-	qr.Snapshot = v.Get("snapshot")
-	rectStr := v.Get("rect")
-	if rectStr == "" {
+	raw := r.URL.RawQuery
+	qr.Snapshot, _ = queryParam(raw, "snapshot")
+	rectStr, ok := queryParam(raw, "rect")
+	if !ok || rectStr == "" {
 		return qr, errors.New("missing rect=minx,miny,maxx,maxy")
 	}
-	parts := strings.Split(rectStr, ",")
-	if len(parts) != 4 {
-		return qr, fmt.Errorf("rect wants 4 coordinates, got %d", len(parts))
-	}
-	for i, p := range parts {
-		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+	for i := 0; i < 4; i++ {
+		part, rest, found := strings.Cut(rectStr, ",")
+		if i < 3 && !found {
+			return qr, fmt.Errorf("rect wants 4 coordinates, got %d", i+1)
+		}
+		if i == 3 && found {
+			return qr, errors.New("rect wants 4 coordinates, got more")
+		}
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
 		if err != nil {
 			return qr, fmt.Errorf("rect coordinate %d: %v", i, err)
 		}
 		qr.Rect[i] = f
+		rectStr = rest
 	}
-	parseInt := func(key string) (*int64, error) {
-		s := v.Get(key)
-		if s == "" {
-			return nil, nil
+	parseInt := func(key string) (int64, bool, error) {
+		s, ok := queryParam(raw, key)
+		if !ok || s == "" {
+			return 0, false, nil
 		}
 		n, err := strconv.ParseInt(s, 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("%s: %v", key, err)
+			return 0, false, fmt.Errorf("%s: %v", key, err)
 		}
-		return &n, nil
+		return n, true, nil
 	}
 	var err error
-	if qr.T, err = parseInt("t"); err != nil {
+	if qr.T, qr.HasT, err = parseInt("t"); err != nil {
 		return qr, err
 	}
-	if qr.From, err = parseInt("from"); err != nil {
+	if qr.From, qr.HasFrom, err = parseInt("from"); err != nil {
 		return qr, err
 	}
-	if qr.To, err = parseInt("to"); err != nil {
+	if qr.To, qr.HasTo, err = parseInt("to"); err != nil {
 		return qr, err
+	}
+	if format, ok := queryParam(raw, "format"); ok && format == "binary" {
+		qr.Binary = true
 	}
 	return qr, nil
 }
 
-// queryResponse is the /query answer.
+// queryResponse documents the /query JSON answer and is what clients
+// (and this package's tests) decode it into. The server side never
+// marshals this struct: the answer is rendered by the hand-rolled
+// encoder in encode.go (which mirrors this shape exactly) into a pooled
+// buffer, so the steady-state serving path does not allocate per
+// response. The binary frame (encode.go) carries the same fields.
 type queryResponse struct {
 	Snapshot  string  `json:"snapshot"`
 	Gen       uint64  `json:"gen"`
@@ -153,7 +220,13 @@ func handleQuery(s *Service, w http.ResponseWriter, r *http.Request) {
 	case http.MethodGet:
 		qr, err = parseQueryGET(r)
 	case http.MethodPost:
-		err = json.NewDecoder(r.Body).Decode(&qr)
+		var body queryRequestJSON
+		if err = json.NewDecoder(r.Body).Decode(&body); err == nil {
+			qr = body.request()
+			if format, ok := queryParam(r.URL.RawQuery, "format"); ok && format == "binary" {
+				qr.Binary = true
+			}
+		}
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "GET or POST only")
 		return
@@ -167,24 +240,27 @@ func handleQuery(s *Service, w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	binary := qr.Binary || r.Header.Get("Accept") == BinaryContentType
 	start := time.Now()
 	res, err := s.Query(r.Context(), name, q)
 	if err != nil {
 		httpError(w, statusFor(err), err.Error())
 		return
 	}
-	ids := res.IDs
-	if ids == nil {
-		ids = []int64{}
+	elapsed := time.Since(start).Microseconds()
+
+	bp := getRespBuf()
+	if binary {
+		*bp = appendQueryResponseBinary(*bp, res.Snapshot, res.Gen, res.IDs, res.IO, elapsed)
+		w.Header().Set("Content-Type", BinaryContentType)
+	} else {
+		*bp = appendQueryResponseJSON(*bp, res.Snapshot, res.Gen, res.IDs, res.IO, elapsed)
+		w.Header().Set("Content-Type", "application/json")
 	}
-	writeJSON(w, http.StatusOK, queryResponse{
-		Snapshot:  res.Snapshot,
-		Gen:       res.Gen,
-		Count:     len(ids),
-		IDs:       ids,
-		IO:        res.IO,
-		ElapsedUS: time.Since(start).Microseconds(),
-	})
+	w.Header().Set("Content-Length", strconv.Itoa(len(*bp)))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(*bp)
+	putRespBuf(bp)
 }
 
 func handleLoad(s *Service, w http.ResponseWriter, r *http.Request) {

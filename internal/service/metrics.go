@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sync/atomic"
 	"time"
+
+	"stindex/internal/pagefile"
 )
 
 // histBuckets is the number of power-of-two latency buckets: bucket i
@@ -107,6 +109,10 @@ type Metrics struct {
 	QueueDepth    int `json:"queue_depth"`
 	QueueCapacity int `json:"queue_capacity"`
 	BatchSize     int `json:"batch_size"`
+
+	// Cache is the registry-wide shared page cache's state; all zeros
+	// when the cache is disabled.
+	Cache pagefile.SharedCacheStats `json:"cache"`
 
 	Snapshots []SnapshotInfo `json:"snapshots"`
 }

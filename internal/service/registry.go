@@ -29,12 +29,47 @@ type Registry struct {
 	mu    sync.RWMutex
 	snaps map[string]*Snapshot
 	gen   atomic.Uint64
+
+	// cache is the shared striped page cache over every loaded container
+	// (nil = no shared cache); openBackend is the container read flavour.
+	cache       *pagefile.SharedCache
+	openBackend stx.Backend
 }
 
-// NewRegistry creates an empty snapshot registry.
-func NewRegistry() *Registry {
-	return &Registry{snaps: make(map[string]*Snapshot)}
+// RegistryConfig configures the registry's serving read path.
+type RegistryConfig struct {
+	// CacheBytes sizes the shared striped page cache over every loaded
+	// container: raw pages and decoded nodes that miss a session's
+	// private pool are served from (and published to) one registry-wide
+	// cache keyed by snapshot generation, with per-stripe LRU eviction
+	// against this byte budget. <= 0 disables the shared cache (the
+	// historical behaviour: every session reads through to the store).
+	CacheBytes int64
+	// OpenBackend is the page-read flavour Load opens containers with
+	// (stx.BackendDisk lazy window, stx.BackendMmap mapping,
+	// stx.BackendMemory eager). Empty defers to STINDEX_BACKEND.
+	OpenBackend stx.Backend
 }
+
+// NewRegistry creates an empty snapshot registry with no shared cache
+// and the environment-selected open flavour.
+func NewRegistry() *Registry {
+	return NewRegistryConfig(RegistryConfig{})
+}
+
+// NewRegistryConfig creates an empty snapshot registry with the given
+// read-path configuration.
+func NewRegistryConfig(cfg RegistryConfig) *Registry {
+	return &Registry{
+		snaps:       make(map[string]*Snapshot),
+		cache:       pagefile.NewSharedCache(cfg.CacheBytes),
+		openBackend: cfg.OpenBackend,
+	}
+}
+
+// Cache returns the registry's shared page cache (nil when disabled) —
+// for metrics and tests.
+func (r *Registry) Cache() *pagefile.SharedCache { return r.cache }
 
 // Snapshot is one registered index: a frozen, queryable container plus
 // its refcount and per-snapshot serving statistics. Snapshots are
@@ -52,6 +87,12 @@ type Snapshot struct {
 	refs    atomic.Int64
 	queries atomic.Int64
 	stats   pagefile.AtomicStats
+	// cache/cstats tie a loaded snapshot to the registry's shared page
+	// cache: cstats accumulates this snapshot's shared-hit/store-read
+	// split, and release retires the generation's cache entries once the
+	// last lease drains. Both nil for Publish-ed or cache-less snapshots.
+	cache  *pagefile.SharedCache
+	cstats *pagefile.CacheCounters
 }
 
 // Name returns the snapshot's registry name.
@@ -71,9 +112,15 @@ func (s *Snapshot) recordQuery(delta pagefile.Stats) {
 // release drops one reference, closing the container when the last
 // holder lets go. Close errors are returned to the releasing caller —
 // in practice the last lease or the retiring registry operation.
+// Retiring also drops the generation's shared-cache entries: this runs
+// strictly after the last lease released, so no in-flight reader can
+// repopulate them, and the generation-keyed cache guarantees no later
+// generation could ever have seen them.
 func (s *Snapshot) release() error {
 	if s.refs.Add(-1) == 0 {
-		return stx.CloseIndex(s.idx)
+		err := stx.CloseIndex(s.idx)
+		s.cache.Retire(s.gen)
+		return err
 	}
 	return nil
 }
@@ -135,11 +182,27 @@ func (r *Registry) Acquire(name string) (*Lease, error) {
 // the new snapshot immediately, in-flight leases finish on the old one,
 // and its container file closes when the last lease is released.
 func (r *Registry) Load(name, path string) (*Snapshot, error) {
-	idx, err := stx.OpenIndex(path)
+	// The generation is allocated before the container opens so the
+	// shared-cache wrapper can key the extent stores by it: entries of
+	// different loads (including a swap's old and new snapshot) can then
+	// never collide, whatever the timing.
+	gen := r.gen.Add(1)
+	var cstats *pagefile.CacheCounters
+	var wrap stx.StoreWrapper
+	if r.cache != nil {
+		cstats = &pagefile.CacheCounters{}
+		ext := uint32(0)
+		wrap = func(s pagefile.Store) pagefile.Store {
+			ws := r.cache.WrapStore(gen, ext, s, cstats)
+			ext++
+			return ws
+		}
+	}
+	idx, err := stx.OpenIndexOptions(path, stx.OpenOptions{Backend: r.openBackend, Wrap: wrap})
 	if err != nil {
 		return nil, err
 	}
-	return r.install(name, path, idx)
+	return r.install(name, path, idx, gen, cstats)
 }
 
 // Publish installs an already-built or eagerly decoded index under name,
@@ -148,15 +211,21 @@ func (r *Registry) Load(name, path string) (*Snapshot, error) {
 // drained. The index must be frozen — no concurrent mutation while
 // registered.
 func (r *Registry) Publish(name string, idx stx.Index) (*Snapshot, error) {
-	return r.install(name, "", idx)
+	// Published indexes are already fully in memory; the shared page cache
+	// would only duplicate their pages, so they serve uncached.
+	return r.install(name, "", idx, r.gen.Add(1), nil)
 }
 
-func (r *Registry) install(name, path string, idx stx.Index) (*Snapshot, error) {
+func (r *Registry) install(name, path string, idx stx.Index, gen uint64, cstats *pagefile.CacheCounters) (*Snapshot, error) {
 	snap := &Snapshot{
-		name: name,
-		gen:  r.gen.Add(1),
-		path: path,
-		idx:  idx,
+		name:   name,
+		gen:    gen,
+		path:   path,
+		idx:    idx,
+		cstats: cstats,
+	}
+	if cstats != nil {
+		snap.cache = r.cache
 	}
 	if _, ok := idx.(stx.QueryViewer); !ok {
 		snap.shared = stx.Synchronized(idx)
@@ -202,37 +271,63 @@ func (r *Registry) Names() []string {
 }
 
 // SnapshotInfo is one registry entry's externally visible state.
+//
+// The caching tiers report separately, so the figures are no longer
+// conflated: Hits are requests absorbed by the sessions' private buffer
+// pools; of the remainder (Reads), SharedHits were absorbed by the
+// registry-wide shared page cache and StoreReads actually reached the
+// backing store. DecodeHits and Decodes split the decoded-node traffic
+// the same way. HitRate is the fraction of page requests served without
+// touching the backing store: (Hits + SharedHits) / (Hits + Reads) —
+// with no shared cache it degenerates to the private-pool rate.
 type SnapshotInfo struct {
-	Name    string  `json:"name"`
-	Gen     uint64  `json:"gen"`
-	Kind    string  `json:"kind"`
-	Path    string  `json:"path,omitempty"`
-	Records int     `json:"records"`
-	Pages   int     `json:"pages"`
-	Bytes   int64   `json:"bytes"`
-	Leases  int64   `json:"leases"` // live leases, excluding the registry's own reference
-	Queries int64   `json:"queries"`
-	Reads   int64   `json:"reads"`
-	Hits    int64   `json:"hits"`
-	HitRate float64 `json:"hit_rate"`
+	Name    string `json:"name"`
+	Gen     uint64 `json:"gen"`
+	Kind    string `json:"kind"`
+	Path    string `json:"path,omitempty"`
+	Records int    `json:"records"`
+	Pages   int    `json:"pages"`
+	Bytes   int64  `json:"bytes"`
+	Leases  int64  `json:"leases"` // live leases, excluding the registry's own reference
+	Queries int64  `json:"queries"`
+	// Reads and Hits are the private buffer-pool split (kept under their
+	// historical JSON names: every read below counts here as a Read).
+	Reads int64 `json:"reads"`
+	Hits  int64 `json:"hits"`
+	// SharedHits + StoreReads partition Reads when the shared cache is on.
+	SharedHits int64 `json:"shared_hits"`
+	StoreReads int64 `json:"store_reads"`
+	// Decodes are node parses actually performed; DecodeHits were reused
+	// from the shared cache instead.
+	DecodeHits int64   `json:"decode_hits"`
+	Decodes    int64   `json:"decodes"`
+	HitRate    float64 `json:"hit_rate"`
 }
 
 func (s *Snapshot) info() SnapshotInfo {
 	st := s.stats.Load()
-	return SnapshotInfo{
-		Name:    s.name,
-		Gen:     s.gen,
-		Kind:    s.idx.Kind(),
-		Path:    s.path,
-		Records: s.idx.Records(),
-		Pages:   s.idx.Pages(),
-		Bytes:   s.idx.Bytes(),
-		Leases:  s.refs.Load() - 1,
-		Queries: s.queries.Load(),
-		Reads:   st.Reads,
-		Hits:    st.Hits,
-		HitRate: st.HitRate(),
+	cv := s.cstats.Load()
+	info := SnapshotInfo{
+		Name:       s.name,
+		Gen:        s.gen,
+		Kind:       s.idx.Kind(),
+		Path:       s.path,
+		Records:    s.idx.Records(),
+		Pages:      s.idx.Pages(),
+		Bytes:      s.idx.Bytes(),
+		Leases:     s.refs.Load() - 1,
+		Queries:    s.queries.Load(),
+		Reads:      st.Reads,
+		Hits:       st.Hits,
+		SharedHits: cv.SharedHits,
+		StoreReads: cv.StoreReads,
+		DecodeHits: cv.DecodeHits,
+		Decodes:    cv.Decodes,
 	}
+	if total := st.Hits + st.Reads; total > 0 {
+		info.HitRate = float64(st.Hits+cv.SharedHits) / float64(total)
+	}
+	return info
 }
 
 // List returns the state of every registered snapshot, unordered.

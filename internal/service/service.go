@@ -56,6 +56,13 @@ type Config struct {
 	// usually wants; the default (blocking) gives natural backpressure
 	// to in-process callers.
 	RejectWhenFull bool
+	// CacheMB sizes the registry's shared striped page cache in
+	// mebibytes (see RegistryConfig.CacheBytes). 0 disables it.
+	CacheMB int
+	// OpenBackend is the container read flavour for snapshots loaded
+	// through the registry (lazy window, mmap, eager memory). Empty
+	// defers to STINDEX_BACKEND.
+	OpenBackend stx.Backend
 }
 
 func (c Config) withDefaults() Config {
@@ -104,9 +111,12 @@ type response struct {
 func New(cfg Config) *Service {
 	s := &Service{
 		cfg:     cfg.withDefaults(),
-		reg:     NewRegistry(),
 		metrics: serviceMetrics{start: time.Now()},
 	}
+	s.reg = NewRegistryConfig(RegistryConfig{
+		CacheBytes:  int64(s.cfg.CacheMB) << 20,
+		OpenBackend: s.cfg.OpenBackend,
+	})
 	s.reqCh = make(chan *request, s.cfg.QueueDepth)
 	s.wg.Add(s.cfg.Workers)
 	for i := 0; i < s.cfg.Workers; i++ {
@@ -193,6 +203,7 @@ func (s *Service) Metrics() Metrics {
 	m.QueueDepth = len(s.reqCh)
 	m.QueueCapacity = s.cfg.QueueDepth
 	m.BatchSize = s.cfg.BatchSize
+	m.Cache = s.reg.Cache().Stats()
 	m.Snapshots = s.reg.List()
 	return m
 }

@@ -394,11 +394,41 @@ func OpenIndex(path string) (Index, error) {
 // query paths generate, so a fault-injecting wrapper exercises the
 // Buffer, the decode cache and the tree traversals over either backend.
 func OpenIndexWrapped(path string, wrap StoreWrapper) (Index, error) {
+	return OpenIndexOptions(path, OpenOptions{Wrap: wrap})
+}
+
+// OpenOptions configures how a saved container is opened.
+type OpenOptions struct {
+	// Backend selects the read flavour of the page extents:
+	//
+	//   - BackendDefault: STINDEX_BACKEND=mmap maps the extents, anything
+	//     else uses the lazily read window (the historical default).
+	//   - BackendDisk: the lazily read window — one positioned read
+	//     syscall per buffer miss.
+	//   - BackendMmap: a read-only memory mapping — zero read syscalls,
+	//     falling back to the lazily read window where mmap is
+	//     unavailable.
+	//   - BackendMemory: every page materialised eagerly into memory.
+	//
+	// The flavour never affects query results or I/O statistics — the
+	// stores are observationally identical; only the physical read path
+	// differs.
+	Backend Backend
+	// Wrap intercepts each extent store before it is attached (after the
+	// backend flavour is applied) — the fault-injection and shared-cache
+	// seam.
+	Wrap StoreWrapper
+}
+
+// OpenIndexOptions is OpenIndex with an explicit open configuration:
+// the page-read flavour (lazy window, mmap, or eager memory) and the
+// store-wrapping seam.
+func OpenIndexOptions(path string, opts OpenOptions) (Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("stindex: opening index: %w", err)
 	}
-	x, err := openIndexFile(f, wrap)
+	x, err := openIndexFile(f, opts)
 	if err != nil {
 		f.Close()
 		return nil, err
@@ -406,7 +436,27 @@ func OpenIndexWrapped(path string, wrap StoreWrapper) (Index, error) {
 	return x, nil
 }
 
-func openIndexFile(f *os.File, wrap StoreWrapper) (Index, error) {
+// multiCloser closes the extent stores of an opened container (mappings
+// need an munmap) before releasing the container file itself.
+type multiCloser struct {
+	stores []pagefile.Store
+	f      *os.File
+}
+
+func (m *multiCloser) Close() error {
+	var first error
+	for _, s := range m.stores {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	if err := m.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}
+
+func openIndexFile(f *os.File, opts OpenOptions) (Index, error) {
 	fi, err := f.Stat()
 	if err != nil {
 		return nil, fmt.Errorf("stindex: opening index: %w", err)
@@ -430,28 +480,43 @@ func openIndexFile(f *os.File, wrap StoreWrapper) (Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	backend := opts.Backend.internal()
+	if backend == pagefile.BackendDefault {
+		backend = pagefile.DefaultOpenBackend()
+	}
+	closer := &multiCloser{f: f}
+	// On a partial failure only the stores are released here (a mapping
+	// needs its munmap); the caller owns and closes f.
+	closeStores := func() {
+		for _, s := range closer.stores {
+			s.Close()
+		}
+	}
 	off := int64(containerHeaderSize) + int64(metaLen)
 	for i := 0; i < extents; i++ {
-		store, length, err := pagefile.OpenExtent(f, off)
+		store, length, err := pagefile.OpenExtentBackend(f, off, backend)
 		if err != nil {
+			closeStores()
 			return nil, fmt.Errorf("stindex: opening page extent %d: %w", i, err)
 		}
-		if err := attach[i](wrapStore(store, wrap)); err != nil {
+		closer.stores = append(closer.stores, store)
+		if err := attach[i](wrapStore(store, opts.Wrap)); err != nil {
+			closeStores()
 			return nil, err
 		}
 		off += length
 	}
 	switch ix := x.(type) {
 	case *PPRIndex:
-		ix.closer.set(f)
+		ix.closer.set(closer)
 	case *RStarIndex:
-		ix.closer.set(f)
+		ix.closer.set(closer)
 	case *HRIndex:
-		ix.closer.set(f)
+		ix.closer.set(closer)
 	case *HybridIndex:
-		ix.closer.set(f)
+		ix.closer.set(closer)
 	case *StreamIndex:
-		ix.closer.set(f)
+		ix.closer.set(closer)
 	}
 	return x, nil
 }

@@ -158,6 +158,30 @@ func TestCrossBackendBitIdentical(t *testing.T) {
 			t.Fatalf("%s: mem and disk backends produced different container images (%d vs %d bytes)",
 				kind, abuf.Len(), bbuf.Len())
 		}
+
+		// Every open flavour of the saved container — lazy window, mmap,
+		// eager memory — must re-encode to the identical image.
+		path := filepath.Join(t.TempDir(), "ix.stic")
+		if err := SaveIndex(path, a); err != nil {
+			t.Fatal(err)
+		}
+		for _, backend := range []Backend{BackendDisk, BackendMmap, BackendMemory} {
+			ox, err := OpenIndexOptions(path, OpenOptions{Backend: backend})
+			if err != nil {
+				t.Fatalf("%s: open backend %q: %v", kind, backend, err)
+			}
+			var obuf bytes.Buffer
+			if _, err := EncodeIndex(&obuf, ox); err != nil {
+				t.Fatalf("%s: re-encode via %q: %v", kind, backend, err)
+			}
+			if !bytes.Equal(abuf.Bytes(), obuf.Bytes()) {
+				t.Fatalf("%s: open backend %q re-encoded a different image (%d vs %d bytes)",
+					kind, backend, abuf.Len(), obuf.Len())
+			}
+			if err := CloseIndex(ox); err != nil {
+				t.Fatalf("%s: close %q: %v", kind, backend, err)
+			}
+		}
 	}
 }
 
