@@ -42,18 +42,21 @@ var runners = []struct {
 	{"build", func(c experiments.Config) error { _, err := experiments.Build(c); return err }},
 	{"persist", func(c experiments.Config) error { _, err := experiments.Persist(c); return err }},
 	{"serve", func(c experiments.Config) error { _, err := experiments.Serve(c); return err }},
+	{"shard", func(c experiments.Config) error { _, err := experiments.Shard(c); return err }},
 	{"check", func(c experiments.Config) error { _, err := experiments.Check(c); return err }},
 }
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: all | table1 | table2 | fig11..fig18 | fig17r | fig18r (railway) | fig14c (commuter) | chooser (§IV) | overlap (HR vs PPR) | build | persist | serve | check (differential oracle + fault matrix)")
+		exp     = flag.String("exp", "all", "experiment id: all | table1 | table2 | fig11..fig18 | fig17r | fig18r (railway) | fig14c (commuter) | chooser (§IV) | overlap (HR vs PPR) | build | persist | serve | shard (scatter-gather sweep) | check (differential oracle + fault matrix)")
 		full    = flag.Bool("full", false, "use the paper's dataset sizes (10k..80k); hours of CPU")
 		sizes   = flag.String("sizes", "", "comma-separated dataset sizes overriding the defaults")
 		queries = flag.Int("queries", 0, "queries per set (default 1000)")
 		seed    = flag.Int64("seed", 1, "generation seed")
 		par     = flag.Int("parallelism", 0, "worker count for the split pipeline and workload measurement (0 = all cores, 1 = serial; results are identical either way)")
 		backend = flag.String("backend", "", "page-store backend for every index build: mem | disk (default: $STINDEX_BACKEND, then mem; results and AvgIO are identical either way)")
+		shards  = flag.String("shards", "", "comma-separated shard counts for -exp shard (default 1,4,16)")
+		partner = flag.String("partitioner", "", "comma-separated partitioners for -exp shard (default temporal,spatial,velocity)")
 	)
 	flag.Parse()
 	if *backend != "" {
@@ -73,6 +76,20 @@ func main() {
 				fatal(fmt.Errorf("bad size %q", s))
 			}
 			cfg.Sizes = append(cfg.Sizes, n)
+		}
+	}
+	if *shards != "" {
+		for _, s := range strings.Split(*shards, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fatal(fmt.Errorf("bad shard count %q", s))
+			}
+			cfg.ShardCounts = append(cfg.ShardCounts, n)
+		}
+	}
+	if *partner != "" {
+		for _, p := range strings.Split(*partner, ",") {
+			cfg.Partitioners = append(cfg.Partitioners, strings.TrimSpace(p))
 		}
 	}
 

@@ -6,6 +6,13 @@
 //	stgen -family random  -n 10000 -seed 1 -o random10k.jsonl
 //	stgen -family railway -n 10000 -seed 1 -o railway10k.jsonl
 //	stgen -family random -n 1000 -stats        # print Table I statistics only
+//	stgen -family random -n 1000000 -chunk 50000 -o big.jsonl   # bounded memory
+//
+// With -chunk the random family generates and writes the dataset in
+// chunks of the given size, holding only one chunk in memory at a time —
+// how the million-object benchmark inputs are produced without OOMing
+// CI. Each chunk uses a seed derived from -seed and an id offset, so the
+// full dataset is deterministic for a given (-seed, -chunk) pair.
 package main
 
 import (
@@ -27,8 +34,16 @@ func main() {
 		out     = flag.String("o", "", "output file (default stdout)")
 		stats   = flag.Bool("stats", false, "print Table I statistics instead of the dataset")
 		events  = flag.Bool("events", false, "emit a time-ordered observation feed for ststream instead of objects")
+		chunk   = flag.Int("chunk", 0, "stream random-family generation in chunks of this many objects (0 = all at once)")
 	)
 	flag.Parse()
+
+	if *chunk > 0 {
+		if err := generateChunked(*family, *n, *seed, *horizon, *chunk, *out, *stats, *events); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	objs, err := generate(*family, *n, *seed, *horizon)
 	if err != nil {
@@ -63,6 +78,48 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %d %s objects (seed %d, horizon %d)\n", len(objs), *family, *seed, *horizon)
+}
+
+// generateChunked streams the random family to the output in chunks of
+// bounded size, so multi-million-object datasets never hold more than
+// one chunk of objects in memory.
+func generateChunked(family string, n int, seed, horizon int64, chunk int, out string, stats, events bool) error {
+	if family != "random" {
+		return fmt.Errorf("-chunk is only supported for the random family (got %q)", family)
+	}
+	if stats || events {
+		return fmt.Errorf("-chunk cannot be combined with -stats or -events")
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	written := 0
+	for ci := 0; written < n; ci++ {
+		size := chunk
+		if n-written < size {
+			size = n - written
+		}
+		objs, err := datagen.Random(datagen.RandomConfig{
+			N: size, Seed: seed + int64(ci)*1_000_003, Horizon: horizon,
+			FirstID: int64(written),
+		})
+		if err != nil {
+			return err
+		}
+		if err := stio.WriteObjects(w, objs); err != nil {
+			return err
+		}
+		written += size
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d random objects in chunks of %d (seed %d, horizon %d)\n",
+		written, chunk, seed, horizon)
+	return nil
 }
 
 func generate(family string, n int, seed, horizon int64) ([]*trajectory.Object, error) {

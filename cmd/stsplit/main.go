@@ -7,6 +7,14 @@
 //	stsplit -i random10k.jsonl -budget 15000 -o records.jsonl
 //	stsplit -i random10k.jsonl -budget 5000 -splitter dp -dist optimal
 //	stsplit -i random10k.jsonl -baseline piecewise -o piecewise.jsonl
+//
+// With -shards N the split records are not written as JSON: they are
+// partitioned into N shards (object granularity, -partitioner temporal,
+// spatial or velocity) and -o names a shard manifest; one -index kind
+// container is built and saved per shard next to it. stserve -load
+// serves such a manifest as one scatter-gather snapshot:
+//
+//	stsplit -i random10k.jsonl -budget 15000 -shards 4 -o snap.stm
 package main
 
 import (
@@ -15,8 +23,11 @@ import (
 	"io"
 	"os"
 
+	stx "stindex"
+
 	"stindex/internal/alloc"
 	"stindex/internal/parallel"
+	"stindex/internal/sharding"
 	"stindex/internal/split"
 	"stindex/internal/stio"
 	"stindex/internal/trajectory"
@@ -33,6 +44,10 @@ func main() {
 		qx       = flag.Float64("qx", 0, "query-aware objective: expected query x-extent (0 = volume objective)")
 		qy       = flag.Float64("qy", 0, "query-aware objective: expected query y-extent")
 		par      = flag.Int("parallelism", 0, "worker count for curve construction and materialization (0 = all cores, 1 = serial; output is identical either way)")
+		shards   = flag.Int("shards", 0, "partition the records into this many shards and build a sharded snapshot at -o (0 = write records)")
+		partner  = flag.String("partitioner", "temporal", "shard partitioner: temporal | spatial | velocity")
+		indexK   = flag.String("index", "ppr", "shard container index kind: ppr | rstar | rstar-packed | hr | hybrid")
+		pages    = flag.Int("pages", 0, "global buffer-page budget distributed across the shards (0 = 10 per shard)")
 	)
 	flag.Parse()
 
@@ -70,6 +85,18 @@ func main() {
 			total += b.Volume()
 			records = append(records, stio.Record{Rect: b.Rect, Interval: b.Interval, ObjectID: r.Object.ID})
 		}
+	}
+
+	if *shards > 0 {
+		if *out == "" {
+			fatal(fmt.Errorf("-shards needs -o (the manifest path)"))
+		}
+		if err := buildSharded(records, *out, *shards, *partner, *indexK, *pages, *par); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "objects=%d records=%d volume=%.4f sharded into %d %s shards at %s\n",
+			len(objs), len(records), total, *shards, *partner, *out)
+		return
 	}
 
 	w := io.Writer(os.Stdout)
@@ -131,6 +158,25 @@ func runPipeline(objs []*trajectory.Object, budget int, splitter, dist string, q
 		return nil, fmt.Errorf("unknown distribution %q (want lagreedy, greedy or optimal)", dist)
 	}
 	return alloc.MaterializeParallel(objs, a, splitFn, workers), nil
+}
+
+// buildSharded partitions the split records and builds one container
+// per shard plus the manifest stserve loads.
+func buildSharded(records []stio.Record, manifest string, shards int, partitioner, kind string, pages, par int) error {
+	recs := make([]stx.Record, len(records))
+	for i, r := range records {
+		recs[i] = stx.Record{
+			Rect:     stx.Rect{MinX: r.Rect.MinX, MinY: r.Rect.MinY, MaxX: r.Rect.MaxX, MaxY: r.Rect.MaxY},
+			Interval: stx.Interval{Start: r.Interval.Start, End: r.Interval.End},
+			ObjectID: r.ObjectID,
+		}
+	}
+	plan, err := sharding.Partition(recs, sharding.PlanConfig{Shards: shards, Partitioner: partitioner})
+	if err != nil {
+		return err
+	}
+	_, err = sharding.Build(manifest, plan, sharding.BuildConfig{Kind: kind, BufferBudget: pages, Parallelism: par})
+	return err
 }
 
 func readObjects(path string) ([]*trajectory.Object, error) {

@@ -59,8 +59,10 @@ func BuildCurvesParallel(objs []*trajectory.Object, fn CurveFunc, workers int) *
 	return cs
 }
 
-// NumObjects returns the number of objects in the collection.
-func (c *Curves) NumObjects() int { return len(c.objs) }
+// NumObjects returns the number of objects in the collection. (Counted
+// from the curves, so table-backed collections — NewCurvesFromTable —
+// work the same; BuildCurves always produces one curve per object.)
+func (c *Curves) NumObjects() int { return len(c.curves) }
 
 // MaxSplits returns the largest meaningful budget for object i.
 func (c *Curves) MaxSplits(i int) int { return len(c.curves[i]) - 1 }

@@ -1,0 +1,23 @@
+package alloc
+
+import "fmt"
+
+// NewCurvesFromTable wraps precomputed volume curves so the distribution
+// algorithms (Greedy, LAGreedy, Optimal) can run over budgets that did
+// not come from the trajectory splitters — e.g. distributing buffer-pool
+// pages across shards, where curve[j] is a shard's cost served through
+// j+1 pages. Each curve must be non-empty and non-increasing (the
+// diminishing-returns shape every algorithm assumes).
+func NewCurvesFromTable(curves [][]float64) (*Curves, error) {
+	for i, c := range curves {
+		if len(c) == 0 {
+			return nil, fmt.Errorf("alloc: curve %d is empty", i)
+		}
+		for j := 1; j < len(c); j++ {
+			if c[j] > c[j-1] {
+				return nil, fmt.Errorf("alloc: curve %d increases at %d (%g -> %g)", i, j, c[j-1], c[j])
+			}
+		}
+	}
+	return &Curves{curves: curves}, nil
+}

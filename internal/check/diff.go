@@ -7,6 +7,7 @@ import (
 
 	stx "stindex"
 	"stindex/internal/pagefile"
+	"stindex/internal/sharding"
 )
 
 // DiffConfig parameterises one differential run. The zero value is
@@ -108,6 +109,16 @@ func RunDiff(cfg DiffConfig) (DiffReport, error) {
 				}
 				rep.Passes++
 				rep.Compared += 2 * len(wl.Queries)
+				cfg.Logf("diff seed=%d kind=%s sharded scatter-gather", cfg.Seed, kind)
+				records, err := shardedRecordsFor(idx, wl)
+				if err != nil {
+					return rep, fmt.Errorf("check: seed %d: %s sharded records: %w", cfg.Seed, kind, err)
+				}
+				if err := shardedDiffPass(kind, records, wl, expected); err != nil {
+					return rep, fmt.Errorf("check: seed %d: %s sharded scatter-gather: %w", cfg.Seed, kind, err)
+				}
+				rep.Passes += len(sharding.Partitioners)
+				rep.Compared += 2 * len(sharding.Partitioners) * len(wl.Queries)
 			}
 			// Mmap-flavoured kinds hold the container file and mapping;
 			// in-memory builds make this a no-op.

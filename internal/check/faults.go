@@ -101,6 +101,19 @@ func RunFaultMatrix(cfg DiffConfig) (FaultReport, error) {
 		}
 		os.Remove(path)
 	}
+	// Sharded fan-out fail-stop: one shard's injected fault must fail
+	// the whole query, never surface as a silently partial merge. One
+	// pass over the PPR shard kind covers the scatter-gather layer; the
+	// per-kind matrix above already covers every container kind's own
+	// fault behaviour.
+	shardedExpected := NewOracle(wl.Records).Answers(wl.Queries)
+	cfg.Logf("faults seed=%d sharded scatter-gather fail-stop", cfg.Seed)
+	injected, err := shardedFaultPass(wl, shardedExpected, DefaultReadSchedules)
+	rep.Injected += injected
+	if err != nil {
+		return rep, fmt.Errorf("check: seed %d: sharded fault pass: %w", cfg.Seed, err)
+	}
+	rep.Schedules += len(DefaultReadSchedules)
 	return rep, nil
 }
 

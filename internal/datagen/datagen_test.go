@@ -2,6 +2,8 @@ package datagen
 
 import (
 	"testing"
+
+	"stindex/internal/trajectory"
 )
 
 func TestRandomDataset(t *testing.T) {
@@ -252,5 +254,45 @@ func TestStats(t *testing.T) {
 	}
 	if st := Stats(nil); st.TotalObjects != 0 {
 		t.Fatalf("Stats(nil) = %+v", st)
+	}
+}
+
+func TestRandomFirstID(t *testing.T) {
+	// Chunked generation: distinct FirstID offsets partition the id
+	// space, and a chunk is fully determined by (Seed, FirstID, N).
+	a, err := Random(RandomConfig{N: 50, Seed: 3, Horizon: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(RandomConfig{N: 30, Seed: 4, Horizon: 400, FirstID: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int64]bool)
+	for _, o := range append(append([]*trajectory.Object(nil), a...), b...) {
+		if seen[o.ID] {
+			t.Fatalf("duplicate id %d across chunks", o.ID)
+		}
+		seen[o.ID] = true
+	}
+	for i, o := range a {
+		if o.ID != int64(i) {
+			t.Fatalf("chunk A id %d at index %d", o.ID, i)
+		}
+	}
+	for i, o := range b {
+		if o.ID != 50+int64(i) {
+			t.Fatalf("chunk B id %d at index %d, want %d", o.ID, i, 50+i)
+		}
+	}
+	// Same chunk parameters, same objects.
+	b2, err := Random(RandomConfig{N: 30, Seed: 4, Horizon: 400, FirstID: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range b {
+		if b[i].ID != b2[i].ID || b[i].Lifetime() != b2[i].Lifetime() {
+			t.Fatalf("chunk regeneration differs at %d", i)
+		}
 	}
 }

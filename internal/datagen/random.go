@@ -21,6 +21,11 @@ type RandomConfig struct {
 	N       int   // number of objects
 	Horizon int64 // evolution covers time [0, Horizon)
 	Seed    int64
+	// FirstID offsets the generated object ids (ids are FirstID..
+	// FirstID+N-1): chunked generation of one large dataset picks a
+	// distinct Seed and FirstID per chunk so ids never collide and the
+	// whole dataset streams through bounded memory.
+	FirstID int64
 
 	MinLifetime, MaxLifetime int64   // default 1, 100
 	MinSegments, MaxSegments int     // default 1, 10
@@ -84,7 +89,7 @@ func Random(cfg RandomConfig) ([]*trajectory.Object, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	objs := make([]*trajectory.Object, 0, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		o, err := randomObject(rng, int64(i), cfg)
+		o, err := randomObject(rng, cfg.FirstID+int64(i), cfg)
 		if err != nil {
 			return nil, err
 		}

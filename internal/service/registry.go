@@ -9,6 +9,7 @@ import (
 	stx "stindex"
 
 	"stindex/internal/pagefile"
+	"stindex/internal/sharding"
 )
 
 // ErrUnknownSnapshot is returned by Acquire and the query paths when the
@@ -181,6 +182,12 @@ func (r *Registry) Acquire(name string) (*Lease, error) {
 // under that name. The replaced snapshot is retired: new queries go to
 // the new snapshot immediately, in-flight leases finish on the old one,
 // and its container file closes when the last lease is released.
+//
+// If path is a shard manifest (sniffed by magic) the snapshot is opened
+// as a scatter-gather Sharded index over every shard container the
+// manifest names. The wrap closure below is shared by all shards, so
+// extent numbering — and with it the shared cache's (gen, ext) keying
+// and global byte budget — runs across the whole sharded snapshot.
 func (r *Registry) Load(name, path string) (*Snapshot, error) {
 	// The generation is allocated before the container opens so the
 	// shared-cache wrapper can key the extent stores by it: entries of
@@ -198,7 +205,14 @@ func (r *Registry) Load(name, path string) (*Snapshot, error) {
 			return ws
 		}
 	}
-	idx, err := stx.OpenIndexOptions(path, stx.OpenOptions{Backend: r.openBackend, Wrap: wrap})
+	opts := stx.OpenOptions{Backend: r.openBackend, Wrap: wrap}
+	var idx stx.Index
+	var err error
+	if sharding.IsManifest(path) {
+		idx, err = OpenSharded(path, opts)
+	} else {
+		idx, err = stx.OpenIndexOptions(path, opts)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -302,6 +316,12 @@ type SnapshotInfo struct {
 	DecodeHits int64   `json:"decode_hits"`
 	Decodes    int64   `json:"decodes"`
 	HitRate    float64 `json:"hit_rate"`
+	// Sharded snapshots only: the scatter-gather totals. ShardedQueries
+	// counts fan-out queries; each entry of Shards records how many of
+	// them that shard served (Queries) or was pruned from (Pruned), so
+	// Queries + Pruned == ShardedQueries holds per shard.
+	ShardedQueries int64       `json:"sharded_queries,omitempty"`
+	Shards         []ShardStat `json:"shards,omitempty"`
 }
 
 func (s *Snapshot) info() SnapshotInfo {
@@ -326,6 +346,10 @@ func (s *Snapshot) info() SnapshotInfo {
 	}
 	if total := st.Hits + st.Reads; total > 0 {
 		info.HitRate = float64(st.Hits+cv.SharedHits) / float64(total)
+	}
+	if sh, ok := s.idx.(*Sharded); ok {
+		info.ShardedQueries = sh.Queries()
+		info.Shards = sh.ShardStats()
 	}
 	return info
 }

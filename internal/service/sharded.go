@@ -1,0 +1,32 @@
+package service
+
+import (
+	stx "stindex"
+
+	"stindex/internal/sharding"
+)
+
+// Sharded is the scatter-gather snapshot the registry installs when
+// Load is given a shard manifest: one logical index fanning queries
+// across per-shard containers with manifest-bounds pruning and a
+// deduplicated, sorted merge. The implementation lives in
+// internal/sharding so the differential and fault harnesses
+// (internal/check) can exercise the exact serving path without
+// importing this package; these aliases keep the serving API surface
+// in one place.
+type Sharded = sharding.Sharded
+
+// ShardStat is one shard's serving totals as surfaced in /metrics.
+type ShardStat = sharding.ShardStat
+
+// OpenSharded opens a shard manifest and all its shard containers with
+// the same options. See sharding.OpenSharded.
+func OpenSharded(path string, opts stx.OpenOptions) (*Sharded, error) {
+	return sharding.OpenSharded(path, opts)
+}
+
+// OpenShardedPerShard opens a shard manifest with per-shard open
+// options — the fault-injection seam. See sharding.OpenShardedPerShard.
+func OpenShardedPerShard(path string, optsFor func(shard int) stx.OpenOptions) (*Sharded, error) {
+	return sharding.OpenShardedPerShard(path, optsFor)
+}

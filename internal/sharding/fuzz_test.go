@@ -1,0 +1,63 @@
+package sharding
+
+import (
+	"bytes"
+	"testing"
+
+	stx "stindex"
+)
+
+// FuzzReadManifest feeds arbitrary bytes to the manifest reader: corrupt
+// or truncated manifests must fail with an error — never a panic and
+// never an allocation driven by an unvalidated count (reading drives the
+// shard-slice growth, and strings/counts are bounded before use).
+func FuzzReadManifest(f *testing.F) {
+	m := &Manifest{
+		Kind:        "ppr",
+		Partitioner: "temporal",
+		Records:     6,
+		Objects:     3,
+		Shards: []ShardInfo{
+			{Path: "s.shard0.sti", Rect: stx.Rect{MaxX: 0.5, MaxY: 0.5},
+				Interval: stx.Interval{Start: 0, End: 100}, Records: 4, Objects: 2, BufferPages: 5},
+			{Path: "s.shard1.sti", Rect: stx.Rect{MinX: 0.5, MinY: 0.5, MaxX: 1, MaxY: 1},
+				Interval: stx.Interval{Start: 50, End: 200}, Records: 2, Objects: 1, BufferPages: 5},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteManifest(&buf, m); err != nil {
+		f.Fatal(err)
+	}
+	seed := buf.Bytes()
+	f.Add(seed)
+	for _, cut := range []int{0, 3, 4, 8, len(seed) / 2, len(seed) - 1} {
+		if cut < len(seed) {
+			f.Add(append([]byte(nil), seed[:cut]...))
+		}
+	}
+	for _, flip := range []int{4, 9, 20, len(seed) - 5} {
+		mut := append([]byte(nil), seed...)
+		mut[flip] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add(append(append([]byte(nil), seed...), 0x00))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadManifest(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parses must satisfy the documented invariants.
+		if len(got.Shards) == 0 || len(got.Shards) > MaxShards {
+			t.Fatalf("accepted manifest with %d shards", len(got.Shards))
+		}
+		for i, sh := range got.Shards {
+			if err := validShardPath(sh.Path); err != nil {
+				t.Fatalf("accepted shard %d with invalid path: %v", i, err)
+			}
+			if sh.Rect.MinX > sh.Rect.MaxX || sh.Rect.MinY > sh.Rect.MaxY || sh.Interval.End < sh.Interval.Start {
+				t.Fatalf("accepted shard %d with degenerate bounds", i)
+			}
+		}
+	})
+}

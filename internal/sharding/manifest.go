@@ -1,0 +1,302 @@
+package sharding
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	stx "stindex"
+)
+
+// Shard-manifest layout (little endian) — the tiny file a sharded
+// snapshot is loaded from:
+//
+//	magic       [4]byte "STSM"
+//	version     u32  1
+//	kind        str  index kind every shard container holds
+//	partitioner str  partitioner that produced the plan
+//	records     u64  total records across shards
+//	objects     u64  total distinct objects
+//	shards      u32  shard count (1..MaxShards)
+//	per shard:
+//	  path        str  container file, relative to the manifest's directory
+//	  rect        4 x f64 (minx, miny, maxx, maxy) — pruning MBR
+//	  interval    2 x i64 (start, end) — pruning interval
+//	  records     u64
+//	  objects     u64
+//	  bufferPages u32  per-shard buffer-pool budget (alloc-distributed)
+//
+// str is u16 length + bytes. Every count and length is validated before
+// allocation: a corrupt or truncated manifest fails cleanly and can
+// never make the reader over-allocate (FuzzReadManifest pins this).
+const (
+	// ManifestMagic is the first four bytes of a shard manifest; the
+	// serving registry sniffs it to route a -load path to the sharded
+	// open path.
+	ManifestMagic = "STSM"
+
+	manifestVersion = 1
+
+	maxManifestString = 4096
+	maxShardRecords   = 1 << 48
+)
+
+// ShardInfo is one shard's manifest entry.
+type ShardInfo struct {
+	// Path names the shard's container file, relative to the manifest's
+	// directory (absolute and parent-escaping paths are rejected).
+	Path     string
+	Rect     stx.Rect
+	Interval stx.Interval
+	Records  int
+	Objects  int
+	// BufferPages is the shard's buffer-pool budget, carved out of the
+	// plan's global page budget by the alloc distribution.
+	BufferPages int
+}
+
+// Manifest describes a sharded snapshot.
+type Manifest struct {
+	Kind        string
+	Partitioner string
+	Records     int
+	Objects     int
+	Shards      []ShardInfo
+}
+
+func appendString(buf []byte, s string) ([]byte, error) {
+	if len(s) > maxManifestString {
+		return nil, fmt.Errorf("sharding: string of %d bytes exceeds the manifest limit", len(s))
+	}
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...), nil
+}
+
+// WriteManifest serialises the manifest to w.
+func WriteManifest(w io.Writer, m *Manifest) error {
+	if len(m.Shards) == 0 || len(m.Shards) > MaxShards {
+		return fmt.Errorf("sharding: manifest with %d shards, want 1..%d", len(m.Shards), MaxShards)
+	}
+	buf := make([]byte, 0, 256)
+	buf = append(buf, ManifestMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, manifestVersion)
+	var err error
+	if buf, err = appendString(buf, m.Kind); err != nil {
+		return err
+	}
+	if buf, err = appendString(buf, m.Partitioner); err != nil {
+		return err
+	}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Records))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(m.Objects))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Shards)))
+	for i := range m.Shards {
+		sh := &m.Shards[i]
+		if err := validShardPath(sh.Path); err != nil {
+			return err
+		}
+		if buf, err = appendString(buf, sh.Path); err != nil {
+			return err
+		}
+		for _, f := range [...]float64{sh.Rect.MinX, sh.Rect.MinY, sh.Rect.MaxX, sh.Rect.MaxY} {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(f))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.Interval.Start))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.Interval.End))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.Records))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(sh.Objects))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(sh.BufferPages))
+	}
+	_, err = w.Write(buf)
+	return err
+}
+
+// validShardPath rejects shard paths that could escape the manifest's
+// directory: a -load of an operator-supplied manifest must never open
+// files outside it.
+func validShardPath(p string) error {
+	if p == "" {
+		return fmt.Errorf("sharding: empty shard path")
+	}
+	if filepath.IsAbs(p) {
+		return fmt.Errorf("sharding: absolute shard path %q (want manifest-relative)", p)
+	}
+	for _, part := range strings.Split(filepath.ToSlash(p), "/") {
+		if part == ".." {
+			return fmt.Errorf("sharding: shard path %q escapes the manifest directory", p)
+		}
+	}
+	return nil
+}
+
+type manifestReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (mr *manifestReader) bytes(n int) []byte {
+	if mr.err != nil {
+		return nil
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(mr.r, buf); err != nil {
+		mr.err = err
+		return nil
+	}
+	return buf
+}
+
+func (mr *manifestReader) u16() uint16 {
+	b := mr.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (mr *manifestReader) u32() uint32 {
+	b := mr.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (mr *manifestReader) u64() uint64 {
+	b := mr.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+func (mr *manifestReader) f64() float64 { return math.Float64frombits(mr.u64()) }
+
+func (mr *manifestReader) str() string {
+	n := int(mr.u16())
+	if mr.err != nil {
+		return ""
+	}
+	if n > maxManifestString {
+		mr.err = fmt.Errorf("sharding: manifest string of %d bytes exceeds the limit", n)
+		return ""
+	}
+	return string(mr.bytes(n))
+}
+
+func (mr *manifestReader) count(what string, max uint64) int {
+	v := mr.u64()
+	if mr.err != nil {
+		return 0
+	}
+	if v > max {
+		mr.err = fmt.Errorf("sharding: implausible manifest %s %d", what, v)
+		return 0
+	}
+	return int(v)
+}
+
+// ReadManifest parses a manifest stream. Corrupt, truncated or
+// implausible input fails with an error — never a panic, never an
+// allocation driven by an unvalidated count.
+func ReadManifest(r io.Reader) (*Manifest, error) {
+	mr := &manifestReader{r: bufio.NewReader(r)}
+	if magic := mr.bytes(4); mr.err == nil && string(magic) != ManifestMagic {
+		return nil, fmt.Errorf("sharding: bad manifest magic %q", magic)
+	}
+	if v := mr.u32(); mr.err == nil && v != manifestVersion {
+		return nil, fmt.Errorf("sharding: unsupported manifest version %d", v)
+	}
+	m := &Manifest{}
+	m.Kind = mr.str()
+	m.Partitioner = mr.str()
+	m.Records = mr.count("record count", maxShardRecords)
+	m.Objects = mr.count("object count", maxShardRecords)
+	shards := mr.u32()
+	if mr.err == nil && (shards == 0 || shards > MaxShards) {
+		return nil, fmt.Errorf("sharding: manifest names %d shards, want 1..%d", shards, MaxShards)
+	}
+	// The shard count is untrusted: reading drives the allocation, not
+	// the header (a truncated stream stops growing the slice).
+	for i := uint32(0); i < shards && mr.err == nil; i++ {
+		var sh ShardInfo
+		sh.Path = mr.str()
+		sh.Rect = stx.Rect{MinX: mr.f64(), MinY: mr.f64(), MaxX: mr.f64(), MaxY: mr.f64()}
+		sh.Interval = stx.Interval{Start: int64(mr.u64()), End: int64(mr.u64())}
+		sh.Records = mr.count("shard record count", maxShardRecords)
+		sh.Objects = mr.count("shard object count", maxShardRecords)
+		sh.BufferPages = int(mr.u32())
+		if mr.err != nil {
+			break
+		}
+		if err := validShardPath(sh.Path); err != nil {
+			return nil, err
+		}
+		for _, f := range [...]float64{sh.Rect.MinX, sh.Rect.MinY, sh.Rect.MaxX, sh.Rect.MaxY} {
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return nil, fmt.Errorf("sharding: shard %d has a non-finite pruning bound", i)
+			}
+		}
+		if sh.Rect.MinX > sh.Rect.MaxX || sh.Rect.MinY > sh.Rect.MaxY {
+			return nil, fmt.Errorf("sharding: shard %d has a degenerate pruning rect", i)
+		}
+		if sh.Interval.End < sh.Interval.Start {
+			return nil, fmt.Errorf("sharding: shard %d has a degenerate pruning interval", i)
+		}
+		m.Shards = append(m.Shards, sh)
+	}
+	if mr.err != nil {
+		return nil, fmt.Errorf("sharding: reading manifest: %w", mr.err)
+	}
+	if _, err := mr.r.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("sharding: trailing garbage after manifest")
+	}
+	return m, nil
+}
+
+// SaveManifest writes the manifest to path.
+func SaveManifest(path string, m *Manifest) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("sharding: saving manifest: %w", err)
+	}
+	if err := WriteManifest(f, m); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("sharding: saving manifest: %w", err)
+	}
+	return nil
+}
+
+// LoadManifest reads the manifest at path.
+func LoadManifest(path string) (*Manifest, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("sharding: opening manifest: %w", err)
+	}
+	defer f.Close()
+	return ReadManifest(f)
+}
+
+// IsManifest sniffs whether the file at path starts with the shard
+// manifest magic — how the serving registry decides between the sharded
+// and the single-container open path.
+func IsManifest(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return false
+	}
+	return string(magic[:]) == ManifestMagic
+}

@@ -1,0 +1,332 @@
+package sharding
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	stx "stindex"
+)
+
+// Sharded is a scatter-gather snapshot: one logical index over the shard
+// containers named by a manifest. A query is pruned against each shard's
+// manifest-level bounds (MBR + covering interval), fanned across the
+// surviving shards in parallel, and the per-shard answers are merged
+// with deduplication into one ascending id list — deterministic
+// regardless of shard completion order. Failure is fail-stop: if any
+// dispatched shard errors, the whole query errors; a silently partial
+// result set is never returned (internal/check's sharded fault pass
+// proves it).
+//
+// Sharded implements stx.Index and stx.QueryViewer, so the serving
+// registry handles it exactly like a single container: per-worker views
+// (each holding private views of every shard), lease refcounts,
+// hot-swap. Pruning and dispatch counters are shared between the parent
+// and all its views — they are per-shard serving totals, surfaced in
+// /metrics.
+type Sharded struct {
+	man *Manifest
+	// shards[i] is this instance's view of shard i plus the shared
+	// bounds and counters.
+	shards  []shardRef
+	queries *atomic.Int64 // total sharded queries, shared across views
+	fanout  int
+	// parent-only: the opened containers to close.
+	owned     []stx.Index
+	closeOnce sync.Once
+	closeErr  error
+}
+
+type shardRef struct {
+	idx      stx.Index
+	rect     stx.Rect
+	interval stx.Interval
+	stats    *shardCounters
+}
+
+// shardCounters are one shard's serving totals, shared by all views.
+type shardCounters struct {
+	dispatched atomic.Int64
+	pruned     atomic.Int64
+	reads      atomic.Int64
+}
+
+// ShardStat is one shard's externally visible serving state, reported
+// under its snapshot in /metrics. For every sharded query a shard is
+// either dispatched or pruned, so Queries + Pruned equals the
+// snapshot's total sharded query count — the invariant the service
+// tests and scripts/checkmetrics.go pin.
+type ShardStat struct {
+	Shard   int    `json:"shard"`
+	Path    string `json:"path,omitempty"`
+	Records int    `json:"records"`
+	// Queries counts queries dispatched to this shard (not pruned).
+	Queries int64 `json:"queries"`
+	// Pruned counts queries answered without touching this shard, from
+	// the manifest bounds alone.
+	Pruned int64 `json:"pruned"`
+	// Reads counts the disk accesses the dispatched queries cost on this
+	// shard, across every serving view.
+	Reads int64 `json:"reads"`
+}
+
+// OpenSharded opens the shard manifest at path and every shard container
+// it names, each with the same open options. The wrap seam (shared page
+// cache, fault injection) is applied to every shard's extents in
+// manifest order — with the registry's generation-keyed cache wrapper
+// this keeps one global byte budget across all shards of the snapshot.
+func OpenSharded(path string, opts stx.OpenOptions) (*Sharded, error) {
+	return OpenShardedPerShard(path, func(int) stx.OpenOptions { return opts })
+}
+
+// OpenShardedPerShard is OpenSharded with per-shard open options — the
+// fault-injection seam internal/check uses to fail a single shard.
+// Shards are opened sequentially in manifest order.
+func OpenShardedPerShard(path string, optsFor func(shard int) stx.OpenOptions) (*Sharded, error) {
+	man, err := LoadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	s := &Sharded{man: man, queries: &atomic.Int64{}}
+	for i, info := range man.Shards {
+		idx, err := stx.OpenIndexOptions(filepath.Join(dir, info.Path), optsFor(i))
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("sharding: opening shard %d (%s): %w", i, info.Path, err)
+		}
+		s.owned = append(s.owned, idx)
+		view := idx
+		if _, ok := idx.(stx.QueryViewer); !ok {
+			// No per-worker views for this kind: every view of the
+			// snapshot shares one synchronized wrapper.
+			view = stx.Synchronized(idx)
+		}
+		s.shards = append(s.shards, shardRef{
+			idx:      view,
+			rect:     info.Rect,
+			interval: info.Interval,
+			stats:    &shardCounters{},
+		})
+	}
+	s.fanout = runtime.GOMAXPROCS(0)
+	if s.fanout > len(s.shards) {
+		s.fanout = len(s.shards)
+	}
+	return s, nil
+}
+
+// Manifest returns the manifest this snapshot was opened from.
+func (s *Sharded) Manifest() *Manifest { return s.man }
+
+// ShardIndexes returns the underlying shard containers in manifest
+// order, unwrapped (no synchronization) — for structural checks on the
+// parent snapshot; views own no containers and return nil. Treat the
+// indexes as read-only.
+func (s *Sharded) ShardIndexes() []stx.Index {
+	return s.owned
+}
+
+// Queries returns the total number of sharded queries served across all
+// views of this snapshot.
+func (s *Sharded) Queries() int64 { return s.queries.Load() }
+
+// ShardStats returns every shard's serving totals in manifest order.
+func (s *Sharded) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(s.shards))
+	for i, sh := range s.shards {
+		out[i] = ShardStat{
+			Shard:   i,
+			Path:    s.man.Shards[i].Path,
+			Records: s.man.Shards[i].Records,
+			Queries: sh.stats.dispatched.Load(),
+			Pruned:  sh.stats.pruned.Load(),
+			Reads:   sh.stats.reads.Load(),
+		}
+	}
+	return out
+}
+
+// Snapshot implements stx.Index.
+func (s *Sharded) Snapshot(r stx.Rect, t int64) ([]int64, error) {
+	return s.Range(r, stx.Interval{Start: t, End: t + 1})
+}
+
+// Range implements stx.Index: prune, scatter, gather, merge.
+func (s *Sharded) Range(r stx.Rect, iv stx.Interval) ([]int64, error) {
+	s.queries.Add(1)
+	// Prune against the manifest bounds: a shard whose MBR misses the
+	// query rect or whose covering interval misses the query interval
+	// cannot contribute. The predicate is exactly the record-match
+	// predicate (closed rect intersection, half-open interval overlap),
+	// so pruning can never drop a shard holding a matching record.
+	dispatch := make([]int, 0, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if !r.Intersects(sh.rect) || iv.Start >= sh.interval.End || iv.End <= sh.interval.Start {
+			sh.stats.pruned.Add(1)
+			continue
+		}
+		dispatch = append(dispatch, i)
+	}
+
+	results := make([][]int64, len(dispatch))
+	if len(dispatch) <= 1 || s.fanout <= 1 {
+		for di, i := range dispatch {
+			ids, err := s.queryShard(i, r, iv)
+			if err != nil {
+				return nil, err
+			}
+			results[di] = ids
+		}
+	} else {
+		errs := make([]error, len(dispatch))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, s.fanout)
+		for di, i := range dispatch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(di, i int) {
+				defer wg.Done()
+				results[di], errs[di] = s.queryShard(i, r, iv)
+				<-sem
+			}(di, i)
+		}
+		wg.Wait()
+		// Fail-stop: any shard error fails the whole query; partial
+		// merges are never returned.
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Merge with deduplication (partitioning is at object granularity,
+	// but the merge stays correct for any layout), then sort: the answer
+	// is deterministic whatever order the shards finished in.
+	switch len(results) {
+	case 0:
+		return nil, nil
+	case 1:
+		merged := results[0]
+		sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+		return merged, nil
+	}
+	n := 0
+	for _, ids := range results {
+		n += len(ids)
+	}
+	seen := make(map[int64]struct{}, n)
+	merged := make([]int64, 0, n)
+	for _, ids := range results {
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			merged = append(merged, id)
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+	return merged, nil
+}
+
+// queryShard runs one dispatched range on shard i of this view,
+// accounting the dispatch and its disk reads on the shared counters.
+func (s *Sharded) queryShard(i int, r stx.Rect, iv stx.Interval) ([]int64, error) {
+	sh := &s.shards[i]
+	sh.stats.dispatched.Add(1)
+	before := sh.idx.IOStats()
+	ids, err := sh.idx.Range(r, iv)
+	after := sh.idx.IOStats()
+	sh.stats.reads.Add(after.Reads - before.Reads)
+	return ids, err
+}
+
+// ResetBuffer implements stx.Index over every shard view.
+func (s *Sharded) ResetBuffer() {
+	for i := range s.shards {
+		s.shards[i].idx.ResetBuffer()
+	}
+}
+
+// IOStats implements stx.Index: the sum over this view's shard views.
+func (s *Sharded) IOStats() stx.IOStats {
+	var total stx.IOStats
+	for i := range s.shards {
+		st := s.shards[i].idx.IOStats()
+		total.Reads += st.Reads
+		total.Writes += st.Writes
+		total.Hits += st.Hits
+	}
+	return total
+}
+
+// Pages implements stx.Index: the sum over all shards.
+func (s *Sharded) Pages() int {
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].idx.Pages()
+	}
+	return n
+}
+
+// Bytes implements stx.Index: the sum over all shards.
+func (s *Sharded) Bytes() int64 {
+	var n int64
+	for i := range s.shards {
+		n += s.shards[i].idx.Bytes()
+	}
+	return n
+}
+
+// Records implements stx.Index: the sum over all shards.
+func (s *Sharded) Records() int {
+	n := 0
+	for i := range s.shards {
+		n += s.shards[i].idx.Records()
+	}
+	return n
+}
+
+// Kind implements stx.Index.
+func (s *Sharded) Kind() string { return "sharded" }
+
+// QueryView implements stx.QueryViewer: a view holds a private view of
+// every shard (kinds without views share the snapshot's synchronized
+// wrapper) and the parent's shared counters, so any number of sessions
+// can scatter-gather concurrently over the frozen shard stores.
+func (s *Sharded) QueryView() stx.Index {
+	v := &Sharded{man: s.man, queries: s.queries, fanout: s.fanout}
+	v.shards = make([]shardRef, len(s.shards))
+	for i, sh := range s.shards {
+		view := sh.idx
+		if qv, ok := sh.idx.(stx.QueryViewer); ok {
+			view = qv.QueryView()
+		}
+		v.shards[i] = shardRef{idx: view, rect: sh.rect, interval: sh.interval, stats: sh.stats}
+	}
+	return v
+}
+
+// Close closes every shard container (a no-op on views, which own no
+// containers). Idempotent, like every index close in this codebase.
+func (s *Sharded) Close() error {
+	s.closeOnce.Do(func() {
+		for _, idx := range s.owned {
+			if err := stx.CloseIndex(idx); err != nil && s.closeErr == nil {
+				s.closeErr = err
+			}
+		}
+	})
+	return s.closeErr
+}
+
+var (
+	_ stx.Index       = (*Sharded)(nil)
+	_ stx.QueryViewer = (*Sharded)(nil)
+)

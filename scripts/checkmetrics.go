@@ -40,13 +40,30 @@ func main() {
 	if len(m.Snapshots) == 0 {
 		die("no snapshots in metrics")
 	}
+	shardedSnaps := 0
 	for _, s := range m.Snapshots {
 		if s.Queries > 0 && s.Reads+s.Hits == 0 {
 			die("snapshot %q served %d queries with no buffer traffic", s.Name, s.Queries)
 		}
+		// Sharded snapshots: every query is either dispatched to or
+		// pruned at every shard, so per shard dispatched + pruned must
+		// equal the scatter-gather query count exactly (the scrape
+		// happens at rest in the smoke test, so no in-flight slack).
+		if len(s.Shards) > 0 {
+			shardedSnaps++
+			if s.Queries > 0 && s.ShardedQueries == 0 {
+				die("sharded snapshot %q served %d queries but counted none at the fan-out", s.Name, s.Queries)
+			}
+			for _, sh := range s.Shards {
+				if sh.Queries+sh.Pruned != s.ShardedQueries {
+					die("snapshot %q shard %d: dispatched %d + pruned %d != %d sharded queries",
+						s.Name, sh.Shard, sh.Queries, sh.Pruned, s.ShardedQueries)
+				}
+			}
+		}
 	}
-	fmt.Printf("metrics ok: completed=%d qps=%.0f p50=%dµs p99=%dµs\n",
-		m.Completed, m.QPS, m.P50US, m.P99US)
+	fmt.Printf("metrics ok: completed=%d qps=%.0f p50=%dµs p99=%dµs sharded-snapshots=%d\n",
+		m.Completed, m.QPS, m.P50US, m.P99US, shardedSnaps)
 }
 
 func die(format string, args ...any) {

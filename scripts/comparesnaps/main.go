@@ -1,0 +1,112 @@
+// Command comparesnaps fires the same deterministic query mix at two
+// snapshots of a running stserve and fails unless every answer's id set
+// is identical. scripts/smoke_stserve.sh uses it to prove a sharded
+// snapshot's scatter-gather merge is indistinguishable from the flat
+// container it was partitioned from (ids may be discovered in a
+// different order; both sides are compared as sorted sets).
+//
+//	go run ./scripts/comparesnaps http://127.0.0.1:18431 default sharded 120
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+)
+
+func main() {
+	if len(os.Args) != 5 {
+		die("usage: comparesnaps <base-url> <snapshot-a> <snapshot-b> <queries>")
+	}
+	base, snapA, snapB := os.Args[1], os.Args[2], os.Args[3]
+	n, err := strconv.Atoi(os.Args[4])
+	if err != nil || n <= 0 {
+		die("bad query count %q", os.Args[4])
+	}
+
+	matched := 0
+	for i := 0; i < n; i++ {
+		params := queryParams(i)
+		a, err := ask(base, snapA, params)
+		if err != nil {
+			die("query %d against %s: %v", i, snapA, err)
+		}
+		b, err := ask(base, snapB, params)
+		if err != nil {
+			die("query %d against %s: %v", i, snapB, err)
+		}
+		if !equal(a, b) {
+			die("query %d (%s) differs: %s answered %d ids, %s answered %d ids",
+				i, params, snapA, len(a), snapB, len(b))
+		}
+		matched += len(a)
+	}
+	fmt.Printf("comparesnaps ok: %d queries, %d ids identical between %q and %q\n",
+		n, matched, snapA, snapB)
+}
+
+// queryParams derives the i-th deterministic query: a sliding rect over
+// the unit square, alternating snapshot (t=) and range (from/to)
+// timestamps.
+func queryParams(i int) string {
+	x := float64((i*37)%83) / 100.0 // 0.00 .. 0.82
+	y := float64((i*53)%79) / 100.0
+	w := 0.05 + float64(i%4)*0.05 // 0.05 .. 0.20
+	rect := fmt.Sprintf("rect=%.2f,%.2f,%.2f,%.2f", x, y, min(x+w, 1), min(y+w, 1))
+	t := (i * 101) % 500
+	if i%3 == 0 {
+		return fmt.Sprintf("%s&from=%d&to=%d", rect, t, t+10+(i%40))
+	}
+	return fmt.Sprintf("%s&t=%d", rect, t)
+}
+
+func ask(base, snapshot, params string) ([]int64, error) {
+	url := fmt.Sprintf("%s/query?snapshot=%s&%s", base, snapshot, params)
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: HTTP %d", url, resp.StatusCode)
+	}
+	var body struct {
+		Count int     `json:"count"`
+		IDs   []int64 `json:"ids"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, fmt.Errorf("%s: %v", url, err)
+	}
+	if body.Count != len(body.IDs) {
+		return nil, fmt.Errorf("%s: count %d but %d ids", url, body.Count, len(body.IDs))
+	}
+	sort.Slice(body.IDs, func(a, b int) bool { return body.IDs[a] < body.IDs[b] })
+	return body.IDs, nil
+}
+
+func equal(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func die(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "comparesnaps: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -2,13 +2,18 @@
 # End-to-end smoke test for stserve: build the CLIs, generate and save a
 # container, serve it, fire >= 1000 queries from >= 8 concurrent clients,
 # check /metrics and hot-swap, and shut down gracefully with SIGTERM.
-# Exits non-zero on any failure. Used by CI; runnable locally:
+# With SMOKE_SHARDED=1 (the default) it also builds a 3-shard snapshot
+# from the same dataset, serves it next to the flat container, proves the
+# scatter-gather answers are identical, hot-swaps the manifest and checks
+# the per-shard metrics invariant. Exits non-zero on any failure. Used by
+# CI; runnable locally:
 #
 #   ./scripts/smoke_stserve.sh
 set -euo pipefail
 
 CLIENTS=${CLIENTS:-8}
 QUERIES_PER_CLIENT=${QUERIES_PER_CLIENT:-125}   # 8 x 125 = 1000
+SMOKE_SHARDED=${SMOKE_SHARDED:-1}
 PORT=${PORT:-18431}
 ADDR="127.0.0.1:${PORT}"
 
@@ -70,11 +75,34 @@ curl -sf -X POST "http://$ADDR/snapshots/load" \
   -d "{\"name\":\"default\",\"path\":\"$workdir/idx2.sti\"}" >/dev/null
 curl -sf "http://$ADDR/query?rect=0.3,0.3,0.7,0.7&t=100" >/dev/null
 
+if [ "$SMOKE_SHARDED" = "1" ]; then
+  echo "== building sharded snapshot (3 temporal shards from the same dataset)"
+  "$workdir/stsplit" -i "$workdir/objs.jsonl" -budget 1200 -shards 3 -o "$workdir/snap.stm"
+  curl -sf -X POST "http://$ADDR/snapshots/load" \
+    -d "{\"name\":\"sharded\",\"path\":\"$workdir/snap.stm\"}" >/dev/null
+
+  echo "== comparing scatter-gather answers to the flat container"
+  go run ./scripts/comparesnaps "http://$ADDR" default sharded 120
+
+  echo "== hot-swapping the sharded snapshot (spatial partitioner)"
+  "$workdir/stsplit" -i "$workdir/objs.jsonl" -budget 1200 -shards 3 \
+    -partitioner spatial -o "$workdir/snap2.stm"
+  curl -sf -X POST "http://$ADDR/snapshots/load" \
+    -d "{\"name\":\"sharded\",\"path\":\"$workdir/snap2.stm\"}" >/dev/null
+  go run ./scripts/comparesnaps "http://$ADDR" default sharded 40
+fi
+
 echo "== scraping /metrics"
 metrics=$(curl -sf "http://$ADDR/metrics")
 echo "$metrics" | head -c 400; echo
 want=$((CLIENTS * QUERIES_PER_CLIENT))
-go run ./scripts/checkmetrics.go "$want" <<<"$metrics"
+check=$(go run ./scripts/checkmetrics.go "$want" <<<"$metrics")
+echo "$check"
+if [ "$SMOKE_SHARDED" = "1" ]; then
+  if grep -q "sharded-snapshots=0" <<<"$check"; then
+    echo "FAIL: no sharded snapshot in metrics"; exit 1
+  fi
+fi
 
 echo "== graceful shutdown (SIGTERM)"
 kill -TERM "$serve_pid"
