@@ -55,6 +55,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generation seed")
 		par     = flag.Int("parallelism", 0, "worker count for the split pipeline and workload measurement (0 = all cores, 1 = serial; results are identical either way)")
 		backend = flag.String("backend", "", "page-store backend for every index build: mem | disk (default: $STINDEX_BACKEND, then mem; results and AvgIO are identical either way)")
+		codec   = flag.String("codec", "", "default page codec for every container save: identity | compressed (default: $STINDEX_CODEC, then compressed; -exp persist always measures both)")
 		shards  = flag.String("shards", "", "comma-separated shard counts for -exp shard (default 1,4,16)")
 		partner = flag.String("partitioner", "", "comma-separated partitioners for -exp shard (default temporal,spatial,velocity)")
 	)
@@ -63,6 +64,13 @@ func main() {
 		// The experiments build through the facade's default backend, so
 		// the flag just routes through the same environment switch.
 		if err := os.Setenv("STINDEX_BACKEND", *backend); err != nil {
+			fatal(err)
+		}
+	}
+	if *codec != "" {
+		// Same routing for the default page codec: experiments that save
+		// containers pick it up through pagefile.DefaultCodec.
+		if err := os.Setenv("STINDEX_CODEC", *codec); err != nil {
 			fatal(err)
 		}
 	}

@@ -12,6 +12,7 @@
 //	stcheck -kinds ppr,stream -n 1000        # focus on two kinds, bigger data
 //	stcheck -nofaults                        # oracle only, skip the fault matrix
 //	stcheck -schedules read@1,rand:7:0.1     # custom fault schedules
+//	stcheck -inspect snap.stic               # print a container's shape and sizes
 package main
 
 import (
@@ -38,9 +39,28 @@ func main() {
 		parallelism = flag.String("parallelism", "1,4", "comma-separated worker counts for the parallel passes")
 		nofaults    = flag.Bool("nofaults", false, "skip the fault-injection matrix")
 		schedules   = flag.String("schedules", "", "comma-separated fault schedules overriding the defaults (see DESIGN.md for the grammar); ';' separates rules within one schedule")
+		inspect     = flag.String("inspect", "", "print the given container's kind, codec, page counts and sizes, then exit")
 		verbose     = flag.Bool("v", false, "log every pass to stderr")
 	)
 	flag.Parse()
+
+	if *inspect != "" {
+		info, err := stx.InspectContainer(*inspect)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %s container v%d, codec %s, %d extent(s), meta %d bytes\n",
+			*inspect, info.Kind, info.Version, info.Codec, info.Extents, info.MetaBytes)
+		fmt.Printf("  pages: %d live / %d allocated x %d bytes\n",
+			info.Pages, info.PagesAlloc, info.PageSize)
+		fmt.Printf("  bytes: %d logical (raw pages), %d stored (encoded extents), %d file",
+			info.LogicalBytes, info.StoredBytes, info.FileBytes)
+		if info.StoredBytes > 0 && info.LogicalBytes > info.StoredBytes {
+			fmt.Printf(" — %.1fx compression", float64(info.LogicalBytes)/float64(info.StoredBytes))
+		}
+		fmt.Println()
+		return
+	}
 
 	cfg := check.DiffConfig{
 		Objects: *n,

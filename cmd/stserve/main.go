@@ -21,6 +21,12 @@
 //	GET  /metrics          QPS, latency percentiles, hit rates, queue depth
 //	GET  /healthz
 //
+// Containers saved with either page codec load transparently: the codec
+// is recorded in the container header and autodetected at open, so a
+// registry can serve identity and compressed snapshots side by side
+// (compressed ones stay compressed at rest and decode once per page at
+// the cache boundary).
+//
 // SIGINT/SIGTERM drain gracefully: in-flight and queued queries finish,
 // then the containers close.
 package main

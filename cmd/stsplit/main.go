@@ -48,6 +48,7 @@ func main() {
 		partner  = flag.String("partitioner", "temporal", "shard partitioner: temporal | spatial | velocity")
 		indexK   = flag.String("index", "ppr", "shard container index kind: ppr | rstar | rstar-packed | hr | hybrid")
 		pages    = flag.Int("pages", 0, "global buffer-page budget distributed across the shards (0 = 10 per shard)")
+		codec    = flag.String("codec", "", "shard container page codec: identity | compressed (default: compressed, or $STINDEX_CODEC)")
 	)
 	flag.Parse()
 
@@ -91,7 +92,7 @@ func main() {
 		if *out == "" {
 			fatal(fmt.Errorf("-shards needs -o (the manifest path)"))
 		}
-		if err := buildSharded(records, *out, *shards, *partner, *indexK, *pages, *par); err != nil {
+		if err := buildSharded(records, *out, *shards, *partner, *indexK, *codec, *pages, *par); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "objects=%d records=%d volume=%.4f sharded into %d %s shards at %s\n",
@@ -162,7 +163,7 @@ func runPipeline(objs []*trajectory.Object, budget int, splitter, dist string, q
 
 // buildSharded partitions the split records and builds one container
 // per shard plus the manifest stserve loads.
-func buildSharded(records []stio.Record, manifest string, shards int, partitioner, kind string, pages, par int) error {
+func buildSharded(records []stio.Record, manifest string, shards int, partitioner, kind, codec string, pages, par int) error {
 	recs := make([]stx.Record, len(records))
 	for i, r := range records {
 		recs[i] = stx.Record{
@@ -175,7 +176,9 @@ func buildSharded(records []stio.Record, manifest string, shards int, partitione
 	if err != nil {
 		return err
 	}
-	_, err = sharding.Build(manifest, plan, sharding.BuildConfig{Kind: kind, BufferBudget: pages, Parallelism: par})
+	_, err = sharding.Build(manifest, plan, sharding.BuildConfig{
+		Kind: kind, BufferBudget: pages, Parallelism: par, Codec: stx.Codec(codec),
+	})
 	return err
 }
 

@@ -11,8 +11,8 @@ import (
 	"stindex/internal/check"
 )
 
-// containerSeeds encodes one valid STIC container per index kind — the
-// corpus both fuzz targets mutate.
+// containerSeeds encodes one valid STIC container per index kind and
+// page codec — the corpus both fuzz targets mutate.
 func containerSeeds(f *testing.F) [][]byte {
 	f.Helper()
 	wl, err := check.GenerateWorkload(60, 200, 19, 4)
@@ -25,11 +25,13 @@ func containerSeeds(f *testing.F) [][]byte {
 		if err != nil {
 			f.Fatalf("building %s: %v", kind, err)
 		}
-		var buf bytes.Buffer
-		if _, err := stx.EncodeIndex(&buf, idx); err != nil {
-			f.Fatalf("encoding %s: %v", kind, err)
+		for _, codec := range []stx.Codec{stx.CodecIdentity, stx.CodecCompressed} {
+			var buf bytes.Buffer
+			if _, err := stx.EncodeIndexOptions(&buf, idx, stx.SaveOptions{Codec: codec}); err != nil {
+				f.Fatalf("encoding %s with %s: %v", kind, codec, err)
+			}
+			seeds = append(seeds, buf.Bytes())
 		}
-		seeds = append(seeds, buf.Bytes())
 	}
 	return seeds
 }

@@ -77,6 +77,29 @@ const (
 
 func (b Backend) internal() pagefile.Backend { return pagefile.Backend(b) }
 
+// Codec names the page-extent codec of a saved container. The default
+// ("") consults the STINDEX_CODEC environment variable and falls back to
+// compressed. The codec choice never affects query results or I/O
+// statistics — decoded pages, tree layout and buffer accounting are
+// bit-identical; only the at-rest bytes differ. A container always opens
+// through the codec named in its own header, so the selection matters
+// only when saving.
+type Codec string
+
+const (
+	// CodecDefault defers to STINDEX_CODEC, then compressed.
+	CodecDefault Codec = ""
+	// CodecIdentity stores raw fixed-size pages — the historical STPF
+	// extent format, byte-compatible with pre-codec containers.
+	CodecIdentity Codec = "identity"
+	// CodecCompressed stores structurally compressed pages: delta-encoded
+	// MBR coordinates, varint counts/refs/intervals and cross-page entry
+	// dedup of shared subtrees (the STPC extent format).
+	CodecCompressed Codec = "compressed"
+)
+
+func (c Codec) internal() (pagefile.Codec, error) { return pagefile.CodecByName(string(c)) }
+
 // IOStats reports buffer-pool traffic: Reads and Writes are disk accesses,
 // Hits were served from the pool.
 type IOStats struct {

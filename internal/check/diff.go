@@ -1,6 +1,7 @@
 package check
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"sync"
@@ -12,11 +13,12 @@ import (
 
 // DiffConfig parameterises one differential run. The zero value is
 // filled in by withDefaults: every kind, all three backends (memory,
-// disk, mmap-opened), parallelism 1 and 4, a 400-object workload over
-// horizon 1000 with 200 queries.
+// disk, mmap-opened), both page codecs, parallelism 1 and 4, a
+// 400-object workload over horizon 1000 with 200 queries.
 type DiffConfig struct {
 	Kinds       []string
 	Backends    []stx.Backend
+	Codecs      []stx.Codec
 	Parallelism []int
 	Objects     int
 	Horizon     int64
@@ -31,6 +33,9 @@ func (c DiffConfig) withDefaults() DiffConfig {
 	}
 	if len(c.Backends) == 0 {
 		c.Backends = []stx.Backend{stx.BackendMemory, stx.BackendDisk, stx.BackendMmap}
+	}
+	if len(c.Codecs) == 0 {
+		c.Codecs = []stx.Codec{stx.CodecIdentity, stx.CodecCompressed}
 	}
 	if len(c.Parallelism) == 0 {
 		c.Parallelism = []int{1, 4}
@@ -64,7 +69,10 @@ type DiffReport struct {
 // structural invariants, compare every query answer at each parallelism
 // level, and round-trip each kind through a saved container twice — once
 // plain (OpenIndex) and once with a shared page cache interposed, whose
-// cache-served second pass must still be oracle-exact. Any mismatch
+// cache-served second pass must still be oracle-exact. Each kind is
+// additionally saved once per configured codec and proven deterministic
+// (decode + re-encode reproduces the image byte for byte) and
+// oracle-exact through every open backend. Any mismatch
 // error names the seed, kind, backend, parallelism and query index —
 // everything needed to reproduce it.
 func RunDiff(cfg DiffConfig) (DiffReport, error) {
@@ -109,6 +117,15 @@ func RunDiff(cfg DiffConfig) (DiffReport, error) {
 				}
 				rep.Passes++
 				rep.Compared += 2 * len(wl.Queries)
+				for _, codec := range cfg.Codecs {
+					cfg.Logf("diff seed=%d kind=%s codec=%s round-trip", cfg.Seed, kind, codec)
+					passes, err := codecPass(idx, wl, expected, codec, cfg.Backends)
+					if err != nil {
+						return rep, fmt.Errorf("check: seed %d: %s codec %s: %w", cfg.Seed, kind, codec, err)
+					}
+					rep.Passes += passes
+					rep.Compared += passes * len(wl.Queries)
+				}
 				cfg.Logf("diff seed=%d kind=%s sharded scatter-gather", cfg.Seed, kind)
 				records, err := shardedRecordsFor(idx, wl)
 				if err != nil {
@@ -207,6 +224,68 @@ func containerPass(idx stx.Index, wl *Workload, expected [][]int64) error {
 		return fmt.Errorf("opened container: %w", err)
 	}
 	return stx.CloseIndex(opened)
+}
+
+// codecPass proves one codec's container image is trustworthy end to
+// end: the index is encoded with the codec, the image is decoded and
+// re-encoded — the codecs are deterministic, so the second encoding
+// must reproduce the container byte for byte — and the image is then
+// opened through every backend flavour and diffed against the oracle.
+// It returns how many oracle-diffed passes it ran.
+func codecPass(idx stx.Index, wl *Workload, expected [][]int64, codec stx.Codec, backends []stx.Backend) (int, error) {
+	var buf bytes.Buffer
+	if _, err := stx.EncodeIndexOptions(&buf, idx, stx.SaveOptions{Codec: codec}); err != nil {
+		return 0, fmt.Errorf("encoding: %w", err)
+	}
+	image := buf.Bytes()
+	decoded, err := stx.DecodeIndex(bytes.NewReader(image))
+	if err != nil {
+		return 0, fmt.Errorf("decoding own image: %w", err)
+	}
+	var again bytes.Buffer
+	_, err = stx.EncodeIndexOptions(&again, decoded, stx.SaveOptions{Codec: codec})
+	if cerr := stx.CloseIndex(decoded); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return 0, fmt.Errorf("re-encoding decoded image: %w", err)
+	}
+	if !bytes.Equal(image, again.Bytes()) {
+		return 0, fmt.Errorf("re-encode not byte-identical: %d vs %d bytes", len(image), again.Len())
+	}
+	f, err := os.CreateTemp("", "stcheck-codec-*.stic")
+	if err != nil {
+		return 0, err
+	}
+	path := f.Name()
+	_, werr := f.Write(image)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	defer os.Remove(path)
+	if werr != nil {
+		return 0, werr
+	}
+	passes := 0
+	for _, backend := range backends {
+		opened, err := stx.OpenIndexOptions(path, stx.OpenOptions{Backend: backend})
+		if err != nil {
+			return passes, fmt.Errorf("opening as %s: %w", backend, err)
+		}
+		if err := CheckInvariants(opened); err != nil {
+			stx.CloseIndex(opened)
+			return passes, fmt.Errorf("opened as %s: %w", backend, err)
+		}
+		if err := diffRange(opened, wl, expected, 0, len(wl.Queries), 1); err != nil {
+			stx.CloseIndex(opened)
+			return passes, fmt.Errorf("opened as %s: %w", backend, err)
+		}
+		if err := stx.CloseIndex(opened); err != nil {
+			return passes, fmt.Errorf("closing %s open: %w", backend, err)
+		}
+		passes++
+	}
+	return passes, nil
 }
 
 // sharedCachePass round-trips the index through its container opened

@@ -17,9 +17,9 @@ func TestRunDiffSmall(t *testing.T) {
 		t.Fatalf("seed %d: %v", rep.Seed, err)
 	}
 	// 3 backends x 5 kinds x 2 parallelism levels + 5 container
-	// round-trips + 5 shared-cache round-trips + 5 kinds x 3 sharded
-	// partitioner passes.
-	if want := 3*5*2 + 5 + 5 + 5*3; rep.Passes != want {
+	// round-trips + 5 shared-cache round-trips + 5 kinds x 2 codecs x 3
+	// open backends + 5 kinds x 3 sharded partitioner passes.
+	if want := 3*5*2 + 5 + 5 + 5*2*3 + 5*3; rep.Passes != want {
 		t.Errorf("Passes = %d, want %d", rep.Passes, want)
 	}
 	if rep.Compared == 0 || rep.Queries == 0 {
@@ -39,8 +39,9 @@ func TestRunFaultMatrixSmall(t *testing.T) {
 		t.Fatalf("seed %d: %v", rep.Seed, err)
 	}
 	// Every kind runs every schedule in every open flavour (pread, mmap,
-	// disk + shared cache), plus the sharded fail-stop pass's schedules.
-	if want := (len(AllKinds)*len(faultVariants) + 1) * len(DefaultReadSchedules); rep.Schedules != want {
+	// disk + shared cache) for both codecs, plus the sharded fail-stop
+	// pass's schedules.
+	if want := (len(AllKinds)*2*len(faultVariants) + 1) * len(DefaultReadSchedules); rep.Schedules != want {
 		t.Errorf("Schedules = %d, want %d", rep.Schedules, want)
 	}
 	if rep.Injected == 0 {

@@ -49,9 +49,12 @@ type FaultReport struct {
 }
 
 // RunFaultMatrix proves every index kind degrades cleanly under storage
-// faults. For each kind it saves a container, reopens it in each flavour
-// of faultVariants with each schedule of DefaultReadSchedules injected
-// under the page stores, and requires that under faults every query
+// faults. For each kind it saves one container per configured codec,
+// reopens each in each flavour of faultVariants with each schedule of
+// DefaultReadSchedules injected under the page stores (so faults land
+// on already-decoded pages — the lazily decompressing store must
+// compose with injection exactly like the identity one), and requires
+// that under faults every query
 // either matches the oracle or fails with an error wrapping ErrInjected
 // — never a panic, never a silently wrong answer. It then disarms the
 // faults, resets the buffer pool, and requires every query to match the
@@ -76,30 +79,32 @@ func RunFaultMatrix(cfg DiffConfig) (FaultReport, error) {
 		if err != nil {
 			return rep, fmt.Errorf("check: seed %d: %s: %w", cfg.Seed, kind, err)
 		}
-		f, err := os.CreateTemp("", "stcheck-fault-*.stic")
-		if err != nil {
-			return rep, err
-		}
-		path := f.Name()
-		f.Close()
-		if err := stx.SaveIndex(path, built); err != nil {
-			os.Remove(path)
-			return rep, fmt.Errorf("check: seed %d: saving %s container: %w", cfg.Seed, kind, err)
-		}
-		for _, variant := range faultVariants {
-			for _, schedStr := range DefaultReadSchedules {
-				cfg.Logf("faults seed=%d kind=%s variant=%s schedule=%s", cfg.Seed, kind, variant, schedStr)
-				injected, err := runFaultSchedule(kind, path, schedStr, wl, expected, variant)
-				rep.Injected += injected
-				if err != nil {
-					os.Remove(path)
-					return rep, fmt.Errorf("check: seed %d: kind %s variant %s schedule %s: %w",
-						cfg.Seed, kind, variant, schedStr, err)
-				}
-				rep.Schedules++
+		for _, codec := range cfg.Codecs {
+			f, err := os.CreateTemp("", "stcheck-fault-*.stic")
+			if err != nil {
+				return rep, err
 			}
+			path := f.Name()
+			f.Close()
+			if err := stx.SaveIndexOptions(path, built, stx.SaveOptions{Codec: codec}); err != nil {
+				os.Remove(path)
+				return rep, fmt.Errorf("check: seed %d: saving %s container (codec %s): %w", cfg.Seed, kind, codec, err)
+			}
+			for _, variant := range faultVariants {
+				for _, schedStr := range DefaultReadSchedules {
+					cfg.Logf("faults seed=%d kind=%s codec=%s variant=%s schedule=%s", cfg.Seed, kind, codec, variant, schedStr)
+					injected, err := runFaultSchedule(kind, path, schedStr, wl, expected, variant)
+					rep.Injected += injected
+					if err != nil {
+						os.Remove(path)
+						return rep, fmt.Errorf("check: seed %d: kind %s codec %s variant %s schedule %s: %w",
+							cfg.Seed, kind, codec, variant, schedStr, err)
+					}
+					rep.Schedules++
+				}
+			}
+			os.Remove(path)
 		}
-		os.Remove(path)
 	}
 	// Sharded fan-out fail-stop: one shard's injected fault must fail
 	// the whole query, never surface as a silently partial merge. One

@@ -12,13 +12,15 @@ import (
 )
 
 // PersistRow records the container save/reload costs of one index kind
-// at one dataset size, and the AvgIO check between the built index and
-// its lazily reopened copy.
+// at one dataset size under one page codec, and the AvgIO check between
+// the built index and its lazily reopened copy.
 type PersistRow struct {
 	Size    int
 	Kind    string
+	Codec   string
 	Records int
-	// Bytes is the container image size on disk.
+	// Bytes is the container image size on disk — for the compressed
+	// codec this is the at-rest footprint after delta/dup encoding.
 	Bytes int64
 	// SaveTime is EncodeIndex through a buffered file writer.
 	SaveTime time.Duration
@@ -28,21 +30,29 @@ type PersistRow struct {
 	OpenTime time.Duration
 	// BuiltAvgIO and LazyAvgIO are the snapshot-mixed workload averages
 	// on the built index and the lazily reopened one; the container
-	// format guarantees they match exactly.
+	// format guarantees they match exactly — logical page reads are
+	// codec-independent.
 	BuiltAvgIO float64
 	LazyAvgIO  float64
+	// HRLogical and HRPhysical are the HR tree's per-version summed page
+	// count versus the distinct pages actually stored (zero for other
+	// kinds). Their ratio is the shared-subtree dedup the compressed
+	// codec's dup/delta pages exploit on disk.
+	HRLogical  int64
+	HRPhysical int
 }
 
-// Persist measures the unified index container: save cost, eager load
-// (DecodeIndex) versus lazy open (OpenIndex), and the paper's AvgIO
-// metric replayed against the reopened index — which must be bit-equal
-// to the built one, since the page layout and buffer policy are
-// identical on both sides.
+// Persist measures the unified index container under each page codec:
+// save cost, eager load (DecodeIndex) versus lazy open (OpenIndex), and
+// the paper's AvgIO metric replayed against the reopened index — which
+// must be bit-equal to the built one, since the page layout and buffer
+// policy are identical on both sides and the codec only changes the
+// at-rest encoding.
 func Persist(cfg Config) ([]PersistRow, error) {
 	cfg = cfg.withDefaults()
-	cfg.printf("Persistence — container save / eager load / lazy open (150%% splits)\n")
-	cfg.printf("%8s %8s %8s | %8s %10s %10s %10s | %8s %8s\n",
-		"objects", "kind", "records", "KiB", "save", "eager", "open", "avg-io", "reopen")
+	cfg.printf("Persistence — container save / eager load / lazy open per codec (150%% splits)\n")
+	cfg.printf("%8s %8s %12s %8s | %8s %10s %10s %10s | %8s %8s\n",
+		"objects", "kind", "codec", "records", "KiB", "save", "eager", "open", "avg-io", "reopen")
 	dir, err := os.MkdirTemp("", "stindex-persist")
 	if err != nil {
 		return nil, err
@@ -54,6 +64,7 @@ func Persist(cfg Config) ([]PersistRow, error) {
 		return nil, err
 	}
 	queries := toQueries(qs)
+	codecs := []stx.Codec{stx.CodecIdentity, stx.CodecCompressed}
 
 	var rows []PersistRow
 	for _, n := range cfg.Sizes {
@@ -82,66 +93,86 @@ func Persist(cfg Config) ([]PersistRow, error) {
 			if err != nil {
 				return nil, err
 			}
-
-			path := filepath.Join(dir, fmt.Sprintf("%s-%d.sti", b.kind, n))
-			saveTime, err := timed(func() error { return stx.SaveIndex(path, built) })
-			if err != nil {
-				return nil, err
+			var hrStats struct {
+				logical  int64
+				physical int
 			}
-			fi, err := os.Stat(path)
-			if err != nil {
-				return nil, err
-			}
-
-			var eager stx.Index
-			eagerTime, err := timed(func() error {
-				f, err := os.Open(path)
+			if hr, ok := built.(*stx.HRIndex); ok {
+				ps, err := hr.Tree().PageStats()
 				if err != nil {
-					return err
+					return nil, fmt.Errorf("persist: hr/%d page stats: %w", n, err)
 				}
-				defer f.Close()
-				eager, err = stx.DecodeIndex(f)
-				return err
-			})
-			if err != nil {
-				return nil, err
-			}
-			if eager.Records() != built.Records() {
-				return nil, fmt.Errorf("persist: %s/%d: eager reload has %d records, built %d",
-					b.kind, n, eager.Records(), built.Records())
+				hrStats.logical, hrStats.physical = ps.Logical, ps.Physical
+				cfg.printf("%8d %8s %12s: %d versions, %d logical pages vs %d stored (%.1fx shared)\n",
+					n, "hr", "sharing", ps.Versions, ps.Logical, ps.Physical,
+					float64(ps.Logical)/float64(ps.Physical))
 			}
 
-			var lazy stx.Index
-			openTime, err := timed(func() error {
-				var err error
-				lazy, err = stx.OpenIndex(path)
-				return err
-			})
-			if err != nil {
-				return nil, err
-			}
-			lazyRes, err := stx.MeasureWorkloadParallel(lazy, queries, cfg.Parallelism)
-			if err != nil {
-				return nil, err
-			}
-			if err := stx.CloseIndex(lazy); err != nil {
-				return nil, err
-			}
-			if lazyRes.AvgIO != builtRes.AvgIO {
-				return nil, fmt.Errorf("persist: %s/%d: reopened AvgIO %.4f != built %.4f",
-					b.kind, n, lazyRes.AvgIO, builtRes.AvgIO)
-			}
+			for _, codec := range codecs {
+				path := filepath.Join(dir, fmt.Sprintf("%s-%s-%d.sti", b.kind, codec, n))
+				saveTime, err := timed(func() error {
+					return stx.SaveIndexOptions(path, built, stx.SaveOptions{Codec: codec})
+				})
+				if err != nil {
+					return nil, err
+				}
+				fi, err := os.Stat(path)
+				if err != nil {
+					return nil, err
+				}
 
-			row := PersistRow{
-				Size: n, Kind: b.kind, Records: built.Records(), Bytes: fi.Size(),
-				SaveTime: saveTime, EagerTime: eagerTime, OpenTime: openTime,
-				BuiltAvgIO: builtRes.AvgIO, LazyAvgIO: lazyRes.AvgIO,
+				var eager stx.Index
+				eagerTime, err := timed(func() error {
+					f, err := os.Open(path)
+					if err != nil {
+						return err
+					}
+					defer f.Close()
+					eager, err = stx.DecodeIndex(f)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				if eager.Records() != built.Records() {
+					return nil, fmt.Errorf("persist: %s/%s/%d: eager reload has %d records, built %d",
+						b.kind, codec, n, eager.Records(), built.Records())
+				}
+
+				var lazy stx.Index
+				openTime, err := timed(func() error {
+					var err error
+					lazy, err = stx.OpenIndex(path)
+					return err
+				})
+				if err != nil {
+					return nil, err
+				}
+				lazyRes, err := stx.MeasureWorkloadParallel(lazy, queries, cfg.Parallelism)
+				if err != nil {
+					return nil, err
+				}
+				if err := stx.CloseIndex(lazy); err != nil {
+					return nil, err
+				}
+				if lazyRes.AvgIO != builtRes.AvgIO {
+					return nil, fmt.Errorf("persist: %s/%s/%d: reopened AvgIO %.4f != built %.4f",
+						b.kind, codec, n, lazyRes.AvgIO, builtRes.AvgIO)
+				}
+
+				row := PersistRow{
+					Size: n, Kind: b.kind, Codec: string(codec),
+					Records: built.Records(), Bytes: fi.Size(),
+					SaveTime: saveTime, EagerTime: eagerTime, OpenTime: openTime,
+					BuiltAvgIO: builtRes.AvgIO, LazyAvgIO: lazyRes.AvgIO,
+					HRLogical: hrStats.logical, HRPhysical: hrStats.physical,
+				}
+				rows = append(rows, row)
+				cfg.printf("%8d %8s %12s %8d | %8d %10s %10s %10s | %8.3f %8.3f\n",
+					n, b.kind, row.Codec, row.Records, row.Bytes/1024,
+					row.SaveTime.Round(time.Microsecond), row.EagerTime.Round(time.Microsecond),
+					row.OpenTime.Round(time.Microsecond), row.BuiltAvgIO, row.LazyAvgIO)
 			}
-			rows = append(rows, row)
-			cfg.printf("%8d %8s %8d | %8d %10s %10s %10s | %8.3f %8.3f\n",
-				n, b.kind, row.Records, row.Bytes/1024,
-				row.SaveTime.Round(time.Microsecond), row.EagerTime.Round(time.Microsecond),
-				row.OpenTime.Round(time.Microsecond), row.BuiltAvgIO, row.LazyAvgIO)
 		}
 	}
 	cfg.printf("\n")

@@ -1,0 +1,79 @@
+package hrtree
+
+import (
+	"fmt"
+
+	"stindex/internal/pagefile"
+)
+
+// PageStats reports how much of the stored tree is shared structure.
+// Logical counts every page reachable from every version root, a page
+// shared by k versions counted k times — the footprint a naive
+// per-version serialisation would duplicate. Physical counts each
+// stored page once — what the copy-on-write store actually holds and
+// what a container extent serialises. Their ratio is the paper's
+// partial-persistence win: O(changes) storage instead of
+// O(versions × tree size).
+type PageStats struct {
+	// Versions is the number of root versions walked.
+	Versions int
+	// Logical is the summed page count of every version's subtree.
+	Logical int64
+	// Physical is the number of distinct pages reachable from any root.
+	Physical int
+}
+
+// PageStats walks every version root over the store directly —
+// bypassing the buffer pool, so I/O accounting is untouched — and
+// returns the logical/physical page accounting. Shared subtrees are
+// decoded once: subtree sizes are memoised by page, so the walk is
+// linear in the physical page count.
+func (t *Tree) PageStats() (PageStats, error) {
+	var stats PageStats
+	if t.file == nil {
+		return stats, fmt.Errorf("hrtree: no page store attached")
+	}
+	sizes := make(map[pagefile.PageID]int64)
+	walking := make(map[pagefile.PageID]bool)
+	buf := make([]byte, t.file.PageSize())
+	var walk func(id pagefile.PageID) (int64, error)
+	walk = func(id pagefile.PageID) (int64, error) {
+		if s, ok := sizes[id]; ok {
+			return s, nil
+		}
+		if walking[id] {
+			return 0, fmt.Errorf("hrtree: page %d reached twice on one path (cycle)", id)
+		}
+		walking[id] = true
+		defer delete(walking, id)
+		if err := t.file.ReadPage(id, buf); err != nil {
+			return 0, err
+		}
+		n, err := decodeHNode(id, buf)
+		if err != nil {
+			return 0, err
+		}
+		total := int64(1)
+		if !n.leaf {
+			for _, e := range n.entries {
+				sub, err := walk(pagefile.PageID(e.ref))
+				if err != nil {
+					return 0, err
+				}
+				total += sub
+			}
+		}
+		sizes[id] = total
+		return total, nil
+	}
+	for _, v := range t.versions {
+		sub, err := walk(v.page)
+		if err != nil {
+			return stats, err
+		}
+		stats.Versions++
+		stats.Logical += sub
+	}
+	stats.Physical = len(sizes)
+	return stats, nil
+}

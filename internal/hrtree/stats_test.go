@@ -1,0 +1,74 @@
+package hrtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"stindex/internal/geom"
+	"stindex/internal/pagefile"
+)
+
+func TestPageStatsSharing(t *testing.T) {
+	// Long horizon relative to record count keeps roughly one event per
+	// version while the long intervals sustain a large live set, so each
+	// version's subtree dwarfs the handful of pages its update copied.
+	rng := rand.New(rand.NewSource(5))
+	recs := randHRecords(rng, 1200, 5000)
+	tree := buildHR(t, Options{MaxEntries: 10, BufferPages: 16}, recs)
+
+	stats, err := tree.PageStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Versions != tree.NumVersions() {
+		t.Fatalf("walked %d versions, tree has %d", stats.Versions, tree.NumVersions())
+	}
+	if stats.Physical > tree.Store().NumPages() {
+		t.Fatalf("physical %d pages exceeds the store's %d live pages", stats.Physical, tree.Store().NumPages())
+	}
+	if stats.Physical <= 0 || stats.Logical < int64(stats.Physical) {
+		t.Fatalf("implausible accounting: logical %d, physical %d", stats.Logical, stats.Physical)
+	}
+	// The whole point of partial persistence: per-version footprints sum
+	// to far more than what is stored. With hundreds of versions the
+	// ratio is large; 3x is a conservative floor.
+	if stats.Logical < 3*int64(stats.Physical) {
+		t.Fatalf("no sharing visible: logical %d vs physical %d pages", stats.Logical, stats.Physical)
+	}
+	// The walk must not disturb query I/O accounting.
+	tree.Buffer().ResetStats()
+	if _, err := tree.PageStats(); err != nil {
+		t.Fatal(err)
+	}
+	if s := tree.Buffer().Stats(); s.Reads != 0 || s.Hits != 0 {
+		t.Fatalf("PageStats went through the buffer: %+v", s)
+	}
+}
+
+func TestPageStatsDetectsCycle(t *testing.T) {
+	tree, err := New(Options{MaxEntries: 4, BufferPages: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Insert(geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the root into a directory node pointing at itself.
+	root := tree.current().page
+	buf := make([]byte, tree.Store().PageSize())
+	n := &hnode{id: root, leaf: false, entries: []hentry{{ref: uint64(root)}}}
+	if err := tree.Store().WritePage(root, n.encode(buf[:0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.PageStats(); err == nil {
+		t.Fatal("cycle not detected")
+	}
+	// An out-of-range reference must surface as an error, not a panic.
+	n.entries[0].ref = uint64(pagefile.InvalidPage)
+	if err := tree.Store().WritePage(root, n.encode(buf[:0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tree.PageStats(); err == nil {
+		t.Fatal("dangling reference not detected")
+	}
+}

@@ -1,0 +1,385 @@
+package pagefile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeLayoutPage fills buf with a valid node page for the layout:
+// plausible coordinates, monotone refs, PPR intervals with the
+// open-ended sentinel mixed in.
+func writeLayoutPage(buf []byte, layout Layout, count int, leaf bool, rng *rand.Rand) {
+	sp, ok := specFor(layout)
+	if !ok {
+		panic("writeLayoutPage: opaque layout")
+	}
+	for i := range buf {
+		buf[i] = 0
+	}
+	if leaf {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[2:], uint16(count))
+	if sp.times {
+		binary.LittleEndian.PutUint64(buf[8:], uint64(rng.Int63n(1000)))
+		endT := uint64(cpNowSentinel)
+		if rng.Intn(2) == 0 {
+			endT = uint64(rng.Int63n(1000) + 1000)
+		}
+		binary.LittleEndian.PutUint64(buf[16:], endT)
+	}
+	ref := uint64(rng.Intn(100))
+	for i := 0; i < count; i++ {
+		off := sp.hdr + i*sp.entry
+		x, y := rng.Float64(), rng.Float64()
+		half := sp.coords / 2
+		for d := 0; d < half; d++ {
+			v := x
+			if d%2 == 1 {
+				v = y
+			}
+			binary.LittleEndian.PutUint64(buf[off+8*d:], math.Float64bits(v))
+			binary.LittleEndian.PutUint64(buf[off+8*(half+d):], math.Float64bits(v+rng.Float64()*0.01))
+		}
+		if sp.times {
+			it := rng.Int63n(1000)
+			dt := cpNowSentinel
+			if rng.Intn(3) == 0 {
+				dt = it + rng.Int63n(100)
+			}
+			binary.LittleEndian.PutUint64(buf[off+32:], uint64(it))
+			binary.LittleEndian.PutUint64(buf[off+40:], uint64(dt))
+		}
+		ref += uint64(rng.Intn(5) + 1)
+		binary.LittleEndian.PutUint64(buf[off+sp.refOff():], ref)
+	}
+}
+
+// mutateEntries overwrites a few entries of a valid node page in place.
+func mutateEntries(buf []byte, layout Layout, howMany int, rng *rand.Rand) {
+	sp, _ := specFor(layout)
+	count := int(binary.LittleEndian.Uint16(buf[2:]))
+	if max := (len(buf) - sp.hdr) / sp.entry; count > max {
+		count = max // a garbage page's count field is unbounded
+	}
+	for k := 0; k < howMany && count > 0; k++ {
+		i := rng.Intn(count)
+		off := sp.hdr + i*sp.entry
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(rng.Float64()))
+	}
+}
+
+// buildCodecWorkload fills a store with the page population the
+// compressed codec targets: structured pages, near-copies (the HR
+// path-copy pattern), exact duplicates, raw garbage, zero pages and
+// freed slots.
+func buildCodecWorkload(t *testing.T, s Store, layout Layout, rng *rand.Rand) {
+	t.Helper()
+	sp, structured := specFor(layout)
+	maxCount := 0
+	if structured {
+		maxCount = (s.PageSize() - sp.hdr) / sp.entry
+	}
+	page := make([]byte, s.PageSize())
+	prev := make([]byte, s.PageSize())
+	havePrev := false
+	var ids []PageID
+	for i := 0; i < 60; i++ {
+		id := s.Allocate()
+		ids = append(ids, id)
+		switch {
+		case structured && havePrev && i%4 == 1: // near-copy: delta target
+			copy(page, prev)
+			mutateEntries(page, layout, 2, rng)
+		case havePrev && i%9 == 2: // exact duplicate: dup target
+			copy(page, prev)
+		case i%13 == 3: // raw garbage: fallback target
+			rng.Read(page)
+		case i%17 == 4: // zero page
+			for j := range page {
+				page[j] = 0
+			}
+		default:
+			if structured {
+				writeLayoutPage(page, layout, 1+rng.Intn(maxCount), rng.Intn(2) == 0, rng)
+			} else {
+				rng.Read(page[:rng.Intn(len(page))])
+			}
+		}
+		if err := s.WritePage(id, page); err != nil {
+			t.Fatal(err)
+		}
+		copy(prev, page)
+		havePrev = true
+	}
+	for _, k := range []int{5, 23, 41} {
+		if err := s.Free(ids[k]); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// assertStoresEqual compares two stores observationally: shape, free
+// list, and every live page image.
+func assertStoresEqual(t *testing.T, want, got Store, label string) {
+	t.Helper()
+	if got.PageSize() != want.PageSize() || got.NumPages() != want.NumPages() || got.NumAllocated() != want.NumAllocated() {
+		t.Fatalf("%s: shape differs: %d/%d pages vs %d/%d", label,
+			got.NumPages(), got.NumAllocated(), want.NumPages(), want.NumAllocated())
+	}
+	wf, gf := want.FreeList(), got.FreeList()
+	if len(wf) != len(gf) {
+		t.Fatalf("%s: free list length %d vs %d", label, len(gf), len(wf))
+	}
+	for i := range wf {
+		if wf[i] != gf[i] {
+			t.Fatalf("%s: free list[%d] = %d vs %d", label, i, gf[i], wf[i])
+		}
+	}
+	a := make([]byte, want.PageSize())
+	b := make([]byte, want.PageSize())
+	for i := 0; i < want.NumAllocated(); i++ {
+		id := PageID(i)
+		if (want.Check(id) == nil) != (got.Check(id) == nil) {
+			t.Fatalf("%s: liveness of page %d differs", label, id)
+		}
+		if want.Check(id) != nil {
+			continue
+		}
+		if err := want.ReadPage(id, a); err != nil {
+			t.Fatal(err)
+		}
+		if err := got.ReadPage(id, b); err != nil {
+			t.Fatalf("%s: reading page %d: %v", label, id, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s: page %d differs", label, id)
+		}
+	}
+}
+
+func TestCompressedExtentRoundTrip(t *testing.T) {
+	for _, layout := range []Layout{LayoutOpaque, LayoutHR, LayoutPPR, LayoutRStar} {
+		rng := rand.New(rand.NewSource(int64(layout) + 7))
+		f := New(DefaultPageSize)
+		buildCodecWorkload(t, f, layout, rng)
+
+		var buf bytes.Buffer
+		if _, err := CodecCompressed.WriteExtent(&buf, f, layout); err != nil {
+			t.Fatal(err)
+		}
+		encoded := append([]byte(nil), buf.Bytes()...)
+
+		mem, err := CodecCompressed.ReadExtentMem(bytes.NewReader(encoded))
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertStoresEqual(t, f, mem, "mem")
+
+		// Re-encode must be byte-identical: the codec is a pure function
+		// of the page population.
+		var buf2 bytes.Buffer
+		if _, err := CodecCompressed.WriteExtent(&buf2, mem, layout); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encoded, buf2.Bytes()) {
+			t.Fatalf("layout %d: re-encode differs: %d vs %d bytes", layout, buf2.Len(), len(encoded))
+		}
+
+		path := filepath.Join(t.TempDir(), "extent")
+		if err := os.WriteFile(path, encoded, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		file, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer file.Close()
+		for _, flavour := range []Backend{BackendDisk, BackendMmap, BackendMemory} {
+			s, length, err := CodecCompressed.OpenExtent(file, 0, flavour)
+			if err != nil {
+				t.Fatalf("layout %d, flavour %s: %v", layout, flavour, err)
+			}
+			if length != int64(len(encoded)) {
+				t.Fatalf("flavour %s: extent length %d, want %d", flavour, length, len(encoded))
+			}
+			assertStoresEqual(t, f, s, string(flavour))
+			if s.Allocate() != InvalidPage {
+				t.Fatalf("flavour %s: allocate succeeded on frozen store", flavour)
+			}
+			if err := s.WritePage(0, make([]byte, DefaultPageSize)); err != ErrReadOnly {
+				t.Fatalf("flavour %s: write returned %v, want ErrReadOnly", flavour, err)
+			}
+			if v := s.Version(0); v != 0 {
+				t.Fatalf("flavour %s: version %d on frozen store", flavour, v)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestCompressedShrinksStructuredPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := New(DefaultPageSize)
+	page := make([]byte, DefaultPageSize)
+	prev := make([]byte, DefaultPageSize)
+	// The HR persistence pattern: one full node, then many path copies
+	// differing in a couple of entries.
+	writeLayoutPage(page, LayoutHR, 50, true, rng)
+	copy(prev, page)
+	for i := 0; i < 100; i++ {
+		id := f.Allocate()
+		if i > 0 {
+			copy(page, prev)
+			mutateEntries(page, LayoutHR, 2, rng)
+		}
+		if err := f.WritePage(id, page); err != nil {
+			t.Fatal(err)
+		}
+		copy(prev, page)
+	}
+	var compressed, identity bytes.Buffer
+	if _, err := CodecCompressed.WriteExtent(&compressed, f, LayoutHR); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CodecIdentity.WriteExtent(&identity, f, LayoutHR); err != nil {
+		t.Fatal(err)
+	}
+	if compressed.Len()*4 > identity.Len() {
+		t.Fatalf("compressed %d bytes, identity %d: expected ≥ 4x shrink on the path-copy workload",
+			compressed.Len(), identity.Len())
+	}
+	got, err := CodecCompressed.ReadExtentMem(&compressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertStoresEqual(t, f, got, "shrunk")
+}
+
+func TestCompressedStoredBytes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := New(DefaultPageSize)
+	buildCodecWorkload(t, f, LayoutHR, rng)
+	var buf bytes.Buffer
+	if _, err := CodecCompressed.WriteExtent(&buf, f, LayoutHR); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "extent")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	file, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer file.Close()
+	s, _, err := CodecCompressed.OpenExtent(file, 0, BackendDisk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if got := StoredBytes(s); got != int64(buf.Len()) {
+		t.Fatalf("StoredBytes %d, want extent length %d", got, buf.Len())
+	}
+	if s.Bytes() != int64(s.NumPages())*int64(s.PageSize()) {
+		t.Fatalf("Bytes %d is not the logical footprint", s.Bytes())
+	}
+	if StoredBytes(f) != f.Bytes() {
+		t.Fatal("StoredBytes of a raw store should be its logical bytes")
+	}
+}
+
+func TestCodecRegistry(t *testing.T) {
+	for _, c := range []Codec{CodecIdentity, CodecCompressed} {
+		byID, err := CodecByID(c.ID())
+		if err != nil || byID.Name() != c.Name() {
+			t.Fatalf("CodecByID(%d) = %v, %v", c.ID(), byID, err)
+		}
+		byName, err := CodecByName(c.Name())
+		if err != nil || byName.ID() != c.ID() {
+			t.Fatalf("CodecByName(%q) = %v, %v", c.Name(), byName, err)
+		}
+	}
+	if _, err := CodecByID(250); err == nil {
+		t.Fatal("unknown codec id accepted")
+	}
+	if _, err := CodecByName("gzip"); err == nil {
+		t.Fatal("unknown codec name accepted")
+	}
+	t.Setenv(EnvCodec, "identity")
+	if DefaultCodec() != CodecIdentity {
+		t.Fatal("STINDEX_CODEC=identity ignored")
+	}
+	t.Setenv(EnvCodec, "")
+	if DefaultCodec() != CodecCompressed {
+		t.Fatal("default codec should be compressed")
+	}
+}
+
+func TestCompressedRejectsCorruptExtent(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	f := New(256)
+	buildCodecWorkload(t, f, LayoutHR, rng)
+	var buf bytes.Buffer
+	if _, err := CodecCompressed.WriteExtent(&buf, f, LayoutHR); err != nil {
+		t.Fatal(err)
+	}
+	encoded := buf.Bytes()
+	// Truncations anywhere must error, never panic or over-allocate.
+	for _, cut := range []int{0, 3, cpHeaderSize - 1, cpHeaderSize + 2, len(encoded) / 2, len(encoded) - 1} {
+		if _, err := CodecCompressed.ReadExtentMem(bytes.NewReader(encoded[:cut])); err == nil {
+			t.Fatalf("accepted extent truncated to %d bytes", cut)
+		}
+	}
+	// Bit flips are either detected or decode to *something* without
+	// crashing; flips in the directory must be detected.
+	for pos := 0; pos < cpHeaderSize; pos++ {
+		mut := append([]byte(nil), encoded...)
+		mut[pos] ^= 0xff
+		_, _ = CodecCompressed.ReadExtentMem(bytes.NewReader(mut))
+	}
+	for i := 0; i < 200; i++ {
+		mut := append([]byte(nil), encoded...)
+		mut[rng.Intn(len(mut))] ^= 1 << rng.Intn(8)
+		_, _ = CodecCompressed.ReadExtentMem(bytes.NewReader(mut))
+	}
+}
+
+// FuzzDecodePage drives the single-page decompressor with arbitrary
+// bytes under every layout. The decoder must never panic and never
+// allocate beyond its fixed page-size buffers, no matter what the
+// encoded lengths claim.
+func FuzzDecodePage(f *testing.F) {
+	rng := rand.New(rand.NewSource(11))
+	for _, layout := range []Layout{LayoutHR, LayoutPPR, LayoutRStar} {
+		page := make([]byte, DefaultPageSize)
+		writeLayoutPage(page, layout, 30, true, rng)
+		st := New(DefaultPageSize)
+		enc := newCpEncoder(st, layout)
+		f.Add(byte(layout), enc.encodePage(0, page))
+		f.Add(byte(layout), cpEncodeRaw(nil, page))
+	}
+	f.Add(byte(LayoutOpaque), []byte{cpModeDup, 2})
+	f.Add(byte(LayoutHR), []byte{cpModeDelta, 1, 0, 3})
+	basePage := make([]byte, DefaultPageSize)
+	writeLayoutPage(basePage, LayoutHR, 10, false, rand.New(rand.NewSource(1)))
+	f.Fuzz(func(t *testing.T, layoutByte byte, data []byte) {
+		layout := Layout(layoutByte % 4)
+		sp, ok := cpSpec(layout, DefaultPageSize)
+		dst := make([]byte, DefaultPageSize)
+		fetch := func(base uint32) ([]byte, error) {
+			if base%2 == 0 {
+				return basePage, nil
+			}
+			return nil, ErrBadPage
+		}
+		_ = cpDecodePage(data, dst, sp, ok, 7, fetch)
+	})
+}

@@ -1,0 +1,1161 @@
+package pagefile
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"os"
+	"sync"
+)
+
+// Compressed page-extent layout (little endian) — the STPC section of a
+// saved index when the compressed codec is selected:
+//
+//	magic    [4]byte  "STPC"
+//	version  uint32   1
+//	pageSize uint32
+//	numPages uint32   (allocated, including freed)
+//	numFree  uint32
+//	layout   uint8    (Layout hint the pages were encoded under)
+//	pad      [3]uint8 0
+//	freeList [numFree]uint32
+//	lens     [numPages]uint32  (encoded byte length per page; 0 = freed)
+//	payload  concatenated encoded pages in id order
+//
+// Every live page encodes to at least one byte (the mode byte), so a
+// zero length marks exactly the freed slots; the reader cross-checks
+// lengths against the free list. Page ids stay stable, like STPF.
+//
+// Each encoded page starts with a mode byte:
+//
+//	0x00 raw:    uvarint n (≤ pageSize), then the page's first n bytes;
+//	             the zero tail is trimmed and restored on decode. The
+//	             unconditional fallback — any page content round-trips.
+//	0x01 struct: the structural encoding for the extent's layout:
+//	             flags byte, uvarint count, (PPR: varint node interval),
+//	             then per entry XOR-referenced float64 coordinates with
+//	             nibble-packed significant-byte lengths, zigzag-varint
+//	             interval deltas (with the open-ended sentinel folded to
+//	             one byte) and zigzag-varint reference deltas.
+//	0x02 delta:  uvarint base page id (an earlier raw/struct page), then
+//	             the struct header and, per entry, uvarint op: op ≥ 1
+//	             copies base entry op-1 verbatim; op 0 is followed by a
+//	             literal entry in the struct encoding. This is what
+//	             dedups HR-tree shared subtrees: path-copied nodes that
+//	             repeat most of an earlier node's entries store only the
+//	             copy ops.
+//	0x03 dup:    uvarint base page id — this page is byte-identical to
+//	             that (raw/struct) page.
+//
+// The encoder verifies every structural candidate by decoding it and
+// comparing against the original image, falling back to raw on any
+// mismatch — compression is a pure size optimisation, lossless for
+// arbitrary page content under any layout hint. Delta/dup bases are
+// always earlier, non-delta pages, so decode needs at most one level of
+// base resolution and corrupt chains are rejected.
+const (
+	cpMagic      = "STPC"
+	cpVersion    = 1
+	cpHeaderSize = 4 + 4 + 4 + 4 + 4 + 4
+)
+
+// Page encoding modes.
+const (
+	cpModeRaw    byte = 0x00
+	cpModeStruct byte = 0x01
+	cpModeDelta  byte = 0x02
+	cpModeDup    byte = 0x03
+)
+
+// cpNowSentinel mirrors geom.Now, the "still alive" timestamp of
+// open-ended intervals; it appears in most live PPR entries and in open
+// node intervals, so it gets the one-byte encoding. Asserted equal to
+// geom.Now by a pprtree test.
+const cpNowSentinel = int64(math.MaxInt64)
+
+// maxAnchorEntries caps the encoder's dedup maps; past it they are
+// cleared (deterministically — the cap depends only on the input
+// sequence) so encoding arbitrarily large extents stays bounded.
+const maxAnchorEntries = 1 << 20
+
+// cpMaxEncodedSlack bounds how much larger than a page an encoded page
+// may claim to be: the raw mode costs at most 1 + uvarint(pageSize) +
+// pageSize bytes and the encoder always picks the smallest candidate.
+const cpMaxEncodedSlack = 8
+
+// layoutSpec describes the node-page byte structure of a Layout.
+type layoutSpec struct {
+	hdr    int  // header bytes before the entry array
+	entry  int  // bytes per entry
+	coords int  // float64 coordinates per entry (first half mins, second half maxes)
+	times  bool // PPR: node interval in header, insert/delete times per entry
+}
+
+// specFor returns the structural spec of a layout; ok is false for
+// LayoutOpaque (and anything unknown), which compresses pages with the
+// raw and dup modes only.
+func specFor(l Layout) (layoutSpec, bool) {
+	switch l {
+	case LayoutHR:
+		return layoutSpec{hdr: 8, entry: 40, coords: 4}, true
+	case LayoutPPR:
+		return layoutSpec{hdr: 24, entry: 56, coords: 4, times: true}, true
+	case LayoutRStar:
+		return layoutSpec{hdr: 8, entry: 56, coords: 6}, true
+	}
+	return layoutSpec{}, false
+}
+
+// cpSpec is specFor gated on the page size: pages too small to hold even
+// the node header fall back to the generic modes.
+func cpSpec(l Layout, pageSize int) (layoutSpec, bool) {
+	sp, ok := specFor(l)
+	if !ok || pageSize < sp.hdr+sp.entry {
+		return layoutSpec{}, false
+	}
+	return sp, true
+}
+
+// refOff returns the byte offset of the reference field within an entry.
+func (sp layoutSpec) refOff() int {
+	off := 8 * sp.coords
+	if sp.times {
+		off += 16
+	}
+	return off
+}
+
+func zigzag(v int64) uint64   { return uint64(v<<1) ^ uint64(v>>63) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// cpReader is a bounds-checked cursor over an encoded page; any
+// overrun or malformed varint trips err and sticks.
+type cpReader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *cpReader) u8() byte {
+	if r.err || r.off >= len(r.b) {
+		r.err = true
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *cpReader) uvarint() uint64 {
+	if r.err {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.err = true
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *cpReader) take(n int) []byte {
+	if r.err || n < 0 || r.off+n > len(r.b) {
+		r.err = true
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+func (r *cpReader) done() bool { return !r.err && r.off == len(r.b) }
+
+// entry field accessors over a raw page image.
+func cpCoord(page []byte, off, i int) uint64 {
+	return binary.LittleEndian.Uint64(page[off+8*i:])
+}
+
+// encodeEntry appends the struct encoding of the entry at off to dst.
+// prevOff is the previous entry's offset, or -1 for the zero context
+// (all-zero coordinate bits, time 0, reference 0).
+func encodeEntry(dst []byte, page []byte, off, prevOff int, sp layoutSpec) []byte {
+	var x [6]uint64
+	half := sp.coords / 2
+	for i := 0; i < sp.coords; i++ {
+		var ref uint64
+		if i < half {
+			if prevOff >= 0 {
+				ref = cpCoord(page, prevOff, i)
+			}
+		} else {
+			ref = cpCoord(page, off, i-half)
+		}
+		x[i] = cpCoord(page, off, i) ^ ref
+	}
+	var lens [6]int
+	for i := 0; i < sp.coords; i++ {
+		lens[i] = (71 - bits.LeadingZeros64(x[i])) / 8 // 0 for x==0, else significant low bytes
+		if x[i] == 0 {
+			lens[i] = 0
+		}
+	}
+	for i := 0; i < sp.coords; i += 2 {
+		dst = append(dst, byte(lens[i]<<4|lens[i+1]))
+	}
+	var le [8]byte
+	for i := 0; i < sp.coords; i++ {
+		binary.LittleEndian.PutUint64(le[:], x[i])
+		dst = append(dst, le[:lens[i]]...)
+	}
+	if sp.times {
+		it := int64(binary.LittleEndian.Uint64(page[off+32:]))
+		dt := int64(binary.LittleEndian.Uint64(page[off+40:]))
+		var prevIt int64
+		if prevOff >= 0 {
+			prevIt = int64(binary.LittleEndian.Uint64(page[prevOff+32:]))
+		}
+		dst = binary.AppendUvarint(dst, zigzag(it-prevIt))
+		if dt == cpNowSentinel {
+			dst = binary.AppendUvarint(dst, 0)
+		} else {
+			dst = binary.AppendUvarint(dst, 1+zigzag(dt-it))
+		}
+	}
+	ref := binary.LittleEndian.Uint64(page[off+sp.refOff():])
+	var prevRef uint64
+	if prevOff >= 0 {
+		prevRef = binary.LittleEndian.Uint64(page[prevOff+sp.refOff():])
+	}
+	return binary.AppendUvarint(dst, zigzag(int64(ref-prevRef)))
+}
+
+// decodeEntry reads one struct-encoded entry into dst at off, mirroring
+// encodeEntry. The previous entry is read back from dst (already
+// decoded); prevOff -1 selects the zero context.
+func decodeEntry(r *cpReader, dst []byte, off, prevOff int, sp layoutSpec) {
+	var lens [6]int
+	for i := 0; i < sp.coords; i += 2 {
+		b := r.u8()
+		lens[i] = int(b >> 4)
+		lens[i+1] = int(b & 0x0f)
+	}
+	half := sp.coords / 2
+	for i := 0; i < sp.coords; i++ {
+		if lens[i] > 8 {
+			r.err = true
+			return
+		}
+		raw := r.take(lens[i])
+		if r.err {
+			return
+		}
+		var x uint64
+		for j, bb := range raw {
+			x |= uint64(bb) << (8 * j)
+		}
+		var ref uint64
+		if i < half {
+			if prevOff >= 0 {
+				ref = cpCoord(dst, prevOff, i)
+			}
+		} else {
+			ref = cpCoord(dst, off, i-half)
+		}
+		binary.LittleEndian.PutUint64(dst[off+8*i:], x^ref)
+	}
+	if sp.times {
+		var prevIt int64
+		if prevOff >= 0 {
+			prevIt = int64(binary.LittleEndian.Uint64(dst[prevOff+32:]))
+		}
+		it := prevIt + unzigzag(r.uvarint())
+		dt := cpNowSentinel
+		if d := r.uvarint(); d != 0 {
+			dt = it + unzigzag(d-1)
+		}
+		binary.LittleEndian.PutUint64(dst[off+32:], uint64(it))
+		binary.LittleEndian.PutUint64(dst[off+40:], uint64(dt))
+	}
+	var prevRef uint64
+	if prevOff >= 0 {
+		prevRef = binary.LittleEndian.Uint64(dst[prevOff+sp.refOff():])
+	}
+	binary.LittleEndian.PutUint64(dst[off+sp.refOff():], prevRef+uint64(unzigzag(r.uvarint())))
+}
+
+// parsePage checks whether a raw page image matches the layout's node
+// structure exactly — padding bytes zero, entry count in bounds, zero
+// tail — so the struct encoding reconstructs it bit for bit.
+func parsePage(page []byte, sp layoutSpec) (count int, ok bool) {
+	if page[1] != 0 || binary.LittleEndian.Uint32(page[4:]) != 0 {
+		return 0, false
+	}
+	count = int(binary.LittleEndian.Uint16(page[2:]))
+	end := sp.hdr + count*sp.entry
+	if end > len(page) {
+		return 0, false
+	}
+	for _, b := range page[end:] {
+		if b != 0 {
+			return 0, false
+		}
+	}
+	return count, true
+}
+
+// encodeStructHeader appends flags, count and (PPR) the node interval.
+func encodeStructHeader(dst []byte, page []byte, count int, sp layoutSpec) []byte {
+	dst = append(dst, page[0])
+	dst = binary.AppendUvarint(dst, uint64(count))
+	if sp.times {
+		startT := int64(binary.LittleEndian.Uint64(page[8:]))
+		endT := int64(binary.LittleEndian.Uint64(page[16:]))
+		dst = binary.AppendUvarint(dst, zigzag(startT))
+		if endT == cpNowSentinel {
+			dst = binary.AppendUvarint(dst, 0)
+		} else {
+			dst = binary.AppendUvarint(dst, 1+zigzag(endT-startT))
+		}
+	}
+	return dst
+}
+
+// decodeStructHeader mirrors encodeStructHeader into a zeroed dst page,
+// returning the entry count (bounds-checked against the page size).
+func decodeStructHeader(r *cpReader, dst []byte, sp layoutSpec) (count int, ok bool) {
+	dst[0] = r.u8()
+	c := r.uvarint()
+	if r.err || c > uint64((len(dst)-sp.hdr)/sp.entry) {
+		r.err = true
+		return 0, false
+	}
+	binary.LittleEndian.PutUint16(dst[2:], uint16(c))
+	if sp.times {
+		startT := unzigzag(r.uvarint())
+		endT := cpNowSentinel
+		if d := r.uvarint(); d != 0 {
+			endT = startT + unzigzag(d-1)
+		}
+		binary.LittleEndian.PutUint64(dst[8:], uint64(startT))
+		binary.LittleEndian.PutUint64(dst[16:], uint64(endT))
+	}
+	return int(c), !r.err
+}
+
+// cpEncodeRaw appends the raw-mode encoding: the page with its zero
+// tail trimmed.
+func cpEncodeRaw(dst []byte, page []byte) []byte {
+	n := len(page)
+	for n > 0 && page[n-1] == 0 {
+		n--
+	}
+	dst = append(dst, cpModeRaw)
+	dst = binary.AppendUvarint(dst, uint64(n))
+	return append(dst, page[:n]...)
+}
+
+// cpEncodeStruct appends the struct-mode encoding (mode byte included).
+func cpEncodeStruct(dst []byte, page []byte, count int, sp layoutSpec) []byte {
+	dst = append(dst, cpModeStruct)
+	dst = encodeStructHeader(dst, page, count, sp)
+	prev := -1
+	for i := 0; i < count; i++ {
+		off := sp.hdr + i*sp.entry
+		dst = encodeEntry(dst, page, off, prev, sp)
+		prev = off
+	}
+	return dst
+}
+
+// cpEncodeDelta appends the delta-mode encoding of page against base
+// (mode byte and base id included). matched returns how many entries
+// became copy ops; callers drop the candidate when too few matched.
+func cpEncodeDelta(dst []byte, page []byte, count int, base uint32, baseIdx map[string]int, sp layoutSpec) (out []byte, matched int) {
+	dst = append(dst, cpModeDelta)
+	dst = binary.AppendUvarint(dst, uint64(base))
+	dst = encodeStructHeader(dst, page, count, sp)
+	prev := -1
+	for i := 0; i < count; i++ {
+		off := sp.hdr + i*sp.entry
+		if k, ok := baseIdx[string(page[off:off+sp.entry])]; ok {
+			dst = binary.AppendUvarint(dst, uint64(k+1))
+			matched++
+		} else {
+			dst = append(dst, 0)
+			dst = encodeEntry(dst, page, off, prev, sp)
+		}
+		prev = off
+	}
+	return dst, matched
+}
+
+// cpDecodePage decodes one encoded page into dst (exactly pageSize
+// bytes, any content — it is fully overwritten). fetchBase returns the
+// decoded raw image of an earlier, non-delta page for the delta and dup
+// modes; it enforces base validity for its own context.
+func cpDecodePage(enc []byte, dst []byte, sp layoutSpec, structOK bool, id uint32, fetchBase func(base uint32) ([]byte, error)) error {
+	if len(enc) == 0 {
+		return fmt.Errorf("pagefile: empty encoded page %d", id)
+	}
+	r := &cpReader{b: enc, off: 1}
+	switch enc[0] {
+	case cpModeRaw:
+		n := r.uvarint()
+		if r.err || n > uint64(len(dst)) {
+			return fmt.Errorf("pagefile: corrupt raw page %d", id)
+		}
+		data := r.take(int(n))
+		if !r.done() {
+			return fmt.Errorf("pagefile: corrupt raw page %d", id)
+		}
+		copy(dst, data)
+		for i := int(n); i < len(dst); i++ {
+			dst[i] = 0
+		}
+		return nil
+	case cpModeStruct:
+		if !structOK {
+			return fmt.Errorf("pagefile: struct page %d in opaque extent", id)
+		}
+		for i := range dst {
+			dst[i] = 0
+		}
+		count, ok := decodeStructHeader(r, dst, sp)
+		if !ok {
+			return fmt.Errorf("pagefile: corrupt struct page %d", id)
+		}
+		prev := -1
+		for i := 0; i < count; i++ {
+			off := sp.hdr + i*sp.entry
+			decodeEntry(r, dst, off, prev, sp)
+			prev = off
+		}
+		if !r.done() {
+			return fmt.Errorf("pagefile: corrupt struct page %d", id)
+		}
+		return nil
+	case cpModeDup:
+		base := r.uvarint()
+		if r.err || !r.done() || base >= uint64(id) {
+			return fmt.Errorf("pagefile: corrupt dup page %d", id)
+		}
+		img, err := fetchBase(uint32(base))
+		if err != nil {
+			return fmt.Errorf("pagefile: dup page %d: %w", id, err)
+		}
+		copy(dst, img)
+		return nil
+	case cpModeDelta:
+		if !structOK {
+			return fmt.Errorf("pagefile: delta page %d in opaque extent", id)
+		}
+		base := r.uvarint()
+		if r.err || base >= uint64(id) {
+			return fmt.Errorf("pagefile: corrupt delta page %d", id)
+		}
+		img, err := fetchBase(uint32(base))
+		if err != nil {
+			return fmt.Errorf("pagefile: delta page %d: %w", id, err)
+		}
+		baseCount, ok := parsePage(img, sp)
+		if !ok {
+			return fmt.Errorf("pagefile: delta page %d: base %d not structured", id, base)
+		}
+		for i := range dst {
+			dst[i] = 0
+		}
+		count, ok := decodeStructHeader(r, dst, sp)
+		if !ok {
+			return fmt.Errorf("pagefile: corrupt delta page %d", id)
+		}
+		prev := -1
+		for i := 0; i < count; i++ {
+			off := sp.hdr + i*sp.entry
+			op := r.uvarint()
+			if r.err {
+				return fmt.Errorf("pagefile: corrupt delta page %d", id)
+			}
+			if op == 0 {
+				decodeEntry(r, dst, off, prev, sp)
+			} else {
+				k := int(op - 1)
+				if k >= baseCount {
+					return fmt.Errorf("pagefile: delta page %d: entry op %d beyond base count %d", id, op, baseCount)
+				}
+				bOff := sp.hdr + k*sp.entry
+				copy(dst[off:off+sp.entry], img[bOff:bOff+sp.entry])
+			}
+			prev = off
+		}
+		if !r.done() {
+			return fmt.Errorf("pagefile: corrupt delta page %d", id)
+		}
+		return nil
+	}
+	return fmt.Errorf("pagefile: page %d has unknown encoding mode %#x", id, enc[0])
+}
+
+// cpEncoder compresses a store's pages in id order, remembering earlier
+// pages as dedup anchors.
+type cpEncoder struct {
+	s        Store
+	sp       layoutSpec
+	structOK bool
+	pageSize int
+	// anchors maps entry bytes to the latest non-delta page containing
+	// them; pageDup maps whole page images to their first non-delta page.
+	anchors  map[string]uint32
+	pageDup  map[string]uint32
+	nAnchors int
+	baseBuf  []byte // scratch: base page image
+	verify   []byte // scratch: decode-verify target
+	baseIdx  map[string]int
+	// per-candidate scratch buffers, reused across pages; the winner is
+	// copied out by the caller before the next page runs.
+	rawBuf, dupBuf, structBuf, deltaBuf []byte
+}
+
+func newCpEncoder(s Store, layout Layout) *cpEncoder {
+	sp, ok := cpSpec(layout, s.PageSize())
+	return &cpEncoder{
+		s:        s,
+		sp:       sp,
+		structOK: ok,
+		pageSize: s.PageSize(),
+		anchors:  make(map[string]uint32),
+		pageDup:  make(map[string]uint32),
+		baseBuf:  make([]byte, s.PageSize()),
+		verify:   make([]byte, s.PageSize()),
+	}
+}
+
+// encodePage returns the smallest verified encoding of the page image.
+// The returned slice is encoder-owned scratch, valid until the next
+// call; page is not retained.
+func (e *cpEncoder) encodePage(id uint32, page []byte) []byte {
+	e.rawBuf = cpEncodeRaw(e.rawBuf[:0], page)
+	best := e.rawBuf
+	bestMode := cpModeRaw
+
+	if base, ok := e.pageDup[string(page)]; ok {
+		e.dupBuf = append(e.dupBuf[:0], cpModeDup)
+		e.dupBuf = binary.AppendUvarint(e.dupBuf, uint64(base))
+		// Byte-identity with the (already verified) base needs no
+		// further check.
+		if len(e.dupBuf) < len(best) {
+			best, bestMode = e.dupBuf, cpModeDup
+		}
+	}
+
+	count, parsed := 0, false
+	if e.structOK {
+		count, parsed = parsePage(page, e.sp)
+	}
+	if parsed {
+		e.structBuf = cpEncodeStruct(e.structBuf[:0], page, count, e.sp)
+		if len(e.structBuf) < len(best) && e.verifies(id, e.structBuf, page) {
+			best, bestMode = e.structBuf, cpModeStruct
+		}
+		if base, ok := e.pickDeltaBase(page, count); ok {
+			if cand, okc := e.tryDelta(id, page, count, base); okc && len(cand) < len(best) {
+				best, bestMode = cand, cpModeDelta
+			}
+		}
+	}
+
+	if bestMode == cpModeRaw || bestMode == cpModeStruct {
+		e.register(id, page, count, parsed)
+	}
+	return best
+}
+
+// pickDeltaBase votes each anchor page by how many of this page's
+// entries it contains; the winner (ties to the higher id) is used when
+// it covers at least two entries and at least half the page.
+func (e *cpEncoder) pickDeltaBase(page []byte, count int) (uint32, bool) {
+	votes := make(map[uint32]int, 4)
+	for i := 0; i < count; i++ {
+		off := e.sp.hdr + i*e.sp.entry
+		if p, ok := e.anchors[string(page[off:off+e.sp.entry])]; ok {
+			votes[p]++
+		}
+	}
+	var best uint32
+	bv := 0
+	for p, v := range votes {
+		if v > bv || (v == bv && p > best) {
+			best, bv = p, v
+		}
+	}
+	return best, bv >= 2 && 2*bv >= count
+}
+
+func (e *cpEncoder) tryDelta(id uint32, page []byte, count int, base uint32) ([]byte, bool) {
+	if e.s.Check(PageID(base)) != nil || e.s.ReadPage(PageID(base), e.baseBuf) != nil {
+		return nil, false
+	}
+	baseCount, ok := parsePage(e.baseBuf, e.sp)
+	if !ok {
+		return nil, false
+	}
+	if e.baseIdx == nil {
+		e.baseIdx = make(map[string]int, baseCount)
+	}
+	clear(e.baseIdx)
+	for k := baseCount - 1; k >= 0; k-- { // earliest occurrence wins
+		off := e.sp.hdr + k*e.sp.entry
+		e.baseIdx[string(e.baseBuf[off:off+e.sp.entry])] = k
+	}
+	var matched int
+	e.deltaBuf, matched = cpEncodeDelta(e.deltaBuf[:0], page, count, base, e.baseIdx, e.sp)
+	if matched < 2 || !e.verifiesWithBase(id, e.deltaBuf, page, e.baseBuf) {
+		return nil, false
+	}
+	return e.deltaBuf, true
+}
+
+// verifies decodes a struct candidate and compares it to the original.
+func (e *cpEncoder) verifies(id uint32, cand, page []byte) bool {
+	return e.verifiesWithBase(id, cand, page, nil)
+}
+
+func (e *cpEncoder) verifiesWithBase(id uint32, cand, page, base []byte) bool {
+	err := cpDecodePage(cand, e.verify, e.sp, e.structOK, id, func(uint32) ([]byte, error) {
+		if base == nil {
+			return nil, fmt.Errorf("pagefile: no base")
+		}
+		return base, nil
+	})
+	return err == nil && bytes.Equal(e.verify, page)
+}
+
+// register records a non-delta page as a dedup anchor.
+func (e *cpEncoder) register(id uint32, page []byte, count int, parsed bool) {
+	if e.nAnchors+count > maxAnchorEntries {
+		clear(e.anchors)
+		clear(e.pageDup)
+		e.nAnchors = 0
+	}
+	if _, ok := e.pageDup[string(page)]; !ok {
+		e.pageDup[string(page)] = id
+	}
+	if parsed {
+		for i := 0; i < count; i++ {
+			off := e.sp.hdr + i*e.sp.entry
+			e.anchors[string(page[off:off+e.sp.entry])] = id
+		}
+		e.nAnchors += count
+	}
+}
+
+// compressedCodec implements Codec with the STPC format.
+type compressedCodec struct{}
+
+func (compressedCodec) Name() string { return "compressed" }
+func (compressedCodec) ID() byte     { return CodecIDCompressed }
+
+// WriteExtent implements Codec. The encoded payload is buffered in
+// memory (lengths precede pages in the stream); the raw pages are not.
+func (compressedCodec) WriteExtent(w io.Writer, s Store, layout Layout) (int64, error) {
+	freeList := s.FreeList()
+	numPages := s.NumAllocated()
+	enc := newCpEncoder(s, layout)
+	lens := make([]uint32, numPages)
+	var payload []byte
+	page := make([]byte, s.PageSize())
+	for i := 0; i < numPages; i++ {
+		if s.Check(PageID(i)) != nil {
+			continue
+		}
+		if err := s.ReadPage(PageID(i), page); err != nil {
+			return 0, err
+		}
+		encPage := enc.encodePage(uint32(i), page)
+		payload = append(payload, encPage...)
+		lens[i] = uint32(len(encPage))
+	}
+
+	bw := bufio.NewWriter(w)
+	var n int64
+	write := func(data []byte) error {
+		m, err := bw.Write(data)
+		n += int64(m)
+		return err
+	}
+	header := make([]byte, cpHeaderSize)
+	copy(header, cpMagic)
+	binary.LittleEndian.PutUint32(header[4:], cpVersion)
+	binary.LittleEndian.PutUint32(header[8:], uint32(s.PageSize()))
+	binary.LittleEndian.PutUint32(header[12:], uint32(numPages))
+	binary.LittleEndian.PutUint32(header[16:], uint32(len(freeList)))
+	header[20] = byte(layout)
+	if err := write(header); err != nil {
+		return n, err
+	}
+	buf4 := make([]byte, 4)
+	for _, id := range freeList {
+		binary.LittleEndian.PutUint32(buf4, uint32(id))
+		if err := write(buf4); err != nil {
+			return n, err
+		}
+	}
+	for _, l := range lens {
+		binary.LittleEndian.PutUint32(buf4, l)
+		if err := write(buf4); err != nil {
+			return n, err
+		}
+	}
+	if err := write(payload); err != nil {
+		return n, err
+	}
+	return n, bw.Flush()
+}
+
+// readCpHeader parses and validates the fixed STPC header.
+func readCpHeader(header []byte) (pageSize, numPages, numFree int, layout Layout, err error) {
+	if string(header[:4]) != cpMagic {
+		return 0, 0, 0, 0, fmt.Errorf("pagefile: bad compressed-extent magic %q", header[:4])
+	}
+	if v := binary.LittleEndian.Uint32(header[4:]); v != cpVersion {
+		return 0, 0, 0, 0, fmt.Errorf("pagefile: unsupported compressed-extent version %d", v)
+	}
+	pageSize = int(binary.LittleEndian.Uint32(header[8:]))
+	numPages = int(binary.LittleEndian.Uint32(header[12:]))
+	numFree = int(binary.LittleEndian.Uint32(header[16:]))
+	layout = Layout(header[20])
+	if pageSize <= 0 || pageSize > maxPageSize {
+		return 0, 0, 0, 0, fmt.Errorf("pagefile: implausible page size %d", pageSize)
+	}
+	if numFree > numPages {
+		return 0, 0, 0, 0, fmt.Errorf("pagefile: %d free pages exceed %d allocated", numFree, numPages)
+	}
+	if header[21] != 0 || header[22] != 0 || header[23] != 0 {
+		return 0, 0, 0, 0, fmt.Errorf("pagefile: nonzero padding in compressed-extent header")
+	}
+	if _, ok := specFor(layout); !ok && layout != LayoutOpaque {
+		return 0, 0, 0, 0, fmt.Errorf("pagefile: unknown page layout %d", layout)
+	}
+	return pageSize, numPages, numFree, layout, nil
+}
+
+// ReadExtentMem implements Codec, streaming an STPC extent into an
+// in-memory File. Allocation is read-driven throughout: free list,
+// length table and pages grow only as bytes are actually read, and each
+// page's encoded length is bounded, so corrupt counts hit EOF or a
+// bounds error instead of over-allocating.
+func (compressedCodec) ReadExtentMem(r io.Reader) (*File, error) {
+	br := bufio.NewReader(r)
+	header := make([]byte, cpHeaderSize)
+	if _, err := io.ReadFull(br, header); err != nil {
+		return nil, fmt.Errorf("pagefile: reading compressed header: %w", err)
+	}
+	pageSize, numPages, numFree, layout, err := readCpHeader(header)
+	if err != nil {
+		return nil, err
+	}
+	sp, structOK := cpSpec(layout, pageSize)
+	f := New(pageSize)
+	buf4 := make([]byte, 4)
+	for i := 0; i < numFree; i++ {
+		if _, err := io.ReadFull(br, buf4); err != nil {
+			return nil, fmt.Errorf("pagefile: reading free list: %w", err)
+		}
+		id := PageID(binary.LittleEndian.Uint32(buf4))
+		if int(id) >= numPages {
+			return nil, fmt.Errorf("pagefile: free page %d out of range", id)
+		}
+		f.freeList = append(f.freeList, id)
+		f.freed[id] = true
+	}
+	var lens []uint32
+	for i := 0; i < numPages; i++ {
+		if _, err := io.ReadFull(br, buf4); err != nil {
+			return nil, fmt.Errorf("pagefile: reading page lengths: %w", err)
+		}
+		l := binary.LittleEndian.Uint32(buf4)
+		if int64(l) > int64(pageSize)+cpMaxEncodedSlack {
+			return nil, fmt.Errorf("pagefile: page %d encoded length %d implausible for page size %d", i, l, pageSize)
+		}
+		lens = append(lens, l)
+	}
+	var enc []byte
+	modes := make([]byte, 0, len(lens))
+	for i := 0; i < numPages; i++ {
+		p := make([]byte, pageSize)
+		if lens[i] == 0 {
+			if !f.freed[PageID(i)] {
+				return nil, fmt.Errorf("pagefile: live page %d has no encoding", i)
+			}
+			f.pages = append(f.pages, p)
+			f.versions = append(f.versions, 0)
+			modes = append(modes, cpModeRaw)
+			continue
+		}
+		if f.freed[PageID(i)] {
+			return nil, fmt.Errorf("pagefile: freed page %d has an encoding", i)
+		}
+		if cap(enc) < int(lens[i]) {
+			enc = make([]byte, lens[i])
+		}
+		enc = enc[:lens[i]]
+		if _, err := io.ReadFull(br, enc); err != nil {
+			return nil, fmt.Errorf("pagefile: reading page %d: %w", i, err)
+		}
+		err := cpDecodePage(enc, p, sp, structOK, uint32(i), func(base uint32) ([]byte, error) {
+			// Earlier pages are already decoded; reject delta/dup chains
+			// and freed bases like the lazy store does.
+			if modes[base] != cpModeRaw && modes[base] != cpModeStruct {
+				return nil, fmt.Errorf("base %d is not a raw or struct page", base)
+			}
+			if f.freed[PageID(base)] {
+				return nil, fmt.Errorf("base %d is freed", base)
+			}
+			return f.pages[base], nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		f.pages = append(f.pages, p)
+		f.versions = append(f.versions, 0)
+		modes = append(modes, enc[0])
+	}
+	return f, nil
+}
+
+// cpSource abstracts where a lazy compressed store reads encoded bytes
+// from: a positioned file read or a memory mapping.
+type cpSource interface {
+	readAt(p []byte, off int64) error
+	close() error
+}
+
+type cpFileSource struct {
+	f    *os.File
+	base int64 // file offset of the payload region
+}
+
+func (s cpFileSource) readAt(p []byte, off int64) error {
+	// Encoded extents never read past their validated length, so EOF
+	// here is corruption, not an unwritten tail.
+	_, err := s.f.ReadAt(p, s.base+off)
+	return err
+}
+
+func (s cpFileSource) close() error { return nil }
+
+type cpMmapSource struct {
+	mu      sync.Mutex
+	mapping []byte
+	data    []byte
+}
+
+func (s *cpMmapSource) readAt(p []byte, off int64) error {
+	data := s.data
+	if data == nil || off < 0 || off+int64(len(p)) > int64(len(data)) {
+		return fmt.Errorf("pagefile: compressed read out of mapped range")
+	}
+	copy(p, data[off:])
+	return nil
+}
+
+func (s *cpMmapSource) close() error {
+	s.mu.Lock()
+	mapping := s.mapping
+	s.mapping = nil
+	s.data = nil
+	s.mu.Unlock()
+	if mapping == nil {
+		return nil
+	}
+	return munmapFile(mapping)
+}
+
+// cpScratch is the per-read working set of a lazy compressed store.
+type cpScratch struct {
+	enc     []byte
+	baseEnc []byte
+	base    []byte
+}
+
+// CompressedStore is the read-only lazy open flavour of an STPC extent:
+// pages stay compressed at rest (on disk or in the mapping) and are
+// decoded per read, below the Buffer — so with a Buffer or the shared
+// cache on top, each page is decoded once per cache residency and cached
+// decoded. Observationally it matches the raw read-only windows: same
+// page ids and free list, version 0 everywhere, ErrReadOnly on mutation,
+// logical Bytes (the decoded footprint). Safe for concurrent readers.
+type CompressedStore struct {
+	src      cpSource
+	sp       layoutSpec
+	structOK bool
+	pageSize int
+	n        int
+	freed    map[PageID]bool
+	freeList []PageID
+	offs     []int64 // offs[i] is page i's offset within src; offs[n] ends the payload
+	modes    []byte  // first encoded byte per page (0 for freed)
+	stored   int64   // total extent length, header included
+	pool     sync.Pool
+}
+
+// PageSize implements Store.
+func (c *CompressedStore) PageSize() int { return c.pageSize }
+
+// NumPages implements Store.
+func (c *CompressedStore) NumPages() int { return c.n - len(c.freeList) }
+
+// NumAllocated implements Store.
+func (c *CompressedStore) NumAllocated() int { return c.n }
+
+// Bytes implements Store: the logical live footprint, like every other
+// backend — codecs change at-rest size, not store observables.
+func (c *CompressedStore) Bytes() int64 { return int64(c.NumPages()) * int64(c.pageSize) }
+
+// StoredBytes implements StoredSizer: the physical encoded extent size.
+func (c *CompressedStore) StoredBytes() int64 { return c.stored }
+
+// FreeList implements Store.
+func (c *CompressedStore) FreeList() []PageID { return append([]PageID(nil), c.freeList...) }
+
+// ReadOnly reports that the store rejects mutation.
+func (c *CompressedStore) ReadOnly() bool { return true }
+
+// Allocate implements Store; compressed extents are frozen.
+func (c *CompressedStore) Allocate() PageID { return InvalidPage }
+
+// Free implements Store; compressed extents are frozen.
+func (c *CompressedStore) Free(PageID) error { return ErrReadOnly }
+
+// WritePage implements Store; compressed extents are frozen.
+func (c *CompressedStore) WritePage(PageID, []byte) error { return ErrReadOnly }
+
+// Version implements Store; frozen pages never change.
+func (c *CompressedStore) Version(PageID) uint64 { return 0 }
+
+// Check implements Store.
+func (c *CompressedStore) Check(id PageID) error {
+	if int(id) >= c.n || c.freed[id] {
+		return fmt.Errorf("%w: %d", ErrBadPage, id)
+	}
+	return nil
+}
+
+func (c *CompressedStore) scratch() *cpScratch {
+	if s, ok := c.pool.Get().(*cpScratch); ok {
+		return s
+	}
+	return &cpScratch{base: make([]byte, c.pageSize)}
+}
+
+func (c *CompressedStore) readEnc(id PageID, buf []byte) ([]byte, error) {
+	l := int(c.offs[id+1] - c.offs[id])
+	if cap(buf) < l {
+		buf = make([]byte, l)
+	}
+	buf = buf[:l]
+	if err := c.src.readAt(buf, c.offs[id]); err != nil {
+		return buf, fmt.Errorf("pagefile: reading compressed page %d: %w", id, err)
+	}
+	return buf, nil
+}
+
+// ReadPage implements Store: one (or for delta/dup pages two) reads of
+// the encoded bytes, then a decode into dst.
+func (c *CompressedStore) ReadPage(id PageID, dst []byte) error {
+	if err := c.Check(id); err != nil {
+		return err
+	}
+	s := c.scratch()
+	defer c.pool.Put(s)
+	var err error
+	if s.enc, err = c.readEnc(id, s.enc); err != nil {
+		return err
+	}
+	return cpDecodePage(s.enc, dst[:c.pageSize], c.sp, c.structOK, uint32(id), func(base uint32) ([]byte, error) {
+		if c.Check(PageID(base)) != nil {
+			return nil, fmt.Errorf("base %d is freed or out of range", base)
+		}
+		if m := c.modes[base]; m != cpModeRaw && m != cpModeStruct {
+			return nil, fmt.Errorf("base %d is not a raw or struct page", base)
+		}
+		if s.baseEnc, err = c.readEnc(PageID(base), s.baseEnc); err != nil {
+			return nil, err
+		}
+		// The base is raw or struct by the mode check above, so its own
+		// decode never chases a further base.
+		noBase := func(uint32) ([]byte, error) {
+			return nil, fmt.Errorf("pagefile: base chain on page %d", base)
+		}
+		if err := cpDecodePage(s.baseEnc, s.base, c.sp, c.structOK, base, noBase); err != nil {
+			return nil, err
+		}
+		return s.base, nil
+	})
+}
+
+// Close implements Store, releasing the source (the mapping, for mmap;
+// nothing for the pread flavour — the container file stays owned by
+// whoever opened it).
+func (c *CompressedStore) Close() error { return c.src.close() }
+
+var (
+	_ Store       = (*CompressedStore)(nil)
+	_ StoredSizer = (*CompressedStore)(nil)
+)
+
+// OpenExtent implements Codec: it opens the STPC extent at offset off of
+// f as a read-only store of the requested flavour. Only the header, free
+// list and length table are read eagerly (the length table is the page
+// directory; at 4 bytes a page it is ~0.1% of the logical size); encoded
+// pages stay at rest until read. BackendMmap maps the extent and falls
+// back to pread when mapping is unavailable; BackendMemory materialises
+// every page eagerly and drops the compressed image.
+func (compressedCodec) OpenExtent(f *os.File, off int64, flavour Backend) (Store, int64, error) {
+	header := make([]byte, cpHeaderSize)
+	if _, err := f.ReadAt(header, off); err != nil {
+		return nil, 0, fmt.Errorf("pagefile: reading compressed extent header: %w", err)
+	}
+	pageSize, numPages, numFree, layout, err := readCpHeader(header)
+	if err != nil {
+		return nil, 0, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, 0, fmt.Errorf("pagefile: sizing compressed extent: %w", err)
+	}
+	tableLen := int64(cpHeaderSize) + 4*int64(numFree) + 4*int64(numPages)
+	if off+tableLen > fi.Size() {
+		return nil, 0, fmt.Errorf("pagefile: compressed extent directory truncated at file size %d", fi.Size())
+	}
+	sp, structOK := cpSpec(layout, pageSize)
+	c := &CompressedStore{
+		sp:       sp,
+		structOK: structOK,
+		pageSize: pageSize,
+		n:        numPages,
+		freed:    make(map[PageID]bool, numFree),
+	}
+	buf4 := make([]byte, 4)
+	pos := off + cpHeaderSize
+	for i := 0; i < numFree; i++ {
+		if _, err := f.ReadAt(buf4, pos); err != nil {
+			return nil, 0, fmt.Errorf("pagefile: reading free list: %w", err)
+		}
+		pos += 4
+		id := PageID(binary.LittleEndian.Uint32(buf4))
+		if int(id) >= numPages {
+			return nil, 0, fmt.Errorf("pagefile: free page %d out of range", id)
+		}
+		c.freed[id] = true
+		c.freeList = append(c.freeList, id)
+	}
+	c.offs = make([]int64, 0, numPages+1)
+	c.offs = append(c.offs, 0)
+	c.modes = make([]byte, 0, numPages)
+	var payload int64
+	for i := 0; i < numPages; i++ {
+		if _, err := f.ReadAt(buf4, pos); err != nil {
+			return nil, 0, fmt.Errorf("pagefile: reading page lengths: %w", err)
+		}
+		pos += 4
+		l := binary.LittleEndian.Uint32(buf4)
+		if int64(l) > int64(pageSize)+cpMaxEncodedSlack {
+			return nil, 0, fmt.Errorf("pagefile: page %d encoded length %d implausible for page size %d", i, l, pageSize)
+		}
+		if (l == 0) != c.freed[PageID(i)] {
+			return nil, 0, fmt.Errorf("pagefile: page %d length %d inconsistent with free list", i, l)
+		}
+		payload += int64(l)
+		c.offs = append(c.offs, payload)
+		c.modes = append(c.modes, 0)
+	}
+	length := tableLen + payload
+	if off+length > fi.Size() {
+		return nil, 0, fmt.Errorf("pagefile: compressed extent of %d payload bytes truncated at file size %d", payload, fi.Size())
+	}
+	c.stored = length
+	base := off + tableLen // file offset of the payload; offs stay payload-relative
+	// The mode byte of each live page is part of the directory: delta
+	// and dup decodes validate their base against it without a read.
+	if err := c.readModes(f, base); err != nil {
+		return nil, 0, err
+	}
+
+	switch flavour {
+	case BackendMmap:
+		if src, merr := newCpMmapSource(f, base, payload); merr == nil {
+			c.src = src
+			return c, length, nil
+		}
+		c.src = cpFileSource{f: f, base: base}
+		return c, length, nil // graceful fallback to pread
+	case BackendMemory:
+		c.src = cpFileSource{f: f, base: base}
+		mem, merr := materializeStore(c)
+		if merr != nil {
+			return nil, 0, merr
+		}
+		return mem, length, nil
+	default:
+		c.src = cpFileSource{f: f, base: base}
+		return c, length, nil
+	}
+}
+
+// readModes fills the per-page mode-byte directory with batched reads.
+func (c *CompressedStore) readModes(f *os.File, base int64) error {
+	const batch = 1 << 16
+	buf := make([]byte, 0, batch)
+	start := 0
+	for start < c.n {
+		end := start
+		for end < c.n && c.offs[end+1]-c.offs[start] <= batch {
+			end++
+		}
+		if end == start {
+			end = start + 1 // single page larger than the batch
+		}
+		span := c.offs[end] - c.offs[start]
+		if int64(cap(buf)) < span {
+			buf = make([]byte, span)
+		}
+		buf = buf[:span]
+		if span > 0 {
+			if _, err := f.ReadAt(buf, base+c.offs[start]); err != nil {
+				return fmt.Errorf("pagefile: reading page modes: %w", err)
+			}
+		}
+		for i := start; i < end; i++ {
+			if c.offs[i+1] > c.offs[i] {
+				c.modes[i] = buf[c.offs[i]-c.offs[start]]
+			}
+		}
+		start = end
+	}
+	return nil
+}
+
+// newCpMmapSource maps the payload region of the extent; reads address
+// it with the same payload-relative offsets the pread source uses.
+func newCpMmapSource(f *os.File, base, payload int64) (*cpMmapSource, error) {
+	if !mmapSupported {
+		return nil, errMmapUnsupported
+	}
+	src := &cpMmapSource{}
+	if payload > 0 {
+		align := int64(os.Getpagesize())
+		aligned := base &^ (align - 1)
+		mapping, err := mmapFile(f, aligned, int(base-aligned+payload))
+		if err != nil {
+			return nil, fmt.Errorf("pagefile: mapping compressed extent: %w", err)
+		}
+		src.mapping = mapping
+		src.data = mapping[base-aligned:]
+	}
+	return src, nil
+}

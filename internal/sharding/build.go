@@ -25,6 +25,10 @@ type BuildConfig struct {
 	// shard (the packed R-tree bulk loader); shards themselves build
 	// sequentially to bound peak memory. 0 = GOMAXPROCS.
 	Parallelism int
+	// Codec selects the page codec the shard containers are saved with
+	// (empty = the process default; stserve autodetects per container
+	// from the header, so mixed-codec manifests load fine).
+	Codec stx.Codec
 }
 
 // ShardKinds lists the index kinds Build accepts.
@@ -65,7 +69,7 @@ func Build(manifestPath string, plan *Plan, cfg BuildConfig) (*Manifest, error) 
 		}
 		rel := fmt.Sprintf("%s.shard%d.sti", base, i)
 		path := filepath.Join(dir, rel)
-		if err := stx.SaveIndex(path, idx); err != nil {
+		if err := stx.SaveIndexOptions(path, idx, stx.SaveOptions{Codec: cfg.Codec}); err != nil {
 			cleanup()
 			return nil, fmt.Errorf("sharding: saving shard %d: %w", i, err)
 		}

@@ -20,13 +20,19 @@ import (
 // for every index kind:
 //
 //	magic    [4]byte "STIC"
-//	version  u32  1
+//	version  u32  2 (1 accepted: the pre-codec format)
 //	kind     u8   1 = ppr, 2 = rstar, 3 = hr, 4 = hybrid, 5 = stream
 //	extents  u8   page extents following the meta section (2 for hybrid)
-//	reserved u16  0
+//	codec    u8   0 = identity (raw STPF extents), 1 = compressed (STPC)
+//	reserved u8   0
 //	metaLen  u64
 //	meta     metaLen bytes (kind-specific, see below)
-//	extent   page extent(s) (pagefile.WriteExtent / OpenExtent)
+//	extent   page extent(s), serialised by the named codec
+//
+// Version 1 containers had a reserved u16 of zero where the codec byte
+// now sits, so they parse uniformly as codec 0 and open unchanged
+// through the identity codec; new writes default to the compressed
+// codec (STINDEX_CODEC / SaveOptions select it explicitly).
 //
 // Meta sections:
 //
@@ -45,8 +51,9 @@ import (
 // meta section is read at open time; pages are faulted in on demand by
 // the query path's buffer pool.
 const (
-	containerMagic   = "STIC"
-	containerVersion = 1
+	containerMagic      = "STIC"
+	containerVersion    = 2
+	containerVersionOld = 1
 
 	kindPPR    byte = 1
 	kindRStar  byte = 2
@@ -54,6 +61,41 @@ const (
 	kindHybrid byte = 4
 	kindStream byte = 5
 )
+
+// kindName maps a container kind byte to the facade Kind() string.
+func kindName(kind byte) string {
+	switch kind {
+	case kindPPR:
+		return "ppr"
+	case kindRStar:
+		return "rstar"
+	case kindHR:
+		return "hr"
+	case kindHybrid:
+		return "hybrid"
+	case kindStream:
+		return "stream"
+	}
+	return fmt.Sprintf("unknown(%d)", kind)
+}
+
+// kindLayouts returns the page layout of each extent of a container
+// kind, in on-disk order — the structural hint the compressed codec
+// exploits (the stream indexer persists through a pprtree, so its pages
+// share that layout).
+func kindLayouts(kind byte) []pagefile.Layout {
+	switch kind {
+	case kindPPR, kindStream:
+		return []pagefile.Layout{pagefile.LayoutPPR}
+	case kindRStar:
+		return []pagefile.Layout{pagefile.LayoutRStar}
+	case kindHR:
+		return []pagefile.Layout{pagefile.LayoutHR}
+	case kindHybrid:
+		return []pagefile.Layout{pagefile.LayoutPPR, pagefile.LayoutRStar}
+	}
+	return nil
+}
 
 const containerHeaderSize = 4 + 4 + 1 + 1 + 2 + 8
 
@@ -238,19 +280,40 @@ func decodeContainerMeta(kind byte, meta []byte) (Index, []func(pagefile.Store) 
 	return x, attach, nil
 }
 
+// SaveOptions configures how a container is written.
+type SaveOptions struct {
+	// Codec selects the page-extent codec; CodecDefault consults the
+	// STINDEX_CODEC environment variable and falls back to compressed.
+	// The container records the choice in its header, so opening needs
+	// no configuration.
+	Codec Codec
+}
+
 // EncodeIndex serialises any index — ppr, rstar, hr, hybrid, or a
-// snapshot of a stream index — as a self-describing container to w.
-// DecodeIndex and OpenIndex read it back; the kind is autodetected.
+// snapshot of a stream index — as a self-describing container to w,
+// using the default codec. DecodeIndex and OpenIndex read it back; the
+// kind and codec are autodetected.
 func EncodeIndex(w io.Writer, x Index) (int64, error) {
+	return EncodeIndexOptions(w, x, SaveOptions{})
+}
+
+// EncodeIndexOptions is EncodeIndex with an explicit save configuration.
+func EncodeIndexOptions(w io.Writer, x Index, opts SaveOptions) (int64, error) {
+	codec, err := opts.Codec.internal()
+	if err != nil {
+		return 0, err
+	}
 	kind, meta, stores, err := encodeContainerMeta(x)
 	if err != nil {
 		return 0, err
 	}
+	layouts := kindLayouts(kind)
 	header := make([]byte, containerHeaderSize)
 	copy(header, containerMagic)
 	binary.LittleEndian.PutUint32(header[4:], containerVersion)
 	header[8] = kind
 	header[9] = byte(len(stores))
+	header[10] = codec.ID()
 	binary.LittleEndian.PutUint64(header[12:], uint64(len(meta)))
 	m, err := w.Write(header)
 	n := int64(m)
@@ -262,8 +325,8 @@ func EncodeIndex(w io.Writer, x Index) (int64, error) {
 	if err != nil {
 		return n, err
 	}
-	for _, s := range stores {
-		en, err := pagefile.WriteExtent(w, s)
+	for i, s := range stores {
+		en, err := codec.WriteExtent(w, s, layouts[i])
 		n += en
 		if err != nil {
 			return n, err
@@ -272,15 +335,21 @@ func EncodeIndex(w io.Writer, x Index) (int64, error) {
 	return n, nil
 }
 
-// SaveIndex writes the index's container image to path. An interrupted
-// write leaves a truncated file, which OpenIndex and DecodeIndex reject.
+// SaveIndex writes the index's container image to path with the default
+// codec. An interrupted write leaves a truncated file, which OpenIndex
+// and DecodeIndex reject.
 func SaveIndex(path string, x Index) error {
+	return SaveIndexOptions(path, x, SaveOptions{})
+}
+
+// SaveIndexOptions is SaveIndex with an explicit save configuration.
+func SaveIndexOptions(path string, x Index, opts SaveOptions) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("stindex: saving index: %w", err)
 	}
 	bw := bufio.NewWriter(f)
-	if _, err := EncodeIndex(bw, x); err != nil {
+	if _, err := EncodeIndexOptions(bw, x, opts); err != nil {
 		f.Close()
 		return err
 	}
@@ -294,24 +363,35 @@ func SaveIndex(path string, x Index) error {
 	return nil
 }
 
-func parseContainerHeader(header []byte) (kind byte, extents int, metaLen uint64, err error) {
+func parseContainerHeader(header []byte) (kind byte, extents int, codec pagefile.Codec, metaLen uint64, err error) {
 	if string(header[:4]) != containerMagic {
-		return 0, 0, 0, fmt.Errorf("stindex: bad container magic %q", header[:4])
+		return 0, 0, nil, 0, fmt.Errorf("stindex: bad container magic %q", header[:4])
 	}
-	if v := binary.LittleEndian.Uint32(header[4:]); v != containerVersion {
-		return 0, 0, 0, fmt.Errorf("stindex: unsupported container version %d", v)
+	switch v := binary.LittleEndian.Uint32(header[4:]); v {
+	case containerVersion, containerVersionOld:
+		// Version 1 wrote zeros where the codec byte now sits, so both
+		// versions share one parse: codec 0 is identity.
+	default:
+		return 0, 0, nil, 0, fmt.Errorf("stindex: unsupported container version %d", v)
 	}
 	kind = header[8]
 	extents = int(header[9])
+	codec, err = pagefile.CodecByID(header[10])
+	if err != nil {
+		return 0, 0, nil, 0, fmt.Errorf("stindex: %w", err)
+	}
+	if header[11] != 0 {
+		return 0, 0, nil, 0, fmt.Errorf("stindex: nonzero reserved byte in container header")
+	}
 	metaLen = binary.LittleEndian.Uint64(header[12:])
 	wantExtents := 1
 	if kind == kindHybrid {
 		wantExtents = 2
 	}
 	if extents != wantExtents {
-		return 0, 0, 0, fmt.Errorf("stindex: kind %d container with %d extents, want %d", kind, extents, wantExtents)
+		return 0, 0, nil, 0, fmt.Errorf("stindex: kind %d container with %d extents, want %d", kind, extents, wantExtents)
 	}
-	return kind, extents, metaLen, nil
+	return kind, extents, codec, metaLen, nil
 }
 
 // StoreWrapper intercepts each page extent store as a container is
@@ -345,7 +425,7 @@ func DecodeIndexWrapped(r io.Reader, wrap StoreWrapper) (Index, error) {
 	if _, err := io.ReadFull(br, header); err != nil {
 		return nil, fmt.Errorf("stindex: reading container header: %w", err)
 	}
-	_, extents, metaLen, err := parseContainerHeader(header)
+	_, extents, codec, metaLen, err := parseContainerHeader(header)
 	if err != nil {
 		return nil, err
 	}
@@ -360,7 +440,7 @@ func DecodeIndexWrapped(r io.Reader, wrap StoreWrapper) (Index, error) {
 		return nil, err
 	}
 	for i := 0; i < extents; i++ {
-		file, err := pagefile.ReadExtentMem(br)
+		file, err := codec.ReadExtentMem(br)
 		if err != nil {
 			return nil, fmt.Errorf("stindex: reading page extent %d: %w", i, err)
 		}
@@ -465,7 +545,7 @@ func openIndexFile(f *os.File, opts OpenOptions) (Index, error) {
 	if _, err := f.ReadAt(header, 0); err != nil {
 		return nil, fmt.Errorf("stindex: reading container header: %w", err)
 	}
-	kind, extents, metaLen, err := parseContainerHeader(header)
+	kind, extents, codec, metaLen, err := parseContainerHeader(header)
 	if err != nil {
 		return nil, err
 	}
@@ -494,7 +574,7 @@ func openIndexFile(f *os.File, opts OpenOptions) (Index, error) {
 	}
 	off := int64(containerHeaderSize) + int64(metaLen)
 	for i := 0; i < extents; i++ {
-		store, length, err := pagefile.OpenExtentBackend(f, off, backend)
+		store, length, err := codec.OpenExtent(f, off, backend)
 		if err != nil {
 			closeStores()
 			return nil, fmt.Errorf("stindex: opening page extent %d: %w", i, err)
@@ -519,6 +599,71 @@ func openIndexFile(f *os.File, opts OpenOptions) (Index, error) {
 		ix.closer.set(closer)
 	}
 	return x, nil
+}
+
+// ContainerInfo summarises a saved container without decoding its
+// pages: the header fields plus per-extent page accounting. Logical
+// bytes are live pages × page size (what queries address); stored bytes
+// are the extents' encoded size on disk, which the compressed codec
+// makes smaller.
+type ContainerInfo struct {
+	Kind         string // "ppr", "rstar", "hr", "hybrid", "stream"
+	Version      int    // container format version
+	Codec        string // "identity" or "compressed"
+	Extents      int    // page extents (2 for hybrid)
+	MetaBytes    int64  // kind-specific meta section size
+	PageSize     int    // page size of the first extent
+	Pages        int    // live pages across all extents
+	PagesAlloc   int    // allocated pages including freed slots
+	LogicalBytes int64  // live pages × page size
+	StoredBytes  int64  // encoded extent bytes on disk
+	FileBytes    int64  // total container file size
+}
+
+// InspectContainer reads a container's header and extent directories —
+// no page decoding, no meta parse — and reports its shape and sizes.
+func InspectContainer(path string) (ContainerInfo, error) {
+	var info ContainerInfo
+	f, err := os.Open(path)
+	if err != nil {
+		return info, fmt.Errorf("stindex: inspecting container: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return info, fmt.Errorf("stindex: inspecting container: %w", err)
+	}
+	header := make([]byte, containerHeaderSize)
+	if _, err := f.ReadAt(header, 0); err != nil {
+		return info, fmt.Errorf("stindex: reading container header: %w", err)
+	}
+	kind, extents, codec, metaLen, err := parseContainerHeader(header)
+	if err != nil {
+		return info, err
+	}
+	info.Kind = kindName(kind)
+	info.Version = int(binary.LittleEndian.Uint32(header[4:]))
+	info.Codec = codec.Name()
+	info.Extents = extents
+	info.MetaBytes = int64(metaLen)
+	info.FileBytes = fi.Size()
+	off := int64(containerHeaderSize) + int64(metaLen)
+	for i := 0; i < extents; i++ {
+		s, length, err := codec.OpenExtent(f, off, pagefile.BackendDisk)
+		if err != nil {
+			return info, fmt.Errorf("stindex: opening page extent %d: %w", i, err)
+		}
+		if i == 0 {
+			info.PageSize = s.PageSize()
+		}
+		info.Pages += s.NumPages()
+		info.PagesAlloc += s.NumAllocated()
+		info.LogicalBytes += s.Bytes()
+		info.StoredBytes += length // the extent's exact on-disk size, any codec
+		s.Close()
+		off += length
+	}
+	return info, nil
 }
 
 // CloseIndex releases any file resources the index holds (a no-op for
