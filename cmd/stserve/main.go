@@ -21,6 +21,18 @@
 //	GET  /metrics          QPS, latency percentiles, hit rates, queue depth
 //	GET  /healthz
 //
+// With -ingest NAME the server additionally runs the live ingestion
+// pipeline (see internal/ingest): a WAL-backed ingest endpoint whose
+// accepted observations are queryable under NAME immediately, a
+// background freezer that periodically publishes the live index as a
+// compressed container with zero downtime, and crash recovery that
+// replays the journal on startup:
+//
+//	POST /ingest           one observation, a JSON array, or a
+//	                       concatenated-JSON feed (atomic batch)
+//	POST /ingest/finish    {"t":T} ends all live objects; {"id":I,"t":T} one
+//	POST /ingest/freeze    force a snapshot + journal truncation
+//
 // Containers saved with either page codec load transparently: the codec
 // is recorded in the container header and autodetected at open, so a
 // registry can serve identity and compressed snapshots side by side
@@ -28,7 +40,8 @@
 // the cache boundary).
 //
 // SIGINT/SIGTERM drain gracefully: in-flight and queued queries finish,
-// then the containers close.
+// the ingestion pipeline freezes one last time, then the containers
+// close.
 package main
 
 import (
@@ -45,6 +58,7 @@ import (
 
 	stx "stindex"
 
+	"stindex/internal/ingest"
 	"stindex/internal/service"
 )
 
@@ -74,11 +88,22 @@ func main() {
 		drain   = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for in-flight requests")
 		cacheMB = flag.Int("cache-mb", 0, "shared page-cache budget in MiB across all snapshots (0 = no shared cache)")
 		backend = flag.String("backend", "", "container read flavour: disk (lazy pread), mmap, mem (eager); default STINDEX_BACKEND, then disk")
+
+		ingestName     = flag.String("ingest", "", "serve a live ingestion pipeline under this snapshot name")
+		ingestDir      = flag.String("ingest-dir", "", "journal directory for -ingest (WAL segments, freezes, CURRENT)")
+		ingestLambda   = flag.Float64("ingest-lambda", 0.01, "online split penalty for a fresh ingested stream (a recovered journal keeps its own)")
+		ingestQueue    = flag.Int("ingest-queue", 0, "ingest admission queue depth in batches (0 = 64); a full queue answers 503")
+		freezeEvery    = flag.Int("freeze-every", 0, "freeze after this many accepted records (0 = only by interval or on demand)")
+		freezeInterval = flag.Duration("freeze-interval", 0, "freeze on this wall-clock period (0 = off)")
+		walSegmentKB   = flag.Int("wal-segment-kb", 0, "WAL segment rotation size in KiB (0 = 4096)")
 	)
 	flag.Var(&loads, "load", "snapshot to serve, as name=container-path (repeatable)")
 	flag.Parse()
-	if len(loads) == 0 {
-		fatal(errors.New("provide at least one -load name=path"))
+	if len(loads) == 0 && *ingestName == "" {
+		fatal(errors.New("provide at least one -load name=path or -ingest name"))
+	}
+	if *ingestName != "" && *ingestDir == "" {
+		fatal(errors.New("-ingest requires -ingest-dir"))
 	}
 
 	switch *backend {
@@ -104,7 +129,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "stserve: loaded %q from %s (gen %d)\n", snap.Name(), l.path, snap.Gen())
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: service.NewHandler(svc)}
+	var in *ingest.Ingester
+	handler := http.Handler(service.NewHandler(svc))
+	if *ingestName != "" {
+		var err error
+		in, err = ingest.Open(ingest.Config{
+			Dir:            *ingestDir,
+			Name:           *ingestName,
+			Registry:       svc.Registry(),
+			Lambda:         *ingestLambda,
+			Codec:          stx.CodecCompressed,
+			QueueDepth:     *ingestQueue,
+			SegmentBytes:   int64(*walSegmentKB) << 10,
+			FreezeEvery:    *freezeEvery,
+			FreezeInterval: *freezeInterval,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		st := in.Stats()
+		fmt.Fprintf(os.Stderr, "stserve: ingesting %q from %s (seq %d, %d replayed, %d torn bytes dropped)\n",
+			*ingestName, *ingestDir, st.Seq, st.Replayed, st.TornBytesRecovered)
+		svc.SetIngestStats(func() *service.IngestStats {
+			st := in.Stats()
+			return &st
+		})
+		mux := http.NewServeMux()
+		ih := ingest.NewHandler(in)
+		mux.Handle("/ingest", ih)
+		mux.Handle("/ingest/", ih)
+		mux.Handle("/", handler)
+		handler = mux
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "stserve: listening on %s\n", *listen)
@@ -124,6 +182,13 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "stserve: shutdown: %v\n", err)
+	}
+	// The pipeline closes before the service: queued batches commit, a
+	// final freeze lands, and only then do the snapshots drain and close.
+	if in != nil {
+		if err := in.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "stserve: ingest close: %v\n", err)
+		}
 	}
 	if err := svc.Close(); err != nil {
 		fatal(err)

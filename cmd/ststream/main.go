@@ -8,6 +8,14 @@
 //	stgen -family random -n 2000 -events -o feed.jsonl
 //	ststream -i feed.jsonl -lambda 0.01
 //	ststream -i feed.jsonl -lambda 0.01 -set snapshot-mixed -queries 500
+//	ststream -i feed.jsonl -lambda 0.01 -wal /tmp/journal
+//
+// With -wal DIR the feed runs through the same durable ingestion
+// pipeline stserve's -ingest mode uses (internal/ingest): every batch is
+// journaled and fsynced before it is applied, the final state is frozen
+// into a compressed container in DIR, and a rerun over the same
+// directory recovers it instead of starting over. Without -wal the feed
+// is applied in memory only (the historical behaviour).
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 
 	stx "stindex"
 
+	"stindex/internal/ingest"
 	"stindex/internal/stio"
 )
 
@@ -31,6 +40,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "query generation seed")
 		horizon = flag.Int64("horizon", 1000, "time horizon for query placement")
 		every   = flag.Int64("progress", 0, "print progress every N instants (0 = off)")
+		wal     = flag.String("wal", "", "journal directory: ingest durably through the WAL pipeline instead of in memory")
+		finish  = flag.Bool("finish", true, "finish all live objects after the last observation")
 	)
 	flag.Parse()
 
@@ -64,31 +75,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "calibrated lambda=%.6f for ~%.1f records/object\n", l, *target)
 	}
 
-	ix, err := stx.NewStreamIndex(stx.StreamOptions{Lambda: *lambda}, obs[0].T)
-	if err != nil {
-		fatal(err)
-	}
-	lastProgress := obs[0].T
-	for i, o := range obs {
-		if o.Final {
-			err = ix.Finish(o.ObjectID, o.T)
-		} else {
-			err = ix.Observe(o.ObjectID, o.T, stx.Rect{
-				MinX: o.Rect.MinX, MinY: o.Rect.MinY, MaxX: o.Rect.MaxX, MaxY: o.Rect.MaxY,
-			})
-		}
-		if err != nil {
-			fatal(fmt.Errorf("observation %d: %w", i+1, err))
-		}
-		if *every > 0 && o.T >= lastProgress+*every {
-			lastProgress = o.T
-			fmt.Fprintf(os.Stderr, "t=%d: %d live objects, %d records (%d cuts), %d pages\n",
-				o.T, ix.Live(), ix.Records(), ix.Cuts(), ix.Pages())
-		}
-	}
 	last := obs[len(obs)-1].T
-	if err := ix.FinishAll(last + 1); err != nil {
-		fatal(err)
+	var ix *stx.StreamIndex
+	if *wal != "" {
+		ix = runThroughWAL(*wal, *lambda, obs, last, *finish, *every)
+	} else {
+		var err error
+		ix, err = stx.NewStreamIndex(stx.StreamOptions{Lambda: *lambda}, obs[0].T)
+		if err != nil {
+			fatal(err)
+		}
+		lastProgress := obs[0].T
+		for i, o := range obs {
+			if o.Final {
+				err = ix.Finish(o.ObjectID, o.T)
+			} else {
+				err = ix.Observe(o.ObjectID, o.T, stx.Rect{
+					MinX: o.Rect.MinX, MinY: o.Rect.MinY, MaxX: o.Rect.MaxX, MaxY: o.Rect.MaxY,
+				})
+			}
+			if err != nil {
+				fatal(fmt.Errorf("observation %d: %w", i+1, err))
+			}
+			if *every > 0 && o.T >= lastProgress+*every {
+				lastProgress = o.T
+				fmt.Fprintf(os.Stderr, "t=%d: %d live objects, %d records (%d cuts), %d pages\n",
+					o.T, ix.Live(), ix.Records(), ix.Cuts(), ix.Pages())
+			}
+		}
+		if *finish {
+			if err := ix.FinishAll(last + 1); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "stream done at t=%d: %d records (%d online cuts), %d pages (%d KiB)\n",
 		last, ix.Records(), ix.Cuts(), ix.Pages(), ix.Bytes()/1024)
@@ -120,6 +139,50 @@ func main() {
 	}
 	fmt.Printf("set=%s queries=%d avg-io=%.2f avg-results=%.1f\n",
 		*set, len(qs), float64(totalIO)/float64(len(qs)), float64(totalResults)/float64(len(qs)))
+}
+
+// runThroughWAL feeds the observations through the durable ingestion
+// pipeline: per-instant batches, each journaled and fsynced before it is
+// acknowledged, with a final freeze on close so a rerun recovers from
+// the container instead of replaying the whole journal.
+func runThroughWAL(dir string, lambda float64, obs []stio.Observation, last int64, finish bool, every int64) *stx.StreamIndex {
+	in, err := ingest.Open(ingest.Config{Dir: dir, Lambda: lambda, Codec: stx.CodecCompressed})
+	if err != nil {
+		fatal(err)
+	}
+	if st := in.Stats(); st.Seq > 0 {
+		fmt.Fprintf(os.Stderr, "recovered journal at seq %d (%d replayed, %d torn bytes dropped)\n",
+			st.Seq, st.Replayed, st.TornBytesRecovered)
+	}
+	lastProgress := obs[0].T
+	start := 0
+	for i := 1; i <= len(obs); i++ {
+		if i < len(obs) && obs[i].T == obs[start].T {
+			continue
+		}
+		if _, err := in.SubmitObservations(obs[start:i]); err != nil {
+			fatal(fmt.Errorf("observation %d: %w", start+1, err))
+		}
+		if every > 0 && obs[start].T >= lastProgress+every {
+			lastProgress = obs[start].T
+			st := in.Stats()
+			fmt.Fprintf(os.Stderr, "t=%d: %d live objects, %d records, seq %d, %d wal KiB\n",
+				obs[start].T, st.LiveObjects, st.Records, st.Seq, st.WALBytes/1024)
+		}
+		start = i
+	}
+	if finish {
+		if _, err := in.Submit([]ingest.Record{{Kind: ingest.RecFinishAll, T: last + 1}}); err != nil {
+			fatal(err)
+		}
+	}
+	st := in.Stats()
+	if err := in.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "journal: %d records accepted in %d fsyncs (p99 %dµs), %d KiB, frozen at seq %d\n",
+		st.Accepted, st.Fsyncs, st.FsyncP99US, st.WALBytes/1024, in.Seq())
+	return in.Index()
 }
 
 // objectsFromObservations reconstructs up to maxObjects complete objects

@@ -1,0 +1,56 @@
+package ingest
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the WAL's append path needs. The check
+// harness substitutes fault-injecting implementations to prove the
+// recovery contract under write and fsync failures.
+type File interface {
+	io.Writer
+	// Sync flushes the file's dirty state to stable storage.
+	Sync() error
+	io.Closer
+}
+
+// FS is the WAL's file-operation seam: everything the append path does
+// to the journal directory goes through it, so the crash-replay harness
+// can inject failures and kill-points without touching the real
+// recovery-side reads (which always run against what actually reached
+// the disk image).
+type FS interface {
+	// OpenAppend opens path for appending, creating it if absent.
+	OpenAppend(path string) (File, error)
+	// Remove unlinks a fully frozen-over segment.
+	Remove(path string) error
+	// SyncDir fsyncs the directory so a created or removed segment name
+	// is itself durable.
+	SyncDir(dir string) error
+}
+
+// osFS is the production FS.
+type osFS struct{}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) SyncDir(dir string) error { return syncDir(dir) }
+
+// syncDir fsyncs a directory; rename/create/remove durability on linux
+// requires it.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

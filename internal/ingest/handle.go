@@ -1,0 +1,272 @@
+package ingest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	stx "stindex"
+)
+
+// ErrInvalid wraps every admission-validation failure (HTTP maps it to
+// 400). Records are validated before they touch the journal, so replay
+// can treat an apply error as corruption rather than a client mistake.
+var ErrInvalid = errors.New("ingest: invalid record")
+
+// Handle owns the mutable live stream index. One writer goroutine
+// mutates it; any number of query goroutines (the combined Live view)
+// and the freezer read it — all under one mutex, because the stream
+// indexer's query path shares the tree's buffer pool with its write
+// path.
+type Handle struct {
+	mu        sync.Mutex
+	ix        *stx.StreamIndex // nil until the first accepted record
+	opts      stx.StreamOptions
+	startTime int64
+	seq       uint64 // records applied
+	maxT      int64  // largest applied event time (the global clock)
+}
+
+func newHandle(opts stx.StreamOptions) *Handle {
+	return &Handle{opts: opts}
+}
+
+// adopt installs recovered state.
+func (h *Handle) adopt(rec *Recovered) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.ix = rec.Index
+	h.seq = rec.Seq
+	h.maxT = rec.MaxT
+	h.startTime = rec.StartTime
+	if rec.EpochSet {
+		h.opts.Lambda = rec.Lambda
+	}
+}
+
+// state returns the admission counters.
+func (h *Handle) state() (seq uint64, maxT int64, liveObjects, records int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ix != nil {
+		liveObjects, records = h.ix.Live(), h.ix.Records()
+	}
+	return h.seq, h.maxT, liveObjects, records
+}
+
+// vstate validates a group of batches against the handle plus an overlay
+// of the records validated earlier in the same group (they are not
+// applied yet — apply happens only after the journal fsync). The overlay
+// mirrors exactly the checks Observe/Finish/FinishAll perform, plus the
+// global time discipline (non-decreasing t) the underlying partially
+// persistent tree requires anyway.
+type vstate struct {
+	h           *Handle
+	ov          map[int64]vent
+	finishedAll bool
+	maxT        int64
+	any         bool // the stream has at least one record
+}
+
+type vent struct {
+	live  bool
+	lastT int64
+}
+
+// beginValidate snapshots the handle's admission state. Callers must
+// hold h.mu across the whole validation phase of a group.
+func (h *Handle) beginValidate() *vstate {
+	return &vstate{h: h, ov: make(map[int64]vent), maxT: h.maxT, any: h.seq > 0}
+}
+
+func (v *vstate) lookup(id int64) (vent, bool) {
+	if e, ok := v.ov[id]; ok {
+		return e, e.live
+	}
+	if v.finishedAll || v.h.ix == nil {
+		return vent{}, false
+	}
+	lastT, live := v.h.ix.LiveLastT(id)
+	return vent{live: live, lastT: lastT}, live
+}
+
+// validate admits recs as a unit: either every record is coherent given
+// the stream state plus everything admitted before it, or the whole
+// batch is rejected (wrapping ErrInvalid) and the overlay is unchanged.
+func (v *vstate) validate(recs []Record) error {
+	if len(recs) == 0 {
+		return fmt.Errorf("%w: empty batch", ErrInvalid)
+	}
+	// Stage the batch against a scratch copy so a rejection at record k
+	// leaves records admitted by earlier batches intact.
+	scratch := vstate{h: v.h, ov: make(map[int64]vent, len(v.ov)+len(recs)), finishedAll: v.finishedAll, maxT: v.maxT, any: v.any}
+	for id, e := range v.ov {
+		scratch.ov[id] = e
+	}
+	for i, r := range recs {
+		if err := scratch.admit(r); err != nil {
+			return fmt.Errorf("%w: record %d: %v", ErrInvalid, i, err)
+		}
+	}
+	*v = scratch
+	return nil
+}
+
+func (v *vstate) admit(r Record) error {
+	if v.any && r.T < v.maxT {
+		return fmt.Errorf("event at t=%d after the stream reached t=%d (events must be time-ordered)", r.T, v.maxT)
+	}
+	switch r.Kind {
+	case RecObserve:
+		if !r.Rect.Valid() {
+			return fmt.Errorf("invalid rect %v", r.Rect)
+		}
+		if e, live := v.lookup(r.ObjectID); live && r.T != e.lastT+1 {
+			return fmt.Errorf("object %d observed at t=%d after t=%d (observations must be consecutive; finish the object to introduce a gap)", r.ObjectID, r.T, e.lastT)
+		}
+		v.ov[r.ObjectID] = vent{live: true, lastT: r.T}
+	case RecFinish:
+		e, live := v.lookup(r.ObjectID)
+		if !live {
+			return fmt.Errorf("object %d is not live", r.ObjectID)
+		}
+		if r.T <= e.lastT {
+			return fmt.Errorf("object %d finishes at t=%d but was observed at t=%d", r.ObjectID, r.T, e.lastT)
+		}
+		v.ov[r.ObjectID] = vent{live: false}
+	case RecFinishAll:
+		if !v.any {
+			return errors.New("finish-all on an empty stream")
+		}
+		// Every live object must have been last observed before r.T —
+		// exactly the per-object Finish precondition.
+		if !v.finishedAll && v.h.ix != nil {
+			for _, id := range v.h.ix.LiveObjects() {
+				if _, overridden := v.ov[id]; overridden {
+					continue
+				}
+				if lastT, live := v.h.ix.LiveLastT(id); live && r.T <= lastT {
+					return fmt.Errorf("finish-all at t=%d but object %d was observed at t=%d", r.T, id, lastT)
+				}
+			}
+		}
+		for id, e := range v.ov {
+			if e.live && r.T <= e.lastT {
+				return fmt.Errorf("finish-all at t=%d but object %d was observed at t=%d", r.T, id, e.lastT)
+			}
+		}
+		v.ov = make(map[int64]vent)
+		v.finishedAll = true
+	default:
+		return fmt.Errorf("unknown record kind %d", r.Kind)
+	}
+	if r.T > v.maxT {
+		v.maxT = r.T
+	}
+	v.any = true
+	return nil
+}
+
+// applyLocked applies validated records. The caller holds h.mu. An error
+// here means validation and the indexer disagree — a bug, which the
+// pipeline latches rather than papers over.
+func (h *Handle) applyLocked(recs []Record) error {
+	for _, r := range recs {
+		if h.ix == nil {
+			if r.Kind != RecObserve {
+				return fmt.Errorf("ingest: stream begins with kind %d, want observe", r.Kind)
+			}
+			six, err := stx.NewStreamIndex(h.opts, r.T)
+			if err != nil {
+				return err
+			}
+			h.ix = six
+			h.startTime = r.T
+			h.maxT = r.T
+		}
+		var err error
+		switch r.Kind {
+		case RecObserve:
+			err = h.ix.Observe(r.ObjectID, r.T, stx.Rect{MinX: r.Rect.MinX, MinY: r.Rect.MinY, MaxX: r.Rect.MaxX, MaxY: r.Rect.MaxY})
+		case RecFinish:
+			err = h.ix.Finish(r.ObjectID, r.T)
+		case RecFinishAll:
+			err = h.ix.FinishAll(r.T)
+		default:
+			err = fmt.Errorf("ingest: unknown record kind %d", r.Kind)
+		}
+		if err != nil {
+			return err
+		}
+		h.seq++
+		if r.T > h.maxT {
+			h.maxT = r.T
+		}
+	}
+	return nil
+}
+
+// Snapshot answers an instant query over the full live history.
+func (h *Handle) Snapshot(r stx.Rect, t int64) ([]int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ix == nil {
+		return nil, nil
+	}
+	return h.ix.Snapshot(r, t)
+}
+
+// Range answers an interval query over the full live history.
+func (h *Handle) Range(r stx.Rect, iv stx.Interval) ([]int64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ix == nil {
+		return nil, nil
+	}
+	return h.ix.Range(r, iv)
+}
+
+// encodeState serialises the live index to a STIC container image under
+// the lock, returning the covered seq and clock alongside. data is nil
+// when there is nothing to freeze yet.
+func (h *Handle) encodeState(codec stx.Codec) (data []byte, seq uint64, maxT int64, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ix == nil || h.seq == 0 {
+		return nil, 0, 0, nil
+	}
+	var buf bytes.Buffer
+	if _, err := stx.EncodeIndexOptions(&buf, h.ix, stx.SaveOptions{Codec: codec}); err != nil {
+		return nil, 0, 0, err
+	}
+	return buf.Bytes(), h.seq, h.maxT, nil
+}
+
+// pagesBytes reports the live index's in-memory page footprint.
+func (h *Handle) pagesBytes() (int, int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ix == nil {
+		return 0, 0
+	}
+	return h.ix.Pages(), h.ix.Bytes()
+}
+
+// ioStats reports the live index's buffer traffic (shared across all
+// readers — an approximation, like every stream-kind snapshot).
+func (h *Handle) ioStats() stx.IOStats {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ix == nil {
+		return stx.IOStats{}
+	}
+	return h.ix.IOStats()
+}
+
+// epoch returns the stream epoch once known.
+func (h *Handle) epoch() (startTime int64, lambda float64, known bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.startTime, h.opts.Lambda, h.seq > 0
+}

@@ -1,0 +1,174 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"stindex/internal/geom"
+)
+
+// maxIngestBody bounds one ingest request's body (64 MiB): large enough
+// for any sane batch, small enough that a hostile length cannot exhaust
+// memory.
+const maxIngestBody = 64 << 20
+
+// jsonObs is the wire shape of one ingested event, identical to the
+// stio observation-feed line: a position observation, or (final: true) a
+// lifetime end at t.
+type jsonObs struct {
+	ObjectID int64   `json:"id"`
+	T        int64   `json:"t"`
+	MinX     float64 `json:"minx"`
+	MinY     float64 `json:"miny"`
+	MaxX     float64 `json:"maxx"`
+	MaxY     float64 `json:"maxy"`
+	Final    bool    `json:"final"`
+}
+
+func (o jsonObs) record() Record {
+	if o.Final {
+		return Record{Kind: RecFinish, ObjectID: o.ObjectID, T: o.T}
+	}
+	return Record{
+		Kind:     RecObserve,
+		ObjectID: o.ObjectID,
+		T:        o.T,
+		Rect:     geom.Rect{MinX: o.MinX, MinY: o.MinY, MaxX: o.MaxX, MaxY: o.MaxY},
+	}
+}
+
+// NewHandler exposes the pipeline over HTTP:
+//
+//	POST /ingest         one JSON observation, a JSON array of them, or a
+//	                     concatenated-JSON stream (the stio feed format);
+//	                     the whole body is one atomic batch
+//	POST /ingest/finish  {"t": T} ends every live object; {"id": I, "t": T}
+//	                     ends one
+//	POST /ingest/freeze  forces a snapshot + publish + journal truncation
+//
+// Responses are JSON. Validation failures map to 400 (nothing was
+// journaled), backpressure and a latched pipeline to 503.
+func NewHandler(in *Ingester) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		recs, err := decodeBatch(http.MaxBytesReader(w, r.Body, maxIngestBody))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		seq, err := in.Submit(recs)
+		if err != nil {
+			httpError(w, ingestStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, map[string]any{"accepted": len(recs), "seq": seq})
+	})
+	mux.HandleFunc("/ingest/finish", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		var req struct {
+			ObjectID *int64 `json:"id"`
+			T        int64  `json:"t"`
+		}
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("parsing finish request: %v", err))
+			return
+		}
+		rec := Record{Kind: RecFinishAll, T: req.T}
+		if req.ObjectID != nil {
+			rec = Record{Kind: RecFinish, ObjectID: *req.ObjectID, T: req.T}
+		}
+		seq, err := in.Submit([]Record{rec})
+		if err != nil {
+			httpError(w, ingestStatus(err), err.Error())
+			return
+		}
+		writeJSON(w, map[string]any{"accepted": 1, "seq": seq})
+	})
+	mux.HandleFunc("/ingest/freeze", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			httpError(w, http.StatusMethodNotAllowed, "POST required")
+			return
+		}
+		froze, err := in.Freeze()
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeJSON(w, map[string]any{"froze": froze, "seq": in.Seq()})
+	})
+	return mux
+}
+
+// decodeBatch parses an ingest body: a single JSON object, a JSON array
+// of objects, or concatenated JSON objects (the stio feed format — one
+// per line, though whitespace is free-form). The body is already bounded
+// by MaxBytesReader, so buffering it whole is safe.
+func decodeBatch(body io.Reader) ([]Record, error) {
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return nil, fmt.Errorf("reading request body: %v", err)
+	}
+	i := 0
+	for i < len(data) && (data[i] == ' ' || data[i] == '\t' || data[i] == '\n' || data[i] == '\r') {
+		i++
+	}
+	if i == len(data) {
+		return nil, errors.New("empty request body")
+	}
+	var obs []jsonObs
+	if data[i] == '[' {
+		if err := json.Unmarshal(data, &obs); err != nil {
+			return nil, fmt.Errorf("parsing observation array: %v", err)
+		}
+	} else {
+		dec := json.NewDecoder(bytes.NewReader(data))
+		for {
+			var o jsonObs
+			if err := dec.Decode(&o); errors.Is(err, io.EOF) {
+				break
+			} else if err != nil {
+				return nil, fmt.Errorf("parsing observation %d: %v", len(obs)+1, err)
+			}
+			obs = append(obs, o)
+		}
+	}
+	recs := make([]Record, len(obs))
+	for i, o := range obs {
+		recs[i] = o.record()
+	}
+	return recs, nil
+}
+
+// ingestStatus maps a Submit error to its HTTP status.
+func ingestStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrInvalid):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrBacklog), errors.Is(err, ErrIngestClosed), errors.Is(err, ErrWALFailed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,568 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	stx "stindex"
+
+	"stindex/internal/geom"
+)
+
+const testLambda = 0.004
+
+func testStreamOptions() stx.StreamOptions {
+	return stx.StreamOptions{Lambda: testLambda, PPR: stx.PPROptions{MaxEntries: 8, BufferPages: 32}}
+}
+
+// feedBatches is a deterministic record feed exercising every kind:
+// six drifting objects, one finishing and reappearing, a finish-all at
+// the end. Batches group one instant each.
+func feedBatches(instants int) [][]Record {
+	rectAt := func(id, t int64) geom.Rect {
+		x := 0.05 + 0.12*float64(id-1) + 0.002*float64(t-10)
+		y := 0.1 + 0.01*float64((id*7+t)%13)
+		return geom.Rect{MinX: x, MinY: y, MaxX: x + 0.03, MaxY: y + 0.03}
+	}
+	var batches [][]Record
+	for t := int64(10); t < int64(10+instants); t++ {
+		var b []Record
+		for id := int64(1); id <= 6; id++ {
+			if id == 3 {
+				if t == 30 {
+					b = append(b, Record{Kind: RecFinish, ObjectID: id, T: t})
+					continue
+				}
+				if t > 30 && t < 40 {
+					continue
+				}
+			}
+			b = append(b, Record{Kind: RecObserve, ObjectID: id, T: t, Rect: rectAt(id, t)})
+		}
+		batches = append(batches, b)
+	}
+	batches = append(batches, []Record{{Kind: RecFinishAll, T: int64(10 + instants)}})
+	return batches
+}
+
+func flatten(batches [][]Record) []Record {
+	var out []Record
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// shadowReplay applies recs directly to a fresh stream index — the
+// reference for what recovery must reproduce.
+func shadowReplay(t *testing.T, recs []Record) *stx.StreamIndex {
+	t.Helper()
+	if len(recs) == 0 {
+		return nil
+	}
+	six, err := stx.NewStreamIndex(testStreamOptions(), recs[0].T)
+	if err != nil {
+		t.Fatalf("NewStreamIndex: %v", err)
+	}
+	for i, r := range recs {
+		switch r.Kind {
+		case RecObserve:
+			err = six.Observe(r.ObjectID, r.T, stx.Rect{MinX: r.Rect.MinX, MinY: r.Rect.MinY, MaxX: r.Rect.MaxX, MaxY: r.Rect.MaxY})
+		case RecFinish:
+			err = six.Finish(r.ObjectID, r.T)
+		case RecFinishAll:
+			err = six.FinishAll(r.T)
+		}
+		if err != nil {
+			t.Fatalf("shadow replay record %d: %v", i, err)
+		}
+	}
+	return six
+}
+
+type ranger interface {
+	Range(stx.Rect, stx.Interval) ([]int64, error)
+}
+
+// probeAnswers evaluates a fixed probe set of range queries.
+func probeAnswers(t *testing.T, ix ranger) [][]int64 {
+	t.Helper()
+	var out [][]int64
+	for qi := 0; qi < 12; qi++ {
+		r := stx.Rect{
+			MinX: 0.04 * float64(qi),
+			MinY: 0.0,
+			MaxX: 0.04*float64(qi) + 0.3,
+			MaxY: 1.0,
+		}
+		iv := stx.Interval{Start: int64(5 + 4*qi), End: int64(12 + 5*qi)}
+		ids, err := ix.Range(r, iv)
+		if err != nil {
+			t.Fatalf("probe %d: %v", qi, err)
+		}
+		out = append(out, sortedIDs(ids))
+	}
+	return out
+}
+
+func sortedIDs(ids []int64) []int64 {
+	out := append([]int64(nil), ids...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func submitAll(t *testing.T, in *Ingester, batches [][]Record) {
+	t.Helper()
+	for i, b := range batches {
+		if _, err := in.Submit(b); err != nil {
+			t.Fatalf("submit batch %d: %v", i, err)
+		}
+	}
+}
+
+// TestIngestRecoverClean proves the basic round trip: ingest a feed,
+// close cleanly, recover, and get answer-identical state.
+func TestIngestRecoverClean(t *testing.T) {
+	dir := t.TempDir()
+	in, err := Open(Config{Dir: dir, Lambda: testLambda, Tree: testStreamOptions().PPR})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	batches := feedBatches(40)
+	submitAll(t, in, batches)
+	if err := in.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	rec, err := Recover(dir, RecoverOptions{Tree: testStreamOptions().PPR})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer rec.WAL.Close()
+	all := flatten(batches)
+	if rec.Seq != uint64(len(all)) {
+		t.Fatalf("recovered seq = %d, want %d", rec.Seq, len(all))
+	}
+	if rec.Lambda != testLambda {
+		t.Fatalf("recovered lambda = %g, want %g", rec.Lambda, testLambda)
+	}
+	shadow := shadowReplay(t, all)
+	if got, want := probeAnswers(t, rec.Index), probeAnswers(t, shadow); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered answers diverge from shadow replay:\n got %v\nwant %v", got, want)
+	}
+	if rec.Index.Records() != shadow.Records() {
+		t.Fatalf("recovered %d records, shadow %d", rec.Index.Records(), shadow.Records())
+	}
+}
+
+// TestIngestRecoverWithFreeze freezes mid-stream (snapshot + truncation),
+// ingests more, closes, and proves recovery = snapshot + journal tail.
+func TestIngestRecoverWithFreeze(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation so the freeze actually truncates.
+	in, err := Open(Config{Dir: dir, Lambda: testLambda, Tree: testStreamOptions().PPR, SegmentBytes: 2048})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	batches := feedBatches(40)
+	half := len(batches) / 2
+	submitAll(t, in, batches[:half])
+	froze, err := in.Freeze()
+	if err != nil {
+		t.Fatalf("Freeze: %v", err)
+	}
+	if !froze {
+		t.Fatal("Freeze reported nothing to do with records pending")
+	}
+	if _, err := os.Stat(filepath.Join(dir, currentFile)); err != nil {
+		t.Fatalf("CURRENT not written: %v", err)
+	}
+	st := in.Stats()
+	if st.Freezes != 1 || st.LastFreezeSeq == 0 {
+		t.Fatalf("freeze stats = %+v", st)
+	}
+	if st.TruncatedSegments == 0 {
+		t.Fatalf("freeze truncated no segments (got %d, %d wal segments)", st.TruncatedSegments, st.WALSegments)
+	}
+	submitAll(t, in, batches[half:])
+	if err := in.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	rec, err := Recover(dir, RecoverOptions{Tree: testStreamOptions().PPR})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	defer rec.WAL.Close()
+	all := flatten(batches)
+	if rec.Seq != uint64(len(all)) {
+		t.Fatalf("recovered seq = %d, want %d", rec.Seq, len(all))
+	}
+	if rec.SnapshotSeq == 0 {
+		t.Fatal("recovery found no snapshot")
+	}
+	shadow := shadowReplay(t, all)
+	if got, want := probeAnswers(t, rec.Index), probeAnswers(t, shadow); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered answers diverge from shadow replay:\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestRecoverTornTail truncates recovery cleanly at a torn final frame:
+// the valid prefix replays, the garbage disappears, and the journal
+// keeps appending afterwards.
+func TestRecoverTornTail(t *testing.T) {
+	for _, tail := range [][]byte{
+		{0x01},                               // partial frame header
+		{0xff, 0xff, 0xff, 0x7f, 0, 0, 0, 0}, // implausible length
+		{0x09, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3, 4, 5, 6, 7, 8, 9}, // bad CRC
+	} {
+		dir := t.TempDir()
+		in, err := Open(Config{Dir: dir, Lambda: testLambda, Tree: testStreamOptions().PPR})
+		if err != nil {
+			t.Fatalf("Open: %v", err)
+		}
+		batches := feedBatches(10)
+		submitAll(t, in, batches)
+		if err := in.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+
+		segs, _ := filepath.Glob(filepath.Join(dir, walPattern))
+		if len(segs) == 0 {
+			t.Fatal("no segments written")
+		}
+		last := segs[len(segs)-1]
+		f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(tail); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		before, _ := os.Stat(last)
+
+		rec, err := Recover(dir, RecoverOptions{Tree: testStreamOptions().PPR})
+		if err != nil {
+			t.Fatalf("Recover with torn tail %x: %v", tail, err)
+		}
+		all := flatten(batches)
+		if rec.Seq != uint64(len(all)) {
+			t.Fatalf("tail %x: recovered seq = %d, want %d", tail, rec.Seq, len(all))
+		}
+		if rec.TornBytes != int64(len(tail)) {
+			t.Fatalf("tail %x: TornBytes = %d, want %d", tail, rec.TornBytes, len(tail))
+		}
+		after, _ := os.Stat(last)
+		if after.Size() != before.Size()-int64(len(tail)) {
+			t.Fatalf("tail %x: segment not truncated (%d -> %d)", tail, before.Size(), after.Size())
+		}
+		// The reopened journal must keep working past the truncation.
+		if _, err := rec.WAL.Append([]Record{{Kind: RecFinishAll, T: 99}}); err != nil {
+			t.Fatalf("append after torn-tail recovery: %v", err)
+		}
+		if err := rec.WAL.Close(); err != nil {
+			t.Fatalf("close after torn-tail recovery: %v", err)
+		}
+	}
+}
+
+// writeRawJournal journals batches directly through the WAL (no
+// Ingester, so no freeze-on-close truncating segments away) with small
+// segments to force rotation.
+func writeRawJournal(t *testing.T, dir string, batches [][]Record, segmentBytes int64) []string {
+	t.Helper()
+	w := newWAL(dir, WALConfig{SegmentBytes: segmentBytes})
+	w.SetEpoch(batches[0][0].T, testLambda)
+	for i, b := range batches {
+		if _, err := w.Append(b); err != nil {
+			t.Fatalf("append batch %d: %v", i, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	segs, _ := filepath.Glob(filepath.Join(dir, walPattern))
+	return segs
+}
+
+// TestRecoverMidJournalCorruption fail-stops: a corrupt frame with more
+// journal after it is not a torn tail.
+func TestRecoverMidJournalCorruption(t *testing.T) {
+	dir := t.TempDir()
+	segs := writeRawJournal(t, dir, feedBatches(30), 1024)
+	if len(segs) < 2 {
+		t.Fatalf("want >= 2 segments for a mid-journal flip, got %d", len(segs))
+	}
+	// Flip one payload byte in the middle of the FIRST segment.
+	data, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[walHeader+frameHeader+4] ^= 0xff
+	if err := os.WriteFile(segs[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir, RecoverOptions{Tree: testStreamOptions().PPR}); err == nil {
+		t.Fatal("Recover accepted mid-journal corruption")
+	}
+}
+
+// TestRecoverJournalGap fail-stops when a whole segment is missing.
+func TestRecoverJournalGap(t *testing.T) {
+	dir := t.TempDir()
+	segs := writeRawJournal(t, dir, feedBatches(30), 1024)
+	if len(segs) < 3 {
+		t.Fatalf("want >= 3 segments, got %d", len(segs))
+	}
+	if err := os.Remove(segs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(dir, RecoverOptions{Tree: testStreamOptions().PPR}); err == nil {
+		t.Fatal("Recover accepted a journal gap")
+	}
+}
+
+// TestIngestValidation rejects incoherent batches with ErrInvalid before
+// anything reaches the journal.
+func TestIngestValidation(t *testing.T) {
+	dir := t.TempDir()
+	in, err := Open(Config{Dir: dir, Lambda: testLambda, Tree: testStreamOptions().PPR})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer in.Close()
+	ok := Record{Kind: RecObserve, ObjectID: 1, T: 10, Rect: geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}}
+	if _, err := in.Submit([]Record{ok}); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+	bad := [][]Record{
+		{{Kind: RecObserve, ObjectID: 2, T: 11, Rect: geom.Rect{MinX: 0.5, MinY: 0.5, MaxX: 0.4, MaxY: 0.6}}}, // invalid rect
+		{{Kind: RecObserve, ObjectID: 1, T: 13, Rect: ok.Rect}},                                               // gap in live object
+		{{Kind: RecObserve, ObjectID: 1, T: 9, Rect: ok.Rect}},                                                // time goes backwards
+		{{Kind: RecFinish, ObjectID: 7, T: 12}},                                                               // finish of a non-live object
+		{{Kind: RecFinish, ObjectID: 1, T: 10}},                                                               // finish not after last observation
+		{{Kind: RecFinishAll, T: 10}},                                                                         // finish-all not after live observations
+		{},                                                                                                    // empty batch
+	}
+	for i, b := range bad {
+		if _, err := in.Submit(b); !errors.Is(err, ErrInvalid) {
+			t.Errorf("bad batch %d: got %v, want ErrInvalid", i, err)
+		}
+	}
+	// An invalid record inside a batch rejects the whole batch atomically.
+	if _, err := in.Submit([]Record{
+		{Kind: RecObserve, ObjectID: 1, T: 11, Rect: ok.Rect},
+		{Kind: RecFinish, ObjectID: 9, T: 11},
+	}); !errorsIsInvalidAt(err, 1) {
+		t.Errorf("mixed batch: got %v, want ErrInvalid at record 1", err)
+	}
+	// ... and left no trace: the same valid prefix still admits.
+	if _, err := in.Submit([]Record{{Kind: RecObserve, ObjectID: 1, T: 11, Rect: ok.Rect}}); err != nil {
+		t.Errorf("valid record rejected after failed batch: %v", err)
+	}
+	st := in.Stats()
+	// The empty batch is rejected in Submit before it reaches the
+	// validator, so it does not count: 6 bad batches + the mixed one.
+	if st.Invalid != 7 {
+		t.Errorf("invalid batches = %d, want 7", st.Invalid)
+	}
+	if st.Accepted != 2 {
+		t.Errorf("accepted = %d, want 2", st.Accepted)
+	}
+	if st.Accepted != st.WALRecords {
+		t.Errorf("accepted %d != wal_records_written %d", st.Accepted, st.WALRecords)
+	}
+}
+
+func errorsIsInvalidAt(err error, record int) bool {
+	return errors.Is(err, ErrInvalid) && err != nil &&
+		bytes.Contains([]byte(err.Error()), []byte(fmt.Sprintf("record %d", record)))
+}
+
+// TestIntraGroupValidation: a batch may depend on an earlier batch of the
+// same commit group (observe in one, finish in the next) and the overlay
+// must see it.
+func TestIntraGroupValidation(t *testing.T) {
+	dir := t.TempDir()
+	in, err := Open(Config{Dir: dir, Lambda: testLambda, Tree: testStreamOptions().PPR})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer in.Close()
+	r := geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}
+	// One batch containing observe(5)@10..12 then finish(5)@13: the
+	// validator must thread state record-to-record.
+	if _, err := in.Submit([]Record{
+		{Kind: RecObserve, ObjectID: 5, T: 10, Rect: r},
+		{Kind: RecObserve, ObjectID: 5, T: 11, Rect: r},
+		{Kind: RecObserve, ObjectID: 5, T: 12, Rect: r},
+		{Kind: RecFinish, ObjectID: 5, T: 13},
+		{Kind: RecObserve, ObjectID: 5, T: 20, Rect: r}, // reappears after finish
+	}); err != nil {
+		t.Fatalf("dependent batch rejected: %v", err)
+	}
+}
+
+// TestWALRotationCounts drives the WAL through rotations directly and
+// checks segment accounting and truncation.
+func TestWALRotationCounts(t *testing.T) {
+	dir := t.TempDir()
+	w := newWAL(dir, WALConfig{SegmentBytes: 256})
+	w.SetEpoch(10, testLambda)
+	r := Record{Kind: RecObserve, ObjectID: 1, T: 10, Rect: geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.2, MaxY: 0.2}}
+	total := 40
+	for i := 0; i < total; i++ {
+		rec := r
+		rec.T = int64(10 + i)
+		if _, err := w.Append([]Record{rec}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	if w.Segments() < 3 {
+		t.Fatalf("want >= 3 segments at 256-byte budget, got %d", w.Segments())
+	}
+	records, bytes_, _, _ := w.Stats()
+	if records != int64(total) {
+		t.Fatalf("synced records = %d, want %d", records, total)
+	}
+	if bytes_ != int64(total*(frameHeader+observePayload)) {
+		t.Fatalf("bytes = %d, want %d", bytes_, total*(frameHeader+observePayload))
+	}
+	if _, err := w.TruncateCovered(uint64(total)); err != nil {
+		t.Fatalf("truncate: %v", err)
+	}
+	if w.Segments() != 1 {
+		t.Fatalf("want 1 (active) segment after full truncation, got %d", w.Segments())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+// TestRecoverEmptyDir yields a blank slate: no index, seq 0, and a WAL
+// that starts at seq 1.
+func TestRecoverEmptyDir(t *testing.T) {
+	dir := t.TempDir()
+	rec, err := Recover(dir, RecoverOptions{Lambda: testLambda})
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.Index != nil || rec.Seq != 0 || rec.EpochSet {
+		t.Fatalf("fresh recovery = %+v, want empty", rec)
+	}
+	if got := rec.WAL.NextSeq(); got != 1 {
+		t.Fatalf("NextSeq = %d, want 1", got)
+	}
+	rec.WAL.Close()
+}
+
+// TestRecoverLambdaConflict refuses to continue a journal with different
+// split parameters.
+func TestRecoverLambdaConflict(t *testing.T) {
+	dir := t.TempDir()
+	in, err := Open(Config{Dir: dir, Lambda: testLambda, Tree: testStreamOptions().PPR})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	submitAll(t, in, feedBatches(5))
+	if err := in.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := Open(Config{Dir: dir, Lambda: testLambda * 3, Tree: testStreamOptions().PPR}); err == nil {
+		t.Fatal("Open accepted a conflicting lambda")
+	}
+}
+
+// TestFrameRoundTrip is the codec unit test.
+func TestFrameRoundTrip(t *testing.T) {
+	recs := []Record{
+		{Kind: RecObserve, ObjectID: -7, T: 42, Rect: geom.Rect{MinX: 0.1, MinY: 0.2, MaxX: 0.3, MaxY: 0.4}},
+		{Kind: RecFinish, ObjectID: 1 << 40, T: -3},
+		{Kind: RecFinishAll, T: 1 << 50},
+	}
+	var buf []byte
+	for _, r := range recs {
+		var err error
+		if buf, err = appendFrame(buf, r); err != nil {
+			t.Fatalf("appendFrame(%+v): %v", r, err)
+		}
+	}
+	off := 0
+	for i, want := range recs {
+		got, n, err := decodeFrame(buf[off:])
+		if err != nil {
+			t.Fatalf("decodeFrame %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("frame %d: got %+v, want %+v", i, got, want)
+		}
+		off += n
+	}
+	if r, n, err := decodeFrame(buf[off:]); n != 0 || err != nil || r != (Record{}) {
+		t.Fatalf("clean EOF: got (%+v, %d, %v)", r, n, err)
+	}
+	// Every single-byte corruption must be detected.
+	for i := range buf {
+		mut := append([]byte(nil), buf...)
+		mut[i] ^= 0x01
+		off := 0
+		for off < len(mut) {
+			_, n, err := decodeFrame(mut[off:])
+			if err != nil || n == 0 {
+				break
+			}
+			off += n
+		}
+		if off == len(mut) {
+			// All frames decoded: the flip must have changed a decoded
+			// record, not gone unnoticed — verify by re-encoding.
+			var re []byte
+			off = 0
+			for off < len(mut) {
+				r, n, _ := decodeFrame(mut[off:])
+				re, _ = appendFrame(re, r)
+				off += n
+			}
+			if bytes.Equal(re, buf) {
+				t.Fatalf("bit flip at byte %d went completely unnoticed", i)
+			}
+		}
+	}
+}
+
+// TestSegHeaderRoundTrip covers the segment header codec and its
+// validation.
+func TestSegHeaderRoundTrip(t *testing.T) {
+	hdr := encodeSegHeader(17, -5, 0.25)
+	first, startTime, lambda, err := decodeSegHeader(hdr)
+	if err != nil || first != 17 || startTime != -5 || lambda != 0.25 {
+		t.Fatalf("round trip = (%d, %d, %g, %v)", first, startTime, lambda, err)
+	}
+	if _, _, _, err := decodeSegHeader(hdr[:10]); !errors.Is(err, errTorn) {
+		t.Fatalf("partial header: %v, want errTorn", err)
+	}
+	bad := append([]byte(nil), hdr...)
+	copy(bad, "NOPE")
+	if _, _, _, err := decodeSegHeader(bad); err == nil || errors.Is(err, errTorn) {
+		t.Fatalf("bad magic: %v, want hard error", err)
+	}
+	zeroSeq := append([]byte(nil), hdr...)
+	binary.LittleEndian.PutUint64(zeroSeq[8:], 0)
+	if _, _, _, err := decodeSegHeader(zeroSeq); err == nil {
+		t.Fatal("zero firstSeq accepted")
+	}
+}

@@ -1,0 +1,176 @@
+package ingest
+
+import (
+	"sort"
+	"sync/atomic"
+
+	stx "stindex"
+)
+
+// Live is the combined serving view of an ingesting stream: an immutable
+// frozen container (the last published freeze) answering everything
+// strictly before the freeze boundary, and the mutable live index
+// answering the boundary onwards. A query interval [s, e) splits into
+// [s, min(e, B)) against the frozen part and [max(s, B), e) against the
+// live tail; the results merge under the same contract as the sharded
+// router — union, de-duplicated, ids ascending.
+//
+// Soundness of the split rests on two facts. First, the live index holds
+// the full history, so any piece overlapping [max(s,B), e) is found
+// there. Second, the frozen image is complete and exact for instants
+// < B: pieces still open at the freeze extend to at least B (admission
+// enforces globally non-decreasing event time, so nothing can close
+// before the clock), which makes their open-ended frozen form intersect
+// a clipped query exactly when their true form does.
+//
+// Live is safe for concurrent use as-is (the frozen part is wrapped in a
+// mutex, the live part queries under the handle's lock), so QueryView
+// returns the receiver: every session shares one view. Each freeze
+// publishes a fresh Live under the serving name; the registry's
+// refcounted hot-swap retires the old one with zero downtime.
+type Live struct {
+	handle    *Handle
+	frozenIdx stx.Index      // the opened container; closed with this Live
+	frozen    *stx.SyncIndex // serialised query access to frozenIdx
+	boundary  int64
+	closed    atomic.Bool
+}
+
+// NewLive combines the mutable handle with an opened frozen container
+// (nil before the first freeze) whose image covers every instant up to
+// boundary (exclusive).
+func NewLive(h *Handle, frozen stx.Index, boundary int64) *Live {
+	l := &Live{handle: h, frozenIdx: frozen, boundary: boundary}
+	if frozen != nil {
+		l.frozen = stx.Synchronized(frozen)
+	}
+	return l
+}
+
+// Snapshot implements stx.Index.
+func (l *Live) Snapshot(r stx.Rect, t int64) ([]int64, error) {
+	return l.Range(r, stx.Interval{Start: t, End: t + 1})
+}
+
+// Range implements stx.Index: split at the freeze boundary, query both
+// parts, merge.
+func (l *Live) Range(r stx.Rect, iv stx.Interval) ([]int64, error) {
+	var frozenIDs, liveIDs []int64
+	if l.frozen != nil && iv.Start < l.boundary {
+		end := iv.End
+		if end > l.boundary {
+			end = l.boundary
+		}
+		ids, err := l.frozen.Range(r, stx.Interval{Start: iv.Start, End: end})
+		if err != nil {
+			return nil, err
+		}
+		frozenIDs = ids
+	}
+	liveStart := iv.Start
+	if l.frozen != nil && liveStart < l.boundary {
+		liveStart = l.boundary
+	}
+	if liveStart < iv.End {
+		ids, err := l.handle.Range(r, stx.Interval{Start: liveStart, End: iv.End})
+		if err != nil {
+			return nil, err
+		}
+		liveIDs = ids
+	}
+	if len(frozenIDs) == 0 && len(liveIDs) == 0 {
+		return nil, nil
+	}
+	seen := make(map[int64]struct{}, len(frozenIDs)+len(liveIDs))
+	merged := make([]int64, 0, len(frozenIDs)+len(liveIDs))
+	for _, ids := range [2][]int64{frozenIDs, liveIDs} {
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			merged = append(merged, id)
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a] < merged[b] })
+	return merged, nil
+}
+
+// ResetBuffer implements stx.Index for the frozen part only; the live
+// tail's pool is shared with the ingest path and is not a per-view
+// resource.
+func (l *Live) ResetBuffer() {
+	if l.frozen != nil {
+		l.frozen.ResetBuffer()
+	}
+}
+
+// IOStats implements stx.Index: frozen-part traffic plus the live tail's
+// shared pool (an approximation, as for any stream-kind snapshot).
+func (l *Live) IOStats() stx.IOStats {
+	var st stx.IOStats
+	if l.frozen != nil {
+		fs := l.frozen.IOStats()
+		st.Reads += fs.Reads
+		st.Writes += fs.Writes
+		st.Hits += fs.Hits
+	}
+	hs := l.handle.ioStats()
+	st.Reads += hs.Reads
+	st.Writes += hs.Writes
+	st.Hits += hs.Hits
+	return st
+}
+
+// Pages implements stx.Index: the serving footprint of both parts.
+func (l *Live) Pages() int {
+	p, _ := l.handle.pagesBytes()
+	if l.frozen != nil {
+		p += l.frozen.Pages()
+	}
+	return p
+}
+
+// Bytes implements stx.Index.
+func (l *Live) Bytes() int64 {
+	_, b := l.handle.pagesBytes()
+	if l.frozen != nil {
+		b += l.frozen.Bytes()
+	}
+	return b
+}
+
+// Records implements stx.Index: the live index is authoritative (it
+// holds the full history; the frozen part is a prefix of it).
+func (l *Live) Records() int {
+	_, _, _, records := l.handle.state()
+	return records
+}
+
+// Kind implements stx.Index.
+func (l *Live) Kind() string { return "live" }
+
+// QueryView implements stx.QueryViewer. Live is internally synchronised,
+// so all sessions share the receiver.
+func (l *Live) QueryView() stx.Index { return l }
+
+// Boundary returns the freeze-boundary instant (0 before any freeze).
+func (l *Live) Boundary() int64 { return l.boundary }
+
+// Close releases the frozen container. The registry calls it when the
+// snapshot generation retires after its last lease drains; the shared
+// handle is owned by the Ingester and unaffected.
+func (l *Live) Close() error {
+	if !l.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if l.frozenIdx != nil {
+		return stx.CloseIndex(l.frozenIdx)
+	}
+	return nil
+}
+
+var (
+	_ stx.Index       = (*Live)(nil)
+	_ stx.QueryViewer = (*Live)(nil)
+)

@@ -2,6 +2,8 @@ package service
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"testing"
 
@@ -214,6 +216,98 @@ func TestHotSwapRetiresCacheGeneration(t *testing.T) {
 	}
 	if n := reg.Cache().EntriesForGen(live); n != 0 {
 		t.Fatalf("closed registry's live generation %d still holds %d cache entries", live, n)
+	}
+}
+
+// TestPublishOpenerParticipatesInCache pins the ingestion pipeline's
+// serving contract: a snapshot installed through PublishOpener — the
+// callback opening its container through the registry-provided options —
+// serves page misses from the shared cache exactly like a Load-ed one,
+// and dropping it retires its generation's entries.
+func TestPublishOpenerParticipatesInCache(t *testing.T) {
+	path := saveContainer(t, buildIndexSeed(t, 11))
+	queries := testQueries(t, 20)
+	want := expectedAnswers(t, path, queries)
+
+	reg := NewRegistryConfig(RegistryConfig{CacheBytes: 16 << 20})
+	defer reg.Close()
+	snap, err := reg.PublishOpener("live", func(opts stx.OpenOptions) (stx.Index, error) {
+		return stx.OpenIndexOptions(path, opts)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Repeat sessions: the first warms the shared cache, later ones are
+	// absorbed by it — same behaviour the Load path proves above.
+	for s := 0; s < 3; s++ {
+		sess := NewSession(reg)
+		for i, q := range queries {
+			res, err := sess.Query(context.Background(), "live", q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameIDs(res.IDs, want[i]) {
+				t.Fatalf("session %d query %d: ids %v, want %v", s, i, res.IDs, want[i])
+			}
+		}
+	}
+
+	info := reg.List()[0]
+	if info.SharedHits == 0 {
+		t.Fatalf("PublishOpener snapshot never hit the shared cache: %+v", info)
+	}
+	if info.SharedHits+info.StoreReads != info.Reads {
+		t.Fatalf("counters do not partition: shared %d + store %d != reads %d",
+			info.SharedHits, info.StoreReads, info.Reads)
+	}
+	if st := reg.Cache().Stats(); st.Entries == 0 {
+		t.Fatalf("cache reports no residency: %+v", st)
+	}
+
+	gen := snap.Gen()
+	if err := reg.Drop("live"); err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Cache().EntriesForGen(gen); n != 0 {
+		t.Fatalf("dropped PublishOpener generation %d still holds %d cache entries", gen, n)
+	}
+}
+
+// TestPublishOpenerErrorRetires pins the failure path: when the callback
+// errors after partially reading through the provided options, nothing is
+// installed and any cache entries published under the aborted generation
+// are dropped.
+func TestPublishOpenerErrorRetires(t *testing.T) {
+	path := saveContainer(t, buildIndexSeed(t, 11))
+	queries := testQueries(t, 4)
+
+	reg := NewRegistryConfig(RegistryConfig{CacheBytes: 16 << 20})
+	defer reg.Close()
+	errBoom := fmt.Errorf("boom")
+	_, err := reg.PublishOpener("live", func(opts stx.OpenOptions) (stx.Index, error) {
+		ix, err := stx.OpenIndexOptions(path, opts)
+		if err != nil {
+			return nil, err
+		}
+		// Read some pages through the wrapped store, then fail the open.
+		for _, q := range queries {
+			if _, err := stx.RunQuery(ix, q); err != nil {
+				stx.CloseIndex(ix)
+				return nil, err
+			}
+		}
+		stx.CloseIndex(ix)
+		return nil, errBoom
+	})
+	if err == nil || !errors.Is(err, errBoom) {
+		t.Fatalf("PublishOpener error = %v, want %v", err, errBoom)
+	}
+	if _, err := reg.Acquire("live"); err == nil {
+		t.Fatal("failed PublishOpener still installed a snapshot")
+	}
+	if st := reg.Cache().Stats(); st.Entries != 0 {
+		t.Fatalf("aborted publish left cache entries behind: %+v", st)
 	}
 }
 

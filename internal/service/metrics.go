@@ -115,6 +115,59 @@ type Metrics struct {
 	Cache pagefile.SharedCacheStats `json:"cache"`
 
 	Snapshots []SnapshotInfo `json:"snapshots"`
+
+	// Ingest is the live-ingestion pipeline's counters, present only when
+	// the server runs with an ingest endpoint.
+	Ingest *IngestStats `json:"ingest,omitempty"`
+}
+
+// IngestStats is the live-ingestion pipeline's point-in-time counters,
+// assembled by internal/ingest and surfaced through /metrics. The
+// durability invariant is visible in the numbers: Accepted counts only
+// records whose journal frames were fsynced, so accepted ==
+// wal_records_written holds at every quiescent point, and after a
+// restart replayed records reappear in Seq but not in Accepted (both are
+// per-process counters).
+type IngestStats struct {
+	Name string `json:"name"`
+	// Seq is the total durable record count (snapshot-covered + replayed
+	// + accepted this process).
+	Seq  uint64 `json:"seq"`
+	MaxT int64  `json:"max_t"`
+	// LiveObjects and Records describe the live index.
+	LiveObjects int `json:"live_objects"`
+	Records     int `json:"records"`
+	// Accepted counts records acknowledged durable by this process;
+	// Rejected counts batches refused for backpressure, Invalid batches
+	// refused by validation (neither touches the journal).
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+	Invalid  int64 `json:"invalid"`
+	// Replayed counts records reconstructed from the journal at startup.
+	Replayed int64 `json:"replayed"`
+	// WALRecords counts frames covered by a successful fsync this
+	// process (== Accepted at quiescence); WALBytes counts frame bytes
+	// appended.
+	WALRecords  int64 `json:"wal_records_written"`
+	WALBytes    int64 `json:"wal_bytes"`
+	WALSegments int   `json:"wal_segments"`
+	Fsyncs      int64 `json:"fsyncs"`
+	FsyncAvgUS  int64 `json:"fsync_avg_us"`
+	FsyncP50US  int64 `json:"fsync_p50_us"`
+	FsyncP99US  int64 `json:"fsync_p99_us"`
+	// Freezes counts published snapshots; LastFreezeSeq is the record
+	// count the newest one covers.
+	Freezes           int64  `json:"freezes"`
+	FreezeErrors      int64  `json:"freeze_errors"`
+	LastFreezeSeq     uint64 `json:"last_freeze_seq"`
+	TruncatedSegments int64  `json:"wal_segments_truncated"`
+	// TornBytesRecovered counts bytes truncated from a torn journal tail
+	// at the last recovery.
+	TornBytesRecovered int64 `json:"torn_bytes_recovered"`
+	QueueDepth         int   `json:"ingest_queue_depth"`
+	// Latched is the fail-stop error when the pipeline has latched one
+	// (journal failure or validator/indexer divergence); empty otherwise.
+	Latched string `json:"latched,omitempty"`
 }
 
 func (m *serviceMetrics) snapshot() Metrics {

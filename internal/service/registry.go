@@ -194,18 +194,7 @@ func (r *Registry) Load(name, path string) (*Snapshot, error) {
 	// different loads (including a swap's old and new snapshot) can then
 	// never collide, whatever the timing.
 	gen := r.gen.Add(1)
-	var cstats *pagefile.CacheCounters
-	var wrap stx.StoreWrapper
-	if r.cache != nil {
-		cstats = &pagefile.CacheCounters{}
-		ext := uint32(0)
-		wrap = func(s pagefile.Store) pagefile.Store {
-			ws := r.cache.WrapStore(gen, ext, s, cstats)
-			ext++
-			return ws
-		}
-	}
-	opts := stx.OpenOptions{Backend: r.openBackend, Wrap: wrap}
+	opts, cstats := r.openOptions(gen)
 	var idx stx.Index
 	var err error
 	if sharding.IsManifest(path) {
@@ -217,6 +206,51 @@ func (r *Registry) Load(name, path string) (*Snapshot, error) {
 		return nil, err
 	}
 	return r.install(name, path, idx, gen, cstats)
+}
+
+// openOptions builds the container open options for a snapshot of
+// generation gen: the registry's read backend plus (when the shared
+// cache is on) a store wrapper that keys the container's extents by
+// (gen, ext) in the shared page cache, with cstats accumulating the
+// snapshot's shared-hit/store-read split.
+func (r *Registry) openOptions(gen uint64) (stx.OpenOptions, *pagefile.CacheCounters) {
+	var cstats *pagefile.CacheCounters
+	var wrap stx.StoreWrapper
+	if r.cache != nil {
+		cstats = &pagefile.CacheCounters{}
+		ext := uint32(0)
+		wrap = func(s pagefile.Store) pagefile.Store {
+			ws := r.cache.WrapStore(gen, ext, s, cstats)
+			ext++
+			return ws
+		}
+	}
+	return stx.OpenOptions{Backend: r.openBackend, Wrap: wrap}, cstats
+}
+
+// PublishOpener installs a caller-built snapshot with Load's cache
+// participation: the registry allocates the generation and hands open
+// the cache-wrapping OpenOptions, so any container the callback opens
+// through them serves its lazy page reads from (and publishes them to)
+// the shared page cache, generation-keyed exactly like a Load-ed
+// snapshot — including retirement of its cache entries when the swap
+// drains. The ingestion pipeline uses this to publish its combined
+// frozen+live views without giving up the cache on the frozen part.
+//
+// The callback owns nothing on error; on success the registry takes
+// ownership of the returned index (CloseIndex on retirement), with the
+// same hot-swap semantics as Load.
+func (r *Registry) PublishOpener(name string, open func(stx.OpenOptions) (stx.Index, error)) (*Snapshot, error) {
+	gen := r.gen.Add(1)
+	opts, cstats := r.openOptions(gen)
+	idx, err := open(opts)
+	if err != nil {
+		// Nothing was installed; drop any cache entries the callback's
+		// partial open may have published under this generation.
+		r.cache.Retire(gen)
+		return nil, err
+	}
+	return r.install(name, "", idx, gen, cstats)
 }
 
 // Publish installs an already-built or eagerly decoded index under name,

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	stx "stindex"
@@ -91,6 +92,10 @@ type Service struct {
 	mu     sync.RWMutex // guards closed and the send into reqCh
 	closed bool
 	wg     sync.WaitGroup
+
+	// ingestStats, when set, contributes the live-ingestion pipeline's
+	// counters to Metrics (holds a func() *IngestStats).
+	ingestStats atomic.Value
 }
 
 type request struct {
@@ -205,7 +210,17 @@ func (s *Service) Metrics() Metrics {
 	m.BatchSize = s.cfg.BatchSize
 	m.Cache = s.reg.Cache().Stats()
 	m.Snapshots = s.reg.List()
+	if fn, ok := s.ingestStats.Load().(func() *IngestStats); ok && fn != nil {
+		m.Ingest = fn()
+	}
 	return m
+}
+
+// SetIngestStats registers the live-ingestion pipeline's stats source;
+// Metrics calls it on every snapshot. Pass the Ingester's Stats adapter
+// once at startup.
+func (s *Service) SetIngestStats(fn func() *IngestStats) {
+	s.ingestStats.Store(fn)
 }
 
 // Close drains the service gracefully: new queries fail with ErrClosed

@@ -15,6 +15,7 @@ package stream
 
 import (
 	"fmt"
+	"sort"
 
 	"stindex/internal/geom"
 	"stindex/internal/pprtree"
@@ -144,8 +145,11 @@ func (ix *Indexer) Finish(objID, t int64) error {
 }
 
 // FinishAll closes every live object at time t (end of the evolution).
+// Objects are closed in ascending id order, so the tree mutation sequence
+// — and with it the serialized image — is deterministic for a given
+// observation history (the ingestion WAL replays depend on this).
 func (ix *Indexer) FinishAll(t int64) error {
-	for id := range ix.live {
+	for _, id := range ix.LiveObjects() {
 		if err := ix.Finish(id, t); err != nil {
 			return err
 		}
@@ -228,6 +232,32 @@ func (ix *Indexer) Cuts() int { return ix.cuts }
 
 // Live returns the number of currently open objects.
 func (ix *Indexer) Live() int { return len(ix.live) }
+
+// LiveLastT returns the last observed instant of objID's open piece and
+// whether the object is currently live. The ingestion pipeline uses it to
+// pre-validate records before they are journaled.
+func (ix *Indexer) LiveLastT(objID int64) (int64, bool) {
+	st, ok := ix.live[objID]
+	if !ok {
+		return 0, false
+	}
+	return st.lastT, true
+}
+
+// LiveObjects returns the ids of all currently open objects in ascending
+// order.
+func (ix *Indexer) LiveObjects() []int64 {
+	out := make([]int64, 0, len(ix.live))
+	for id := range ix.live {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Lambda returns the per-record split penalty the indexer was created
+// with.
+func (ix *Indexer) Lambda() float64 { return ix.opts.Lambda }
 
 // Tree exposes the underlying partially persistent R-tree (validation,
 // I/O statistics, space accounting).

@@ -1,11 +1,15 @@
 // Command checkmetrics validates an stserve /metrics scrape piped on
-// stdin: at least N completed queries (argv[1]), zero failures, non-zero
-// QPS and latency percentiles, and live per-snapshot statistics. Used by
-// scripts/smoke_stserve.sh.
+// stdin: at least N completed queries (the positional argument), zero
+// failures, non-zero QPS and latency percentiles, and live per-snapshot
+// statistics. With -ingest-accepted it additionally requires a live
+// ingestion block and proves the pipeline's durability invariants on it
+// (accepted == wal_records_written, fsyncs behind every ack, freezes
+// consistent, nothing latched). Used by scripts/smoke_stserve.sh.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strconv"
@@ -14,12 +18,16 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		die("usage: checkmetrics <min-completed> < metrics.json")
+	ingestAccepted := flag.Int64("ingest-accepted", -1, "require an ingest block with at least this many accepted records (-1 = no ingest checks)")
+	ingestReplayed := flag.Int64("ingest-replayed", -1, "require at least this many records replayed from the journal at startup (-1 = don't check)")
+	ingestFreezes := flag.Int64("ingest-freezes", -1, "require at least this many published freezes (-1 = don't check)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		die("usage: checkmetrics [flags] <min-completed> < metrics.json")
 	}
-	min, err := strconv.ParseInt(os.Args[1], 10, 64)
+	min, err := strconv.ParseInt(flag.Arg(0), 10, 64)
 	if err != nil {
-		die("bad min-completed %q: %v", os.Args[1], err)
+		die("bad min-completed %q: %v", flag.Arg(0), err)
 	}
 	var m service.Metrics
 	if err := json.NewDecoder(os.Stdin).Decode(&m); err != nil {
@@ -62,8 +70,57 @@ func main() {
 			}
 		}
 	}
-	fmt.Printf("metrics ok: completed=%d qps=%.0f p50=%dµs p99=%dµs sharded-snapshots=%d\n",
-		m.Completed, m.QPS, m.P50US, m.P99US, shardedSnaps)
+	ingestLine := ""
+	if *ingestAccepted >= 0 {
+		if m.Ingest == nil {
+			die("no ingest block in metrics")
+		}
+		checkIngest(m.Ingest, *ingestAccepted, *ingestReplayed, *ingestFreezes)
+		ingestLine = fmt.Sprintf(" ingest-accepted=%d ingest-replayed=%d freezes=%d",
+			m.Ingest.Accepted, m.Ingest.Replayed, m.Ingest.Freezes)
+	}
+	fmt.Printf("metrics ok: completed=%d qps=%.0f p50=%dµs p99=%dµs sharded-snapshots=%d%s\n",
+		m.Completed, m.QPS, m.P50US, m.P99US, shardedSnaps, ingestLine)
+}
+
+// checkIngest proves the ingestion pipeline's externally visible
+// durability invariants on a quiescent scrape.
+func checkIngest(in *service.IngestStats, minAccepted, minReplayed, minFreezes int64) {
+	if in.Latched != "" {
+		die("ingest pipeline latched: %s", in.Latched)
+	}
+	if in.Accepted < minAccepted {
+		die("ingest accepted = %d, want >= %d", in.Accepted, minAccepted)
+	}
+	// The durability contract made countable: a record is Accepted only
+	// after its journal frame is covered by a successful fsync, so at
+	// rest the two counters must agree exactly.
+	if in.Accepted != in.WALRecords {
+		die("accepted = %d but wal_records_written = %d — an ack without a durable frame", in.Accepted, in.WALRecords)
+	}
+	if in.Accepted > 0 && in.Fsyncs == 0 {
+		die("%d records accepted with zero fsyncs", in.Accepted)
+	}
+	if in.Rejected != 0 || in.Invalid != 0 {
+		die("ingest rejected = %d invalid = %d, want 0 in the smoke feed", in.Rejected, in.Invalid)
+	}
+	if minReplayed >= 0 && in.Replayed < minReplayed {
+		die("ingest replayed = %d, want >= %d", in.Replayed, minReplayed)
+	}
+	if minFreezes >= 0 && in.Freezes < minFreezes {
+		die("ingest freezes = %d, want >= %d", in.Freezes, minFreezes)
+	}
+	if in.FreezeErrors != 0 {
+		die("ingest freeze errors = %d", in.FreezeErrors)
+	}
+	if in.Freezes > 0 && in.LastFreezeSeq == 0 {
+		die("%d freezes published but last_freeze_seq = 0", in.Freezes)
+	}
+	// Seq is the total durable history; it can never lag what this
+	// process replayed plus accepted.
+	if in.Seq < uint64(in.Replayed)+uint64(in.Accepted) {
+		die("seq = %d < replayed %d + accepted %d", in.Seq, in.Replayed, in.Accepted)
+	}
 }
 
 func die(format string, args ...any) {

@@ -6,10 +6,19 @@
 // different order; both sides are compared as sorted sets).
 //
 //	go run ./scripts/comparesnaps http://127.0.0.1:18431 default sharded 120
+//
+// With -record / -replay the second snapshot is a file instead of a
+// server: -record saves one snapshot's answers, -replay fails unless the
+// same queries answer identically later — across a kill -9 and restart,
+// this is the crash-recovery oracle for the ingest smoke test:
+//
+//	go run ./scripts/comparesnaps -record answers.json http://... live 80
+//	go run ./scripts/comparesnaps -replay answers.json http://... live 80
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"net/http"
 	"os"
@@ -18,13 +27,36 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 5 {
+	record := flag.String("record", "", "query one snapshot and save its answers to this file")
+	replay := flag.String("replay", "", "query one snapshot and compare against answers saved with -record")
+	flag.Parse()
+	if *record != "" || *replay != "" {
+		if *record != "" && *replay != "" {
+			die("-record and -replay are mutually exclusive")
+		}
+		if flag.NArg() != 3 {
+			die("usage: comparesnaps -record|-replay <file> <base-url> <snapshot> <queries>")
+		}
+		base, snap := flag.Arg(0), flag.Arg(1)
+		n, err := strconv.Atoi(flag.Arg(2))
+		if err != nil || n <= 0 {
+			die("bad query count %q", flag.Arg(2))
+		}
+		if *record != "" {
+			recordAnswers(*record, base, snap, n)
+		} else {
+			replayAnswers(*replay, base, snap, n)
+		}
+		return
+	}
+
+	if flag.NArg() != 4 {
 		die("usage: comparesnaps <base-url> <snapshot-a> <snapshot-b> <queries>")
 	}
-	base, snapA, snapB := os.Args[1], os.Args[2], os.Args[3]
-	n, err := strconv.Atoi(os.Args[4])
+	base, snapA, snapB := flag.Arg(0), flag.Arg(1), flag.Arg(2)
+	n, err := strconv.Atoi(flag.Arg(3))
 	if err != nil || n <= 0 {
-		die("bad query count %q", os.Args[4])
+		die("bad query count %q", flag.Arg(3))
 	}
 
 	matched := 0
@@ -46,6 +78,61 @@ func main() {
 	}
 	fmt.Printf("comparesnaps ok: %d queries, %d ids identical between %q and %q\n",
 		n, matched, snapA, snapB)
+}
+
+// recordAnswers queries the snapshot and saves the sorted id set of
+// every answer, one JSON array per query.
+func recordAnswers(path, base, snap string, n int) {
+	answers := make([][]int64, n)
+	total := 0
+	for i := 0; i < n; i++ {
+		ids, err := ask(base, snap, queryParams(i))
+		if err != nil {
+			die("query %d against %s: %v", i, snap, err)
+		}
+		if ids == nil {
+			ids = []int64{}
+		}
+		answers[i] = ids
+		total += len(ids)
+	}
+	data, err := json.Marshal(answers)
+	if err != nil {
+		die("encoding answers: %v", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		die("writing %s: %v", path, err)
+	}
+	fmt.Printf("comparesnaps recorded: %d queries, %d ids from %q to %s\n", n, total, snap, path)
+}
+
+// replayAnswers queries the snapshot and fails unless every answer
+// matches the recorded file exactly.
+func replayAnswers(path, base, snap string, n int) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		die("reading %s: %v", path, err)
+	}
+	var want [][]int64
+	if err := json.Unmarshal(data, &want); err != nil {
+		die("decoding %s: %v", path, err)
+	}
+	if len(want) != n {
+		die("%s holds %d recorded answers, want %d", path, len(want), n)
+	}
+	matched := 0
+	for i := 0; i < n; i++ {
+		params := queryParams(i)
+		got, err := ask(base, snap, params)
+		if err != nil {
+			die("query %d against %s: %v", i, snap, err)
+		}
+		if !equal(got, want[i]) {
+			die("query %d (%s) diverged after restart: got %d ids, recorded %d", i, params, len(got), len(want[i]))
+		}
+		matched += len(got)
+	}
+	fmt.Printf("comparesnaps replay ok: %d queries, %d ids identical to %s\n", n, matched, path)
 }
 
 // queryParams derives the i-th deterministic query: a sliding rect over

@@ -5,8 +5,11 @@
 # With SMOKE_SHARDED=1 (the default) it also builds a 3-shard snapshot
 # from the same dataset, serves it next to the flat container, proves the
 # scatter-gather answers are identical, hot-swaps the manifest and checks
-# the per-shard metrics invariant. Exits non-zero on any failure. Used by
-# CI; runnable locally:
+# the per-shard metrics invariant. With SMOKE_INGEST=1 (the default) it
+# then runs the live-ingestion crash drill: stream observations into a
+# WAL-backed server, freeze mid-stream, record the live answers, kill -9,
+# restart over the same journal and require the replayed answers to be
+# identical. Exits non-zero on any failure. Used by CI; runnable locally:
 #
 #   ./scripts/smoke_stserve.sh
 set -euo pipefail
@@ -14,6 +17,7 @@ set -euo pipefail
 CLIENTS=${CLIENTS:-8}
 QUERIES_PER_CLIENT=${QUERIES_PER_CLIENT:-125}   # 8 x 125 = 1000
 SMOKE_SHARDED=${SMOKE_SHARDED:-1}
+SMOKE_INGEST=${SMOKE_INGEST:-1}
 PORT=${PORT:-18431}
 ADDR="127.0.0.1:${PORT}"
 
@@ -114,4 +118,79 @@ done
 wait "$serve_pid" 2>/dev/null || true
 serve_pid=""
 grep -q "bye" "$workdir/serve.log" || { echo "no graceful exit line"; cat "$workdir/serve.log"; exit 1; }
+
+if [ "$SMOKE_INGEST" = "1" ]; then
+  # Live-ingestion crash drill. The feed is deterministic: 6 objects
+  # drifting through the unit square, one JSON observation per line (the
+  # concatenated-JSON batch format /ingest accepts).
+  gen_feed() { # gen_feed <first-t> <last-t-exclusive>
+    awk -v s="$1" -v e="$2" 'BEGIN {
+      for (t = s; t < e; t++)
+        for (id = 1; id <= 6; id++) {
+          x = 0.05 + 0.12 * (id - 1) + 0.001 * (t % 97)
+          y = 0.10 + 0.08 * ((id * 7 + t) % 9)
+          printf "{\"id\":%d,\"t\":%d,\"minx\":%.3f,\"miny\":%.3f,\"maxx\":%.3f,\"maxy\":%.3f}\n", \
+            id, t, x, y, x + 0.05, y + 0.05
+        }
+    }'
+  }
+  wait_up() { # wait_up <logfile>
+    for i in $(seq 1 50); do
+      curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && return 0
+      [ "$i" = 50 ] && { echo "ingest server never came up"; cat "$1"; return 1; }
+      sleep 0.1
+    done
+  }
+
+  echo "== starting WAL-backed ingest server"
+  "$workdir/stserve" -listen "$ADDR" -workers 4 \
+    -ingest live -ingest-dir "$workdir/journal" 2>"$workdir/ingest.log" &
+  serve_pid=$!
+  wait_up "$workdir/ingest.log"
+
+  echo "== streaming observations (chunk 1), freezing mid-stream"
+  gen_feed 1 200 >"$workdir/feed1.jsonl"     # 199 instants x 6 = 1194 records
+  curl -sf -X POST --data-binary "@$workdir/feed1.jsonl" "http://$ADDR/ingest" >/dev/null
+  curl -sf -X POST "http://$ADDR/ingest/freeze" | grep -q '"froze":true' \
+    || { echo "mid-stream freeze did not happen"; cat "$workdir/ingest.log"; exit 1; }
+
+  echo "== streaming observations (chunk 2: the WAL tail beyond the freeze)"
+  gen_feed 200 400 >"$workdir/feed2.jsonl"   # 200 instants x 6 = 1200 records
+  curl -sf -X POST --data-binary "@$workdir/feed2.jsonl" "http://$ADDR/ingest" >/dev/null
+  curl -sf -X POST -d '{"t":400}' "http://$ADDR/ingest/finish" >/dev/null
+
+  echo "== recording live answers"
+  go run ./scripts/comparesnaps -record "$workdir/answers.json" "http://$ADDR" live 80
+
+  echo "== checking ingest metrics (2395 accepted = 1194 + 1200 + finish-all)"
+  curl -sf "http://$ADDR/metrics" | go run ./scripts/checkmetrics.go \
+    -ingest-accepted 2395 -ingest-freezes 1 80
+
+  echo "== kill -9, restart over the same journal"
+  kill -9 "$serve_pid"
+  wait "$serve_pid" 2>/dev/null || true
+  "$workdir/stserve" -listen "$ADDR" -workers 4 \
+    -ingest live -ingest-dir "$workdir/journal" 2>"$workdir/ingest2.log" &
+  serve_pid=$!
+  wait_up "$workdir/ingest2.log"
+
+  echo "== replaying recorded answers against the recovered pipeline"
+  go run ./scripts/comparesnaps -replay "$workdir/answers.json" "http://$ADDR" live 80
+
+  # Chunk 2 and the finish-all were never frozen, so recovery must have
+  # replayed exactly those 1201 records from the journal tail.
+  curl -sf "http://$ADDR/metrics" | go run ./scripts/checkmetrics.go \
+    -ingest-accepted 0 -ingest-replayed 1201 80
+
+  echo "== graceful ingest shutdown (SIGTERM: final freeze + drain)"
+  kill -TERM "$serve_pid"
+  for i in $(seq 1 50); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    [ "$i" = 50 ] && { echo "ingest server did not drain"; exit 1; }
+    sleep 0.1
+  done
+  wait "$serve_pid" 2>/dev/null || true
+  serve_pid=""
+  grep -q "bye" "$workdir/ingest2.log" || { echo "no graceful exit line"; cat "$workdir/ingest2.log"; exit 1; }
+fi
 echo "SMOKE OK"

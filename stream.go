@@ -125,6 +125,23 @@ func (s *StreamIndex) Cuts() int { return s.ix.Cuts() }
 // Live returns the number of currently open objects.
 func (s *StreamIndex) Live() int { return s.ix.Live() }
 
+// LiveLastT returns the last observed instant of objID's open piece and
+// whether the object is currently live.
+func (s *StreamIndex) LiveLastT(objID int64) (int64, bool) { return s.ix.LiveLastT(objID) }
+
+// LiveObjects returns the ids of all currently open objects in ascending
+// order.
+func (s *StreamIndex) LiveObjects() []int64 { return s.ix.LiveObjects() }
+
+// Lambda returns the split penalty the stream index runs with (for a
+// decoded snapshot, the value recorded in its image).
+func (s *StreamIndex) Lambda() float64 { return s.ix.Lambda() }
+
+// Now returns the index's current clock: the largest instant any applied
+// event carried. Recovery uses it to restart the global time discipline
+// where the journal left off.
+func (s *StreamIndex) Now() int64 { return s.ix.Tree().Now() }
+
 // Kind implements the Index naming convention.
 func (s *StreamIndex) Kind() string { return "stream-ppr" }
 
