@@ -9,6 +9,8 @@
 //	stquery -i records.jsonl -index rstar-packed -parallelism 8 -set range-small
 //	stquery -i records.jsonl -index hybrid -set range-medium
 //	stquery -i records.jsonl -index ppr -rect 0.4,0.4,0.6,0.6 -t 500
+//	stquery -i records.jsonl -index ppr -knn 0.5,0.5 -k 10 -t 500   # k nearest at an instant
+//	stquery -i records.jsonl -index hr -traj -rect 0.4,0.4,0.6,0.6 -from 100 -to 400
 //	stquery -i records.jsonl -index hr -save idx.sti        # persist the built index
 //	stquery -load idx.sti -set snapshot-mixed               # reopen lazily (kind autodetected)
 //	stquery -i records.jsonl -index ppr -backend disk ...   # build on the disk backend
@@ -52,6 +54,9 @@ func main() {
 		at       = flag.Int64("t", -1, "single snapshot query time")
 		from     = flag.Int64("from", -1, "single range query start")
 		to       = flag.Int64("to", -1, "single range query end (exclusive)")
+		knn      = flag.String("knn", "", "k-nearest-neighbor query point: x,y (requires -t; use -k for the count)")
+		kk       = flag.Int("k", 10, "neighbor count for -knn")
+		traj     = flag.Bool("traj", false, "trajectory query: objects whose path crossed -rect during -from/-to, with per-object piece counts")
 	)
 	flag.Parse()
 
@@ -94,6 +99,46 @@ func main() {
 	if *serve != "" {
 		if err := serveIndex(*serve, idx); err != nil {
 			fatal(err)
+		}
+		return
+	}
+
+	if *knn != "" {
+		x, y, err := parsePoint(*knn)
+		if err != nil {
+			fatal(err)
+		}
+		if *at < 0 {
+			fatal(fmt.Errorf("-knn needs -t (the query instant)"))
+		}
+		idx.ResetBuffer()
+		nbs, err := idx.Nearest(x, y, *at, *kk)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("results=%d io=%d\n", len(nbs), idx.IOStats().IO())
+		for _, nb := range nbs {
+			fmt.Printf("%d %g\n", nb.ObjectID, nb.Dist2)
+		}
+		return
+	}
+
+	if *traj {
+		if *rect == "" {
+			fatal(fmt.Errorf("-traj needs -rect (and -from/-to or -t)"))
+		}
+		q, err := parseSingle(*rect, *at, *from, *to)
+		if err != nil {
+			fatal(err)
+		}
+		idx.ResetBuffer()
+		hits, err := idx.Trajectory(q.Rect, q.Interval)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("results=%d io=%d\n", len(hits), idx.IOStats().IO())
+		for _, th := range hits {
+			fmt.Printf("%d %d\n", th.ObjectID, th.Pieces)
 		}
 		return
 	}
@@ -179,6 +224,20 @@ func build(kind string, records []stx.Record, parallelism int, backend stx.Backe
 	default:
 		return nil, fmt.Errorf("unknown index %q (want ppr, rstar, rstar-packed, hybrid or hr)", kind)
 	}
+}
+
+func parsePoint(s string) (x, y float64, err error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("-knn wants x,y")
+	}
+	if x, err = strconv.ParseFloat(strings.TrimSpace(parts[0]), 64); err != nil {
+		return 0, 0, fmt.Errorf("knn x: %w", err)
+	}
+	if y, err = strconv.ParseFloat(strings.TrimSpace(parts[1]), 64); err != nil {
+		return 0, 0, fmt.Errorf("knn y: %w", err)
+	}
+	return x, y, nil
 }
 
 func parseSingle(rect string, at, from, to int64) (stx.Query, error) {

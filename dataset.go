@@ -76,11 +76,18 @@ func wrapObjects(objs []*trajectory.Object) []*Object {
 	return out
 }
 
-// Query is one window query: the objects intersecting Rect at some
-// instant of Interval.
+// Query is one query against an index. The zero Kind is the paper's
+// window query: the objects intersecting Rect at some instant of
+// Interval. KindKNN asks for the K objects nearest to the point
+// (Rect.MinX, Rect.MinY) at the instant Interval.Start; KindTrajectory
+// asks for the objects whose path crossed Rect at some instant of
+// Interval together with how many of their split pieces matched. Use
+// the KNNQuery / TrajectoryQuery constructors for the new kinds.
 type Query struct {
 	Rect     Rect
 	Interval Interval
+	Kind     QueryKind
+	K        int
 }
 
 // IsSnapshot reports whether the query covers a single instant.
@@ -117,8 +124,15 @@ func GenerateQueries(set QuerySet, horizon, seed int64) ([]Query, error) {
 	return out, nil
 }
 
-// RunQuery executes one query on an index.
+// RunQuery executes one query on an index and returns the matching
+// object IDs. For kNN queries the IDs come back in ascending
+// (distance, id) order; use RunQueryResult to also get distances or
+// per-object piece counts.
 func RunQuery(idx Index, q Query) ([]int64, error) {
+	if q.Kind != KindWindow {
+		res, err := RunQueryResult(idx, q)
+		return res.IDs, err
+	}
 	if q.IsSnapshot() {
 		return idx.Snapshot(q.Rect, q.Interval.Start)
 	}

@@ -108,6 +108,44 @@ func (x *RefinedIndex) refine(r Rect, iv Interval, candidates func() ([]int64, e
 	return out, nil
 }
 
+// Nearest implements Index by delegating to the underlying index: the
+// answer ranks MBR min-distances (the notion Neighbor.Dist2 documents),
+// which refinement against exact per-instant geometry would redefine
+// rather than filter — so kNN passes through unrefined.
+func (x *RefinedIndex) Nearest(px, py float64, t int64, k int) ([]Neighbor, error) {
+	return x.idx.Nearest(px, py, t, k)
+}
+
+// Trajectory implements Index: candidate hits from the underlying index,
+// dropped when the object's exact geometry never intersects r during iv.
+// Pieces counts stay at the MBR level (they describe index records, not
+// exact geometry).
+func (x *RefinedIndex) Trajectory(r Rect, iv Interval) ([]TrajectoryHit, error) {
+	hits, err := x.idx.Trajectory(r, iv)
+	if err != nil {
+		return nil, err
+	}
+	ids := make([]int64, len(hits))
+	for i, h := range hits {
+		ids[i] = h.ObjectID
+	}
+	kept, err := x.refine(r, iv, func() ([]int64, error) { return ids, nil })
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[int64]bool, len(kept))
+	for _, id := range kept {
+		keep[id] = true
+	}
+	out := hits[:0]
+	for _, h := range hits {
+		if keep[h.ObjectID] {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
 // ResetBuffer implements Index.
 func (x *RefinedIndex) ResetBuffer() { x.idx.ResetBuffer() }
 

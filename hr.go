@@ -156,6 +156,55 @@ func (x *HRIndex) Range(r Rect, iv Interval) ([]int64, error) {
 	return out, err
 }
 
+// Nearest implements Index: branch-and-bound best-first search over the
+// tree version at t (see hrtree.NearestSearch).
+func (x *HRIndex) Nearest(px, py float64, t int64, k int) ([]Neighbor, error) {
+	if err := ValidateKNN(px, py, k); err != nil {
+		return nil, err
+	}
+	col := knnCollector{k: k}
+	var cbErr error
+	err := x.tree.NearestSearch(px, py, t, func(d2 float64, ref uint64) bool {
+		id, err := ownerOf(x.owners, ref, "hr")
+		if err != nil {
+			cbErr = err
+			return false
+		}
+		return col.add(d2, id)
+	})
+	if err == nil {
+		err = cbErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return col.nb, nil
+}
+
+// Trajectory implements Index: the interval search reports each record
+// once across version copies, so counting refs per owner yields the
+// multi-entry trajectory answer.
+func (x *HRIndex) Trajectory(r Rect, iv Interval) ([]TrajectoryHit, error) {
+	counts := make(map[int64]int)
+	var cbErr error
+	err := x.tree.IntervalSearch(r.internal(), iv.internal(), func(_ geom.Rect, ref uint64) bool {
+		id, err := ownerOf(x.owners, ref, "hr")
+		if err != nil {
+			cbErr = err
+			return false
+		}
+		counts[id]++
+		return true
+	})
+	if err == nil {
+		err = cbErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return trajectoryHits(counts), nil
+}
+
 // ResetBuffer implements Index.
 func (x *HRIndex) ResetBuffer() { x.tree.Buffer().Reset() }
 

@@ -64,6 +64,22 @@ func (h *HybridIndex) Range(r Rect, iv Interval) ([]int64, error) {
 	return h.rstar.Range(r, iv)
 }
 
+// Nearest implements Index: an instant query, so it goes to the
+// PPR-tree like Snapshot does.
+func (h *HybridIndex) Nearest(px, py float64, t int64, k int) ([]Neighbor, error) {
+	return h.ppr.Nearest(px, py, t, k)
+}
+
+// Trajectory implements Index, routing by query duration exactly like
+// Range — both components return the same answer, the threshold only
+// picks the cheaper traversal.
+func (h *HybridIndex) Trajectory(r Rect, iv Interval) ([]TrajectoryHit, error) {
+	if iv.End-iv.Start <= h.threshold {
+		return h.ppr.Trajectory(r, iv)
+	}
+	return h.rstar.Trajectory(r, iv)
+}
+
 // ResetBuffer implements Index.
 func (h *HybridIndex) ResetBuffer() {
 	h.ppr.ResetBuffer()

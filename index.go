@@ -120,6 +120,14 @@ type Index interface {
 	// Range returns the IDs of the objects intersecting r at some instant
 	// of the half-open interval iv.
 	Range(r Rect, iv Interval) ([]int64, error)
+	// Nearest returns the k objects alive at instant t whose rectangles
+	// are nearest to the point (x, y), in ascending (Dist2, ObjectID)
+	// order — see Neighbor for the pinned tie-breaking rule.
+	Nearest(x, y float64, t int64, k int) ([]Neighbor, error)
+	// Trajectory returns the objects whose path crossed r at some instant
+	// of iv, each with the number of its split pieces that matched, in
+	// ascending ObjectID order.
+	Trajectory(r Rect, iv Interval) ([]TrajectoryHit, error)
 	// ResetBuffer empties the LRU pool and zeroes the I/O counters.
 	ResetBuffer()
 	// IOStats returns the traffic since the last reset.

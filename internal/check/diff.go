@@ -89,7 +89,7 @@ func RunDiff(cfg DiffConfig) (DiffReport, error) {
 			if err != nil {
 				return rep, fmt.Errorf("check: seed %d: building %s/%s: %w", cfg.Seed, kind, backend, err)
 			}
-			expected, err := ExpectedAnswers(idx, wl)
+			exp, err := ExpectedAnswers(idx, wl)
 			if err != nil {
 				return rep, fmt.Errorf("check: seed %d: %s/%s: %w", cfg.Seed, kind, backend, err)
 			}
@@ -98,44 +98,44 @@ func RunDiff(cfg DiffConfig) (DiffReport, error) {
 			}
 			for _, par := range cfg.Parallelism {
 				cfg.Logf("diff seed=%d kind=%s backend=%s parallelism=%d", cfg.Seed, kind, backend, par)
-				if err := diffPass(idx, wl, expected, par); err != nil {
+				if err := diffPass(idx, wl, exp, par); err != nil {
 					return rep, fmt.Errorf("check: seed %d: %s/%s x%d: %w", cfg.Seed, kind, backend, par, err)
 				}
 				rep.Passes++
-				rep.Compared += len(wl.Queries)
+				rep.Compared += wl.TotalQueries()
 			}
 			if bi == 0 {
 				cfg.Logf("diff seed=%d kind=%s container round-trip", cfg.Seed, kind)
-				if err := containerPass(idx, wl, expected); err != nil {
+				if err := containerPass(idx, wl, exp); err != nil {
 					return rep, fmt.Errorf("check: seed %d: %s container round-trip: %w", cfg.Seed, kind, err)
 				}
 				rep.Passes++
-				rep.Compared += len(wl.Queries)
+				rep.Compared += wl.TotalQueries()
 				cfg.Logf("diff seed=%d kind=%s shared-cache round-trip", cfg.Seed, kind)
-				if err := sharedCachePass(idx, wl, expected); err != nil {
+				if err := sharedCachePass(idx, wl, exp); err != nil {
 					return rep, fmt.Errorf("check: seed %d: %s shared-cache round-trip: %w", cfg.Seed, kind, err)
 				}
 				rep.Passes++
-				rep.Compared += 2 * len(wl.Queries)
+				rep.Compared += 2 * wl.TotalQueries()
 				for _, codec := range cfg.Codecs {
 					cfg.Logf("diff seed=%d kind=%s codec=%s round-trip", cfg.Seed, kind, codec)
-					passes, err := codecPass(idx, wl, expected, codec, cfg.Backends)
+					passes, err := codecPass(idx, wl, exp, codec, cfg.Backends)
 					if err != nil {
 						return rep, fmt.Errorf("check: seed %d: %s codec %s: %w", cfg.Seed, kind, codec, err)
 					}
 					rep.Passes += passes
-					rep.Compared += passes * len(wl.Queries)
+					rep.Compared += passes * wl.TotalQueries()
 				}
 				cfg.Logf("diff seed=%d kind=%s sharded scatter-gather", cfg.Seed, kind)
 				records, err := shardedRecordsFor(idx, wl)
 				if err != nil {
 					return rep, fmt.Errorf("check: seed %d: %s sharded records: %w", cfg.Seed, kind, err)
 				}
-				if err := shardedDiffPass(kind, records, wl, expected); err != nil {
+				if err := shardedDiffPass(kind, records, wl, exp); err != nil {
 					return rep, fmt.Errorf("check: seed %d: %s sharded scatter-gather: %w", cfg.Seed, kind, err)
 				}
 				rep.Passes += len(sharding.Partitioners)
-				rep.Compared += 2 * len(sharding.Partitioners) * len(wl.Queries)
+				rep.Compared += 2 * len(sharding.Partitioners) * wl.TotalQueries()
 			}
 			// Mmap-flavoured kinds hold the container file and mapping;
 			// in-memory builds make this a no-op.
@@ -152,9 +152,9 @@ func RunDiff(cfg DiffConfig) (DiffReport, error) {
 // QueryView (kinds without views — the stream index — share a
 // mutex-synchronized wrapper), so the concurrent traversal, buffer and
 // decode-cache paths are the ones exercised.
-func diffPass(idx stx.Index, wl *Workload, expected [][]int64, parallelism int) error {
+func diffPass(idx stx.Index, wl *Workload, exp *Expected, parallelism int) error {
 	if parallelism <= 1 {
-		return diffRange(idx, wl, expected, 0, len(wl.Queries), 1)
+		return diffRange(idx, wl, exp, 0, 1)
 	}
 	qv, viewer := idx.(stx.QueryViewer)
 	var shared stx.Index
@@ -171,7 +171,7 @@ func diffPass(idx stx.Index, wl *Workload, expected [][]int64, parallelism int) 
 		wg.Add(1)
 		go func(w int, view stx.Index) {
 			defer wg.Done()
-			errs[w] = diffRange(view, wl, expected, w, len(wl.Queries), parallelism)
+			errs[w] = diffRange(view, wl, exp, w, parallelism)
 		}(w, view)
 	}
 	wg.Wait()
@@ -183,16 +183,41 @@ func diffPass(idx stx.Index, wl *Workload, expected [][]int64, parallelism int) 
 	return nil
 }
 
-// diffRange checks queries lo, lo+stride, lo+2*stride, … < hi.
-func diffRange(idx stx.Index, wl *Workload, expected [][]int64, lo, hi, stride int) error {
-	for i := lo; i < hi; i += stride {
+// diffRange checks queries lo, lo+stride, lo+2*stride, … of every
+// family: window answers as sets, kNN answers verbatim (the pinned
+// (Dist2, ObjectID) order with bit-exact distances), trajectory answers
+// verbatim (ascending ObjectID with exact piece counts).
+func diffRange(idx stx.Index, wl *Workload, exp *Expected, lo, stride int) error {
+	for i := lo; i < len(wl.Queries); i += stride {
 		got, err := stx.RunQuery(idx, wl.Queries[i])
 		if err != nil {
 			return fmt.Errorf("query %d (%+v): %w", i, wl.Queries[i], err)
 		}
-		if !SameIDs(got, expected[i]) {
+		if !SameIDs(got, exp.Window[i]) {
 			return fmt.Errorf("query %d (%+v): index returned %v, oracle says %v",
-				i, wl.Queries[i], SortedIDs(got), expected[i])
+				i, wl.Queries[i], SortedIDs(got), exp.Window[i])
+		}
+	}
+	for i := lo; i < len(wl.KNNQueries); i += stride {
+		q := wl.KNNQueries[i]
+		res, err := stx.RunQueryResult(idx, q)
+		if err != nil {
+			return fmt.Errorf("knn query %d (%+v): %w", i, q, err)
+		}
+		if !SameNeighbors(res.Neighbors, exp.KNN[i]) {
+			return fmt.Errorf("knn query %d (%+v): index returned %v, oracle says %v",
+				i, q, res.Neighbors, exp.KNN[i])
+		}
+	}
+	for i := lo; i < len(wl.TrajQueries); i += stride {
+		q := wl.TrajQueries[i]
+		res, err := stx.RunQueryResult(idx, q)
+		if err != nil {
+			return fmt.Errorf("trajectory query %d (%+v): %w", i, q, err)
+		}
+		if !SameTrajectories(res.Trajectories, exp.Traj[i]) {
+			return fmt.Errorf("trajectory query %d (%+v): index returned %v, oracle says %v",
+				i, q, res.Trajectories, exp.Traj[i])
 		}
 	}
 	return nil
@@ -201,7 +226,7 @@ func diffRange(idx stx.Index, wl *Workload, expected [][]int64, lo, hi, stride i
 // containerPass round-trips the index through its on-disk container —
 // SaveIndex, lazy OpenIndex, invariants, a full serial diff — proving
 // the persisted image answers bit-identically to the built one.
-func containerPass(idx stx.Index, wl *Workload, expected [][]int64) error {
+func containerPass(idx stx.Index, wl *Workload, exp *Expected) error {
 	f, err := os.CreateTemp("", "stcheck-*.stic")
 	if err != nil {
 		return err
@@ -220,7 +245,7 @@ func containerPass(idx stx.Index, wl *Workload, expected [][]int64) error {
 	if err := CheckInvariants(opened); err != nil {
 		return fmt.Errorf("opened container: %w", err)
 	}
-	if err := diffRange(opened, wl, expected, 0, len(wl.Queries), 1); err != nil {
+	if err := diffRange(opened, wl, exp, 0, 1); err != nil {
 		return fmt.Errorf("opened container: %w", err)
 	}
 	return stx.CloseIndex(opened)
@@ -232,7 +257,7 @@ func containerPass(idx stx.Index, wl *Workload, expected [][]int64) error {
 // must reproduce the container byte for byte — and the image is then
 // opened through every backend flavour and diffed against the oracle.
 // It returns how many oracle-diffed passes it ran.
-func codecPass(idx stx.Index, wl *Workload, expected [][]int64, codec stx.Codec, backends []stx.Backend) (int, error) {
+func codecPass(idx stx.Index, wl *Workload, exp *Expected, codec stx.Codec, backends []stx.Backend) (int, error) {
 	var buf bytes.Buffer
 	if _, err := stx.EncodeIndexOptions(&buf, idx, stx.SaveOptions{Codec: codec}); err != nil {
 		return 0, fmt.Errorf("encoding: %w", err)
@@ -276,7 +301,7 @@ func codecPass(idx stx.Index, wl *Workload, expected [][]int64, codec stx.Codec,
 			stx.CloseIndex(opened)
 			return passes, fmt.Errorf("opened as %s: %w", backend, err)
 		}
-		if err := diffRange(opened, wl, expected, 0, len(wl.Queries), 1); err != nil {
+		if err := diffRange(opened, wl, exp, 0, 1); err != nil {
 			stx.CloseIndex(opened)
 			return passes, fmt.Errorf("opened as %s: %w", backend, err)
 		}
@@ -294,7 +319,7 @@ func codecPass(idx stx.Index, wl *Workload, expected [][]int64, codec stx.Codec,
 // second pass — now served largely from the shared cache — must still be
 // oracle-exact; the pass fails if the cache absorbed nothing, and the
 // retired generation must release every entry.
-func sharedCachePass(idx stx.Index, wl *Workload, expected [][]int64) error {
+func sharedCachePass(idx stx.Index, wl *Workload, exp *Expected) error {
 	f, err := os.CreateTemp("", "stcheck-cache-*.stic")
 	if err != nil {
 		return err
@@ -319,11 +344,11 @@ func sharedCachePass(idx stx.Index, wl *Workload, expected [][]int64) error {
 		return fmt.Errorf("opening container: %w", err)
 	}
 	defer stx.CloseIndex(opened)
-	if err := diffRange(opened, wl, expected, 0, len(wl.Queries), 1); err != nil {
+	if err := diffRange(opened, wl, exp, 0, 1); err != nil {
 		return fmt.Errorf("cache warm pass: %w", err)
 	}
 	opened.ResetBuffer()
-	if err := diffRange(opened, wl, expected, 0, len(wl.Queries), 1); err != nil {
+	if err := diffRange(opened, wl, exp, 0, 1); err != nil {
 		return fmt.Errorf("cache-served pass: %w", err)
 	}
 	if cv := counters.Load(); cv.SharedHits == 0 {

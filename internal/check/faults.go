@@ -75,7 +75,7 @@ func RunFaultMatrix(cfg DiffConfig) (FaultReport, error) {
 		if err != nil {
 			return rep, fmt.Errorf("check: seed %d: building %s for fault matrix: %w", cfg.Seed, kind, err)
 		}
-		expected, err := ExpectedAnswers(built, wl)
+		exp, err := ExpectedAnswers(built, wl)
 		if err != nil {
 			return rep, fmt.Errorf("check: seed %d: %s: %w", cfg.Seed, kind, err)
 		}
@@ -93,7 +93,7 @@ func RunFaultMatrix(cfg DiffConfig) (FaultReport, error) {
 			for _, variant := range faultVariants {
 				for _, schedStr := range DefaultReadSchedules {
 					cfg.Logf("faults seed=%d kind=%s codec=%s variant=%s schedule=%s", cfg.Seed, kind, codec, variant, schedStr)
-					injected, err := runFaultSchedule(kind, path, schedStr, wl, expected, variant)
+					injected, err := runFaultSchedule(kind, path, schedStr, wl, exp, variant)
 					rep.Injected += injected
 					if err != nil {
 						os.Remove(path)
@@ -111,7 +111,7 @@ func RunFaultMatrix(cfg DiffConfig) (FaultReport, error) {
 	// pass over the PPR shard kind covers the scatter-gather layer; the
 	// per-kind matrix above already covers every container kind's own
 	// fault behaviour.
-	shardedExpected := NewOracle(wl.Records).Answers(wl.Queries)
+	shardedExpected := NewOracle(wl.Records).Expected(wl)
 	cfg.Logf("faults seed=%d sharded scatter-gather fail-stop", cfg.Seed)
 	injected, err := shardedFaultPass(wl, shardedExpected, DefaultReadSchedules)
 	rep.Injected += injected
@@ -128,7 +128,7 @@ func RunFaultMatrix(cfg DiffConfig) (FaultReport, error) {
 // cache misses reach the injector while hits are legally served — but
 // only pages that were read successfully ever populate the cache, which
 // the disarmed oracle-exact recheck proves.
-func runFaultSchedule(kind, path, schedStr string, wl *Workload, expected [][]int64, variant faultVariant) (uint64, error) {
+func runFaultSchedule(kind, path, schedStr string, wl *Workload, exp *Expected, variant faultVariant) (uint64, error) {
 	sched, err := ParseSchedule(schedStr)
 	if err != nil {
 		return 0, err
@@ -157,21 +157,12 @@ func runFaultSchedule(kind, path, schedStr string, wl *Workload, expected [][]in
 	}
 	defer stx.CloseIndex(idx)
 
-	// Armed pass: every query either agrees with the oracle or fails with
-	// the injected error. Anything else — a panic would abort the run, a
-	// differing answer fails here — means a fault corrupted a query.
-	for i, q := range wl.Queries {
-		got, err := stx.RunQuery(idx, q)
-		if err != nil {
-			if !errors.Is(err, ErrInjected) {
-				return injectedCount(stores), fmt.Errorf("query %d under faults: unexpected error: %w", i, err)
-			}
-			continue
-		}
-		if !SameIDs(got, expected[i]) {
-			return injectedCount(stores), fmt.Errorf("query %d under faults: wrong answer %v, oracle says %v",
-				i, SortedIDs(got), expected[i])
-		}
+	// Armed pass: every query of every family either agrees with the
+	// oracle or fails with the injected error. Anything else — a panic
+	// would abort the run, a differing answer fails here — means a fault
+	// corrupted a query.
+	if err := faultPass(idx, wl, exp, true); err != nil {
+		return injectedCount(stores), err
 	}
 	injected := injectedCount(stores)
 	if injected == 0 && !strings.HasPrefix(schedStr, "rand:") {
@@ -186,15 +177,8 @@ func runFaultSchedule(kind, path, schedStr string, wl *Workload, expected [][]in
 		fs.Disarm()
 	}
 	idx.ResetBuffer()
-	for i, q := range wl.Queries {
-		got, err := stx.RunQuery(idx, q)
-		if err != nil {
-			return injected, fmt.Errorf("query %d after disarm: %w", i, err)
-		}
-		if !SameIDs(got, expected[i]) {
-			return injected, fmt.Errorf("query %d after disarm: corrupted answer %v, oracle says %v",
-				i, SortedIDs(got), expected[i])
-		}
+	if err := faultPass(idx, wl, exp, false); err != nil {
+		return injected, err
 	}
 	if err := CheckInvariants(idx); err != nil {
 		return injected, fmt.Errorf("after disarm: %w", err)
@@ -211,6 +195,49 @@ func runFaultSchedule(kind, path, schedStr string, wl *Workload, expected [][]in
 		return injected, fmt.Errorf("close after disarm: %w", err)
 	}
 	return injected, nil
+}
+
+// faultPass runs every query family against idx under the fault
+// matrix's fail-stop contract. Armed, each answer must be oracle-exact
+// or fail with an error wrapping ErrInjected — a partial or corrupted
+// answer fails immediately. Disarmed (the recovery recheck), each answer
+// must be oracle-exact with no error at all.
+func faultPass(idx stx.Index, wl *Workload, exp *Expected, armed bool) error {
+	phase := "after disarm"
+	if armed {
+		phase = "under faults"
+	}
+	run := func(family string, n int, query func(i int) (stx.QueryResult, error), same func(i int, res stx.QueryResult) bool) error {
+		for i := 0; i < n; i++ {
+			res, err := query(i)
+			if err != nil {
+				if armed && errors.Is(err, ErrInjected) {
+					continue
+				}
+				if armed {
+					return fmt.Errorf("%s %d %s: unexpected error: %w", family, i, phase, err)
+				}
+				return fmt.Errorf("%s %d %s: %w", family, i, phase, err)
+			}
+			if !same(i, res) {
+				return fmt.Errorf("%s %d %s: wrong or partial answer, disagrees with oracle", family, i, phase)
+			}
+		}
+		return nil
+	}
+	if err := run("query", len(wl.Queries),
+		func(i int) (stx.QueryResult, error) { return stx.RunQueryResult(idx, wl.Queries[i]) },
+		func(i int, res stx.QueryResult) bool { return SameIDs(res.IDs, exp.Window[i]) }); err != nil {
+		return err
+	}
+	if err := run("knn query", len(wl.KNNQueries),
+		func(i int) (stx.QueryResult, error) { return stx.RunQueryResult(idx, wl.KNNQueries[i]) },
+		func(i int, res stx.QueryResult) bool { return SameNeighbors(res.Neighbors, exp.KNN[i]) }); err != nil {
+		return err
+	}
+	return run("trajectory query", len(wl.TrajQueries),
+		func(i int) (stx.QueryResult, error) { return stx.RunQueryResult(idx, wl.TrajQueries[i]) },
+		func(i int, res stx.QueryResult) bool { return SameTrajectories(res.Trajectories, exp.Traj[i]) })
 }
 
 func injectedCount(stores *[]*FaultStore) uint64 {

@@ -38,16 +38,16 @@ func shardKindFor(kind string) string {
 // unsharded kind was diffed against. It also pins the accounting
 // invariant that every (query, shard) pair is either pruned or
 // dispatched.
-func shardedDiffPass(kind string, records []stx.Record, wl *Workload, expected [][]int64) error {
+func shardedDiffPass(kind string, records []stx.Record, wl *Workload, exp *Expected) error {
 	for _, part := range sharding.Partitioners {
-		if err := shardedDiffOne(kind, part, records, wl, expected); err != nil {
+		if err := shardedDiffOne(kind, part, records, wl, exp); err != nil {
 			return fmt.Errorf("partitioner %s: %w", part, err)
 		}
 	}
 	return nil
 }
 
-func shardedDiffOne(kind, part string, records []stx.Record, wl *Workload, expected [][]int64) error {
+func shardedDiffOne(kind, part string, records []stx.Record, wl *Workload, exp *Expected) error {
 	plan, err := sharding.Partition(records, sharding.PlanConfig{Shards: shardedDiffShards, Partitioner: part})
 	if err != nil {
 		return err
@@ -71,10 +71,10 @@ func shardedDiffOne(kind, part string, records []stx.Record, wl *Workload, expec
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
-	if err := diffPass(sidx, wl, expected, 1); err != nil {
+	if err := diffPass(sidx, wl, exp, 1); err != nil {
 		return fmt.Errorf("serial sharded pass: %w", err)
 	}
-	if err := diffPass(sidx, wl, expected, 4); err != nil {
+	if err := diffPass(sidx, wl, exp, 4); err != nil {
 		return fmt.Errorf("parallel sharded pass: %w", err)
 	}
 	// Accounting: per shard, pruned + dispatched must equal the total
@@ -107,7 +107,7 @@ func shardedRecordsFor(idx stx.Index, wl *Workload) ([]stx.Record, error) {
 // comparison). After disarming and clearing the buffers, every query
 // must be oracle-exact again. Runs on the disk backend, where read
 // faults reach the pread path.
-func shardedFaultPass(wl *Workload, expected [][]int64, schedules []string) (uint64, error) {
+func shardedFaultPass(wl *Workload, exp *Expected, schedules []string) (uint64, error) {
 	plan, err := sharding.Partition(wl.Records, sharding.PlanConfig{Shards: shardedDiffShards, Partitioner: "temporal"})
 	if err != nil {
 		return 0, err
@@ -126,7 +126,7 @@ func shardedFaultPass(wl *Workload, expected [][]int64, schedules []string) (uin
 	}
 	var injected uint64
 	for _, schedStr := range schedules {
-		n, err := shardedFaultSchedule(manifest, schedStr, wl, expected)
+		n, err := shardedFaultSchedule(manifest, schedStr, wl, exp)
 		injected += n
 		if err != nil {
 			return injected, fmt.Errorf("schedule %s: %w", schedStr, err)
@@ -135,7 +135,7 @@ func shardedFaultPass(wl *Workload, expected [][]int64, schedules []string) (uin
 	return injected, nil
 }
 
-func shardedFaultSchedule(manifest, schedStr string, wl *Workload, expected [][]int64) (uint64, error) {
+func shardedFaultSchedule(manifest, schedStr string, wl *Workload, exp *Expected) (uint64, error) {
 	sched, err := ParseSchedule(schedStr)
 	if err != nil {
 		return 0, err
@@ -159,19 +159,11 @@ func shardedFaultSchedule(manifest, schedStr string, wl *Workload, expected [][]
 	defer sidx.Close()
 
 	// Armed pass, serial (the FaultStore schedule is then deterministic):
-	// oracle-equal or fail-stop with the injected error — nothing else.
-	for i, q := range wl.Queries {
-		got, err := stx.RunQuery(sidx, q)
-		if err != nil {
-			if !errors.Is(err, ErrInjected) {
-				return injectedCount(stores), fmt.Errorf("query %d under faults: unexpected error: %w", i, err)
-			}
-			continue
-		}
-		if !SameIDs(got, expected[i]) {
-			return injectedCount(stores), fmt.Errorf("query %d under faults: partial or wrong merge %v, oracle says %v",
-				i, SortedIDs(got), expected[i])
-		}
+	// every family oracle-equal or fail-stop with the injected error —
+	// nothing else. A dropped shard answer would surface as a partial
+	// merge differing from the oracle and fail here.
+	if err := faultPass(sidx, wl, exp, true); err != nil {
+		return injectedCount(stores), err
 	}
 	injected := injectedCount(stores)
 	if injected == 0 && !strings.HasPrefix(schedStr, "rand:") {
@@ -183,15 +175,8 @@ func shardedFaultSchedule(manifest, schedStr string, wl *Workload, expected [][]
 		fs.Disarm()
 	}
 	sidx.ResetBuffer()
-	for i, q := range wl.Queries {
-		got, err := stx.RunQuery(sidx, q)
-		if err != nil {
-			return injected, fmt.Errorf("query %d after disarm: %w", i, err)
-		}
-		if !SameIDs(got, expected[i]) {
-			return injected, fmt.Errorf("query %d after disarm: corrupted answer %v, oracle says %v",
-				i, SortedIDs(got), expected[i])
-		}
+	if err := faultPass(sidx, wl, exp, false); err != nil {
+		return injected, err
 	}
 	if err := sidx.Close(); err != nil {
 		return injected, fmt.Errorf("close after disarm: %w", err)

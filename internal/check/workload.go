@@ -12,13 +12,29 @@ var AllKinds = []string{"ppr", "rstar", "hr", "hybrid", "stream"}
 
 // Workload is one seeded differential workload: a generated dataset, the
 // offline split records the batch-built kinds index, and a mixed query
-// set spanning the paper's snapshot and range profiles.
+// set spanning the paper's snapshot and range profiles, plus kNN and
+// trajectory query sets derived deterministically from it.
 type Workload struct {
 	Seed    int64
 	Horizon int64
 	Objects []*stx.Object
 	Records []stx.Record
 	Queries []stx.Query
+	// KNNQueries are kNN probes derived from the base queries: the rect
+	// center as the query point, the interval start as the instant, k
+	// cycling through small values plus one larger-than-the-dataset value
+	// (forcing a full ranking).
+	KNNQueries []stx.Query
+	// TrajQueries reuse each base query's region and interval as a
+	// trajectory query, so the record-to-object aggregation is exercised
+	// over exactly the shapes the window diff covers.
+	TrajQueries []stx.Query
+}
+
+// TotalQueries is the number of individual comparisons one full diff
+// pass over the workload performs.
+func (wl *Workload) TotalQueries() int {
+	return len(wl.Queries) + len(wl.KNNQueries) + len(wl.TrajQueries)
 }
 
 // GenerateWorkload builds a workload deterministically from its seed:
@@ -54,7 +70,15 @@ func GenerateWorkload(objects int, horizon, seed int64, queries int) (*Workload,
 	if len(qs) > queries {
 		qs = qs[:queries]
 	}
-	return &Workload{Seed: seed, Horizon: horizon, Objects: objs, Records: records, Queries: qs}, nil
+	wl := &Workload{Seed: seed, Horizon: horizon, Objects: objs, Records: records, Queries: qs}
+	ks := []int{1, 3, 10, objects + 7}
+	for i, q := range qs {
+		cx := (q.Rect.MinX + q.Rect.MaxX) / 2
+		cy := (q.Rect.MinY + q.Rect.MaxY) / 2
+		wl.KNNQueries = append(wl.KNNQueries, stx.KNNQuery(cx, cy, q.Interval.Start, ks[i%len(ks)]))
+		wl.TrajQueries = append(wl.TrajQueries, stx.TrajectoryQuery(q.Rect, q.Interval))
+	}
+	return wl, nil
 }
 
 // BuildKind builds one index kind over the workload on the given backend.
@@ -157,16 +181,42 @@ func buildStream(objs []*stx.Object, backend stx.Backend) (*stx.StreamIndex, err
 	return six, nil
 }
 
+// Expected bundles the oracle's reference answers for every query
+// family of a workload.
+type Expected struct {
+	Window [][]int64
+	KNN    [][]stx.Neighbor
+	Traj   [][]stx.TrajectoryHit
+}
+
+// Expected precomputes the oracle answer for every query family of the
+// workload.
+func (o *Oracle) Expected(wl *Workload) *Expected {
+	exp := &Expected{
+		Window: o.Answers(wl.Queries),
+		KNN:    make([][]stx.Neighbor, len(wl.KNNQueries)),
+		Traj:   make([][]stx.TrajectoryHit, len(wl.TrajQueries)),
+	}
+	for i, q := range wl.KNNQueries {
+		exp.KNN[i] = o.KNN(q.Rect.MinX, q.Rect.MinY, q.Interval.Start, q.K)
+	}
+	for i, q := range wl.TrajQueries {
+		exp.Traj[i] = o.Trajectory(q.Rect, q.Interval)
+	}
+	return exp
+}
+
 // ExpectedAnswers computes the reference answers for an index over the
-// workload: the offline-record oracle for the batch kinds, the index's
-// own piece set for the stream kind.
-func ExpectedAnswers(idx stx.Index, wl *Workload) ([][]int64, error) {
+// workload — window, kNN and trajectory families alike: the
+// offline-record oracle for the batch kinds, the index's own piece set
+// for the stream kind.
+func ExpectedAnswers(idx stx.Index, wl *Workload) (*Expected, error) {
 	if s, ok := idx.(*stx.StreamIndex); ok {
 		pieces, err := s.PieceRecords()
 		if err != nil {
 			return nil, fmt.Errorf("check: extracting stream pieces: %w", err)
 		}
-		return NewOracle(pieces).Answers(wl.Queries), nil
+		return NewOracle(pieces).Expected(wl), nil
 	}
-	return NewOracle(wl.Records).Answers(wl.Queries), nil
+	return NewOracle(wl.Records).Expected(wl), nil
 }

@@ -94,7 +94,7 @@ func Check(cfg Config) ([]CheckRow, error) {
 func httpCheckPass(wl *check.Workload) (int, error) {
 	svc := service.New(service.Config{Workers: 2})
 	defer svc.Close()
-	expected := make(map[string][][]int64, len(check.AllKinds))
+	expected := make(map[string]*check.Expected, len(check.AllKinds))
 	for _, kind := range check.AllKinds {
 		idx, err := check.BuildKind(kind, wl, stx.BackendMemory)
 		if err != nil {
@@ -118,14 +118,37 @@ func httpCheckPass(wl *check.Workload) (int, error) {
 
 	checked := 0
 	for _, kind := range check.AllKinds {
+		exp := expected[kind]
 		for i, q := range wl.Queries {
 			ids, err := httpQuery(base, kind, q)
 			if err != nil {
 				return checked, fmt.Errorf("kind %s query %d over HTTP: %w", kind, i, err)
 			}
-			if !check.SameIDs(ids, expected[kind][i]) {
+			if !check.SameIDs(ids, exp.Window[i]) {
 				return checked, fmt.Errorf("kind %s query %d over HTTP: got %v, oracle says %v",
-					kind, i, check.SortedIDs(ids), expected[kind][i])
+					kind, i, check.SortedIDs(ids), exp.Window[i])
+			}
+			checked++
+		}
+		for i, q := range wl.KNNQueries {
+			nbs, err := httpKNN(base, kind, q)
+			if err != nil {
+				return checked, fmt.Errorf("kind %s knn query %d over HTTP: %w", kind, i, err)
+			}
+			if !check.SameNeighbors(nbs, exp.KNN[i]) {
+				return checked, fmt.Errorf("kind %s knn query %d over HTTP: got %v, oracle says %v",
+					kind, i, nbs, exp.KNN[i])
+			}
+			checked++
+		}
+		for i, q := range wl.TrajQueries {
+			hits, err := httpTrajectory(base, kind, q)
+			if err != nil {
+				return checked, fmt.Errorf("kind %s trajectory query %d over HTTP: %w", kind, i, err)
+			}
+			if !check.SameTrajectories(hits, exp.Traj[i]) {
+				return checked, fmt.Errorf("kind %s trajectory query %d over HTTP: got %v, oracle says %v",
+					kind, i, hits, exp.Traj[i])
 			}
 			checked++
 		}
@@ -158,4 +181,61 @@ func httpQuery(base, snapshot string, q stx.Query) ([]int64, error) {
 		return nil, err
 	}
 	return qr.IDs, nil
+}
+
+// httpFetch runs one GET /query and decodes the JSON answer into v.
+func httpFetch(url string, v any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// httpKNN runs one kNN query through GET /query. The %g point encoding
+// is the shortest float representation, which round-trips float64
+// exactly, so the comparison against the oracle stays bit-exact across
+// the wire.
+func httpKNN(base, snapshot string, q stx.Query) ([]stx.Neighbor, error) {
+	url := fmt.Sprintf("%s/query?snapshot=%s&kind=knn&x=%g&y=%g&t=%d&k=%d",
+		base, snapshot, q.Rect.MinX, q.Rect.MinY, q.Interval.Start, q.K)
+	var qr struct {
+		Neighbors []struct {
+			ID    int64   `json:"id"`
+			Dist2 float64 `json:"dist2"`
+		} `json:"neighbors"`
+	}
+	if err := httpFetch(url, &qr); err != nil {
+		return nil, err
+	}
+	var out []stx.Neighbor
+	for _, nb := range qr.Neighbors {
+		out = append(out, stx.Neighbor{ObjectID: nb.ID, Dist2: nb.Dist2})
+	}
+	return out, nil
+}
+
+// httpTrajectory runs one trajectory query through GET /query.
+func httpTrajectory(base, snapshot string, q stx.Query) ([]stx.TrajectoryHit, error) {
+	url := fmt.Sprintf("%s/query?snapshot=%s&kind=trajectory&rect=%g,%g,%g,%g&from=%d&to=%d",
+		base, snapshot, q.Rect.MinX, q.Rect.MinY, q.Rect.MaxX, q.Rect.MaxY, q.Interval.Start, q.Interval.End)
+	var qr struct {
+		Trajectories []struct {
+			ID     int64 `json:"id"`
+			Pieces int   `json:"pieces"`
+		} `json:"trajectories"`
+	}
+	if err := httpFetch(url, &qr); err != nil {
+		return nil, err
+	}
+	var out []stx.TrajectoryHit
+	for _, th := range qr.Trajectories {
+		out = append(out, stx.TrajectoryHit{ObjectID: th.ID, Pieces: th.Pieces})
+	}
+	return out, nil
 }

@@ -93,12 +93,15 @@ func (b Box3) UnionBox3(o Box3) Box3 {
 }
 
 // Intersects reports whether the boxes share a point (closed semantics).
+// The comparisons are phrased positively so NaN coordinates fail closed
+// (match nothing), the same convention as Rect.Intersects — a query box
+// carrying NaN must not degenerate into a match-everything wildcard.
 func (b Box3) Intersects(o Box3) bool {
 	if b.IsEmpty() || o.IsEmpty() {
 		return false
 	}
 	for d := 0; d < 3; d++ {
-		if b.Min[d] > o.Max[d] || o.Min[d] > b.Max[d] {
+		if !(b.Min[d] <= o.Max[d] && o.Min[d] <= b.Max[d]) {
 			return false
 		}
 	}
@@ -135,6 +138,26 @@ func (b Box3) OverlapVolume(o Box3) float64 {
 // Enlargement3 returns the volume increase needed for b to also cover o.
 func (b Box3) Enlargement3(o Box3) float64 {
 	return b.UnionBox3(o).Volume() - b.Volume()
+}
+
+// MinDistXY2 returns the squared Euclidean distance from point (x, y) to
+// the nearest point of the box's spatial (XY) projection, ignoring the
+// time axis. The operation order matches Rect.MinDist2 exactly, so a box
+// built from a rectangle yields bit-identical distances.
+func (b Box3) MinDistXY2(x, y float64) float64 {
+	dx := 0.0
+	if x < b.Min[0] {
+		dx = b.Min[0] - x
+	} else if x > b.Max[0] {
+		dx = x - b.Max[0]
+	}
+	dy := 0.0
+	if y < b.Min[1] {
+		dy = b.Min[1] - y
+	} else if y > b.Max[1] {
+		dy = y - b.Max[1]
+	}
+	return dx*dx + dy*dy
 }
 
 // CenterDistance2 returns the squared distance between the box centers.

@@ -146,6 +146,29 @@ func (r Rect) Enlargement(s Rect) float64 {
 	return r.Union(s).Area() - r.Area()
 }
 
+// MinDist2 returns the squared Euclidean distance from point (x, y) to
+// the nearest point of r (0 when the point lies inside or on the
+// boundary). This is the MINDIST bound of branch-and-bound nearest
+// neighbour search: an MBR's MinDist2 never exceeds any contained
+// rectangle's, so it is an admissible priority for best-first traversal.
+// Box3.MinDistXY2 must keep the exact same operation order — the
+// differential oracle compares the resulting floats bit for bit.
+func (r Rect) MinDist2(x, y float64) float64 {
+	dx := 0.0
+	if x < r.MinX {
+		dx = r.MinX - x
+	} else if x > r.MaxX {
+		dx = x - r.MaxX
+	}
+	dy := 0.0
+	if y < r.MinY {
+		dy = r.MinY - y
+	} else if y > r.MaxY {
+		dy = y - r.MaxY
+	}
+	return dx*dx + dy*dy
+}
+
 // OverlapArea returns the area of the intersection of r and s.
 func (r Rect) OverlapArea(s Rect) float64 {
 	return r.Intersect(s).Area()

@@ -1,0 +1,97 @@
+package hrtree
+
+import (
+	"fmt"
+
+	"stindex/internal/pagefile"
+)
+
+// knnFrame is one element of the best-first priority queue: an unexpanded
+// node (ref is its page id) or a leaf entry awaiting emission, keyed by
+// the squared min-distance of its rectangle to the query point.
+type knnFrame struct {
+	dist  float64
+	ref   uint64
+	entry bool
+}
+
+func knnPush(h []knnFrame, f knnFrame) []knnFrame {
+	h = append(h, f)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+func knnPop(h []knnFrame) ([]knnFrame, knnFrame) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < n && h[l].dist < h[s].dist {
+			s = l
+		}
+		if r < n && h[r].dist < h[s].dist {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return h, top
+}
+
+// NearestSearch emits every record of the tree version at time `at` in
+// ascending order of squared min-distance between its rectangle and the
+// point (x, y), stopping when fn returns false. Branch-and-bound
+// best-first search over the version's strict tree: node priorities are
+// MBR MinDist2 bounds, admissible because an MBR contains everything
+// below it, so emission order is globally non-decreasing.
+func (t *Tree) NearestSearch(x, y float64, at int64, fn func(dist2 float64, ref uint64) bool) error {
+	v := t.versionAt(at)
+	if v == nil {
+		return nil
+	}
+	h := t.knn
+	t.knn = nil
+	h = h[:0]
+	defer func() { t.knn = h[:0] }()
+
+	h = knnPush(h, knnFrame{dist: 0, ref: uint64(v.page)})
+	// One version is a strict tree: more page expansions than existing
+	// pages proves a reference cycle in a corrupt structure.
+	visits, maxVisits := 0, t.file.NumPages()
+	for len(h) > 0 {
+		var f knnFrame
+		h, f = knnPop(h)
+		if f.entry {
+			if !fn(f.dist, f.ref) {
+				return nil
+			}
+			continue
+		}
+		if visits++; visits > maxVisits {
+			return fmt.Errorf("hrtree: nearest traversal visited more pages than exist (%d): reference cycle in corrupt structure", maxVisits)
+		}
+		n, err := t.readShared(pagefile.PageID(f.ref))
+		if err != nil {
+			return err
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			h = knnPush(h, knnFrame{dist: e.rect.MinDist2(x, y), ref: e.ref, entry: n.leaf})
+		}
+	}
+	return nil
+}

@@ -227,6 +227,31 @@ func (h *Handle) Range(r stx.Rect, iv stx.Interval) ([]int64, error) {
 	return h.ix.Range(r, iv)
 }
 
+// Nearest answers a kNN query over the full live history. Arguments are
+// validated even on an empty stream, so a malformed query is a client
+// error (400), never a silent empty answer.
+func (h *Handle) Nearest(x, y float64, t int64, k int) ([]stx.Neighbor, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ix == nil {
+		if err := stx.ValidateKNN(x, y, k); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	return h.ix.Nearest(x, y, t, k)
+}
+
+// Trajectory answers a trajectory query over the full live history.
+func (h *Handle) Trajectory(r stx.Rect, iv stx.Interval) ([]stx.TrajectoryHit, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.ix == nil {
+		return nil, nil
+	}
+	return h.ix.Trajectory(r, iv)
+}
+
 // encodeState serialises the live index to a STIC container image under
 // the lock, returning the covered seq and clock alongside. data is nil
 // when there is nothing to freeze yet.

@@ -96,6 +96,22 @@ func (l *Live) Range(r stx.Rect, iv stx.Interval) ([]int64, error) {
 	return merged, nil
 }
 
+// Nearest implements stx.Index against the live index alone: it holds
+// the full history (the frozen image is a prefix of it), so the answer
+// is exact without a boundary split. The split exists for Range as a
+// frozen-side fast path; the new kinds skip it — a trajectory merge
+// across the boundary would double-count pieces that span it, since the
+// frozen image stores them in boundary-clipped form.
+func (l *Live) Nearest(x, y float64, t int64, k int) ([]stx.Neighbor, error) {
+	return l.handle.Nearest(x, y, t, k)
+}
+
+// Trajectory implements stx.Index; see Nearest for why it queries the
+// live index directly.
+func (l *Live) Trajectory(r stx.Rect, iv stx.Interval) ([]stx.TrajectoryHit, error) {
+	return l.handle.Trajectory(r, iv)
+}
+
 // ResetBuffer implements stx.Index for the frozen part only; the live
 // tail's pool is shared with the ingest path and is not a per-view
 // resource.

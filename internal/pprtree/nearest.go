@@ -1,0 +1,113 @@
+package pprtree
+
+import (
+	"fmt"
+
+	"stindex/internal/pagefile"
+)
+
+// knnFrame is one element of the best-first priority queue: an unexpanded
+// node (ref is its page id) or a leaf entry awaiting emission, keyed by
+// the squared min-distance of its rectangle to the query point.
+type knnFrame struct {
+	dist  float64
+	ref   uint64
+	entry bool
+}
+
+// knnPush inserts f into the binary min-heap h (ordered by dist).
+func knnPush(h []knnFrame, f knnFrame) []knnFrame {
+	h = append(h, f)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].dist <= h[i].dist {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	return h
+}
+
+// knnPop removes and returns the minimum-dist frame.
+func knnPop(h []knnFrame) ([]knnFrame, knnFrame) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < n && h[l].dist < h[s].dist {
+			s = l
+		}
+		if r < n && h[r].dist < h[s].dist {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return h, top
+}
+
+// takeKNNHeap borrows the pooled best-first queue; pair with putKNNHeap.
+func (t *Tree) takeKNNHeap() []knnFrame {
+	h := t.knn
+	t.knn = nil
+	return h[:0]
+}
+
+func (t *Tree) putKNNHeap(h []knnFrame) { t.knn = h[:0] }
+
+// NearestSearch emits every record alive at time `at` in ascending order
+// of squared min-distance between its rectangle and the point (x, y),
+// stopping when fn returns false. This is branch-and-bound best-first
+// search over the snapshot structure at `at`: the priority queue holds
+// nodes keyed by their MBR's MinDist2, which never exceeds the MinDist2
+// of anything inside the MBR, so pops occur in globally non-decreasing
+// distance order and the caller may cut off as soon as the emitted
+// distance exceeds its current k-th best. The queue is pooled on the
+// tree, so steady-state searches allocate nothing.
+func (t *Tree) NearestSearch(x, y float64, at int64, fn func(dist2 float64, ref uint64) bool) error {
+	root := t.rootAt(at)
+	if root == nil {
+		return nil
+	}
+	h := t.takeKNNHeap()
+	defer func() { t.putKNNHeap(h) }()
+
+	h = knnPush(h, knnFrame{dist: 0, ref: uint64(root.page)})
+	// The alive structure at one instant is a tree, so a legitimate
+	// traversal expands each page at most once; exceeding the page count
+	// proves a reference cycle (corrupt container).
+	visits, maxVisits := 0, t.file.NumPages()
+	for len(h) > 0 {
+		var f knnFrame
+		h, f = knnPop(h)
+		if f.entry {
+			if !fn(f.dist, f.ref) {
+				return nil
+			}
+			continue
+		}
+		if visits++; visits > maxVisits {
+			return fmt.Errorf("pprtree: nearest traversal visited more pages than exist (%d): reference cycle in corrupt structure", maxVisits)
+		}
+		n, err := t.readShared(pagefile.PageID(f.ref))
+		if err != nil {
+			return err
+		}
+		for i := range n.entries {
+			e := &n.entries[i]
+			if !e.aliveAt(at) {
+				continue
+			}
+			h = knnPush(h, knnFrame{dist: e.rect.MinDist2(x, y), ref: e.ref, entry: n.leaf})
+		}
+	}
+	return nil
+}

@@ -106,6 +106,7 @@ type Tree struct {
 	stack   []pagefile.PageID
 	seen    map[uint64]bool
 	visited map[pagefile.PageID]bool
+	knn     []knnFrame
 }
 
 // New creates an empty tree whose history begins at startTime.
@@ -218,6 +219,7 @@ func (t *Tree) QueryView() *Tree {
 	cp.stack = nil
 	cp.seen = nil
 	cp.visited = nil
+	cp.knn = nil
 	return &cp
 }
 

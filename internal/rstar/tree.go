@@ -81,6 +81,8 @@ type Tree struct {
 	// a search, restored afterwards, so steady-state queries allocate
 	// nothing (a reentrant search from inside fn simply allocates its own).
 	stack []pagefile.PageID
+	// knn is the pooled best-first priority queue of NearestSearch.
+	knn []knnFrame
 }
 
 // New creates an empty tree.
@@ -162,6 +164,7 @@ func (t *Tree) QueryView() *Tree {
 	cp.buf = pagefile.NewBuffer(t.file, t.opts.BufferPages)
 	cp.encBuf = nil
 	cp.stack = nil
+	cp.knn = nil
 	return &cp
 }
 

@@ -2,9 +2,12 @@ package service
 
 import (
 	"encoding/binary"
+	"math"
 	"strconv"
 	"sync"
 	"unicode/utf8"
+
+	stx "stindex"
 )
 
 // The /query answer is the serving hot path: at steady state it must not
@@ -96,25 +99,80 @@ func appendJSONString(buf []byte, s string) []byte {
 	return append(buf, '"')
 }
 
+// appendJSONFloat appends f exactly the way encoding/json renders a
+// float64: shortest representation, 'f' format, switching to 'e' for
+// very small or very large magnitudes, with the exponent's leading zero
+// stripped ("2e-09" → "2e-9"). Byte-compatibility with the reflective
+// encoder is what lets the zero-alloc path and the documented
+// queryResponse struct stay interchangeable.
+func appendJSONFloat(buf []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	buf = strconv.AppendFloat(buf, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(buf); n >= 4 && buf[n-4] == 'e' && buf[n-3] == '-' && buf[n-2] == '0' {
+			buf[n-2] = buf[n-1]
+			buf = buf[:n-1]
+		}
+	}
+	return buf
+}
+
 // appendQueryResponseJSON renders the /query JSON answer — the exact
-// shape (field order, escaping, trailing newline) encoding/json produced
-// for the queryResponse struct — without allocating beyond buf's growth.
-func appendQueryResponseJSON(buf []byte, snapshot string, gen uint64, ids []int64, io, elapsedUS int64) []byte {
+// shape (field order, escaping, omitempty, trailing newline)
+// encoding/json produces for the queryResponse struct — without
+// allocating beyond buf's growth. The neighbors/trajectories arrays
+// appear only for the kinds that produce them (omitempty semantics), so
+// window responses are byte-identical to what they were before those
+// kinds existed.
+func appendQueryResponseJSON(buf []byte, res Result, elapsedUS int64) []byte {
 	buf = append(buf, `{"snapshot":`...)
-	buf = appendJSONString(buf, snapshot)
+	buf = appendJSONString(buf, res.Snapshot)
 	buf = append(buf, `,"gen":`...)
-	buf = strconv.AppendUint(buf, gen, 10)
+	buf = strconv.AppendUint(buf, res.Gen, 10)
 	buf = append(buf, `,"count":`...)
-	buf = strconv.AppendInt(buf, int64(len(ids)), 10)
+	buf = strconv.AppendInt(buf, int64(len(res.IDs)), 10)
 	buf = append(buf, `,"ids":[`...)
-	for i, id := range ids {
+	for i, id := range res.IDs {
 		if i > 0 {
 			buf = append(buf, ',')
 		}
 		buf = strconv.AppendInt(buf, id, 10)
 	}
-	buf = append(buf, `],"io":`...)
-	buf = strconv.AppendInt(buf, io, 10)
+	buf = append(buf, ']')
+	if len(res.Neighbors) > 0 {
+		buf = append(buf, `,"neighbors":[`...)
+		for i, nb := range res.Neighbors {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, `{"id":`...)
+			buf = strconv.AppendInt(buf, nb.ObjectID, 10)
+			buf = append(buf, `,"dist2":`...)
+			buf = appendJSONFloat(buf, nb.Dist2)
+			buf = append(buf, '}')
+		}
+		buf = append(buf, ']')
+	}
+	if len(res.Trajectories) > 0 {
+		buf = append(buf, `,"trajectories":[`...)
+		for i, th := range res.Trajectories {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, `{"id":`...)
+			buf = strconv.AppendInt(buf, th.ObjectID, 10)
+			buf = append(buf, `,"pieces":`...)
+			buf = strconv.AppendInt(buf, int64(th.Pieces), 10)
+			buf = append(buf, '}')
+		}
+		buf = append(buf, ']')
+	}
+	buf = append(buf, `,"io":`...)
+	buf = strconv.AppendInt(buf, res.IO, 10)
 	buf = append(buf, `,"elapsed_us":`...)
 	buf = strconv.AppendInt(buf, elapsedUS, 10)
 	return append(buf, '}', '\n')
@@ -124,7 +182,7 @@ func appendQueryResponseJSON(buf []byte, snapshot string, gen uint64, ids []int6
 // Accept: application/x-stindex or ?format=binary:
 //
 //	magic      [4]byte "STQ1"
-//	reserved   u32  0
+//	kind       u32  0 window, 1 knn, 2 trajectory
 //	gen        u64
 //	io         u64
 //	elapsed_us u64
@@ -132,6 +190,12 @@ func appendQueryResponseJSON(buf []byte, snapshot string, gen uint64, ids []int6
 //	name       nameLen bytes (snapshot name, UTF-8)
 //	count      u32
 //	ids        count × i64
+//	payload    kind 1: count × f64 (dist2, IEEE-754 bits)
+//	           kind 2: count × u32 (pieces)
+//
+// The kind word occupies what was a reserved-zero u32, so window frames
+// are byte-identical to the pre-kind format and old decoders keep
+// working for them.
 const (
 	binaryMagic = "STQ1"
 	// BinaryContentType is the media type of the binary /query frame.
@@ -139,48 +203,101 @@ const (
 )
 
 // appendQueryResponseBinary renders the binary /query frame.
-func appendQueryResponseBinary(buf []byte, snapshot string, gen uint64, ids []int64, io, elapsedUS int64) []byte {
+func appendQueryResponseBinary(buf []byte, res Result, elapsedUS int64) []byte {
 	buf = append(buf, binaryMagic...)
-	buf = binary.LittleEndian.AppendUint32(buf, 0)
-	buf = binary.LittleEndian.AppendUint64(buf, gen)
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(io))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(res.Kind))
+	buf = binary.LittleEndian.AppendUint64(buf, res.Gen)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(res.IO))
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(elapsedUS))
+	snapshot := res.Snapshot
 	if len(snapshot) > 1<<16-1 {
 		snapshot = snapshot[:1<<16-1]
 	}
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(snapshot)))
 	buf = append(buf, snapshot...)
-	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ids)))
-	for _, id := range ids {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(res.IDs)))
+	for _, id := range res.IDs {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(id))
+	}
+	switch res.Kind {
+	case stx.KindKNN:
+		for _, nb := range res.Neighbors {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(nb.Dist2))
+		}
+	case stx.KindTrajectory:
+		for _, th := range res.Trajectories {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(th.Pieces))
+		}
 	}
 	return buf
 }
 
-// DecodeBinaryResponse parses a binary /query frame — the client-side
-// counterpart of the encoder, used by tests and benchmark drivers.
+// DecodeBinaryResponse parses a window-kind binary /query frame — the
+// client-side counterpart of the encoder, used by tests and benchmark
+// drivers. Frames carrying another kind (or trailing payload bytes) are
+// rejected with ok=false; DecodeBinaryResponseFull handles every kind.
 func DecodeBinaryResponse(frame []byte) (snapshot string, gen uint64, ids []int64, io, elapsedUS int64, ok bool) {
-	const head = 4 + 4 + 8 + 8 + 8 + 2
-	if len(frame) < head || string(frame[:4]) != binaryMagic {
+	res, elapsedUS, ok := DecodeBinaryResponseFull(frame)
+	if !ok || res.Kind != stx.KindWindow {
 		return "", 0, nil, 0, 0, false
 	}
-	gen = binary.LittleEndian.Uint64(frame[8:])
-	io = int64(binary.LittleEndian.Uint64(frame[16:]))
+	return res.Snapshot, res.Gen, res.IDs, res.IO, elapsedUS, true
+}
+
+// DecodeBinaryResponseFull parses any binary /query frame into a Result.
+func DecodeBinaryResponseFull(frame []byte) (res Result, elapsedUS int64, ok bool) {
+	const head = 4 + 4 + 8 + 8 + 8 + 2
+	if len(frame) < head || string(frame[:4]) != binaryMagic {
+		return Result{}, 0, false
+	}
+	kind := binary.LittleEndian.Uint32(frame[4:])
+	if kind > uint32(stx.KindTrajectory) {
+		return Result{}, 0, false
+	}
+	res.Kind = stx.QueryKind(kind)
+	res.Gen = binary.LittleEndian.Uint64(frame[8:])
+	res.IO = int64(binary.LittleEndian.Uint64(frame[16:]))
 	elapsedUS = int64(binary.LittleEndian.Uint64(frame[24:]))
 	nameLen := int(binary.LittleEndian.Uint16(frame[32:]))
 	if len(frame) < head+nameLen+4 {
-		return "", 0, nil, 0, 0, false
+		return Result{}, 0, false
 	}
-	snapshot = string(frame[head : head+nameLen])
+	res.Snapshot = string(frame[head : head+nameLen])
 	rest := frame[head+nameLen:]
 	count := int(binary.LittleEndian.Uint32(rest))
 	rest = rest[4:]
-	if len(rest) != count*8 {
-		return "", 0, nil, 0, 0, false
+	want := count * 8
+	switch res.Kind {
+	case stx.KindKNN:
+		want = count * 16
+	case stx.KindTrajectory:
+		want = count * 12
 	}
-	ids = make([]int64, count)
-	for i := range ids {
-		ids[i] = int64(binary.LittleEndian.Uint64(rest[i*8:]))
+	if count < 0 || len(rest) != want {
+		return Result{}, 0, false
 	}
-	return snapshot, gen, ids, io, elapsedUS, true
+	res.IDs = make([]int64, count)
+	for i := range res.IDs {
+		res.IDs[i] = int64(binary.LittleEndian.Uint64(rest[i*8:]))
+	}
+	rest = rest[count*8:]
+	switch res.Kind {
+	case stx.KindKNN:
+		res.Neighbors = make([]stx.Neighbor, count)
+		for i := range res.Neighbors {
+			res.Neighbors[i] = stx.Neighbor{
+				ObjectID: res.IDs[i],
+				Dist2:    math.Float64frombits(binary.LittleEndian.Uint64(rest[i*8:])),
+			}
+		}
+	case stx.KindTrajectory:
+		res.Trajectories = make([]stx.TrajectoryHit, count)
+		for i := range res.Trajectories {
+			res.Trajectories[i] = stx.TrajectoryHit{
+				ObjectID: res.IDs[i],
+				Pieces:   int(binary.LittleEndian.Uint32(rest[i*4:])),
+			}
+		}
+	}
+	return res, elapsedUS, true
 }

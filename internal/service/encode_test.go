@@ -14,36 +14,78 @@ import (
 	stx "stindex"
 )
 
+// docShape converts a Result into the documented queryResponse wire
+// struct, so tests can compare the hand-rolled encoder against
+// encoding/json's rendering of the same data.
+func docShape(res Result, elapsedUS int64) queryResponse {
+	qr := queryResponse{Snapshot: res.Snapshot, Gen: res.Gen, Count: len(res.IDs), IDs: res.IDs, IO: res.IO, ElapsedUS: elapsedUS}
+	for _, nb := range res.Neighbors {
+		qr.Neighbors = append(qr.Neighbors, queryNeighbor{ID: nb.ObjectID, Dist2: nb.Dist2})
+	}
+	for _, th := range res.Trajectories {
+		qr.Trajectories = append(qr.Trajectories, queryTrajectory{ID: th.ObjectID, Pieces: th.Pieces})
+	}
+	return qr
+}
+
 // TestAppendQueryResponseJSONMatchesEncodingJSON pins the hand-rolled
 // encoder to the reflective one byte for byte, across the envelope
 // shapes the server produces (empty results, negative ids, snapshot
-// names needing escapes).
+// names needing escapes, kNN and trajectory payloads).
 func TestAppendQueryResponseJSONMatchesEncodingJSON(t *testing.T) {
-	cases := []queryResponse{
-		{Snapshot: "default", Gen: 1, Count: 0, IDs: []int64{}, IO: 0, ElapsedUS: 0},
-		{Snapshot: "data", Gen: 42, Count: 3, IDs: []int64{7, -9, math.MaxInt64}, IO: 12, ElapsedUS: 345},
-		{Snapshot: "", Gen: 0, Count: 1, IDs: []int64{math.MinInt64}, IO: -1, ElapsedUS: 9999999},
-		{Snapshot: `we"ird\name`, Gen: 3, Count: 0, IDs: []int64{}, IO: 1, ElapsedUS: 2},
-		{Snapshot: "tab\there\nand<html>&stuff", Gen: 8, Count: 2, IDs: []int64{1, 2}, IO: 3, ElapsedUS: 4},
-		{Snapshot: "unicode-\u2028\u2029-héllo", Gen: 9, Count: 0, IDs: []int64{}, IO: 0, ElapsedUS: 1},
-		{Snapshot: "bad-utf8-\xff", Gen: 10, Count: 0, IDs: []int64{}, IO: 0, ElapsedUS: 1},
+	cases := []Result{
+		{Snapshot: "default", Gen: 1, IDs: []int64{}, IO: 0},
+		{Snapshot: "data", Gen: 42, IDs: []int64{7, -9, math.MaxInt64}, IO: 12},
+		{Snapshot: "", Gen: 0, IDs: []int64{math.MinInt64}, IO: -1},
+		{Snapshot: `we"ird\name`, Gen: 3, IDs: []int64{}, IO: 1},
+		{Snapshot: "tab\there\nand<html>&stuff", Gen: 8, IDs: []int64{1, 2}, IO: 3},
+		{Snapshot: "unicode-\u2028\u2029-héllo", Gen: 9, IDs: []int64{}, IO: 0},
+		{Snapshot: "bad-utf8-\xff", Gen: 10, IDs: []int64{}, IO: 0},
+		{Snapshot: "knn", Kind: stx.KindKNN, Gen: 4, IDs: []int64{3, 1, 8}, IO: 5,
+			Neighbors: []stx.Neighbor{{ObjectID: 3, Dist2: 0}, {ObjectID: 1, Dist2: 0.001953125}, {ObjectID: 8, Dist2: 2.75e-7}}},
+		{Snapshot: "knn-extremes", Kind: stx.KindKNN, Gen: 4, IDs: []int64{1, 2, 3}, IO: 5,
+			Neighbors: []stx.Neighbor{{ObjectID: 1, Dist2: math.MaxFloat64}, {ObjectID: 2, Dist2: 1.2345678912345e21}, {ObjectID: 3, Dist2: 5e-324}}},
+		{Snapshot: "traj", Kind: stx.KindTrajectory, Gen: 6, IDs: []int64{2, 5}, IO: 7,
+			Trajectories: []stx.TrajectoryHit{{ObjectID: 2, Pieces: 1}, {ObjectID: 5, Pieces: 12}}},
+		{Snapshot: "knn-empty", Kind: stx.KindKNN, Gen: 2, IDs: []int64{}, IO: 0},
 	}
 	for _, c := range cases {
-		want, err := json.Marshal(c)
+		want, err := json.Marshal(docShape(c, 77))
 		if err != nil {
 			t.Fatal(err)
 		}
 		want = append(want, '\n') // json.Encoder.Encode appends a newline
-		got := appendQueryResponseJSON(nil, c.Snapshot, c.Gen, c.IDs, c.IO, c.ElapsedUS)
+		got := appendQueryResponseJSON(nil, c, 77)
 		if string(got) != string(want) {
 			t.Errorf("snapshot %q:\n got %s\nwant %s", c.Snapshot, got, want)
 		}
 	}
 }
 
+// TestAppendJSONFloatMatchesEncodingJSON pins the float renderer to
+// encoding/json across the format-switch boundaries (1e-6, 1e21), the
+// exponent-cleanup path, and denormals.
+func TestAppendJSONFloatMatchesEncodingJSON(t *testing.T) {
+	vals := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, 0.001953125, 1.5e-5,
+		1e-6, 9.999e-7, 2.75e-7, 1e-300, 5e-324,
+		1e20, 999999999999999999999.0, 1e21, 1.2345678912345e21, math.MaxFloat64,
+		-9.999e-7, -1e21, 3.141592653589793, 1.7976931348623157e+308,
+	}
+	for _, v := range vals {
+		want, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := appendJSONFloat(nil, v); string(got) != string(want) {
+			t.Errorf("%g: got %s, want %s", v, got, want)
+		}
+	}
+}
+
 func TestBinaryResponseRoundTrip(t *testing.T) {
 	ids := []int64{5, -17, 0, math.MaxInt64, math.MinInt64}
-	frame := appendQueryResponseBinary(nil, "snap-1", 77, ids, 123, 456)
+	frame := appendQueryResponseBinary(nil, Result{Snapshot: "snap-1", Gen: 77, IDs: ids, IO: 123}, 456)
 	name, gen, gotIDs, io, elapsed, ok := DecodeBinaryResponse(frame)
 	if !ok {
 		t.Fatal("frame did not decode")
@@ -68,6 +110,57 @@ func TestBinaryResponseRoundTrip(t *testing.T) {
 	}
 }
 
+// TestBinaryResponseKindsRoundTrip covers the kNN and trajectory frame
+// payloads: full decode restores the Result exactly, the window-only
+// decoder rejects non-window frames, and truncations fail closed.
+func TestBinaryResponseKindsRoundTrip(t *testing.T) {
+	cases := []Result{
+		{Kind: stx.KindKNN, Snapshot: "k", Gen: 9, IDs: []int64{4, 2, 9}, IO: 3,
+			Neighbors: []stx.Neighbor{{ObjectID: 4, Dist2: 0}, {ObjectID: 2, Dist2: 1.5}, {ObjectID: 9, Dist2: math.MaxFloat64}}},
+		{Kind: stx.KindKNN, Snapshot: "k0", Gen: 1, IDs: []int64{}, IO: 0},
+		{Kind: stx.KindTrajectory, Snapshot: "t", Gen: 5, IDs: []int64{1, 7}, IO: 2,
+			Trajectories: []stx.TrajectoryHit{{ObjectID: 1, Pieces: 3}, {ObjectID: 7, Pieces: 1}}},
+		{Kind: stx.KindTrajectory, Snapshot: "t0", Gen: 2, IDs: []int64{}, IO: 0},
+	}
+	for _, c := range cases {
+		frame := appendQueryResponseBinary(nil, c, 42)
+		res, elapsed, ok := DecodeBinaryResponseFull(frame)
+		if !ok {
+			t.Fatalf("kind %v frame did not decode", c.Kind)
+		}
+		if elapsed != 42 {
+			t.Fatalf("elapsed %d", elapsed)
+		}
+		if res.Kind != c.Kind || res.Snapshot != c.Snapshot || res.Gen != c.Gen || res.IO != c.IO {
+			t.Fatalf("envelope: got %+v, want %+v", res, c)
+		}
+		if !reflect.DeepEqual(res.IDs, c.IDs) {
+			t.Fatalf("ids: got %v, want %v", res.IDs, c.IDs)
+		}
+		if len(c.Neighbors) > 0 && !reflect.DeepEqual(res.Neighbors, c.Neighbors) {
+			t.Fatalf("neighbors: got %v, want %v", res.Neighbors, c.Neighbors)
+		}
+		if len(c.Trajectories) > 0 && !reflect.DeepEqual(res.Trajectories, c.Trajectories) {
+			t.Fatalf("trajectories: got %v, want %v", res.Trajectories, c.Trajectories)
+		}
+		if _, _, _, _, _, ok := DecodeBinaryResponse(frame); ok {
+			t.Fatalf("window-only decoder accepted a kind-%v frame", c.Kind)
+		}
+		for cut := 0; cut < len(frame); cut++ {
+			if _, _, ok := DecodeBinaryResponseFull(frame[:cut]); ok {
+				t.Fatalf("kind %v: truncated frame of %d bytes decoded", c.Kind, cut)
+			}
+		}
+	}
+
+	// An unknown kind word is rejected outright.
+	frame := appendQueryResponseBinary(nil, Result{Snapshot: "w", IDs: []int64{1}}, 1)
+	frame[4] = 3
+	if _, _, ok := DecodeBinaryResponseFull(frame); ok {
+		t.Fatal("unknown kind decoded")
+	}
+}
+
 // TestQueryEncodePathZeroAllocs is the acceptance gate: at steady state
 // (pool warmed), rendering a /query response — JSON or binary — performs
 // zero heap allocations per operation.
@@ -76,22 +169,40 @@ func TestQueryEncodePathZeroAllocs(t *testing.T) {
 	for i := range ids {
 		ids[i] = int64(i * 7337)
 	}
+	window := Result{Snapshot: "default", Gen: 3, IDs: ids, IO: 64}
+	neighbors := make([]stx.Neighbor, 16)
+	for i := range neighbors {
+		neighbors[i] = stx.Neighbor{ObjectID: int64(i), Dist2: float64(i) * 0.3330078125}
+	}
+	knn := Result{Kind: stx.KindKNN, Snapshot: "default", Gen: 3, IDs: ids[:16], Neighbors: neighbors, IO: 64}
+	trajectories := make([]stx.TrajectoryHit, 16)
+	for i := range trajectories {
+		trajectories[i] = stx.TrajectoryHit{ObjectID: int64(i), Pieces: i + 1}
+	}
+	traj := Result{Kind: stx.KindTrajectory, Snapshot: "default", Gen: 3, IDs: ids[:16], Trajectories: trajectories, IO: 64}
+
 	run := func(name string, f func()) {
 		f() // warm the pool outside the measurement
 		if allocs := testing.AllocsPerRun(200, f); allocs != 0 {
 			t.Errorf("%s: %v allocs/op, want 0", name, allocs)
 		}
 	}
-	run("json", func() {
-		bp := getRespBuf()
-		*bp = appendQueryResponseJSON(*bp, "default", 3, ids, 64, 120)
-		putRespBuf(bp)
-	})
-	run("binary", func() {
-		bp := getRespBuf()
-		*bp = appendQueryResponseBinary(*bp, "default", 3, ids, 64, 120)
-		putRespBuf(bp)
-	})
+	for _, c := range []struct {
+		name string
+		res  Result
+	}{{"window", window}, {"knn", knn}, {"trajectory", traj}} {
+		res := c.res
+		run("json/"+c.name, func() {
+			bp := getRespBuf()
+			*bp = appendQueryResponseJSON(*bp, res, 120)
+			putRespBuf(bp)
+		})
+		run("binary/"+c.name, func() {
+			bp := getRespBuf()
+			*bp = appendQueryResponseBinary(*bp, res, 120)
+			putRespBuf(bp)
+		})
+	}
 }
 
 // TestParseQueryGETZeroAllocs pins the request-parsing half of the hot
@@ -143,11 +254,12 @@ func BenchmarkQueryResponseJSON(b *testing.B) {
 	for i := range ids {
 		ids[i] = int64(i * 7337)
 	}
+	res := Result{Snapshot: "default", Gen: 3, IDs: ids, IO: 64}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bp := getRespBuf()
-		*bp = appendQueryResponseJSON(*bp, "default", 3, ids, 64, 120)
+		*bp = appendQueryResponseJSON(*bp, res, 120)
 		putRespBuf(bp)
 	}
 }
@@ -157,11 +269,12 @@ func BenchmarkQueryResponseBinary(b *testing.B) {
 	for i := range ids {
 		ids[i] = int64(i * 7337)
 	}
+	res := Result{Snapshot: "default", Gen: 3, IDs: ids, IO: 64}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bp := getRespBuf()
-		*bp = appendQueryResponseBinary(*bp, "default", 3, ids, 64, 120)
+		*bp = appendQueryResponseBinary(*bp, res, 120)
 		putRespBuf(bp)
 	}
 }

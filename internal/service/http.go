@@ -25,10 +25,17 @@ import (
 //	GET      /metrics         serving counters + per-snapshot stats
 //	GET      /healthz         liveness
 //
-// GET /query parameters: snapshot (default "default"), rect=minx,miny,
-// maxx,maxy, and either t=<instant> or from=<start>&to=<end>. POST /query
-// takes the same fields as JSON: {"snapshot": ..., "rect": [minx,miny,
-// maxx,maxy], "t": ...} or {"rect": [...], "from": ..., "to": ...}.
+// GET /query parameters: snapshot (default "default"), kind (default
+// "window"; also "knn" and "trajectory"), then per kind:
+//
+//	window:     rect=minx,miny,maxx,maxy and t=<instant> or from=&to=
+//	knn:        x=<px>&y=<py>&t=<instant>&k=<count>
+//	trajectory: rect=minx,miny,maxx,maxy and t= or from=&to=
+//
+// POST /query takes the same fields as JSON: {"snapshot": ..., "rect":
+// [minx,miny,maxx,maxy], "t": ...}, {"rect": [...], "from": ..., "to":
+// ...}, {"kind": "knn", "x": ..., "y": ..., "t": ..., "k": ...}, or
+// {"kind": "trajectory", "rect": [...], "from": ..., "to": ...}.
 //
 // The snapshot-management endpoints open operator-supplied paths on the
 // server host; expose them only to trusted operators (stserve is an
@@ -67,13 +74,19 @@ func NewHandler(s *Service) http.Handler {
 // (instead of pointers) keep the steady-state GET parse allocation-free.
 type queryRequest struct {
 	Snapshot string
+	Kind     string // "", "window", "knn", "trajectory"
 	Rect     [4]float64
+	X, Y     float64 // knn query point
 	T        int64
 	From     int64
 	To       int64
+	K        int64
 	HasT     bool
 	HasFrom  bool
 	HasTo    bool
+	HasX     bool
+	HasY     bool
+	HasK     bool
 	Binary   bool // answer with the binary frame (?format=binary)
 }
 
@@ -82,14 +95,24 @@ type queryRequest struct {
 // for ad-hoc use; GET is the hot path).
 type queryRequestJSON struct {
 	Snapshot string     `json:"snapshot"`
+	Kind     string     `json:"kind,omitempty"`
 	Rect     [4]float64 `json:"rect"`
+	X        *float64   `json:"x,omitempty"`
+	Y        *float64   `json:"y,omitempty"`
 	T        *int64     `json:"t,omitempty"`
 	From     *int64     `json:"from,omitempty"`
 	To       *int64     `json:"to,omitempty"`
+	K        *int64     `json:"k,omitempty"`
 }
 
 func (j queryRequestJSON) request() queryRequest {
-	qr := queryRequest{Snapshot: j.Snapshot, Rect: j.Rect}
+	qr := queryRequest{Snapshot: j.Snapshot, Kind: j.Kind, Rect: j.Rect}
+	if j.X != nil {
+		qr.X, qr.HasX = *j.X, true
+	}
+	if j.Y != nil {
+		qr.Y, qr.HasY = *j.Y, true
+	}
 	if j.T != nil {
 		qr.T, qr.HasT = *j.T, true
 	}
@@ -99,6 +122,9 @@ func (j queryRequestJSON) request() queryRequest {
 	if j.To != nil {
 		qr.To, qr.HasTo = *j.To, true
 	}
+	if j.K != nil {
+		qr.K, qr.HasK = *j.K, true
+	}
 	return qr
 }
 
@@ -107,21 +133,43 @@ func (qr queryRequest) toQuery() (string, stx.Query, error) {
 	if name == "" {
 		name = "default"
 	}
+	if qr.Kind == "knn" {
+		switch {
+		case !qr.HasX || !qr.HasY:
+			return "", stx.Query{}, errors.New("knn wants x and y (query point)")
+		case !qr.HasT:
+			return "", stx.Query{}, errors.New("knn wants t (instant)")
+		case !qr.HasK:
+			return "", stx.Query{}, errors.New("knn wants k (neighbor count)")
+		}
+		return name, stx.KNNQuery(qr.X, qr.Y, qr.T, int(qr.K)), nil
+	}
+	var kind stx.QueryKind
+	switch qr.Kind {
+	case "", "window":
+		kind = stx.KindWindow
+	case "trajectory":
+		kind = stx.KindTrajectory
+	default:
+		return "", stx.Query{}, fmt.Errorf("unknown kind %q (want window, knn, or trajectory)", qr.Kind)
+	}
 	rect := stx.Rect{MinX: qr.Rect[0], MinY: qr.Rect[1], MaxX: qr.Rect[2], MaxY: qr.Rect[3]}
 	if rect.MinX > rect.MaxX || rect.MinY > rect.MaxY {
 		return "", stx.Query{}, fmt.Errorf("degenerate rect %v", qr.Rect)
 	}
+	var iv stx.Interval
 	switch {
 	case qr.HasT:
-		return name, stx.Query{Rect: rect, Interval: stx.Interval{Start: qr.T, End: qr.T + 1}}, nil
+		iv = stx.Interval{Start: qr.T, End: qr.T + 1}
 	case qr.HasFrom && qr.HasTo:
 		if qr.To <= qr.From {
 			return "", stx.Query{}, fmt.Errorf("empty interval [%d, %d)", qr.From, qr.To)
 		}
-		return name, stx.Query{Rect: rect, Interval: stx.Interval{Start: qr.From, End: qr.To}}, nil
+		iv = stx.Interval{Start: qr.From, End: qr.To}
 	default:
 		return "", stx.Query{}, errors.New("provide t (snapshot) or from and to (range)")
 	}
+	return name, stx.Query{Kind: kind, Rect: rect, Interval: iv}, nil
 }
 
 // queryParam returns one raw query-string value without materialising
@@ -152,24 +200,28 @@ func parseQueryGET(r *http.Request) (queryRequest, error) {
 	var qr queryRequest
 	raw := r.URL.RawQuery
 	qr.Snapshot, _ = queryParam(raw, "snapshot")
+	qr.Kind, _ = queryParam(raw, "kind")
 	rectStr, ok := queryParam(raw, "rect")
 	if !ok || rectStr == "" {
-		return qr, errors.New("missing rect=minx,miny,maxx,maxy")
-	}
-	for i := 0; i < 4; i++ {
-		part, rest, found := strings.Cut(rectStr, ",")
-		if i < 3 && !found {
-			return qr, fmt.Errorf("rect wants 4 coordinates, got %d", i+1)
+		if qr.Kind != "knn" {
+			return qr, errors.New("missing rect=minx,miny,maxx,maxy")
 		}
-		if i == 3 && found {
-			return qr, errors.New("rect wants 4 coordinates, got more")
+	} else {
+		for i := 0; i < 4; i++ {
+			part, rest, found := strings.Cut(rectStr, ",")
+			if i < 3 && !found {
+				return qr, fmt.Errorf("rect wants 4 coordinates, got %d", i+1)
+			}
+			if i == 3 && found {
+				return qr, errors.New("rect wants 4 coordinates, got more")
+			}
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				return qr, fmt.Errorf("rect coordinate %d: %v", i, err)
+			}
+			qr.Rect[i] = f
+			rectStr = rest
 		}
-		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-		if err != nil {
-			return qr, fmt.Errorf("rect coordinate %d: %v", i, err)
-		}
-		qr.Rect[i] = f
-		rectStr = rest
 	}
 	parseInt := func(key string) (int64, bool, error) {
 		s, ok := queryParam(raw, key)
@@ -182,7 +234,24 @@ func parseQueryGET(r *http.Request) (queryRequest, error) {
 		}
 		return n, true, nil
 	}
+	parseFloat := func(key string) (float64, bool, error) {
+		s, ok := queryParam(raw, key)
+		if !ok || s == "" {
+			return 0, false, nil
+		}
+		f, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return 0, false, fmt.Errorf("%s: %v", key, err)
+		}
+		return f, true, nil
+	}
 	var err error
+	if qr.X, qr.HasX, err = parseFloat("x"); err != nil {
+		return qr, err
+	}
+	if qr.Y, qr.HasY, err = parseFloat("y"); err != nil {
+		return qr, err
+	}
 	if qr.T, qr.HasT, err = parseInt("t"); err != nil {
 		return qr, err
 	}
@@ -190,6 +259,9 @@ func parseQueryGET(r *http.Request) (queryRequest, error) {
 		return qr, err
 	}
 	if qr.To, qr.HasTo, err = parseInt("to"); err != nil {
+		return qr, err
+	}
+	if qr.K, qr.HasK, err = parseInt("k"); err != nil {
 		return qr, err
 	}
 	if format, ok := queryParam(raw, "format"); ok && format == "binary" {
@@ -205,12 +277,27 @@ func parseQueryGET(r *http.Request) (queryRequest, error) {
 // buffer, so the steady-state serving path does not allocate per
 // response. The binary frame (encode.go) carries the same fields.
 type queryResponse struct {
-	Snapshot  string  `json:"snapshot"`
-	Gen       uint64  `json:"gen"`
-	Count     int     `json:"count"`
-	IDs       []int64 `json:"ids"`
-	IO        int64   `json:"io"`
-	ElapsedUS int64   `json:"elapsed_us"`
+	Snapshot     string            `json:"snapshot"`
+	Gen          uint64            `json:"gen"`
+	Count        int               `json:"count"`
+	IDs          []int64           `json:"ids"`
+	Neighbors    []queryNeighbor   `json:"neighbors,omitempty"`
+	Trajectories []queryTrajectory `json:"trajectories,omitempty"`
+	IO           int64             `json:"io"`
+	ElapsedUS    int64             `json:"elapsed_us"`
+}
+
+// queryNeighbor is one ranked kNN answer entry (kind=knn responses).
+type queryNeighbor struct {
+	ID    int64   `json:"id"`
+	Dist2 float64 `json:"dist2"`
+}
+
+// queryTrajectory is one trajectory answer entry (kind=trajectory
+// responses): the object and how many of its recorded pieces matched.
+type queryTrajectory struct {
+	ID     int64 `json:"id"`
+	Pieces int   `json:"pieces"`
 }
 
 func handleQuery(s *Service, w http.ResponseWriter, r *http.Request) {
@@ -251,10 +338,10 @@ func handleQuery(s *Service, w http.ResponseWriter, r *http.Request) {
 
 	bp := getRespBuf()
 	if binary {
-		*bp = appendQueryResponseBinary(*bp, res.Snapshot, res.Gen, res.IDs, res.IO, elapsed)
+		*bp = appendQueryResponseBinary(*bp, res, elapsed)
 		w.Header().Set("Content-Type", BinaryContentType)
 	} else {
-		*bp = appendQueryResponseJSON(*bp, res.Snapshot, res.Gen, res.IDs, res.IO, elapsed)
+		*bp = appendQueryResponseJSON(*bp, res, elapsed)
 		w.Header().Set("Content-Type", "application/json")
 	}
 	w.Header().Set("Content-Length", strconv.Itoa(len(*bp)))
@@ -310,6 +397,8 @@ func handleDrop(s *Service, w http.ResponseWriter, r *http.Request) {
 // statusFor maps service errors onto HTTP statuses.
 func statusFor(err error) int {
 	switch {
+	case errors.Is(err, stx.ErrBadQuery):
+		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownSnapshot):
 		return http.StatusNotFound
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrClosed):

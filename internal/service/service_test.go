@@ -294,12 +294,20 @@ func (g *gateIndex) block() ([]int64, error) {
 
 func (g *gateIndex) Snapshot(stx.Rect, int64) ([]int64, error)     { return g.block() }
 func (g *gateIndex) Range(stx.Rect, stx.Interval) ([]int64, error) { return g.block() }
-func (g *gateIndex) ResetBuffer()                                  {}
-func (g *gateIndex) IOStats() stx.IOStats                          { return stx.IOStats{} }
-func (g *gateIndex) Pages() int                                    { return 1 }
-func (g *gateIndex) Bytes() int64                                  { return 1 }
-func (g *gateIndex) Records() int                                  { return 1 }
-func (g *gateIndex) Kind() string                                  { return "gate" }
+func (g *gateIndex) Nearest(float64, float64, int64, int) ([]stx.Neighbor, error) {
+	_, err := g.block()
+	return nil, err
+}
+func (g *gateIndex) Trajectory(stx.Rect, stx.Interval) ([]stx.TrajectoryHit, error) {
+	_, err := g.block()
+	return nil, err
+}
+func (g *gateIndex) ResetBuffer()         {}
+func (g *gateIndex) IOStats() stx.IOStats { return stx.IOStats{} }
+func (g *gateIndex) Pages() int           { return 1 }
+func (g *gateIndex) Bytes() int64         { return 1 }
+func (g *gateIndex) Records() int         { return 1 }
+func (g *gateIndex) Kind() string         { return "gate" }
 
 func snapshotQuery() stx.Query {
 	return stx.Query{

@@ -40,8 +40,18 @@ func NewSession(reg *Registry) *Session {
 
 // Result is one served query's outcome.
 type Result struct {
+	// Kind echoes the query kind that produced this result; it selects
+	// which of the payload slices below is meaningful.
+	Kind stx.QueryKind
 	// IDs are the matching object ids (de-duplicated, discovery order).
+	// Populated for every kind: kNN and trajectory answers carry their
+	// ids here too, in answer order.
 	IDs []int64
+	// Neighbors is the ranked kNN answer (Kind == stx.KindKNN only).
+	Neighbors []stx.Neighbor
+	// Trajectories is the per-object piece-count answer
+	// (Kind == stx.KindTrajectory only).
+	Trajectories []stx.TrajectoryHit
 	// IO is the number of disk accesses this query cost through the
 	// session's warm buffer pool. For snapshot kinds without per-worker
 	// views (no QueryViewer — e.g. stream indexes) concurrent queries
@@ -81,7 +91,7 @@ func (s *Session) QueryLeased(ctx context.Context, lease *Lease, q stx.Query) (R
 		sv = sessionView{gen: snap.gen, view: lease.View()}
 		sv.prev = sv.view.IOStats()
 	}
-	ids, err := stx.RunQuery(sv.view, q)
+	qr, err := stx.RunQueryResult(sv.view, q)
 	after := sv.view.IOStats()
 	delta := pagefile.Stats{
 		Reads:  after.Reads - sv.prev.Reads,
@@ -94,5 +104,13 @@ func (s *Session) QueryLeased(ctx context.Context, lease *Lease, q stx.Query) (R
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{IDs: ids, IO: delta.Reads + delta.Writes, Snapshot: snap.name, Gen: snap.gen}, nil
+	return Result{
+		Kind:         q.Kind,
+		IDs:          qr.IDs,
+		Neighbors:    qr.Neighbors,
+		Trajectories: qr.Trajectories,
+		IO:           delta.Reads + delta.Writes,
+		Snapshot:     snap.name,
+		Gen:          snap.gen,
+	}, nil
 }

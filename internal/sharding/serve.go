@@ -247,6 +247,145 @@ func (s *Sharded) queryShard(i int, r stx.Rect, iv stx.Interval) ([]int64, error
 	return ids, err
 }
 
+// Nearest implements stx.Index as a shard-pruning priority merge.
+// Shards whose covering interval misses the instant are pruned outright;
+// the survivors are visited in ascending order of their manifest MBR's
+// min-distance to the query point (an admissible bound: the MBR covers
+// every record in the shard). Once k neighbors are merged, a shard whose
+// bound strictly exceeds the current k-th best distance cannot improve
+// the answer — an equal bound must still be visited, it may hold a
+// smaller-ObjectID tie — and counts as pruned. Dispatch is sequential in
+// bound order (that is what makes the pruning bite); the merge is
+// stx.MergeNeighbors, so the final (Dist2, ObjectID) order is
+// bit-identical to the serial answer. Every shard is accounted as either
+// dispatched or pruned, keeping the /metrics invariant.
+func (s *Sharded) Nearest(x, y float64, t int64, k int) ([]stx.Neighbor, error) {
+	if err := stx.ValidateKNN(x, y, k); err != nil {
+		return nil, err
+	}
+	s.queries.Add(1)
+	type cand struct {
+		i  int
+		d2 float64
+	}
+	cands := make([]cand, 0, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if t < sh.interval.Start || t >= sh.interval.End {
+			sh.stats.pruned.Add(1)
+			continue
+		}
+		cands = append(cands, cand{i: i, d2: sh.rect.MinDist2(x, y)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d2 != cands[b].d2 {
+			return cands[a].d2 < cands[b].d2
+		}
+		return cands[a].i < cands[b].i
+	})
+	var merged []stx.Neighbor
+	for ci, c := range cands {
+		if len(merged) == k && c.d2 > merged[len(merged)-1].Dist2 {
+			s.shards[c.i].stats.pruned.Add(1)
+			continue
+		}
+		sh := &s.shards[c.i]
+		sh.stats.dispatched.Add(1)
+		before := sh.idx.IOStats()
+		nb, err := sh.idx.Nearest(x, y, t, k)
+		after := sh.idx.IOStats()
+		sh.stats.reads.Add(after.Reads - before.Reads)
+		if err != nil {
+			// Fail-stop; account the unvisited shards so dispatched+pruned
+			// still equals the query total.
+			for _, rest := range cands[ci+1:] {
+				s.shards[rest.i].stats.pruned.Add(1)
+			}
+			return nil, err
+		}
+		merged = stx.MergeNeighbors(merged, nb, k)
+	}
+	return merged, nil
+}
+
+// Trajectory implements stx.Index: prune and scatter exactly like Range,
+// then merge by summing per-object piece counts — the partitioners
+// assign each record to exactly one shard, so an object's pieces sum
+// across shards to the same count a single index would report.
+func (s *Sharded) Trajectory(r stx.Rect, iv stx.Interval) ([]stx.TrajectoryHit, error) {
+	s.queries.Add(1)
+	dispatch := make([]int, 0, len(s.shards))
+	for i := range s.shards {
+		sh := &s.shards[i]
+		if !r.Intersects(sh.rect) || iv.Start >= sh.interval.End || iv.End <= sh.interval.Start {
+			sh.stats.pruned.Add(1)
+			continue
+		}
+		dispatch = append(dispatch, i)
+	}
+
+	results := make([][]stx.TrajectoryHit, len(dispatch))
+	if len(dispatch) <= 1 || s.fanout <= 1 {
+		for di, i := range dispatch {
+			hits, err := s.trajectoryShard(i, r, iv)
+			if err != nil {
+				return nil, err
+			}
+			results[di] = hits
+		}
+	} else {
+		errs := make([]error, len(dispatch))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, s.fanout)
+		for di, i := range dispatch {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(di, i int) {
+				defer wg.Done()
+				results[di], errs[di] = s.trajectoryShard(i, r, iv)
+				<-sem
+			}(di, i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if len(results) == 1 {
+		return results[0], nil
+	}
+	counts := make(map[int64]int)
+	for _, hits := range results {
+		for _, h := range hits {
+			counts[h.ObjectID] += h.Pieces
+		}
+	}
+	if len(counts) == 0 {
+		return nil, nil
+	}
+	merged := make([]stx.TrajectoryHit, 0, len(counts))
+	for id, n := range counts {
+		merged = append(merged, stx.TrajectoryHit{ObjectID: id, Pieces: n})
+	}
+	sort.Slice(merged, func(a, b int) bool { return merged[a].ObjectID < merged[b].ObjectID })
+	return merged, nil
+}
+
+// trajectoryShard runs one dispatched trajectory query on shard i,
+// accounting like queryShard.
+func (s *Sharded) trajectoryShard(i int, r stx.Rect, iv stx.Interval) ([]stx.TrajectoryHit, error) {
+	sh := &s.shards[i]
+	sh.stats.dispatched.Add(1)
+	before := sh.idx.IOStats()
+	hits, err := sh.idx.Trajectory(r, iv)
+	after := sh.idx.IOStats()
+	sh.stats.reads.Add(after.Reads - before.Reads)
+	return hits, err
+}
+
 // ResetBuffer implements stx.Index over every shard view.
 func (s *Sharded) ResetBuffer() {
 	for i := range s.shards {

@@ -1,0 +1,329 @@
+package stindex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"stindex/internal/geom"
+)
+
+// QueryKind selects which question a Query asks. The zero value is the
+// paper's window search, so existing Query literals keep their meaning.
+type QueryKind uint8
+
+const (
+	// KindWindow is the paper's window/interval search: objects
+	// intersecting Rect at some instant of Interval.
+	KindWindow QueryKind = iota
+	// KindKNN is k-nearest-neighbor search at one instant: the K objects
+	// alive at Interval.Start whose rectangles are nearest to the point
+	// (Rect.MinX, Rect.MinY).
+	KindKNN
+	// KindTrajectory is the trajectory predicate: objects whose path
+	// crossed Rect at some instant of Interval, reported with how many of
+	// their split pieces matched (multi-entry style).
+	KindTrajectory
+)
+
+// String names the kind the way the /query HTTP parameter spells it.
+func (k QueryKind) String() string {
+	switch k {
+	case KindKNN:
+		return "knn"
+	case KindTrajectory:
+		return "trajectory"
+	default:
+		return "window"
+	}
+}
+
+// ErrBadQuery is wrapped by every query-validation failure (k < 1,
+// non-finite kNN point). Test with errors.Is; the serving layer maps it
+// to HTTP 400.
+var ErrBadQuery = errors.New("stindex: invalid query")
+
+// Neighbor is one kNN answer. Dist2 is the squared Euclidean distance
+// from the query point to the nearest point of the object's rectangle at
+// the query instant (0 when the point lies inside it). Distances stay
+// squared end to end: the square root is not monotone over distinct
+// float64 values after rounding, so comparing squared values is what
+// keeps serial, sharded and oracle answers bit-identical.
+//
+// Answers are ordered by ascending (Dist2, ObjectID). The ObjectID
+// tie-break — rather than, say, record ref then insertion time — is
+// deliberate: refs are shard-local and insertion order is
+// partitioner-dependent, while object IDs mean the same thing in every
+// execution path, so the pinned order survives the sharded merge.
+type Neighbor struct {
+	ObjectID int64
+	Dist2    float64
+}
+
+// TrajectoryHit is one trajectory-query answer: an object whose path
+// crossed the query region during the query interval, with the number of
+// its distinct split pieces (index records) that matched. Hits are
+// ordered by ascending ObjectID.
+type TrajectoryHit struct {
+	ObjectID int64
+	Pieces   int
+}
+
+// QueryResult is the kind-polymorphic answer of RunQueryResult. IDs is
+// populated for every kind (for kNN in ascending (Dist2, ObjectID)
+// order, otherwise ascending); Neighbors only for KindKNN, Trajectories
+// only for KindTrajectory.
+type QueryResult struct {
+	IDs          []int64
+	Neighbors    []Neighbor
+	Trajectories []TrajectoryHit
+}
+
+// KNNQuery builds a k-nearest-neighbor query: the k objects alive at
+// instant t nearest to (x, y).
+func KNNQuery(x, y float64, t int64, k int) Query {
+	return Query{
+		Kind:     KindKNN,
+		Rect:     Rect{MinX: x, MinY: y, MaxX: x, MaxY: y},
+		Interval: Interval{Start: t, End: t + 1},
+		K:        k,
+	}
+}
+
+// TrajectoryQuery builds a trajectory query: the objects whose path
+// crossed r at some instant of iv.
+func TrajectoryQuery(r Rect, iv Interval) Query {
+	return Query{Kind: KindTrajectory, Rect: r, Interval: iv}
+}
+
+// RunQueryResult executes one query of any kind and returns the full
+// answer. RunQuery is the IDs-only shorthand.
+func RunQueryResult(idx Index, q Query) (QueryResult, error) {
+	switch q.Kind {
+	case KindKNN:
+		nb, err := idx.Nearest(q.Rect.MinX, q.Rect.MinY, q.Interval.Start, q.K)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		ids := make([]int64, len(nb))
+		for i, n := range nb {
+			ids[i] = n.ObjectID
+		}
+		return QueryResult{IDs: ids, Neighbors: nb}, nil
+	case KindTrajectory:
+		hits, err := idx.Trajectory(q.Rect, q.Interval)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		ids := make([]int64, len(hits))
+		for i, h := range hits {
+			ids[i] = h.ObjectID
+		}
+		return QueryResult{IDs: ids, Trajectories: hits}, nil
+	default:
+		ids, err := RunQuery(idx, q)
+		if err != nil {
+			return QueryResult{}, err
+		}
+		return QueryResult{IDs: ids}, nil
+	}
+}
+
+// ValidateKNN rejects malformed kNN arguments: k < 1 or a non-finite
+// query point. Every Nearest implementation calls it before traversing,
+// so malformed input surfaces as ErrBadQuery instead of garbage answers
+// (NaN breaks any comparison-based pruning).
+func ValidateKNN(x, y float64, k int) error {
+	if k < 1 {
+		return fmt.Errorf("%w: k must be >= 1, got %d", ErrBadQuery, k)
+	}
+	if math.IsNaN(x) || math.IsInf(x, 0) || math.IsNaN(y) || math.IsInf(y, 0) {
+		return fmt.Errorf("%w: non-finite query point (%v, %v)", ErrBadQuery, x, y)
+	}
+	return nil
+}
+
+// MinDist2 returns the squared Euclidean distance from (x, y) to the
+// nearest point of r — the branch-and-bound MINDIST bound, and the exact
+// distance notion Neighbor.Dist2 reports.
+func (r Rect) MinDist2(x, y float64) float64 { return r.internal().MinDist2(x, y) }
+
+// knnCollector accumulates the k best (Dist2, ObjectID) pairs from a
+// best-first traversal that emits candidates in non-decreasing distance
+// order. add reports whether the traversal should continue: false only
+// once the list is full and the emitted distance strictly exceeds the
+// current k-th best — an equal distance may still displace a larger
+// ObjectID under the pinned tie order.
+type knnCollector struct {
+	k  int
+	nb []Neighbor
+}
+
+func (c *knnCollector) add(d2 float64, id int64) bool {
+	if len(c.nb) == c.k && d2 > c.nb[len(c.nb)-1].Dist2 {
+		return false
+	}
+	c.nb = mergeNeighbor(c.nb, Neighbor{ObjectID: id, Dist2: d2}, c.k)
+	return true
+}
+
+// mergeNeighbor inserts n into nb (kept ascending by (Dist2, ObjectID)),
+// deduplicating per object — the smaller key wins — and truncating to k.
+func mergeNeighbor(nb []Neighbor, n Neighbor, k int) []Neighbor {
+	for i := range nb {
+		if nb[i].ObjectID == n.ObjectID {
+			if n.Dist2 >= nb[i].Dist2 {
+				return nb
+			}
+			nb = append(nb[:i], nb[i+1:]...)
+			break
+		}
+	}
+	i := sort.Search(len(nb), func(i int) bool {
+		if nb[i].Dist2 != n.Dist2 {
+			return nb[i].Dist2 > n.Dist2
+		}
+		return nb[i].ObjectID > n.ObjectID
+	})
+	if i >= k {
+		return nb
+	}
+	nb = append(nb, Neighbor{})
+	copy(nb[i+1:], nb[i:])
+	nb[i] = n
+	if len(nb) > k {
+		nb = nb[:k]
+	}
+	return nb
+}
+
+// MergeNeighbors merges src into dst under the global (Dist2, ObjectID)
+// order, deduplicating per object (the smaller key wins) and truncating
+// to k. This is the scatter-gather merge of the sharded router: merging
+// per-shard top-k lists this way yields exactly the global top-k,
+// because the global answer is a subset of the union of per-shard
+// answers under the same order.
+func MergeNeighbors(dst, src []Neighbor, k int) []Neighbor {
+	for _, n := range src {
+		dst = mergeNeighbor(dst, n, k)
+	}
+	return dst
+}
+
+// trajectoryHits converts a per-object piece-count map into the sorted
+// answer slice shared by every Trajectory implementation.
+func trajectoryHits(counts map[int64]int) []TrajectoryHit {
+	if len(counts) == 0 {
+		return nil
+	}
+	out := make([]TrajectoryHit, 0, len(counts))
+	for id, n := range counts {
+		out = append(out, TrajectoryHit{ObjectID: id, Pieces: n})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ObjectID < out[j].ObjectID })
+	return out
+}
+
+// Nearest implements Index: branch-and-bound best-first search over the
+// snapshot structure at t (see pprtree.NearestSearch).
+func (x *PPRIndex) Nearest(px, py float64, t int64, k int) ([]Neighbor, error) {
+	if err := ValidateKNN(px, py, k); err != nil {
+		return nil, err
+	}
+	col := knnCollector{k: k}
+	var cbErr error
+	err := x.tree.NearestSearch(px, py, t, func(d2 float64, ref uint64) bool {
+		id, err := ownerOf(x.owners, ref, "ppr")
+		if err != nil {
+			cbErr = err
+			return false
+		}
+		return col.add(d2, id)
+	})
+	if err == nil {
+		err = cbErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return col.nb, nil
+}
+
+// Trajectory implements Index: the interval search already reports each
+// record (split piece) once, so aggregating refs per owner yields the
+// multi-entry trajectory answer.
+func (x *PPRIndex) Trajectory(r Rect, iv Interval) ([]TrajectoryHit, error) {
+	counts := make(map[int64]int)
+	var cbErr error
+	err := x.tree.IntervalSearch(r.internal(), iv.internal(), func(_ geom.Rect, ref uint64) bool {
+		id, err := ownerOf(x.owners, ref, "ppr")
+		if err != nil {
+			cbErr = err
+			return false
+		}
+		counts[id]++
+		return true
+	})
+	if err == nil {
+		err = cbErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return trajectoryHits(counts), nil
+}
+
+// Nearest implements Index. The instant t maps to the scaled time probe
+// (t+0.5)*timeScale, strictly inside the closed box of exactly the
+// records whose half-open lifetime contains t (the same ±0.5 trick as
+// queryBox), so the XY min-distance search sees precisely the records
+// alive at t.
+func (x *RStarIndex) Nearest(px, py float64, t int64, k int) ([]Neighbor, error) {
+	if err := ValidateKNN(px, py, k); err != nil {
+		return nil, err
+	}
+	tc := (float64(t) + 0.5) * x.timeScale
+	col := knnCollector{k: k}
+	var cbErr error
+	err := x.tree.NearestSearch(px, py, tc, func(d2 float64, ref uint64) bool {
+		id, err := ownerOf(x.owners, ref, "rstar")
+		if err != nil {
+			cbErr = err
+			return false
+		}
+		return col.add(d2, id)
+	})
+	if err == nil {
+		err = cbErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return col.nb, nil
+}
+
+// Trajectory implements Index: one 3D search, refs aggregated per owner.
+func (x *RStarIndex) Trajectory(r Rect, iv Interval) ([]TrajectoryHit, error) {
+	if !iv.internal().ValidInterval() {
+		return nil, nil
+	}
+	counts := make(map[int64]int)
+	var cbErr error
+	err := x.tree.Search(x.queryBox(r, iv), func(_ geom.Box3, ref uint64) bool {
+		id, err := ownerOf(x.owners, ref, "rstar")
+		if err != nil {
+			cbErr = err
+			return false
+		}
+		counts[id]++
+		return true
+	})
+	if err == nil {
+		err = cbErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return trajectoryHits(counts), nil
+}

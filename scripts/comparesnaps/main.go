@@ -136,14 +136,24 @@ func replayAnswers(path, base, snap string, n int) {
 }
 
 // queryParams derives the i-th deterministic query: a sliding rect over
-// the unit square, alternating snapshot (t=) and range (from/to)
-// timestamps.
+// the unit square, cycling through all three query kinds — window
+// (alternating snapshot t= and range from/to timestamps), kNN at the
+// rect center, and trajectory over the rect — so the sharded
+// scatter-gather merge and crash recovery are proven on every answer
+// path, not just window search.
 func queryParams(i int) string {
 	x := float64((i*37)%83) / 100.0 // 0.00 .. 0.82
 	y := float64((i*53)%79) / 100.0
 	w := 0.05 + float64(i%4)*0.05 // 0.05 .. 0.20
 	rect := fmt.Sprintf("rect=%.2f,%.2f,%.2f,%.2f", x, y, min(x+w, 1), min(y+w, 1))
 	t := (i * 101) % 500
+	switch i % 7 {
+	case 2:
+		k := 1 + (i*13)%20
+		return fmt.Sprintf("kind=knn&x=%.2f&y=%.2f&t=%d&k=%d", min(x+w/2, 1), min(y+w/2, 1), t, k)
+	case 5:
+		return fmt.Sprintf("kind=trajectory&%s&from=%d&to=%d", rect, t, t+10+(i%40))
+	}
 	if i%3 == 0 {
 		return fmt.Sprintf("%s&from=%d&to=%d", rect, t, t+10+(i%40))
 	}

@@ -74,6 +74,15 @@ if [ "$total_fails" -ne 0 ]; then
 fi
 echo "   zero errors"
 
+echo "== kNN and trajectory query kinds"
+knn=$(curl -sf "http://$ADDR/query?kind=knn&x=0.5&y=0.5&t=100&k=5")
+grep -q '"neighbors":\[{"id":' <<<"$knn" \
+  || { echo "FAIL: knn answer missing neighbors: $knn"; exit 1; }
+traj=$(curl -sf "http://$ADDR/query?kind=trajectory&rect=0.3,0.3,0.7,0.7&from=50&to=300")
+grep -q '"trajectories":\[{"id":' <<<"$traj" \
+  || { echo "FAIL: trajectory answer missing hits: $traj"; exit 1; }
+echo "   knn + trajectory ok"
+
 echo "== hot-swapping the snapshot"
 curl -sf -X POST "http://$ADDR/snapshots/load" \
   -d "{\"name\":\"default\",\"path\":\"$workdir/idx2.sti\"}" >/dev/null
@@ -107,6 +116,13 @@ if [ "$SMOKE_SHARDED" = "1" ]; then
     echo "FAIL: no sharded snapshot in metrics"; exit 1
   fi
 fi
+
+# Malformed kNN parameters must map to 400, not 500. This runs after the
+# metrics scrape: the rejected query counts as a failure there, and
+# checkmetrics insists the load-test traffic itself had none.
+echo "== malformed kNN is rejected with 400"
+status=$(curl -s -o /dev/null -w '%{http_code}' "http://$ADDR/query?kind=knn&x=0.5&y=0.5&t=100&k=0")
+[ "$status" = "400" ] || { echo "FAIL: k=0 answered $status, want 400"; exit 1; }
 
 echo "== graceful shutdown (SIGTERM)"
 kill -TERM "$serve_pid"

@@ -101,6 +101,56 @@ func (s *StreamIndex) Range(r Rect, iv Interval) ([]int64, error) {
 	return s.ix.Range(r.internal(), iv.internal())
 }
 
+// Nearest implements Index: best-first search over the stream's
+// partially persistent tree, piece refs mapped to owners through the
+// streaming ref table.
+func (s *StreamIndex) Nearest(px, py float64, t int64, k int) ([]Neighbor, error) {
+	if err := ValidateKNN(px, py, k); err != nil {
+		return nil, err
+	}
+	col := knnCollector{k: k}
+	var cbErr error
+	err := s.ix.Tree().NearestSearch(px, py, t, func(d2 float64, ref uint64) bool {
+		id, ok := s.ix.OwnerRef(ref)
+		if !ok {
+			cbErr = fmt.Errorf("stindex: stream piece ref %d has no owner (corrupt index image?)", ref)
+			return false
+		}
+		return col.add(d2, id)
+	})
+	if err == nil {
+		err = cbErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return col.nb, nil
+}
+
+// Trajectory implements Index: each reported ref is one online lifetime
+// piece, so counting refs per owner is exactly the multi-entry answer
+// over the pieces the stream has cut so far.
+func (s *StreamIndex) Trajectory(r Rect, iv Interval) ([]TrajectoryHit, error) {
+	counts := make(map[int64]int)
+	var cbErr error
+	err := s.ix.Tree().IntervalSearch(r.internal(), iv.internal(), func(_ geom.Rect, ref uint64) bool {
+		id, ok := s.ix.OwnerRef(ref)
+		if !ok {
+			cbErr = fmt.Errorf("stindex: stream piece ref %d has no owner (corrupt index image?)", ref)
+			return false
+		}
+		counts[id]++
+		return true
+	})
+	if err == nil {
+		err = cbErr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return trajectoryHits(counts), nil
+}
+
 // ResetBuffer empties the LRU pool and zeroes the I/O counters.
 func (s *StreamIndex) ResetBuffer() { s.ix.Tree().Buffer().Reset() }
 

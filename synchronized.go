@@ -32,6 +32,20 @@ func (s *SyncIndex) Range(r Rect, iv Interval) ([]int64, error) {
 	return s.idx.Range(r, iv)
 }
 
+// Nearest implements Index.
+func (s *SyncIndex) Nearest(x, y float64, t int64, k int) ([]Neighbor, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.Nearest(x, y, t, k)
+}
+
+// Trajectory implements Index.
+func (s *SyncIndex) Trajectory(r Rect, iv Interval) ([]TrajectoryHit, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.idx.Trajectory(r, iv)
+}
+
 // ResetBuffer implements Index.
 func (s *SyncIndex) ResetBuffer() {
 	s.mu.Lock()
